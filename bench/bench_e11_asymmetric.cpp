@@ -1,0 +1,106 @@
+// E11 — asymmetric read/write costs (Blelloch, §2: "reasonably simple
+// extensions that support accounting for locality, as well as asymmetry
+// in read-write costs").
+//
+// Two kernel pairs traced through the ARAM counter and priced at a
+// sweep of write-cost multipliers omega (the NVM regime):
+//   * scan: sequential (n writes) vs tree/parallel-friendly (~3n writes)
+//   * sort: 2-way mergesort (n log2 n writes) vs k-way mergesort
+//     (n log_k n writes) for k in {4, 16}
+//
+// Expected shape: write-lean variants win more as omega grows; the
+// k-way-vs-2-way advantage scales like log2(k) in the write term, and
+// the omega at which k-way's total cost advantage exceeds 2x is the
+// reported crossover.
+#include <iostream>
+
+#include "algos/scan.hpp"
+#include "algos/sort.hpp"
+#include "cache/aram.hpp"
+#include "cache/traced.hpp"
+#include "support/table.hpp"
+
+using namespace harmony;
+
+int main() {
+  std::cout << "E11: ARAM (read=1, write=omega) costs of write-lean vs "
+               "write-heavy schedules\n\n";
+
+  const std::size_t n = 1 << 14;
+
+  // --- scan pair ---------------------------------------------------------
+  cache::AddressSpace space;
+  cache::AramCounter seq_scan;
+  {
+    cache::TracedArray<double> in(n, space, seq_scan);
+    cache::TracedArray<double> out(n, space, seq_scan);
+    algos::inclusive_scan_traced(in, out, 0.0);
+  }
+  cache::AramCounter tree_scan;
+  {
+    cache::TracedArray<double> in(n, space, tree_scan);
+    cache::TracedArray<double> out(n, space, tree_scan);
+    cache::TracedArray<double> tmp(n, space, tree_scan);
+    algos::tree_scan_traced(in, out, tmp, 0.0);
+  }
+
+  // --- sort trio ----------------------------------------------------------
+  const auto keys = algos::random_keys(n, 5);
+  cache::AramCounter sort2;
+  {
+    cache::TracedArray<std::int64_t> a(keys, space, sort2);
+    algos::merge_sort_traced(a);
+  }
+  cache::AramCounter sort4;
+  {
+    cache::TracedArray<std::int64_t> a(keys, space, sort4);
+    algos::kway_merge_sort_traced(a, 4);
+  }
+  cache::AramCounter sort16;
+  {
+    cache::TracedArray<std::int64_t> a(keys, space, sort16);
+    algos::kway_merge_sort_traced(a, 16);
+  }
+  cache::AramCounter sort16u;
+  {
+    cache::TracedArray<std::int64_t> a(keys, space, sort16u);
+    algos::kway_merge_sort_uncached(a, 16);
+  }
+
+  Table io({"kernel", "reads", "writes", "writes_per_elem"});
+  io.title("E11.a — big-memory traffic (n = 2^14)");
+  auto row = [&](const char* name, const cache::AramCounter& c) {
+    io.add_row({std::string(name), static_cast<std::int64_t>(c.reads()),
+                static_cast<std::int64_t>(c.writes()),
+                static_cast<double>(c.writes()) / static_cast<double>(n)});
+  };
+  row("scan sequential", seq_scan);
+  row("scan tree (parallel-friendly)", tree_scan);
+  row("mergesort 2-way", sort2);
+  row("mergesort 4-way", sort4);
+  row("mergesort 16-way (cached heads)", sort16);
+  row("mergesort 16-way (uncached heads)", sort16u);
+  io.print(std::cout);
+
+  std::cout << '\n';
+  Table t({"omega", "tree_scan/seq_scan", "2way/16way_cached",
+           "2way/16way_uncached", "uncached_wins"});
+  t.title("E11.b — ARAM cost ratios vs write-cost multiplier omega");
+  double crossover = -1.0;
+  for (double omega : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    const double r = sort2.cost(omega) / sort16u.cost(omega);
+    if (r > 1.0 && crossover < 0) crossover = omega;
+    t.add_row({omega, tree_scan.cost(omega) / seq_scan.cost(omega),
+               sort2.cost(omega) / sort16.cost(omega), r,
+               std::string(r > 1.0 ? "yes" : "no")});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape check: 16-way halves the write passes (14 levels "
+               "-> 4) for a constant-factor win at every omega; the "
+               "*uncached* 16-way trades ~4x extra reads for those write "
+               "savings and only wins once omega exceeds ~k/log2(k) "
+               "(measured crossover: first winning omega = "
+            << crossover << ", theory ~5).\n";
+  return 0;
+}

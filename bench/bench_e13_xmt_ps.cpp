@@ -1,0 +1,106 @@
+// E13 — XMT's hardware prefix-sum (Vishkin, §5): "the XMT architecture,
+// which to a first approximation is about reducing overheads of PRAM
+// algorithms using hardware primitives."
+//
+// Dynamic-work benchmarks where many virtual threads allocate through a
+// shared counter: stream compaction and BFS frontier expansion, run with
+// the hardware combining ps() and with a software fetch-add that
+// serializes under contention.
+//
+// Expected shape: hardware-ps cycles stay flat as the number of
+// simultaneous allocations on one counter grows; software-ps cycles grow
+// linearly with the hottest counter; spreading allocation over more
+// counters closes the gap (at the price of a second compaction pass).
+#include <iostream>
+
+#include "algos/graph.hpp"
+#include "pram/xmt.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+using namespace harmony;
+
+int main() {
+  std::cout << "E13: hardware prefix-sum vs software fetch-add under "
+               "contention\n\n";
+
+  // --- stream compaction: keep elements passing a predicate ------------
+  Table t({"threads", "counters", "hw_ps_cycles", "sw_ps_cycles",
+           "sw_over_hw"});
+  t.title("E13.a — compaction of n elements through shared counters "
+          "(64 TCUs)");
+  for (std::int64_t n : {64, 256, 1024, 4096}) {
+    for (std::int64_t counters : {std::int64_t{1}, std::int64_t{16}}) {
+      auto run = [&](bool hardware) {
+        pram::XmtConfig cfg;
+        cfg.num_tcus = 64;
+        cfg.hardware_ps = hardware;
+        // Memory: [0,n) input; [n,2n) output; [2n, 2n+counters) counters.
+        pram::XmtMachine m(static_cast<std::size_t>(2 * n + counters),
+                           cfg);
+        Rng rng(7);
+        for (std::int64_t i = 0; i < n; ++i) {
+          m.mem(static_cast<std::size_t>(i)) =
+              rng.next_bool(0.5) ? 1 : 0;
+        }
+        const auto un = static_cast<std::size_t>(n);
+        return m.spawn(n, [&, un, counters](pram::XmtMachine::Thread& th) {
+          const std::int64_t keep =
+              th.read(static_cast<std::size_t>(th.id()));
+          th.charge(1);  // predicate
+          if (keep != 0) {
+            const auto counter =
+                2 * un + static_cast<std::size_t>(
+                             th.id() % counters);
+            const std::int64_t slot = th.ps(counter, 1);
+            // Strided shard layout: shard c's j-th survivor lands at
+            // j*counters + c (shards interleaved; compacted by a second
+            // pass not modelled here).  Distinct (shard, slot) pairs map
+            // to distinct addresses.
+            th.write(un + static_cast<std::size_t>(slot * counters +
+                                                   th.id() % counters),
+                     th.id());
+          }
+        });
+      };
+      const auto hw = run(true);
+      const auto sw = run(false);
+      t.add_row({n, counters, hw.estimated_cycles, sw.estimated_cycles,
+                 static_cast<double>(sw.estimated_cycles) /
+                     static_cast<double>(hw.estimated_cycles)});
+    }
+  }
+  t.print(std::cout);
+
+  // --- BFS frontier expansion ------------------------------------------
+  std::cout << '\n';
+  Table b({"graph", "ps_mode", "total_cycles", "max_contention",
+           "vs_hw"});
+  b.title("E13.b — XMT BFS end to end, hardware vs software ps");
+  for (auto& [name, g] :
+       std::vector<std::pair<std::string, algos::CsrGraph>>{
+           {"random n=4096 m~24k", algos::random_graph(4096, 12288, 3)},
+           {"grid 48x48", algos::grid_graph(48, 48)}}) {
+    pram::XmtConfig hw_cfg;
+    hw_cfg.num_tcus = 64;
+    hw_cfg.hardware_ps = true;
+    pram::XmtConfig sw_cfg = hw_cfg;
+    sw_cfg.hardware_ps = false;
+    const auto hw = algos::bfs_xmt(g, 0, hw_cfg);
+    const auto sw = algos::bfs_xmt(g, 0, sw_cfg);
+    b.add_row({name, std::string("hardware"),
+               hw.stats.estimated_cycles, hw.stats.max_ps_contention,
+               1.0});
+    b.add_row({name, std::string("software"),
+               sw.stats.estimated_cycles, sw.stats.max_ps_contention,
+               static_cast<double>(sw.stats.estimated_cycles) /
+                   static_cast<double>(hw.stats.estimated_cycles)});
+  }
+  b.print(std::cout);
+
+  std::cout << "\nShape check: single-counter software ps degrades "
+               "linearly in thread count (sw_over_hw grows with n); 16 "
+               "counters or hardware combining keep it flat; BFS "
+               "end-to-end inherits the same gap on the hub levels.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// E17 (extension/ablation) — granularity vs fork overhead in the
+// work-depth model (Blelloch, §2).
+//
+// The statement's case for simple models is that they *guide the
+// designer*: here the model answers a concrete engineering question —
+// what base-case grain should a fork-join scan/sort use, given a runtime
+// whose fork costs c units?  Too-fine grains blow up W with fork
+// overhead; too-coarse grains blow up D.  The table locates the knee for
+// several fork costs, and the greedy-schedule T_16 column shows the
+// model's recommendation directly.
+#include <iostream>
+
+#include "algos/scan.hpp"
+#include "algos/sort.hpp"
+#include "sched/workspan.hpp"
+#include "support/table.hpp"
+
+using namespace harmony;
+
+int main() {
+  std::cout << "E17: grain-size selection under fork overhead (work-span "
+               "model as design tool)\n\n";
+
+  const std::size_t n = 1 << 14;
+
+  for (double fork_cost : {1.0, 16.0, 128.0}) {
+    Table t({"grain", "work_W", "span_D", "forks", "T_16", "T16_vs_best"});
+    t.title("E17 — scan n=2^14, fork_cost=" +
+            std::to_string(static_cast<int>(fork_cost)));
+    struct Row {
+      std::size_t grain;
+      double w, d, t16;
+      std::size_t forks;
+    };
+    std::vector<Row> rows;
+    for (std::size_t grain : {1u, 8u, 64u, 512u, 4096u, 16384u}) {
+      sched::WorkSpanCtx::Options opts;
+      opts.fork_cost = fork_cost;
+      sched::WorkSpanCtx ctx(opts);
+      std::vector<double> data(n, 1.0);
+      algos::exclusive_scan(ctx, data, grain);
+      rows.push_back({grain, ctx.total_work(), ctx.span(),
+                      ctx.greedy_time(16), ctx.fork_count()});
+    }
+    double best = rows[0].t16;
+    for (const Row& r : rows) best = std::min(best, r.t16);
+    for (const Row& r : rows) {
+      t.add_row({static_cast<std::int64_t>(r.grain), r.w, r.d,
+                 static_cast<std::int64_t>(r.forks), r.t16,
+                 r.t16 / best});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Shape check: with cheap forks any fine grain is fine; as "
+               "fork_cost grows the optimal grain moves right (the knee "
+               "tracks grain ~ fork_cost * P), and grain = n degenerates "
+               "to serial (T_16 = W).  The model yields the schedule "
+               "answer without running a single thread.\n";
+  return 0;
+}

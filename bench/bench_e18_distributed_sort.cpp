@@ -1,0 +1,57 @@
+// E18 (extension) — distributed sorting as a communication problem
+// (Yelick, §6): sample sort's one-pass key movement and flat h-relation
+// vs the root-sort funnel, across process counts and key volumes.
+#include <algorithm>
+#include <iostream>
+
+#include "algos/samplesort.hpp"
+#include "algos/sort.hpp"
+#include "support/table.hpp"
+
+using namespace harmony;
+
+int main() {
+  std::cout << "E18: distributed sort — sample sort vs root sort on the "
+               "BSP machine\n\n";
+
+  Table t({"n", "P", "algorithm", "ok", "total_words", "max_h_relation",
+           "supersteps", "time_ms"});
+  t.title("E18 — communication profile of two distributed sorts");
+  for (std::size_t n : {1u << 12, 1u << 15}) {
+    for (int procs : {4, 16, 64}) {
+      const auto keys = algos::random_keys(n, n + procs);
+      auto expect = keys;
+      std::sort(expect.begin(), expect.end());
+
+      const auto sample = algos::bsp_sample_sort(keys, procs);
+      const auto root = algos::bsp_root_sort(keys, procs);
+      t.add_row({static_cast<std::int64_t>(n),
+                 static_cast<std::int64_t>(procs),
+                 std::string("sample sort"),
+                 std::string(sample.sorted == expect ? "yes" : "NO"),
+                 static_cast<std::int64_t>(sample.stats.total_words),
+                 static_cast<std::int64_t>(sample.stats.max_h_relation),
+                 sample.stats.supersteps,
+                 sample.stats.time.nanoseconds() * 1e-6});
+      t.add_row({static_cast<std::int64_t>(n),
+                 static_cast<std::int64_t>(procs),
+                 std::string("root sort"),
+                 std::string(root.sorted == expect ? "yes" : "NO"),
+                 static_cast<std::int64_t>(root.stats.total_words),
+                 static_cast<std::int64_t>(root.stats.max_h_relation),
+                 root.stats.supersteps,
+                 root.stats.time.nanoseconds() * 1e-6});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape check: comparable total volume (every key crosses "
+               "the network ~once either way); once n >> P the root "
+               "sort's max_h_relation is ~P/2x sample sort's and its "
+               "time degrades with P while sample sort's improves.  At "
+               "small n / large P sample sort's own rank-0 splitter "
+               "broadcast (P*(P-1) words) becomes its hot-spot — the "
+               "same volume-vs-events lesson applied to the control "
+               "traffic.\n";
+  return 0;
+}

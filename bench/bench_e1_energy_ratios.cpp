@@ -1,0 +1,73 @@
+// E1 — the paper's compute-vs-communication energy ratios (§3).
+//
+// Claim reproduced: "Transporting the result of an add 1mm costs 160x as
+// much as performing the add.  Sending it across the diagonal of an
+// 800mm2 GPU costs 4500x as much.  Going off chip is an order of
+// magnitude more expensive." — plus the 10,000x instruction-overhead
+// figure.  This bench evaluates the technology model at a distance sweep
+// and prints the ratio table EXPERIMENTS.md quotes.
+#include <iostream>
+
+#include "noc/tech.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+int main() {
+  using namespace harmony;
+  const noc::TechnologyModel tech = noc::TechnologyModel::n5();
+
+  std::cout << "E1: energy of moving a 32-bit add result vs the add "
+               "itself (5nm model)\n\n";
+
+  Table t({"transport", "distance_mm", "energy_fJ", "ratio_vs_add",
+           "paper_says"});
+  t.title("E1.a — movement / compute energy ratios (32-bit values)");
+  const Energy add = tech.op_energy(32);
+  t.add_row({std::string("32-bit add (compute only)"), 0.0,
+             add.femtojoules(), 1.0, std::string("1x")});
+
+  struct Row {
+    const char* name;
+    double mm;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {"move 0.1 mm (neighbour PE)", 0.1, "-"},
+      {"move 1 mm", 1.0, "160x"},
+      {"move 5 mm", 5.0, "-"},
+      {"move 10 mm", 10.0, "-"},
+      {"across 800 mm^2 die (28.3 mm)", tech.die.side().millimetres(),
+       "4500x"},
+  };
+  for (const Row& r : rows) {
+    const Length d = Length::millimetres(r.mm);
+    t.add_row({std::string(r.name), r.mm,
+               tech.move_energy(32, d).femtojoules(),
+               tech.ratio_move_over_add(d), std::string(r.paper)});
+  }
+  t.add_row({std::string("off-chip (DRAM) access"),
+             tech.die.side().millimetres(),
+             tech.offchip_energy(32).femtojoules(),
+             tech.ratio_offchip_over_add(),
+             std::string("~50,000x (\"order of magnitude more\")")});
+  t.add_row({std::string("add as OoO CPU instruction"), 0.0,
+             tech.cpu_instruction_energy(32).femtojoules(),
+             tech.cpu_instruction_energy(32) / add,
+             std::string("10,000x")});
+  t.print(std::cout);
+
+  std::cout << '\n';
+  Table d({"distance_mm", "delay_ps", "vs_32b_add_delay"});
+  d.title("E1.b — wire delay vs compute delay (800 ps/mm vs 200 ps add)");
+  for (double mm : {0.1, 0.2, 1.0, 5.0, 28.3}) {
+    const Time w = tech.move_delay(Length::millimetres(mm));
+    d.add_row({mm, w.picoseconds(),
+               w / tech.op_delay(32)});
+  }
+  d.print(std::cout);
+
+  std::cout << "\nShape check: ratio(1mm) == 160x exactly; die crossing in "
+               "[4400, 4600]; off-chip in [40k, 55k]; instruction "
+               "overhead == 10,000x.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E20 (extension) — ghost zones / communication-avoiding time tiling
+// (Yelick, §6: reduce the "number of distinct events, while being
+// cognizant of consuming memory resources").
+//
+// A 1-D Jacobi stencil distributed over P processes, sweeping the halo
+// depth h: each round costs one synchronization + 2 messages of h cells
+// per interior process and buys h time steps, at the price of O(h^2)
+// redundant boundary flops and h cells of halo memory.  The optimal h
+// grows with the per-message/per-barrier cost — measured directly.
+#include <iostream>
+
+#include "algos/bsp_stencil.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+using namespace harmony;
+
+int main() {
+  std::cout << "E20: halo-depth sweep for the distributed stencil "
+               "(n = 4096, 256 steps, P = 16)\n\n";
+
+  const std::int64_t n = 4096;
+  const std::int64_t steps = 256;
+  const int procs = 16;
+  Rng rng(2);
+  std::vector<double> u0(static_cast<std::size_t>(n));
+  for (auto& v : u0) v = rng.next_double(0, 1);
+
+  for (const char* regime : {"default", "high-latency"}) {
+    comm::AlphaBeta model;
+    if (std::string(regime) == "high-latency") {
+      model.alpha = Time::nanoseconds(10000.0);
+      model.barrier = Time::nanoseconds(20000.0);
+    }
+    Table t({"halo_h", "rounds", "messages", "words", "redundant_flops",
+             "time_ms", "vs_best"});
+    t.title(std::string("E20 — halo sweep, ") + regime +
+            " interconnect (alpha=" +
+            std::to_string(static_cast<int>(
+                model.alpha.nanoseconds())) +
+            "ns, L=" +
+            std::to_string(static_cast<int>(
+                model.barrier.nanoseconds())) +
+            "ns)");
+    struct Row {
+      std::int64_t h;
+      algos::BspStencilResult res;
+    };
+    std::vector<Row> rows;
+    const double base_flops = 3.0 * static_cast<double>(n) *
+                              static_cast<double>(steps);
+    for (std::int64_t h : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+      rows.push_back({h, algos::bsp_stencil1d(u0, steps, procs, h, model)});
+    }
+    double best = rows[0].res.stats.time.picoseconds();
+    for (const Row& r : rows) {
+      best = std::min(best, r.res.stats.time.picoseconds());
+    }
+    for (const Row& r : rows) {
+      t.add_row({r.h, r.res.rounds,
+                 static_cast<std::int64_t>(r.res.stats.total_messages),
+                 static_cast<std::int64_t>(r.res.stats.total_words),
+                 r.res.stats.total_flops - base_flops,
+                 r.res.stats.time.nanoseconds() * 1e-6,
+                 r.res.stats.time.picoseconds() / best});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Shape check: h = 1 pays one barrier+exchange per step; "
+               "deepening the halo divides rounds by h for quadratically "
+               "growing redundant flops, so time falls, bottoms out (h = "
+               "128 on the default interconnect), and turns back up once "
+               "recomputation dominates; a slower interconnect pushes "
+               "the knee right — communication avoidance bought with "
+               "memory and recomputation, exactly the statement's "
+               "trade.\n";
+  return 0;
+}

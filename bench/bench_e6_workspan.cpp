@@ -1,0 +1,135 @@
+// E6 — the work-depth model's cost mapping (Blelloch, §2): "there are
+// parallel models that are simple ... and support cost mappings down to
+// the machine level that reasonably capture real performance."
+//
+// For scan, mergesort, and matmul: record W and D with the analyzer,
+// simulate a greedy schedule at each P, and audit Brent's bound
+// max(W/P, D) <= T_P <= W/P + D.  A google-benchmark section then times
+// the same source code on the real work-stealing scheduler (wall-clock
+// speedups are hardware-dependent; on a 1-core CI box they are ~1x, and
+// the model numbers are the deliverable).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "algos/matmul.hpp"
+#include "algos/scan.hpp"
+#include "algos/sort.hpp"
+#include "sched/parallel_ops.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workspan.hpp"
+#include "support/table.hpp"
+
+using namespace harmony;
+
+namespace {
+
+struct Recorded {
+  std::string name;
+  sched::WorkSpanCtx ctx;
+};
+
+std::vector<Recorded> record_all() {
+  std::vector<Recorded> out;
+  {
+    Recorded r{"scan n=2^16", {}};
+    std::vector<double> data(1 << 16, 1.0);
+    algos::exclusive_scan(r.ctx, data, 256);
+    out.push_back(std::move(r));
+  }
+  {
+    Recorded r{"mergesort n=2^14", {}};
+    auto keys = algos::random_keys(1 << 14, 42);
+    algos::merge_sort_par(r.ctx, keys, 256);
+    out.push_back(std::move(r));
+  }
+  {
+    Recorded r{"matmul n=96", {}};
+    std::vector<double> a(96 * 96, 1.0);
+    std::vector<double> b(96 * 96, 2.0);
+    std::vector<double> c;
+    algos::matmul_par(r.ctx, a, b, c, 96, 4);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "E6: work-span model -> greedy schedule -> Brent bound "
+               "audit\n\n";
+
+  auto recorded = record_all();
+
+  Table t({"algorithm", "work_W", "span_D", "parallelism", "P", "T_P",
+           "W/P", "W/P+D", "brent_ok", "speedup_T1/T_P"});
+  t.title("E6.a — greedy P-processor schedules vs Brent's bound");
+  for (auto& r : recorded) {
+    const double w = r.ctx.total_work();
+    const double d = r.ctx.span();
+    const double t1 = r.ctx.greedy_time(1);
+    for (unsigned p : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      const double tp = r.ctx.greedy_time(p);
+      const bool ok = tp + 1e-6 >= std::max(w / p, d) &&
+                      tp <= w / p + d + 1e-6;
+      t.add_row({r.name, w, d, r.ctx.parallelism(),
+                 static_cast<std::int64_t>(p), tp, w / p, w / p + d,
+                 std::string(ok ? "yes" : "NO"), t1 / tp});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: T_P tracks W/P until P approaches W/D, "
+               "then flattens at D — the work-depth model's promised "
+               "cost translation.\n\n";
+
+  // Wall-clock section (real scheduler).
+  std::cout << "E6.b — wall-clock on the work-stealing scheduler "
+               "(hardware-dependent; informative only):\n";
+  benchmark::RegisterBenchmark("real/scan_2e16", [](benchmark::State& st) {
+    sched::Scheduler sched(
+        std::max(1u, std::thread::hardware_concurrency()));
+    sched::RealCtx ctx;
+    for (auto _ : st) {
+      std::vector<double> data(1 << 16, 1.0);
+      double total = 0;
+      sched.run([&] { total = algos::exclusive_scan(ctx, data, 1024); });
+      benchmark::DoNotOptimize(total);
+    }
+  });
+  benchmark::RegisterBenchmark("serial/scan_2e16",
+                               [](benchmark::State& st) {
+    for (auto _ : st) {
+      std::vector<double> in(1 << 16, 1.0);
+      std::vector<double> out;
+      const double total = algos::exclusive_scan_seq(in, out);
+      benchmark::DoNotOptimize(total);
+    }
+  });
+  benchmark::RegisterBenchmark("real/mergesort_2e14",
+                               [](benchmark::State& st) {
+    sched::Scheduler sched(
+        std::max(1u, std::thread::hardware_concurrency()));
+    sched::RealCtx ctx;
+    for (auto _ : st) {
+      st.PauseTiming();
+      auto keys = algos::random_keys(1 << 14, 7);
+      st.ResumeTiming();
+      sched.run([&] { algos::merge_sort_par(ctx, keys, 1024); });
+      benchmark::DoNotOptimize(keys.data());
+    }
+  });
+  benchmark::RegisterBenchmark("serial/mergesort_2e14",
+                               [](benchmark::State& st) {
+    for (auto _ : st) {
+      st.PauseTiming();
+      auto keys = algos::random_keys(1 << 14, 7);
+      st.ResumeTiming();
+      algos::merge_sort_seq(keys);
+      benchmark::DoNotOptimize(keys.data());
+    }
+  });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E7 — Vishkin's BFS example (§5): "breadth-first search on graphs had
+// been tied to a first-in first-out queue for no good reason other than
+// enforcing serialization."
+//
+// Serial queue BFS vs dense level-synchronous PRAM BFS vs XMT frontier
+// BFS with the ps() primitive, on low-diameter random graphs and a
+// high-diameter grid.
+//
+// Expected shape: PRAM depth ~ diameter (vs serial depth ~ n+m) but its
+// dense relaxation is NOT work-efficient (work ~ n * levels); the XMT
+// frontier version restores work O(n+m) while keeping depth ~ levels —
+// Vishkin's argument that hardware primitives make the PRAM abstraction
+// work-efficient in practice.
+#include <iostream>
+
+#include "algos/graph.hpp"
+#include "support/table.hpp"
+
+using namespace harmony;
+
+int main() {
+  std::cout << "E7: three BFS expressions over one CSR graph\n\n";
+
+  struct Workload {
+    std::string name;
+    algos::CsrGraph g;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"random n=4096 m~24k", algos::random_graph(
+                                                  4096, 12288, 99)});
+  workloads.push_back({"random n=16384 m~98k", algos::random_graph(
+                                                   16384, 49152, 17)});
+  workloads.push_back({"grid 64x64 (diam 126)", algos::grid_graph(64, 64)});
+
+  Table t({"graph", "algorithm", "levels", "depth_metric", "work_metric",
+           "work_vs_serial"});
+  t.title("E7 — BFS work and depth across execution models");
+  for (auto& w : workloads) {
+    const auto serial = algos::bfs_serial(w.g, 0);
+    std::int64_t levels = 0;
+    for (std::int64_t dv : serial.dist) levels = std::max(levels, dv);
+    ++levels;
+
+    t.add_row({w.name, std::string("serial FIFO queue"), levels,
+               static_cast<double>(serial.work),
+               static_cast<double>(serial.work), 1.0});
+
+    const auto pram = algos::bfs_pram(w.g, 0, 64);
+    const bool pram_ok = pram.dist == serial.dist;
+    const auto pram_work =
+        static_cast<double>(pram.stats.reads + pram.stats.writes);
+    t.add_row({w.name,
+               std::string(pram_ok ? "PRAM level-sync (CRCW, P=64)"
+                                   : "PRAM level-sync [WRONG]"),
+               pram.levels, static_cast<double>(pram.stats.steps),
+               pram_work,
+               pram_work / static_cast<double>(serial.work)});
+
+    pram::XmtConfig cfg;
+    cfg.num_tcus = 64;
+    const auto xmt = algos::bfs_xmt(w.g, 0, cfg);
+    const bool xmt_ok = xmt.dist == serial.dist;
+    t.add_row({w.name,
+               std::string(xmt_ok ? "XMT frontier + ps (64 TCUs)"
+                                  : "XMT frontier [WRONG]"),
+               xmt.levels, static_cast<double>(xmt.stats.estimated_cycles),
+               static_cast<double>(xmt.stats.work),
+               static_cast<double>(xmt.stats.work) /
+                   static_cast<double>(serial.work)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape check: all three agree on distances; PRAM "
+               "level-sync work blows up with diameter (grid row) while "
+               "XMT stays within a small constant of serial work; XMT "
+               "depth ~ levels, not n+m.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E9 — "Programmers that don't want to bother with mapping can use a
+// default mapper — with results no worse than with today's
+// abstractions" (Dally, §3).
+//
+// The automatic block-placement + ASAP-schedule mapper is compared with
+// the serial one-PE mapping (the conventional-architecture stand-in)
+// across the algorithm suite, on time and energy.  Expected shape:
+// default-mapper time <= serial time on every kernel (the "no worse"
+// claim), with energy within a small factor (ASAP placement pays some
+// extra movement).
+#include <iostream>
+
+#include "algos/editdist.hpp"
+#include "algos/fft.hpp"
+#include "algos/matmul.hpp"
+#include "algos/specs.hpp"
+#include "fm/cost.hpp"
+#include "fm/default_mapper.hpp"
+#include "fm/legality.hpp"
+#include "support/table.hpp"
+
+using namespace harmony;
+
+int main() {
+  std::cout << "E9: default mapper vs the serial-RAM baseline mapping\n\n";
+
+  struct Kernel {
+    std::string name;
+    fm::FunctionSpec spec;
+  };
+  std::vector<Kernel> kernels;
+  {
+    algos::SwScores s;
+    kernels.push_back({"editdist 32x32", algos::editdist_spec(32, 32, s)});
+  }
+  kernels.push_back({"fft DIT n=64", algos::fft_spec(64, false)});
+  kernels.push_back({"fft DIF n=64", algos::fft_spec(64, true)});
+  kernels.push_back({"stencil1d n=64 T=16", algos::stencil1d_spec(64, 16)});
+  kernels.push_back({"conv1d n=64 k=8", algos::conv1d_spec(64, 8)});
+  kernels.push_back({"matmul 12^3", algos::matmul_spec(12)});
+
+  Table t({"kernel", "grid", "verified", "serial_cycles", "default_cycles",
+           "time_ratio", "serial_nJ", "default_nJ", "energy_ratio",
+           "no_worse"});
+  t.title("E9 — ASAP default mapping vs serial mapping (8x4 grid)");
+  bool all_no_worse = true;
+  for (auto& k : kernels) {
+    const fm::MachineConfig cfg = fm::make_machine(8, 4);
+    const fm::Mapping def = fm::default_mapping(k.spec, cfg);
+    const fm::LegalityReport rep = verify(k.spec, def, cfg);
+    const fm::CostReport d = evaluate_cost(k.spec, def, cfg);
+    const fm::CostReport s =
+        evaluate_cost(k.spec, fm::serial_mapping(k.spec), cfg);
+    const bool no_worse = d.makespan_cycles <= s.makespan_cycles;
+    all_no_worse = all_no_worse && no_worse && rep.ok;
+    t.add_row({k.name, std::string("8x4"),
+               std::string(rep.ok ? "yes" : "NO"), s.makespan_cycles,
+               d.makespan_cycles,
+               static_cast<double>(d.makespan_cycles) /
+                   static_cast<double>(s.makespan_cycles),
+               s.total_energy().nanojoules(),
+               d.total_energy().nanojoules(),
+               d.total_energy() / s.total_energy(),
+               std::string(no_worse ? "yes" : "NO")});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape check: every row verified and 'no_worse' = yes ("
+            << (all_no_worse ? "HOLDS" : "VIOLATED")
+            << "); time ratios well below 1 for the parallel-friendly "
+               "kernels.\n";
+  return all_no_worse ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// comm_avoiding_matmul — Yelick's communication-avoidance programme on
+// the BSP machine: the same product computed with three communication
+// schedules, with words/messages beside the answers.
+//
+//   $ ./comm_avoiding_matmul [n] [P]   (P square, P | n; default 64 16)
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "algos/matmul.hpp"
+#include "comm/lower_bounds.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+using namespace harmony;
+
+int main(int argc, char** argv) {
+  std::size_t n = 64;
+  int procs = 16;
+  if (argc > 1) n = static_cast<std::size_t>(std::atoll(argv[1]));
+  if (argc > 2) procs = std::atoi(argv[2]);
+  const int grid = static_cast<int>(std::llround(std::sqrt(procs)));
+  if (n < 4 || grid * grid != procs || n % static_cast<std::size_t>(grid)
+      || n % static_cast<std::size_t>(procs)) {
+    std::cerr << "usage: " << argv[0]
+              << " [n] [P]  with P a square, sqrt(P) | n, P | n\n";
+    return 2;
+  }
+
+  Rng rng(3);
+  std::vector<double> a(n * n);
+  std::vector<double> b(n * n);
+  for (auto& v : a) v = rng.next_double(-1, 1);
+  for (auto& v : b) v = rng.next_double(-1, 1);
+  const auto expect = algos::matmul_serial(a, b, n);
+  auto check = [&](const std::vector<double>& c) {
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (std::abs(c[i] - expect[i]) > 1e-6) return "NO";
+    }
+    return "yes";
+  };
+
+  const auto naive = algos::bsp_matmul_naive(a, b, n, procs);
+  const auto summa = algos::bsp_matmul_summa(a, b, n, procs);
+
+  Table t({"algorithm", "correct", "words_per_proc", "messages",
+           "supersteps", "time_ms"});
+  t.title("matmul n=" + std::to_string(n) + ", P=" + std::to_string(procs));
+  t.add_row({std::string("naive (fetch all of B)"), std::string(
+                 check(naive.c)),
+             static_cast<double>(naive.stats.total_words) / procs,
+             static_cast<std::int64_t>(naive.stats.total_messages),
+             naive.stats.supersteps,
+             naive.stats.time.nanoseconds() * 1e-6});
+  t.add_row({std::string("SUMMA (2D grid)"), std::string(check(summa.c)),
+             static_cast<double>(summa.stats.total_words) / procs,
+             static_cast<std::int64_t>(summa.stats.total_messages),
+             summa.stats.supersteps,
+             summa.stats.time.nanoseconds() * 1e-6});
+  // 2.5D when the shape allows c = 4 at 4x the processes.
+  {
+    const int p25 = procs * 4;
+    const int layer = p25 / 4;
+    const int g25 = static_cast<int>(std::llround(std::sqrt(layer)));
+    if (g25 * g25 == layer && g25 % 4 == 0 &&
+        n % static_cast<std::size_t>(g25) == 0) {
+      const auto d = algos::bsp_matmul_25d(a, b, n, p25, 4);
+      t.add_row({std::string("2.5D c=4 (P=" + std::to_string(p25) + ")"),
+                 std::string(check(d.c)),
+                 static_cast<double>(d.stats.total_words) / p25,
+                 static_cast<std::int64_t>(d.stats.total_messages),
+                 d.stats.supersteps, d.stats.time.nanoseconds() * 1e-6});
+    }
+  }
+  t.print(std::cout);
+
+  const double bound = comm::matmul_25d_bandwidth_bound(
+      static_cast<double>(n), procs, 1.0);
+  std::cout << "\nbandwidth lower bound (c=1): " << bound
+            << " words/proc — SUMMA sits within a small constant of it; "
+               "the naive schedule does not.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// pram_graph_toolkit — Vishkin's programme as a runnable demo: the same
+// graph problems in serial, PRAM, and XMT styles, with work/depth
+// numbers beside the answers.
+//
+//   $ ./pram_graph_toolkit [n] [avg_degree]
+#include <cstdlib>
+#include <iostream>
+
+#include "algos/connectivity.hpp"
+#include "algos/graph.hpp"
+#include "algos/listrank.hpp"
+#include "support/table.hpp"
+
+using namespace harmony;
+
+int main(int argc, char** argv) {
+  std::int64_t n = 2048;
+  std::int64_t deg = 6;
+  if (argc > 1) n = std::atoll(argv[1]);
+  if (argc > 2) deg = std::atoll(argv[2]);
+  if (n < 4 || deg < 1) {
+    std::cerr << "usage: " << argv[0] << " [n>=4] [avg_degree>=1]\n";
+    return 2;
+  }
+
+  const algos::CsrGraph g = algos::random_graph(n, n * deg / 2, 2024);
+  std::cout << "graph: " << g.num_vertices() << " vertices, "
+            << g.num_edges() << " directed edges\n\n";
+
+  // --- BFS three ways -----------------------------------------------------
+  const auto serial = algos::bfs_serial(g, 0);
+  const auto pram = algos::bfs_pram(g, 0, 64);
+  const auto xmt = algos::bfs_xmt(g, 0);
+  const bool agree = pram.dist == serial.dist && xmt.dist == serial.dist;
+
+  Table t({"algorithm", "model", "depth", "work", "correct"});
+  t.title("BFS from vertex 0");
+  t.add_row({std::string("FIFO queue"), std::string("RAM"),
+             static_cast<double>(serial.work),
+             static_cast<double>(serial.work), std::string("ref")});
+  t.add_row({std::string("level-synchronous"),
+             std::string("CRCW PRAM, P=64"),
+             static_cast<double>(pram.stats.steps),
+             static_cast<double>(pram.stats.reads + pram.stats.writes),
+             std::string(pram.dist == serial.dist ? "yes" : "NO")});
+  t.add_row({std::string("frontier + ps()"), std::string("XMT, 64 TCUs"),
+             static_cast<double>(xmt.stats.estimated_cycles),
+             static_cast<double>(xmt.stats.work),
+             std::string(xmt.dist == serial.dist ? "yes" : "NO")});
+  t.print(std::cout);
+
+  // --- list ranking --------------------------------------------------------
+  const algos::LinkedList list = algos::random_list(n, 7);
+  const auto ser_rank = algos::list_rank_serial(list);
+  const auto pj = algos::list_rank_pram(list, 64);
+  std::cout << '\n';
+  Table l({"algorithm", "model", "rounds", "work", "correct"});
+  l.title("list ranking, n = " + std::to_string(n));
+  l.add_row({std::string("traversal"), std::string("RAM"),
+             static_cast<double>(n), static_cast<double>(n),
+             std::string("ref")});
+  l.add_row({std::string("pointer jumping"), std::string("CREW PRAM"),
+             static_cast<double>(pj.rounds),
+             static_cast<double>(pj.stats.reads + pj.stats.writes),
+             std::string(pj.rank == ser_rank ? "yes" : "NO")});
+  l.print(std::cout);
+
+  // --- connected components (sparser graph so several exist) -------------
+  const algos::CsrGraph sparse = algos::random_graph(n, n / 3 + 1, 4);
+  const auto cc_serial = algos::components_serial(sparse);
+  const auto cc_pram = algos::components_pram(sparse, 64);
+  const bool cc_ok = algos::same_partition(cc_serial, cc_pram.label);
+  std::cout << '\n';
+  Table c({"algorithm", "model", "rounds", "work", "correct"});
+  c.title("connected components (sparse graph)");
+  c.add_row({std::string("union-find"), std::string("RAM"),
+             static_cast<double>(sparse.num_vertices() +
+                                 sparse.num_edges()),
+             static_cast<double>(sparse.num_vertices() +
+                                 sparse.num_edges()),
+             std::string("ref")});
+  c.add_row({std::string("hook + jump (SV-style)"),
+             std::string("CRCW PRAM, P=64"),
+             static_cast<double>(cc_pram.rounds),
+             static_cast<double>(cc_pram.stats.reads +
+                                 cc_pram.stats.writes),
+             std::string(cc_ok ? "yes" : "NO")});
+  c.print(std::cout);
+
+  std::cout << "\nNote how the PRAM buys depth ~log n with extra work — "
+               "the work-efficiency question Vishkin's statement turns "
+               "on.\n";
+  return agree && pj.rank == ser_rank && cc_ok ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates test_output.txt and bench_output.txt (the artifacts
+# EXPERIMENTS.md quotes).  Usage:
+#
+#   scripts/run_experiments.sh [build-dir]
+#
+# Set HARMONY_CSV=1 to additionally emit every table as CSV.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake -B "$BUILD_DIR" -G Ninja
+fi
+cmake --build "$BUILD_DIR"
+
+ctest --test-dir "$BUILD_DIR" 2>&1 | tee test_output.txt
+
+{
+  for b in "$BUILD_DIR"/bench/bench_*; do
+    [ -x "$b" ] || continue
+    echo "================================================================"
+    echo "== $b"
+    echo "================================================================"
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "wrote $REPO_ROOT/test_output.txt and $REPO_ROOT/bench_output.txt"

@@ -1,0 +1,116 @@
+#include "algos/bsp_stencil.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace harmony::algos {
+
+BspStencilResult bsp_stencil1d(const std::vector<double>& u0,
+                               std::int64_t steps, int procs,
+                               std::int64_t halo, comm::AlphaBeta model) {
+  HARMONY_REQUIRE(procs >= 1, "bsp_stencil1d: need >= 1 process");
+  HARMONY_REQUIRE(halo >= 1, "bsp_stencil1d: halo depth >= 1");
+  const auto n = static_cast<std::int64_t>(u0.size());
+  HARMONY_REQUIRE(n % procs == 0, "bsp_stencil1d: procs must divide n");
+  const std::int64_t bs = n / procs;
+  HARMONY_REQUIRE(bs >= halo, "bsp_stencil1d: block smaller than halo");
+  const auto p = static_cast<std::size_t>(procs);
+  const auto h = static_cast<std::size_t>(halo);
+  const auto ubs = static_cast<std::size_t>(bs);
+
+  comm::BspMachine m(procs, model);
+  // Extended local arrays: [0, h) left halo | [h, h+bs) interior |
+  // [h+bs, h+bs+h) right halo.
+  std::vector<std::vector<double>> ext(
+      p, std::vector<double>(ubs + 2 * h, 0.0));
+  for (std::size_t r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < ubs; ++i) {
+      ext[r][h + i] = u0[r * ubs + i];
+    }
+  }
+
+  BspStencilResult res;
+  std::int64_t remaining = steps;
+  while (remaining > 0) {
+    const std::int64_t chunk = std::min(remaining, halo);
+    // Superstep A: ship halos.
+    m.superstep([&](comm::BspMachine::Proc& proc) {
+      const auto r = static_cast<std::size_t>(proc.rank());
+      const auto& v = ext[r];
+      if (proc.rank() > 0) {
+        proc.send(proc.rank() - 1,
+                  std::vector<double>(v.begin() + static_cast<std::ptrdiff_t>(h),
+                                      v.begin() + static_cast<std::ptrdiff_t>(
+                                                      h + h)),
+                  /*tag=*/0);  // my left edge -> left neighbour's right halo
+      }
+      if (proc.rank() + 1 < procs) {
+        proc.send(proc.rank() + 1,
+                  std::vector<double>(
+                      v.begin() + static_cast<std::ptrdiff_t>(ubs),
+                      v.begin() + static_cast<std::ptrdiff_t>(ubs + h)),
+                  /*tag=*/1);  // my right edge -> right neighbour's left halo
+      }
+    });
+    // Superstep B: receive halos, advance `chunk` steps locally.
+    m.superstep([&](comm::BspMachine::Proc& proc) {
+      const auto r = static_cast<std::size_t>(proc.rank());
+      auto& v = ext[r];
+      for (const comm::Message& msg : proc.inbox()) {
+        if (msg.tag == 1) {
+          // From the left neighbour: fill my left halo.
+          std::copy(msg.payload.begin(), msg.payload.end(), v.begin());
+        } else {
+          // From the right neighbour: fill my right halo.
+          std::copy(msg.payload.begin(), msg.payload.end(),
+                    v.begin() + static_cast<std::ptrdiff_t>(h + ubs));
+        }
+      }
+      // Valid window in extended coordinates (global boundaries are
+      // clamped in-place, so they never shrink).
+      const bool has_left = proc.rank() > 0;
+      const bool has_right = proc.rank() + 1 < procs;
+      std::size_t lo = has_left ? 0 : h;
+      std::size_t hi = has_right ? ubs + 2 * h : h + ubs;
+      std::vector<double> next(v.size());
+      for (std::int64_t s = 0; s < chunk; ++s) {
+        if (has_left) ++lo;
+        if (has_right) --hi;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::int64_t g =
+              static_cast<std::int64_t>(r * ubs + i) -
+              static_cast<std::int64_t>(h);
+          double sum = v[i];
+          int cnt = 1;
+          if (g > 0) {
+            sum += v[i - 1];
+            ++cnt;
+          }
+          if (g + 1 < n) {
+            sum += v[i + 1];
+            ++cnt;
+          }
+          next[i] = sum / cnt;
+          proc.charge_flops(3.0);
+        }
+        std::copy(next.begin() + static_cast<std::ptrdiff_t>(lo),
+                  next.begin() + static_cast<std::ptrdiff_t>(hi),
+                  v.begin() + static_cast<std::ptrdiff_t>(lo));
+      }
+    });
+    remaining -= chunk;
+    ++res.rounds;
+  }
+
+  res.u.resize(static_cast<std::size_t>(n));
+  for (std::size_t r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < ubs; ++i) {
+      res.u[r * ubs + i] = ext[r][h + i];
+    }
+  }
+  res.stats = m.stats();
+  return res;
+}
+
+}  // namespace harmony::algos

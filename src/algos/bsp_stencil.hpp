@@ -1,0 +1,35 @@
+// Distributed 1-D stencil with ghost zones (halo exchange) on the BSP
+// machine (Yelick, §6).
+//
+// The canonical communication-avoiding time-tiling trade: exchanging a
+// halo of depth h lets each process advance h time steps per superstep,
+// cutting the number of synchronizations and messages by h at the price
+// of O(h^2) redundant boundary flops per round.  With alpha/L large the
+// optimal h is > 1 — "reducing ... number of distinct events, while
+// being cognizant of consuming memory resources" (the halo is the
+// memory).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/bsp.hpp"
+
+namespace harmony::algos {
+
+struct BspStencilResult {
+  std::vector<double> u;  ///< field after `steps` applications
+  comm::BspStats stats;
+  std::int64_t rounds = 0;  ///< supersteps of halo exchange
+};
+
+/// Runs `steps` Jacobi steps (the stencil1d_reference rule: clamped
+/// 3-point average) over `u0`, block-distributed across `procs`
+/// processes, exchanging ghost zones of depth `halo` per round.
+/// Requires halo >= 1 and every block >= halo cells.
+[[nodiscard]] BspStencilResult bsp_stencil1d(const std::vector<double>& u0,
+                                             std::int64_t steps, int procs,
+                                             std::int64_t halo,
+                                             comm::AlphaBeta model = {});
+
+}  // namespace harmony::algos

@@ -1,0 +1,142 @@
+#include "algos/connectivity.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace harmony::algos {
+
+std::vector<std::int64_t> components_serial(const CsrGraph& g) {
+  const std::int64_t n = g.num_vertices();
+  std::vector<std::int64_t> parent(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> size(static_cast<std::size_t>(n), 1);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](std::int64_t v) {
+    while (parent[static_cast<std::size_t>(v)] != v) {
+      parent[static_cast<std::size_t>(v)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(v)])];
+      v = parent[static_cast<std::size_t>(v)];
+    }
+    return v;
+  };
+  for (std::int64_t u = 0; u < n; ++u) {
+    for (std::int64_t e = g.offsets[static_cast<std::size_t>(u)];
+         e < g.offsets[static_cast<std::size_t>(u) + 1]; ++e) {
+      const std::int64_t v = g.targets[static_cast<std::size_t>(e)];
+      std::int64_t ru = find(u);
+      std::int64_t rv = find(v);
+      if (ru == rv) continue;
+      if (size[static_cast<std::size_t>(ru)] <
+          size[static_cast<std::size_t>(rv)]) {
+        std::swap(ru, rv);
+      }
+      parent[static_cast<std::size_t>(rv)] = ru;
+      size[static_cast<std::size_t>(ru)] +=
+          size[static_cast<std::size_t>(rv)];
+    }
+  }
+  std::vector<std::int64_t> label(static_cast<std::size_t>(n));
+  for (std::int64_t v = 0; v < n; ++v) {
+    label[static_cast<std::size_t>(v)] = find(v);
+  }
+  return label;
+}
+
+PramCcResult components_pram(const CsrGraph& g, std::size_t num_procs) {
+  const std::int64_t n = g.num_vertices();
+  const std::int64_t m = g.num_edges();
+  // Memory: [0, n) parent labels; n = changed flag; n+1 = done flag.
+  const auto changed_addr = static_cast<std::size_t>(n);
+  const auto done_addr = static_cast<std::size_t>(n) + 1;
+  pram::PramMachine machine(pram::Variant::kCrcwArbitrary, num_procs,
+                            static_cast<std::size_t>(n) + 2);
+  for (std::int64_t v = 0; v < n; ++v) {
+    machine.mem(static_cast<std::size_t>(v)) = v;
+  }
+
+  // Flatten the edge list once (host side) for cyclic distribution.
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (std::int64_t u = 0; u < n; ++u) {
+    for (std::int64_t e = g.offsets[static_cast<std::size_t>(u)];
+         e < g.offsets[static_cast<std::size_t>(u) + 1]; ++e) {
+      edges.emplace_back(u, g.targets[static_cast<std::size_t>(e)]);
+    }
+  }
+
+  const auto p = num_procs;
+  std::int64_t rounds = 0;
+  auto program = [&](pram::PramMachine::Ctx& ctx) {
+    // Round structure: step 3k = hook, 3k+1 = jump, 3k+2 = convergence.
+    const std::int64_t phase = ctx.step() % 3;
+    if (phase == 0) {
+      if (ctx.read(done_addr) == 1) {
+        ctx.halt();
+        return;
+      }
+      // Hooking: try to lower the root label of u's parent tree to
+      // label(v).  Labels only decrease; CRCW-arbitrary picks a writer.
+      for (std::size_t e = ctx.proc(); e < edges.size(); e += p) {
+        const auto [u, v] = edges[e];
+        const std::int64_t pu = ctx.read(static_cast<std::size_t>(u));
+        const std::int64_t pv = ctx.read(static_cast<std::size_t>(v));
+        if (pv < pu) {
+          const std::int64_t ppu =
+              ctx.read(static_cast<std::size_t>(pu));
+          if (pv < ppu) {
+            ctx.write(static_cast<std::size_t>(pu), pv);
+            ctx.write(changed_addr, 1);
+          }
+        }
+      }
+    } else if (phase == 1) {
+      // Pointer jumping (shortcutting).
+      for (std::int64_t v = static_cast<std::int64_t>(ctx.proc()); v < n;
+           v += static_cast<std::int64_t>(p)) {
+        const std::int64_t pv = ctx.read(static_cast<std::size_t>(v));
+        const std::int64_t ppv = ctx.read(static_cast<std::size_t>(pv));
+        if (ppv != pv) {
+          ctx.write(static_cast<std::size_t>(v), ppv);
+          ctx.write(changed_addr, 1);
+        }
+      }
+    } else {
+      if (ctx.proc() == 0) {
+        ++rounds;
+        if (ctx.read(changed_addr) == 0) {
+          ctx.write(done_addr, 1);
+        } else {
+          ctx.write(changed_addr, 0);
+        }
+      }
+    }
+  };
+
+  PramCcResult res;
+  res.stats = machine.run(program, /*max_steps=*/12 * (n + 8));
+  res.rounds = rounds;
+  res.label.resize(static_cast<std::size_t>(n));
+  for (std::int64_t v = 0; v < n; ++v) {
+    res.label[static_cast<std::size_t>(v)] =
+        machine.mem(static_cast<std::size_t>(v));
+  }
+  return res;
+}
+
+bool same_partition(const std::vector<std::int64_t>& a,
+                    const std::vector<std::int64_t>& b) {
+  if (a.size() != b.size()) return false;
+  std::unordered_map<std::int64_t, std::int64_t> a_to_b;
+  std::unordered_map<std::int64_t, std::int64_t> b_to_a;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    auto [ia, fresh_a] = a_to_b.try_emplace(a[v], b[v]);
+    if (!fresh_a && ia->second != b[v]) return false;
+    auto [ib, fresh_b] = b_to_a.try_emplace(b[v], a[v]);
+    if (!fresh_b && ib->second != a[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace harmony::algos

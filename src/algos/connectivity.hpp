@@ -1,0 +1,38 @@
+// Connected components — serial union-find vs a Shiloach-Vishkin-family
+// PRAM algorithm (Vishkin, §5).
+//
+// The PRAM variant is FastSV-style: each round combines edge *hooking*
+// (lower the root label of one endpoint's tree to the other endpoint's
+// label, CRCW with monotonically decreasing labels) with pointer
+// *jumping* (par[v] = par[par[v]]), iterated to a fixpoint.  Rounds are
+// O(log n) in practice; work is Theta((n + m)) per round — the classic
+// PRAM trade of extra work for depth ~ log n instead of ~ n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algos/graph.hpp"
+#include "pram/pram.hpp"
+
+namespace harmony::algos {
+
+/// Serial union-find (path compression + union by size).
+/// Returns a canonical label per vertex (equal iff connected).
+[[nodiscard]] std::vector<std::int64_t> components_serial(const CsrGraph& g);
+
+struct PramCcResult {
+  std::vector<std::int64_t> label;
+  pram::PramStats stats;
+  std::int64_t rounds = 0;
+};
+
+/// FastSV-style hook-and-jump on the CRCW(arbitrary) PRAM simulator.
+[[nodiscard]] PramCcResult components_pram(const CsrGraph& g,
+                                           std::size_t num_procs);
+
+/// True iff the two labelings induce the same partition.
+[[nodiscard]] bool same_partition(const std::vector<std::int64_t>& a,
+                                  const std::vector<std::int64_t>& b);
+
+}  // namespace harmony::algos

@@ -1,0 +1,109 @@
+#include "algos/editdist.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace harmony::algos {
+
+namespace {
+double cell(double diag, double up, double left, double ri, double qj,
+            const SwScores& s) {
+  const double sub = ri == qj ? s.match : s.mismatch;
+  return std::max({0.0, diag + sub, up - s.gap, left - s.gap});
+}
+}  // namespace
+
+std::vector<double> smith_waterman_serial(const std::string& r,
+                                          const std::string& q,
+                                          const SwScores& s, double* best) {
+  const std::size_t n = r.size();
+  const std::size_t m = q.size();
+  std::vector<double> h(n * m, 0.0);
+  double hi = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double diag = (i > 0 && j > 0) ? h[(i - 1) * m + (j - 1)] : 0.0;
+      const double up = i > 0 ? h[(i - 1) * m + j] : 0.0;
+      const double left = j > 0 ? h[i * m + (j - 1)] : 0.0;
+      const double v = cell(diag, up, left, r[i], q[j], s);
+      h[i * m + j] = v;
+      hi = std::max(hi, v);
+    }
+  }
+  if (best != nullptr) *best = hi;
+  return h;
+}
+
+std::vector<double> smith_waterman_antidiagonal(const std::string& r,
+                                                const std::string& q,
+                                                const SwScores& s) {
+  const std::size_t n = r.size();
+  const std::size_t m = q.size();
+  std::vector<double> h(n * m, 0.0);
+  for (std::size_t d = 0; d + 1 <= n + m - 1 && n > 0 && m > 0; ++d) {
+    const std::size_t i_lo = d >= m ? d - m + 1 : 0;
+    const std::size_t i_hi = std::min(d, n - 1);
+    for (std::size_t i = i_lo; i <= i_hi; ++i) {
+      const std::size_t j = d - i;
+      const double diag = (i > 0 && j > 0) ? h[(i - 1) * m + (j - 1)] : 0.0;
+      const double up = i > 0 ? h[(i - 1) * m + j] : 0.0;
+      const double left = j > 0 ? h[i * m + (j - 1)] : 0.0;
+      h[i * m + j] = cell(diag, up, left, r[i], q[j], s);
+    }
+  }
+  return h;
+}
+
+fm::FunctionSpec editdist_spec(std::int64_t n_rows, std::int64_t n_cols,
+                               const SwScores& s, fm::TensorId* r_id,
+                               fm::TensorId* q_id, fm::TensorId* h_id) {
+  HARMONY_REQUIRE(n_rows >= 1 && n_cols >= 1,
+                  "editdist_spec: empty domain");
+  fm::FunctionSpec spec;
+  const fm::TensorId r = spec.add_input("R", fm::IndexDomain(n_rows), 8);
+  const fm::TensorId q = spec.add_input("Q", fm::IndexDomain(n_cols), 8);
+  const fm::TensorId h = spec.add_computed(
+      "H", fm::IndexDomain(n_rows, n_cols),
+      // Dependences: own characters, then the up-to-three DP neighbours
+      // (order must match eval below).
+      [r, q](const fm::Point& p) {
+        std::vector<fm::ValueRef> deps;
+        deps.push_back({r, fm::Point{p.i}});
+        deps.push_back({q, fm::Point{p.j}});
+        const fm::TensorId self = q + 1;  // H is added right after Q
+        if (p.i > 0 && p.j > 0) {
+          deps.push_back({self, fm::Point{p.i - 1, p.j - 1}});
+        }
+        if (p.i > 0) deps.push_back({self, fm::Point{p.i - 1, p.j}});
+        if (p.j > 0) deps.push_back({self, fm::Point{p.i, p.j - 1}});
+        return deps;
+      },
+      [s](const fm::Point& p, const std::vector<double>& v) {
+        const double ri = v[0];
+        const double qj = v[1];
+        std::size_t at = 2;
+        const double diag = (p.i > 0 && p.j > 0) ? v[at++] : 0.0;
+        const double up = p.i > 0 ? v[at++] : 0.0;
+        const double left = p.j > 0 ? v[at++] : 0.0;
+        const double sub = ri == qj ? s.match : s.mismatch;
+        return std::max({0.0, diag + sub, up - s.gap, left - s.gap});
+      },
+      // One DP cell: compare + 3 adds + 4-way max ~ 4 ops of 32 bits.
+      fm::OpCost{.ops = 4.0, .bits = 32});
+  spec.mark_output(h);
+  if (r_id != nullptr) *r_id = r;
+  if (q_id != nullptr) *q_id = q;
+  if (h_id != nullptr) *h_id = h;
+  return spec;
+}
+
+std::vector<double> encode_string(const std::string& s) {
+  std::vector<double> v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    v[i] = static_cast<double>(static_cast<unsigned char>(s[i]));
+  }
+  return v;
+}
+
+}  // namespace harmony::algos

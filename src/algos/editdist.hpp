@@ -1,0 +1,60 @@
+// The paper's worked example (Dally, §3): a dynamic-programming string
+// alignment recurrence mapped onto a processor array as marching
+// anti-diagonals.
+//
+//   Forall i, j in (0:N-1, 0:N-1)
+//     H(i,j) = min(H(i-1,j-1) + f(R[i],Q[j]), H(i-1,j)+D, H(i,j-1)+I, 0)
+//
+// The "min ... 0" floor makes this the Smith-Waterman local-alignment
+// family; we implement the standard max formulation (scores negated):
+//
+//   H(i,j) = max(0, H(i-1,j-1) + s(R[i],Q[j]),
+//                   H(i-1,j) - gap, H(i,j-1) - gap)
+//
+// with H(-1, .) = H(., -1) = 0.  Three expressions:
+//   * serial CPU reference (validation + the RAM baseline),
+//   * anti-diagonal serial traversal (same work, wavefront order),
+//   * an F&M FunctionSpec + the corrected wavefront mapping of
+//     fm/mapping.hpp, executed on the grid machine (E2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fm/spec.hpp"
+
+namespace harmony::algos {
+
+struct SwScores {
+  double match = 2.0;
+  double mismatch = -1.0;
+  double gap = 1.0;  ///< subtracted for insertions/deletions
+};
+
+/// Serial row-major Smith-Waterman.  Returns the full n x m H matrix
+/// (row-major) for validation; `best` receives the maximum cell.
+[[nodiscard]] std::vector<double> smith_waterman_serial(
+    const std::string& r, const std::string& q, const SwScores& s,
+    double* best = nullptr);
+
+/// Same recurrence traversed by anti-diagonals (wavefront order); must
+/// produce the identical matrix — the order-independence property the
+/// F&M "function" abstraction asserts.
+[[nodiscard]] std::vector<double> smith_waterman_antidiagonal(
+    const std::string& r, const std::string& q, const SwScores& s);
+
+/// F&M function spec for the recurrence.  Tensors: input R (|r|), input
+/// Q (|q|), computed H (|r| x |q|, marked output).  Returns the spec;
+/// `r_id`/`q_id`/`h_id` receive the tensor ids.
+[[nodiscard]] fm::FunctionSpec editdist_spec(std::int64_t n_rows,
+                                             std::int64_t n_cols,
+                                             const SwScores& s,
+                                             fm::TensorId* r_id = nullptr,
+                                             fm::TensorId* q_id = nullptr,
+                                             fm::TensorId* h_id = nullptr);
+
+/// Encodes a string as the double-valued input tensor the spec expects.
+[[nodiscard]] std::vector<double> encode_string(const std::string& s);
+
+}  // namespace harmony::algos

@@ -1,0 +1,273 @@
+#include "algos/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace harmony::algos {
+
+namespace {
+
+constexpr double kTau = 2.0 * std::numbers::pi;
+
+bool is_pow2(std::int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+int log2_exact(std::int64_t n) {
+  int b = 0;
+  while ((std::int64_t{1} << b) < n) ++b;
+  return b;
+}
+
+void bit_reverse_permute(std::vector<Complex>& x) {
+  const auto n = static_cast<std::int64_t>(x.size());
+  const int bits = log2_exact(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t j = bit_reverse(i, bits);
+    if (i < j) std::swap(x[static_cast<std::size_t>(i)],
+                         x[static_cast<std::size_t>(j)]);
+  }
+}
+
+}  // namespace
+
+std::int64_t bit_reverse(std::int64_t i, int bits) {
+  std::int64_t r = 0;
+  for (int b = 0; b < bits; ++b) {
+    r = (r << 1) | ((i >> b) & 1);
+  }
+  return r;
+}
+
+std::vector<Complex> dft_naive(const std::vector<Complex>& x) {
+  const auto n = static_cast<std::int64_t>(x.size());
+  std::vector<Complex> out(x.size());
+  for (std::int64_t k = 0; k < n; ++k) {
+    Complex acc{0.0, 0.0};
+    for (std::int64_t t = 0; t < n; ++t) {
+      const double ang = -kTau * static_cast<double>(k * t) /
+                         static_cast<double>(n);
+      acc += x[static_cast<std::size_t>(t)] *
+             Complex{std::cos(ang), std::sin(ang)};
+    }
+    out[static_cast<std::size_t>(k)] = acc;
+  }
+  return out;
+}
+
+void fft_dit_radix2(std::vector<Complex>& x) {
+  const auto n = static_cast<std::int64_t>(x.size());
+  HARMONY_REQUIRE(is_pow2(n), "fft_dit_radix2: n must be a power of two");
+  bit_reverse_permute(x);
+  for (std::int64_t m = 2; m <= n; m *= 2) {
+    const double ang0 = -kTau / static_cast<double>(m);
+    for (std::int64_t base = 0; base < n; base += m) {
+      for (std::int64_t k = 0; k < m / 2; ++k) {
+        const Complex w{std::cos(ang0 * static_cast<double>(k)),
+                        std::sin(ang0 * static_cast<double>(k))};
+        auto& a = x[static_cast<std::size_t>(base + k)];
+        auto& b = x[static_cast<std::size_t>(base + k + m / 2)];
+        const Complex t = w * b;
+        b = a - t;
+        a = a + t;
+      }
+    }
+  }
+}
+
+void fft_dif_radix2(std::vector<Complex>& x) {
+  const auto n = static_cast<std::int64_t>(x.size());
+  HARMONY_REQUIRE(is_pow2(n), "fft_dif_radix2: n must be a power of two");
+  for (std::int64_t m = n; m >= 2; m /= 2) {
+    const double ang0 = -kTau / static_cast<double>(m);
+    for (std::int64_t base = 0; base < n; base += m) {
+      for (std::int64_t k = 0; k < m / 2; ++k) {
+        const Complex w{std::cos(ang0 * static_cast<double>(k)),
+                        std::sin(ang0 * static_cast<double>(k))};
+        auto& a = x[static_cast<std::size_t>(base + k)];
+        auto& b = x[static_cast<std::size_t>(base + k + m / 2)];
+        const Complex t = a - b;
+        a = a + b;
+        b = t * w;
+      }
+    }
+  }
+  bit_reverse_permute(x);
+}
+
+namespace {
+void fft4_rec(std::vector<Complex>& x, std::int64_t n, std::int64_t base,
+              std::int64_t stride, std::vector<Complex>& scratch) {
+  if (n == 1) return;
+  if (n == 2) {
+    const Complex a = x[static_cast<std::size_t>(base)];
+    const Complex b = x[static_cast<std::size_t>(base + stride)];
+    x[static_cast<std::size_t>(base)] = a + b;
+    x[static_cast<std::size_t>(base + stride)] = a - b;
+    return;
+  }
+  const std::int64_t q = n / 4;
+  // Recurse on the four interleaved quarters.
+  for (int s = 0; s < 4; ++s) {
+    fft4_rec(x, q, base + s * stride, 4 * stride, scratch);
+  }
+  const Complex jneg{0.0, -1.0};
+  for (std::int64_t k = 0; k < q; ++k) {
+    auto tw = [&](int s) {
+      const double ang = -kTau * static_cast<double>(s * k) /
+                         static_cast<double>(n);
+      return Complex{std::cos(ang), std::sin(ang)};
+    };
+    const Complex a0 = x[static_cast<std::size_t>(base + 4 * k * stride)];
+    const Complex a1 =
+        tw(1) * x[static_cast<std::size_t>(base + (4 * k + 1) * stride)];
+    const Complex a2 =
+        tw(2) * x[static_cast<std::size_t>(base + (4 * k + 2) * stride)];
+    const Complex a3 =
+        tw(3) * x[static_cast<std::size_t>(base + (4 * k + 3) * stride)];
+    const Complex t0 = a0 + a2;
+    const Complex t1 = a0 - a2;
+    const Complex t2 = a1 + a3;
+    const Complex t3 = jneg * (a1 - a3);
+    scratch[static_cast<std::size_t>(k)] = t0 + t2;
+    scratch[static_cast<std::size_t>(k + q)] = t1 + t3;
+    scratch[static_cast<std::size_t>(k + 2 * q)] = t0 - t2;
+    scratch[static_cast<std::size_t>(k + 3 * q)] = t1 - t3;
+  }
+  for (std::int64_t k = 0; k < n; ++k) {
+    x[static_cast<std::size_t>(base + k * stride)] =
+        scratch[static_cast<std::size_t>(k)];
+  }
+}
+}  // namespace
+
+void fft_dit_radix4(std::vector<Complex>& x) {
+  const auto n = static_cast<std::int64_t>(x.size());
+  HARMONY_REQUIRE(n > 0 && (n & (n - 1)) == 0 &&
+                      (log2_exact(n) % 2 == 0 || n == 2),
+                  "fft_dit_radix4: n must be a power of four (or 2)");
+  std::vector<Complex> scratch(x.size());
+  fft4_rec(x, n, 0, 1, scratch);
+}
+
+FftFlops fft_flops_radix2(std::int64_t n) {
+  HARMONY_REQUIRE(is_pow2(n), "fft_flops_radix2: n must be 2^k");
+  const double stages = log2_exact(n);
+  const double butterflies = static_cast<double>(n) / 2.0 * stages;
+  // One complex mult (4 mults + 2 adds) + two complex adds (4 adds).
+  return FftFlops{.mults = 4.0 * butterflies, .adds = 6.0 * butterflies};
+}
+
+FftFlops fft_flops_radix4(std::int64_t n) {
+  HARMONY_REQUIRE(is_pow2(n), "fft_flops_radix4: n must be 4^k");
+  const double stages = log2_exact(n) / 2.0;
+  const double dragonflies = static_cast<double>(n) / 4.0 * stages;
+  // 3 complex mults (12 mults + 6 adds) + 8 complex adds (16 adds).
+  return FftFlops{.mults = 12.0 * dragonflies,
+                  .adds = 22.0 * dragonflies};
+}
+
+fm::FunctionSpec fft_spec(std::int64_t n, bool dif, FftSpecIds* ids) {
+  HARMONY_REQUIRE(is_pow2(n) && n >= 2, "fft_spec: n must be 2^k >= 2");
+  const int stages = log2_exact(n);
+
+  fm::FunctionSpec spec;
+  const fm::TensorId xr = spec.add_input("xr", fm::IndexDomain(n), 32);
+  const fm::TensorId xi = spec.add_input("xi", fm::IndexDomain(n), 32);
+  // Computed tensors are added in order: Xr == xi+1, Xi == xi+2.
+  const fm::TensorId Xr = xi + 1;
+  const fm::TensorId Xi = xi + 2;
+
+  // Butterfly geometry for row s (1-based; row 0 is the load stage):
+  //   DIT: span = 2^(s-1)   (doubles);  DIF: span = n >> s  (halves).
+  auto partner_span = [n, dif](std::int64_t s) {
+    return dif ? (n >> s) : (std::int64_t{1} << (s - 1));
+  };
+
+  // Dependences (same for Xr and Xi): row 0 reads the input element
+  // (bit-reversed for DIT, natural for DIF); row s reads both complex
+  // operands (4 refs: Xr/Xi at i and at partner).
+  auto deps_for = [=](const fm::Point& p) {
+    std::vector<fm::ValueRef> deps;
+    if (p.i == 0) {
+      const std::int64_t src =
+          dif ? p.j : bit_reverse(p.j, stages);
+      deps.push_back({xr, fm::Point{src}});
+      deps.push_back({xi, fm::Point{src}});
+      return deps;
+    }
+    const std::int64_t h = partner_span(p.i);
+    const std::int64_t self = p.j;
+    const std::int64_t mate = p.j ^ h;
+    const std::int64_t lo = std::min(self, mate);
+    const std::int64_t hi2 = std::max(self, mate);
+    deps.push_back({Xr, fm::Point{p.i - 1, lo}});
+    deps.push_back({Xi, fm::Point{p.i - 1, lo}});
+    deps.push_back({Xr, fm::Point{p.i - 1, hi2}});
+    deps.push_back({Xi, fm::Point{p.i - 1, hi2}});
+    return deps;
+  };
+
+  // Butterfly value:
+  //   DIT row s: lo' = lo + w*hi ; hi' = lo - w*hi,
+  //              w = exp(-i*tau*k/2^s), k = j & (2^(s-1)-1).
+  //   DIF row s: lo' = lo + hi   ; hi' = (lo - hi)*w,
+  //              w = exp(-i*tau*k/(2h)), k = j mod h, h = n >> s.
+  auto butterfly = [=](const fm::Point& p, const std::vector<double>& v,
+                       bool want_real) -> double {
+    const double lor = v[0];
+    const double loi = v[1];
+    const double hir = v[2];
+    const double hii = v[3];
+    const std::int64_t h = partner_span(p.i);
+    const bool is_hi = (p.j & h) != 0;
+    const std::int64_t k = p.j & (h - 1);
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(2 * h);
+    const double wr = std::cos(ang);
+    const double wi = std::sin(ang);
+    double rr;
+    double ri;
+    if (!dif) {
+      // DIT: twiddle the hi operand first.
+      const double tr = wr * hir - wi * hii;
+      const double ti = wr * hii + wi * hir;
+      rr = is_hi ? lor - tr : lor + tr;
+      ri = is_hi ? loi - ti : loi + ti;
+    } else {
+      if (!is_hi) {
+        rr = lor + hir;
+        ri = loi + hii;
+      } else {
+        const double tr = lor - hir;
+        const double ti = loi - hii;
+        rr = wr * tr - wi * ti;
+        ri = wr * ti + wi * tr;
+      }
+    }
+    return want_real ? rr : ri;
+  };
+
+  const fm::IndexDomain dom(stages + 1, n);
+  const fm::TensorId got_Xr = spec.add_computed(
+      "Xr", dom, deps_for,
+      [butterfly](const fm::Point& p, const std::vector<double>& v) {
+        if (p.i == 0) return v[0];
+        return butterfly(p, v, /*want_real=*/true);
+      },
+      fm::OpCost{.ops = 5.0, .bits = 32});
+  const fm::TensorId got_Xi = spec.add_computed(
+      "Xi", dom, deps_for,
+      [butterfly](const fm::Point& p, const std::vector<double>& v) {
+        if (p.i == 0) return v[1];
+        return butterfly(p, v, /*want_real=*/false);
+      },
+      fm::OpCost{.ops = 5.0, .bits = 32});
+  HARMONY_ASSERT(got_Xr == Xr && got_Xi == Xi);
+  spec.mark_output(Xr);
+  spec.mark_output(Xi);
+  if (ids != nullptr) *ids = FftSpecIds{xr, xi, Xr, Xi};
+  return spec;
+}
+
+}  // namespace harmony::algos

@@ -1,0 +1,60 @@
+// FFT variants (Dally, §3: "decimation in time vs decimation in space
+// FFT, or different radix FFT" as the canonical example of one problem
+// with several functions, each with many mappings).
+//
+// Provided here:
+//   * executable complex FFTs — iterative radix-2 DIT and DIF, recursive
+//     radix-4 DIT, and the naive O(n^2) DFT as ground truth;
+//   * analytic flop counts (the RAM/unit-cost ranking of E3);
+//   * F&M function specs for the DIT and DIF dataflows, value-exact
+//     (split into real/imaginary tensors), whose butterfly spans differ —
+//     DIT's communication distance doubles per stage, DIF's halves —
+//     so the same O(n log n) functions price differently under the
+//     communication-aware model (the paper's "the one that is 50,000x
+//     more efficient is preferred").
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "fm/spec.hpp"
+
+namespace harmony::algos {
+
+using Complex = std::complex<double>;
+
+/// Ground truth: naive O(n^2) DFT.
+[[nodiscard]] std::vector<Complex> dft_naive(const std::vector<Complex>& x);
+
+/// Iterative radix-2 decimation-in-time FFT (in place, n = 2^k).
+void fft_dit_radix2(std::vector<Complex>& x);
+/// Iterative radix-2 decimation-in-frequency FFT (in place, n = 2^k).
+void fft_dif_radix2(std::vector<Complex>& x);
+/// Recursive radix-4 decimation-in-time FFT (n = 4^k).
+void fft_dit_radix4(std::vector<Complex>& x);
+
+/// Analytic real-flop counts (mults + adds) for the three variants.
+struct FftFlops {
+  double mults = 0.0;
+  double adds = 0.0;
+  [[nodiscard]] double total() const { return mults + adds; }
+};
+[[nodiscard]] FftFlops fft_flops_radix2(std::int64_t n);
+[[nodiscard]] FftFlops fft_flops_radix4(std::int64_t n);
+
+/// F&M spec of the radix-2 FFT dataflow.  `dif` selects decimation in
+/// frequency (butterfly span n/2 -> 1) versus time (span 1 -> n/2).
+/// Tensors: inputs xr, xi (n); computed Xr, Xi over (log2 n + 1, n),
+/// both marked output — row log2(n) is the transform (DIT: natural
+/// order; DIF: bit-reversed order).
+struct FftSpecIds {
+  fm::TensorId xr = -1, xi = -1, Xr = -1, Xi = -1;
+};
+[[nodiscard]] fm::FunctionSpec fft_spec(std::int64_t n, bool dif,
+                                        FftSpecIds* ids = nullptr);
+
+/// Bit reversal of `i` within `bits` bits.
+[[nodiscard]] std::int64_t bit_reverse(std::int64_t i, int bits);
+
+}  // namespace harmony::algos

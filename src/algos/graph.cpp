@@ -1,0 +1,217 @@
+#include "algos/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace harmony::algos {
+
+CsrGraph random_graph(std::int64_t n, std::int64_t m, std::uint64_t seed) {
+  HARMONY_REQUIRE(n >= 2, "random_graph: need >= 2 vertices");
+  Rng rng(seed);
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+  edges.reserve(static_cast<std::size_t>(2 * m));
+  for (std::int64_t e = 0; e < m; ++e) {
+    const auto u = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    auto v = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(n - 1)));
+    if (v >= u) ++v;
+    edges.emplace_back(u, v);
+    edges.emplace_back(v, u);  // symmetric
+  }
+  CsrGraph g;
+  g.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    (void)v;
+    ++g.offsets[static_cast<std::size_t>(u) + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets.size(); ++i) {
+    g.offsets[i] += g.offsets[i - 1];
+  }
+  g.targets.resize(edges.size());
+  std::vector<std::int64_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.targets[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)]
+        = v;
+  }
+  return g;
+}
+
+CsrGraph grid_graph(std::int64_t rows, std::int64_t cols) {
+  HARMONY_REQUIRE(rows >= 1 && cols >= 1, "grid_graph: empty grid");
+  const std::int64_t n = rows * cols;
+  CsrGraph g;
+  g.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  auto id = [cols](std::int64_t r, std::int64_t c) { return r * cols + c; };
+  // Count then fill.
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      std::int64_t deg = 0;
+      if (r > 0) ++deg;
+      if (r + 1 < rows) ++deg;
+      if (c > 0) ++deg;
+      if (c + 1 < cols) ++deg;
+      g.offsets[static_cast<std::size_t>(id(r, c)) + 1] = deg;
+    }
+  }
+  for (std::size_t i = 1; i < g.offsets.size(); ++i) {
+    g.offsets[i] += g.offsets[i - 1];
+  }
+  g.targets.resize(static_cast<std::size_t>(g.offsets.back()));
+  std::vector<std::int64_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const std::int64_t v = id(r, c);
+      auto push = [&](std::int64_t w) {
+        g.targets[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(v)]++)] = w;
+      };
+      if (r > 0) push(id(r - 1, c));
+      if (r + 1 < rows) push(id(r + 1, c));
+      if (c > 0) push(id(r, c - 1));
+      if (c + 1 < cols) push(id(r, c + 1));
+    }
+  }
+  return g;
+}
+
+SerialBfsResult bfs_serial(const CsrGraph& g, std::int64_t source) {
+  const std::int64_t n = g.num_vertices();
+  HARMONY_REQUIRE(source >= 0 && source < n, "bfs_serial: bad source");
+  SerialBfsResult res;
+  res.dist.assign(static_cast<std::size_t>(n), -1);
+  std::queue<std::int64_t> q;
+  res.dist[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const std::int64_t v = q.front();
+    q.pop();
+    ++res.work;
+    for (std::int64_t e = g.offsets[static_cast<std::size_t>(v)];
+         e < g.offsets[static_cast<std::size_t>(v) + 1]; ++e) {
+      ++res.work;
+      const std::int64_t w = g.targets[static_cast<std::size_t>(e)];
+      if (res.dist[static_cast<std::size_t>(w)] < 0) {
+        res.dist[static_cast<std::size_t>(w)] =
+            res.dist[static_cast<std::size_t>(v)] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return res;
+}
+
+PramBfsResult bfs_pram(const CsrGraph& g, std::int64_t source,
+                       std::size_t num_procs) {
+  const std::int64_t n = g.num_vertices();
+  HARMONY_REQUIRE(source >= 0 && source < n, "bfs_pram: bad source");
+  // Memory map: [0, n) dist; n = level; n+1 = changed; n+2 = done.
+  const auto level_addr = static_cast<std::size_t>(n);
+  const auto changed_addr = static_cast<std::size_t>(n) + 1;
+  const auto done_addr = static_cast<std::size_t>(n) + 2;
+  pram::PramMachine machine(pram::Variant::kCrcwCommon, num_procs,
+                            static_cast<std::size_t>(n) + 3);
+  for (std::int64_t v = 0; v < n; ++v) {
+    machine.mem(static_cast<std::size_t>(v)) = -1;
+  }
+  machine.mem(static_cast<std::size_t>(source)) = 0;
+
+  const auto p = num_procs;
+  auto program = [&, n](pram::PramMachine::Ctx& ctx) {
+    const bool relax_phase = ctx.step() % 2 == 0;
+    if (relax_phase) {
+      if (ctx.read(done_addr) == 1) {
+        ctx.halt();
+        return;
+      }
+      const std::int64_t level = ctx.read(level_addr);
+      for (std::int64_t v = static_cast<std::int64_t>(ctx.proc()); v < n;
+           v += static_cast<std::int64_t>(p)) {
+        if (ctx.read(static_cast<std::size_t>(v)) != level) continue;
+        for (std::int64_t e = g.offsets[static_cast<std::size_t>(v)];
+             e < g.offsets[static_cast<std::size_t>(v) + 1]; ++e) {
+          const std::int64_t w = g.targets[static_cast<std::size_t>(e)];
+          if (ctx.read(static_cast<std::size_t>(w)) == -1) {
+            // CRCW-common: every writer writes the same level value.
+            ctx.write(static_cast<std::size_t>(w), level + 1);
+            ctx.write(changed_addr, 1);
+          }
+        }
+      }
+    } else {
+      if (ctx.proc() == 0) {
+        if (ctx.read(changed_addr) == 0) {
+          ctx.write(done_addr, 1);
+        } else {
+          ctx.write(level_addr, ctx.read(level_addr) + 1);
+          ctx.write(changed_addr, 0);
+        }
+      }
+    }
+  };
+
+  PramBfsResult res;
+  res.stats = machine.run(program,
+                          /*max_steps=*/4 * n + 16);
+  res.dist.resize(static_cast<std::size_t>(n));
+  for (std::int64_t v = 0; v < n; ++v) {
+    res.dist[static_cast<std::size_t>(v)] =
+        machine.mem(static_cast<std::size_t>(v));
+  }
+  res.levels = machine.mem(level_addr) + 1;
+  return res;
+}
+
+XmtBfsResult bfs_xmt(const CsrGraph& g, std::int64_t source,
+                     pram::XmtConfig cfg) {
+  const std::int64_t n = g.num_vertices();
+  HARMONY_REQUIRE(source >= 0 && source < n, "bfs_xmt: bad source");
+  // Memory map: [0,n) dist; [n,2n) claim gates; [2n,3n) frontier A;
+  // [3n,4n) frontier B; 4n = next frontier size.
+  const auto un = static_cast<std::size_t>(n);
+  pram::XmtMachine machine(4 * un + 1, cfg);
+  for (std::size_t v = 0; v < un; ++v) machine.mem(v) = -1;
+  machine.mem(static_cast<std::size_t>(source)) = 0;
+  machine.mem(un + static_cast<std::size_t>(source)) = 1;  // claimed
+  machine.mem(2 * un) = source;
+
+  XmtBfsResult res;
+  std::int64_t level = 0;
+  std::int64_t frontier_size = 1;
+  bool cur_is_a = true;
+  while (frontier_size > 0) {
+    const std::size_t cur_base = cur_is_a ? 2 * un : 3 * un;
+    const std::size_t nxt_base = cur_is_a ? 3 * un : 2 * un;
+    machine.mem(4 * un) = 0;  // next frontier size counter
+    const std::int64_t lvl = level;
+    const pram::XmtStats st = machine.spawn(
+        frontier_size, [&, lvl](pram::XmtMachine::Thread& t) {
+          const std::int64_t v =
+              t.read(cur_base + static_cast<std::size_t>(t.id()));
+          for (std::int64_t e = g.offsets[static_cast<std::size_t>(v)];
+               e < g.offsets[static_cast<std::size_t>(v) + 1]; ++e) {
+            t.charge(2);  // edge fetch + bounds
+            const std::int64_t w = g.targets[static_cast<std::size_t>(e)];
+            const std::int64_t old =
+                t.ps(un + static_cast<std::size_t>(w), 1);
+            if (old == 0) {
+              t.write(static_cast<std::size_t>(w), lvl + 1);
+              const std::int64_t slot = t.ps(4 * un, 1);
+              t.write(nxt_base + static_cast<std::size_t>(slot), w);
+            }
+          }
+        });
+    res.stats += st;
+    frontier_size = machine.mem(4 * un);
+    cur_is_a = !cur_is_a;
+    ++level;
+  }
+  res.levels = level;
+  res.dist.resize(un);
+  for (std::size_t v = 0; v < un; ++v) res.dist[v] = machine.mem(v);
+  return res;
+}
+
+}  // namespace harmony::algos

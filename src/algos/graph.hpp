@@ -1,0 +1,83 @@
+// Graphs and breadth-first search (Vishkin, §5).
+//
+// "breadth-first search on graphs had been tied to a first-in first-out
+//  queue for no good reason other than enforcing serialization, even
+//  where parallelism exists."
+//
+// Three BFS expressions over one CSR graph:
+//   * serial queue BFS — the textbook FIFO algorithm (work O(n+m),
+//     depth O(n+m));
+//   * PRAM level-synchronous BFS on the CRCW-common PramMachine — each
+//     processor owns n/P vertices and relaxes the frontier by levels
+//     (depth O(diameter * per-level rounds), but work O(n * levels + m):
+//     *not* work-efficient, which is exactly the gap Vishkin's
+//     prefix-sum machinery closes);
+//   * XMT frontier BFS — spawn one virtual thread per frontier edge
+//     endpoint, claim vertices and allocate next-frontier slots with the
+//     ps() primitive (work O(n+m), the work-efficient version).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pram/pram.hpp"
+#include "pram/xmt.hpp"
+#include "support/rng.hpp"
+
+namespace harmony::algos {
+
+/// Compressed-sparse-row directed graph.
+struct CsrGraph {
+  std::vector<std::int64_t> offsets;  ///< size n+1
+  std::vector<std::int64_t> targets;  ///< size m
+
+  [[nodiscard]] std::int64_t num_vertices() const {
+    return static_cast<std::int64_t>(offsets.size()) - 1;
+  }
+  [[nodiscard]] std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(targets.size());
+  }
+  [[nodiscard]] std::int64_t degree(std::int64_t v) const {
+    return offsets[static_cast<std::size_t>(v + 1)] -
+           offsets[static_cast<std::size_t>(v)];
+  }
+};
+
+/// Erdos-Renyi-style random graph with n vertices and ~m directed edges
+/// (made symmetric), deterministic in `seed`.
+[[nodiscard]] CsrGraph random_graph(std::int64_t n, std::int64_t m,
+                                    std::uint64_t seed);
+
+/// 2-D grid graph (4-neighbour), rows x cols vertices — high diameter,
+/// the adversarial case for level-synchronous BFS.
+[[nodiscard]] CsrGraph grid_graph(std::int64_t rows, std::int64_t cols);
+
+/// Serial FIFO BFS; dist[v] = hops from source, -1 if unreachable.
+struct SerialBfsResult {
+  std::vector<std::int64_t> dist;
+  std::int64_t work = 0;  ///< vertices + edges touched
+};
+[[nodiscard]] SerialBfsResult bfs_serial(const CsrGraph& g,
+                                         std::int64_t source);
+
+/// Level-synchronous BFS on the PRAM simulator (CRCW-common: all writers
+/// of a level value agree).  Returns distances plus the machine stats.
+struct PramBfsResult {
+  std::vector<std::int64_t> dist;
+  pram::PramStats stats;
+  std::int64_t levels = 0;
+};
+[[nodiscard]] PramBfsResult bfs_pram(const CsrGraph& g, std::int64_t source,
+                                     std::size_t num_procs);
+
+/// Work-efficient frontier BFS on the XMT machine using ps() for vertex
+/// claiming and next-frontier allocation.
+struct XmtBfsResult {
+  std::vector<std::int64_t> dist;
+  pram::XmtStats stats;  ///< accumulated over all spawn blocks
+  std::int64_t levels = 0;
+};
+[[nodiscard]] XmtBfsResult bfs_xmt(const CsrGraph& g, std::int64_t source,
+                                   pram::XmtConfig cfg = {});
+
+}  // namespace harmony::algos

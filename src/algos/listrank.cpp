@@ -1,0 +1,95 @@
+#include "algos/listrank.hpp"
+
+#include "support/error.hpp"
+
+namespace harmony::algos {
+
+LinkedList random_list(std::int64_t n, std::uint64_t seed) {
+  HARMONY_REQUIRE(n >= 1, "random_list: need >= 1 node");
+  Rng rng(seed);
+  const std::vector<std::uint32_t> perm =
+      rng.permutation(static_cast<std::uint32_t>(n));
+  // perm is the visit order: perm[0] is the head, perm[n-1] terminal.
+  LinkedList list;
+  list.next.assign(static_cast<std::size_t>(n), 0);
+  for (std::int64_t i = 0; i + 1 < n; ++i) {
+    list.next[perm[static_cast<std::size_t>(i)]] =
+        perm[static_cast<std::size_t>(i) + 1];
+  }
+  const std::int64_t tail = perm[static_cast<std::size_t>(n) - 1];
+  list.next[static_cast<std::size_t>(tail)] = tail;
+  list.head = perm[0];
+  return list;
+}
+
+std::vector<std::int64_t> list_rank_serial(const LinkedList& list) {
+  const auto n = static_cast<std::int64_t>(list.next.size());
+  std::vector<std::int64_t> rank(static_cast<std::size_t>(n), 0);
+  // Walk from the head once to find the order, then assign n-1-position.
+  std::int64_t v = list.head;
+  std::int64_t pos = 0;
+  std::vector<std::int64_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (true) {
+    order.push_back(v);
+    const std::int64_t nx = list.next[static_cast<std::size_t>(v)];
+    if (nx == v) break;
+    v = nx;
+    ++pos;
+  }
+  HARMONY_REQUIRE(static_cast<std::int64_t>(order.size()) == n,
+                  "list_rank_serial: list does not cover all nodes");
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rank[static_cast<std::size_t>(order[i])] =
+        static_cast<std::int64_t>(order.size() - 1 - i);
+  }
+  return rank;
+}
+
+PramListRankResult list_rank_pram(const LinkedList& list,
+                                  std::size_t num_procs) {
+  const auto n = static_cast<std::int64_t>(list.next.size());
+  // Memory map: [0,n) next; [n,2n) rank.
+  const auto un = static_cast<std::size_t>(n);
+  pram::PramMachine machine(pram::Variant::kCrew, num_procs, 2 * un);
+  for (std::size_t v = 0; v < un; ++v) {
+    machine.mem(v) = list.next[v];
+    machine.mem(un + v) = list.next[v] == static_cast<std::int64_t>(v)
+                              ? 0
+                              : 1;
+  }
+  std::int64_t rounds = 0;
+  {
+    std::int64_t span = 1;
+    while (span < n) {
+      span *= 2;
+      ++rounds;
+    }
+  }
+
+  auto program = [&, n, rounds](pram::PramMachine::Ctx& ctx) {
+    if (ctx.step() >= rounds) {
+      ctx.halt();
+      return;
+    }
+    for (std::int64_t v = static_cast<std::int64_t>(ctx.proc()); v < n;
+         v += static_cast<std::int64_t>(machine.num_procs())) {
+      const auto uv = static_cast<std::size_t>(v);
+      const auto nx = static_cast<std::size_t>(ctx.read(uv));
+      if (nx == uv) continue;
+      const std::int64_t r_v = ctx.read(un + uv);
+      const std::int64_t r_n = ctx.read(un + nx);
+      const std::int64_t n_n = ctx.read(nx);
+      ctx.write(un + uv, r_v + r_n);
+      ctx.write(uv, n_n);
+    }
+  };
+  PramListRankResult res;
+  res.stats = machine.run(program, rounds + 2);
+  res.rounds = rounds;
+  res.rank.resize(un);
+  for (std::size_t v = 0; v < un; ++v) res.rank[v] = machine.mem(un + v);
+  return res;
+}
+
+}  // namespace harmony::algos

@@ -1,0 +1,45 @@
+// List ranking by pointer jumping (Wyllie) — the canonical "alien
+// culture" PRAM algorithm Vishkin's statement alludes to: a computation a
+// serial programmer would never discover from the linked-list traversal.
+//
+//   * serial traversal — work O(n), depth O(n);
+//   * PRAM pointer jumping on the CREW machine — depth O(log n) rounds,
+//     work O(n log n) (Wyllie's algorithm is not work-efficient; the
+//     gap is part of the E7/E13 narrative).
+//
+// rank[v] = number of links from v to the terminal node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pram/pram.hpp"
+#include "support/rng.hpp"
+
+namespace harmony::algos {
+
+/// A linked list over 0..n-1: next[v] is v's successor; the terminal
+/// node points to itself.
+struct LinkedList {
+  std::vector<std::int64_t> next;
+  std::int64_t head = 0;
+};
+
+/// Random list: a deterministic permutation of n nodes.
+[[nodiscard]] LinkedList random_list(std::int64_t n, std::uint64_t seed);
+
+/// Serial ranking by traversal.
+[[nodiscard]] std::vector<std::int64_t> list_rank_serial(
+    const LinkedList& list);
+
+struct PramListRankResult {
+  std::vector<std::int64_t> rank;
+  pram::PramStats stats;
+  std::int64_t rounds = 0;
+};
+
+/// Wyllie's pointer jumping on the CREW PRAM simulator.
+[[nodiscard]] PramListRankResult list_rank_pram(const LinkedList& list,
+                                                std::size_t num_procs);
+
+}  // namespace harmony::algos

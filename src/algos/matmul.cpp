@@ -1,0 +1,353 @@
+#include "algos/matmul.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace harmony::algos {
+
+std::vector<double> matmul_serial(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  std::size_t n) {
+  HARMONY_REQUIRE(a.size() == n * n && b.size() == n * n,
+                  "matmul_serial: size mismatch");
+  std::vector<double> c(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = a[i * n + k];
+      for (std::size_t j = 0; j < n; ++j) {
+        c[i * n + j] += aik * b[k * n + j];
+      }
+    }
+  }
+  return c;
+}
+
+fm::FunctionSpec matmul_spec(std::int64_t n, MatmulSpecIds* ids) {
+  HARMONY_REQUIRE(n >= 1, "matmul_spec: n must be positive");
+  fm::FunctionSpec spec;
+  const fm::TensorId a = spec.add_input("A", fm::IndexDomain(n, n), 32);
+  const fm::TensorId b = spec.add_input("B", fm::IndexDomain(n, n), 32);
+  const fm::TensorId c = spec.add_computed(
+      "C", fm::IndexDomain(n, n, n),
+      [a, b](const fm::Point& p) {
+        std::vector<fm::ValueRef> deps;
+        deps.push_back({a, fm::Point{p.i, p.k}});
+        deps.push_back({b, fm::Point{p.k, p.j}});
+        if (p.k > 0) {
+          const fm::TensorId self = b + 1;  // C follows B
+          deps.push_back({self, fm::Point{p.i, p.j, p.k - 1}});
+        }
+        return deps;
+      },
+      [](const fm::Point& p, const std::vector<double>& v) {
+        const double prod = v[0] * v[1];
+        return p.k > 0 ? v[2] + prod : prod;
+      },
+      fm::OpCost{.ops = 2.0, .bits = 32});
+  spec.mark_output(c);
+  if (ids != nullptr) *ids = MatmulSpecIds{a, b, c};
+  return spec;
+}
+
+namespace {
+
+/// Copies block (bi, bj) (of side bs) out of an n x n row-major matrix.
+std::vector<double> slice(const std::vector<double>& m, std::size_t n,
+                          std::size_t bi, std::size_t bj, std::size_t bs) {
+  std::vector<double> out(bs * bs);
+  for (std::size_t r = 0; r < bs; ++r) {
+    for (std::size_t c = 0; c < bs; ++c) {
+      out[r * bs + c] = m[(bi * bs + r) * n + (bj * bs + c)];
+    }
+  }
+  return out;
+}
+
+/// dst(bs x bs) += a(bs x bs) * b(bs x bs).
+void gemm_acc(const std::vector<double>& a, const std::vector<double>& b,
+              std::vector<double>& dst, std::size_t bs) {
+  for (std::size_t i = 0; i < bs; ++i) {
+    for (std::size_t k = 0; k < bs; ++k) {
+      const double aik = a[i * bs + k];
+      for (std::size_t j = 0; j < bs; ++j) {
+        dst[i * bs + j] += aik * b[k * bs + j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+BspMatmulResult bsp_matmul_naive(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 std::size_t n, int procs,
+                                 comm::AlphaBeta model) {
+  HARMONY_REQUIRE(procs >= 1 && n % static_cast<std::size_t>(procs) == 0,
+                  "bsp_matmul_naive: procs must divide n");
+  const auto p = static_cast<std::size_t>(procs);
+  const std::size_t rows = n / p;
+
+  comm::BspMachine machine(procs, model);
+  // Local state: owned row panels.
+  std::vector<std::vector<double>> local_c(
+      p, std::vector<double>(rows * n, 0.0));
+  std::vector<std::vector<double>> got_b(p);
+
+  // Superstep 1: every owner of a B row-panel sends it to everyone.
+  machine.superstep([&](comm::BspMachine::Proc& proc) {
+    const auto r = static_cast<std::size_t>(proc.rank());
+    std::vector<double> panel(b.begin() +
+                                  static_cast<std::ptrdiff_t>(r * rows * n),
+                              b.begin() + static_cast<std::ptrdiff_t>(
+                                              (r + 1) * rows * n));
+    for (int dst = 0; dst < procs; ++dst) {
+      if (dst != proc.rank()) proc.send(dst, panel, /*tag=*/proc.rank());
+    }
+  });
+
+  // Superstep 2: assemble B locally and run the owned-rows GEMM.
+  machine.superstep([&](comm::BspMachine::Proc& proc) {
+    const auto r = static_cast<std::size_t>(proc.rank());
+    std::vector<double> full_b(n * n, 0.0);
+    // Own panel.
+    std::copy(b.begin() + static_cast<std::ptrdiff_t>(r * rows * n),
+              b.begin() + static_cast<std::ptrdiff_t>((r + 1) * rows * n),
+              full_b.begin() + static_cast<std::ptrdiff_t>(r * rows * n));
+    for (const comm::Message& msg : proc.inbox()) {
+      const auto src = static_cast<std::size_t>(msg.tag);
+      std::copy(msg.payload.begin(), msg.payload.end(),
+                full_b.begin() +
+                    static_cast<std::ptrdiff_t>(src * rows * n));
+    }
+    auto& c = local_c[r];
+    for (std::size_t i = 0; i < rows; ++i) {
+      const std::size_t gi = r * rows + i;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double aik = a[gi * n + k];
+        for (std::size_t j = 0; j < n; ++j) {
+          c[i * n + j] += aik * full_b[k * n + j];
+        }
+      }
+    }
+    proc.charge_flops(2.0 * static_cast<double>(rows) *
+                      static_cast<double>(n) * static_cast<double>(n));
+    (void)got_b;
+  });
+
+  BspMatmulResult res;
+  res.c.assign(n * n, 0.0);
+  for (std::size_t r = 0; r < p; ++r) {
+    std::copy(local_c[r].begin(), local_c[r].end(),
+              res.c.begin() + static_cast<std::ptrdiff_t>(r * rows * n));
+  }
+  res.stats = machine.stats();
+  return res;
+}
+
+BspMatmulResult bsp_matmul_summa(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 std::size_t n, int procs,
+                                 comm::AlphaBeta model) {
+  const auto grid = static_cast<std::size_t>(
+      std::llround(std::sqrt(static_cast<double>(procs))));
+  HARMONY_REQUIRE(grid * grid == static_cast<std::size_t>(procs),
+                  "bsp_matmul_summa: procs must be a square");
+  HARMONY_REQUIRE(n % grid == 0, "bsp_matmul_summa: grid must divide n");
+  const std::size_t bs = n / grid;
+
+  comm::BspMachine machine(procs, model);
+  auto rank_of = [grid](std::size_t i, std::size_t j) {
+    return static_cast<int>(i * grid + j);
+  };
+  std::vector<std::vector<double>> local_c(
+      static_cast<std::size_t>(procs), std::vector<double>(bs * bs, 0.0));
+  // Per-proc staging of the panels received for the *current* k step.
+  std::vector<std::vector<double>> cur_a(static_cast<std::size_t>(procs));
+  std::vector<std::vector<double>> cur_b(static_cast<std::size_t>(procs));
+
+  // Step k's broadcasts happen in superstep k; the GEMM for step k runs
+  // in superstep k+1 (when the panels have arrived).
+  for (std::size_t k = 0; k <= grid; ++k) {
+    machine.superstep([&](comm::BspMachine::Proc& proc) {
+      const auto r = static_cast<std::size_t>(proc.rank());
+      const std::size_t i = r / grid;
+      const std::size_t j = r % grid;
+
+      // Consume panels broadcast in the previous superstep.
+      if (k > 0) {
+        for (const comm::Message& msg : proc.inbox()) {
+          if (msg.tag == 0) {
+            cur_a[r] = msg.payload;
+          } else {
+            cur_b[r] = msg.payload;
+          }
+        }
+        // Owners kept their own panel locally.
+        if (j == k - 1) cur_a[r] = slice(a, n, i, k - 1, bs);
+        if (i == k - 1) cur_b[r] = slice(b, n, k - 1, j, bs);
+        gemm_acc(cur_a[r], cur_b[r], local_c[r], bs);
+        proc.charge_flops(2.0 * static_cast<double>(bs) *
+                          static_cast<double>(bs) *
+                          static_cast<double>(bs));
+      }
+      // Broadcast panels for step k.
+      if (k < grid) {
+        if (j == k) {
+          const std::vector<double> pa = slice(a, n, i, k, bs);
+          for (std::size_t jj = 0; jj < grid; ++jj) {
+            if (jj != j) proc.send(rank_of(i, jj), pa, /*tag=*/0);
+          }
+        }
+        if (i == k) {
+          const std::vector<double> pb = slice(b, n, k, j, bs);
+          for (std::size_t ii = 0; ii < grid; ++ii) {
+            if (ii != i) proc.send(rank_of(ii, j), pb, /*tag=*/1);
+          }
+        }
+      }
+    });
+  }
+
+  BspMatmulResult res;
+  res.c.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < grid; ++i) {
+    for (std::size_t j = 0; j < grid; ++j) {
+      const auto& blk = local_c[static_cast<std::size_t>(rank_of(i, j))];
+      for (std::size_t r = 0; r < bs; ++r) {
+        for (std::size_t c = 0; c < bs; ++c) {
+          res.c[(i * bs + r) * n + (j * bs + c)] = blk[r * bs + c];
+        }
+      }
+    }
+  }
+  res.stats = machine.stats();
+  return res;
+}
+
+BspMatmulResult bsp_matmul_25d(const std::vector<double>& a,
+                               const std::vector<double>& b, std::size_t n,
+                               int procs, int c, comm::AlphaBeta model) {
+  HARMONY_REQUIRE(c >= 1, "bsp_matmul_25d: c must be >= 1");
+  const auto cz = static_cast<std::size_t>(c);
+  HARMONY_REQUIRE(static_cast<std::size_t>(procs) % cz == 0,
+                  "bsp_matmul_25d: c must divide procs");
+  const std::size_t layer_procs = static_cast<std::size_t>(procs) / cz;
+  const auto grid = static_cast<std::size_t>(
+      std::llround(std::sqrt(static_cast<double>(layer_procs))));
+  HARMONY_REQUIRE(grid * grid == layer_procs,
+                  "bsp_matmul_25d: procs/c must be a square");
+  HARMONY_REQUIRE(n % grid == 0, "bsp_matmul_25d: grid must divide n");
+  HARMONY_REQUIRE(grid % cz == 0, "bsp_matmul_25d: c must divide sqrt(P/c)");
+  const std::size_t bs = n / grid;
+  const std::size_t steps_per_layer = grid / cz;
+
+  comm::BspMachine machine(procs, model);
+  auto rank_of = [grid](std::size_t l, std::size_t i, std::size_t j) {
+    return static_cast<int>((l * grid + i) * grid + j);
+  };
+  std::vector<std::vector<double>> local_c(
+      static_cast<std::size_t>(procs), std::vector<double>(bs * bs, 0.0));
+  std::vector<std::vector<double>> cur_a(static_cast<std::size_t>(procs));
+  std::vector<std::vector<double>> cur_b(static_cast<std::size_t>(procs));
+  // Replicated operand blocks, indexed by rank (filled by replication).
+  std::vector<std::vector<double>> repl_a(static_cast<std::size_t>(procs));
+  std::vector<std::vector<double>> repl_b(static_cast<std::size_t>(procs));
+
+  // Superstep 0: layer 0 replicates its A and B blocks to layers 1..c-1.
+  machine.superstep([&](comm::BspMachine::Proc& proc) {
+    const auto r = static_cast<std::size_t>(proc.rank());
+    const std::size_t l = r / layer_procs;
+    const std::size_t i = (r % layer_procs) / grid;
+    const std::size_t j = r % grid;
+    if (l != 0) return;
+    const std::vector<double> pa = slice(a, n, i, j, bs);
+    const std::vector<double> pb = slice(b, n, i, j, bs);
+    repl_a[r] = pa;
+    repl_b[r] = pb;
+    for (std::size_t ll = 1; ll < cz; ++ll) {
+      proc.send(rank_of(ll, i, j), pa, /*tag=*/0);
+      proc.send(rank_of(ll, i, j), pb, /*tag=*/1);
+    }
+  });
+  machine.superstep([&](comm::BspMachine::Proc& proc) {
+    const auto r = static_cast<std::size_t>(proc.rank());
+    for (const comm::Message& msg : proc.inbox()) {
+      (msg.tag == 0 ? repl_a : repl_b)[r] = msg.payload;
+    }
+  });
+
+  // SUMMA within each layer over its k-range
+  // K_l = [l*steps_per_layer, (l+1)*steps_per_layer).
+  for (std::size_t s = 0; s <= steps_per_layer; ++s) {
+    machine.superstep([&](comm::BspMachine::Proc& proc) {
+      const auto r = static_cast<std::size_t>(proc.rank());
+      const std::size_t l = r / layer_procs;
+      const std::size_t i = (r % layer_procs) / grid;
+      const std::size_t j = r % grid;
+      const std::size_t k_of = [&](std::size_t step) {
+        return l * steps_per_layer + step;
+      }(s < steps_per_layer ? s : 0);
+
+      if (s > 0) {
+        const std::size_t k_prev = l * steps_per_layer + (s - 1);
+        for (const comm::Message& msg : proc.inbox()) {
+          (msg.tag == 0 ? cur_a : cur_b)[r] = msg.payload;
+        }
+        if (j == k_prev) cur_a[r] = repl_a[r];
+        if (i == k_prev) cur_b[r] = repl_b[r];
+        gemm_acc(cur_a[r], cur_b[r], local_c[r], bs);
+        proc.charge_flops(2.0 * static_cast<double>(bs) *
+                          static_cast<double>(bs) *
+                          static_cast<double>(bs));
+      }
+      if (s < steps_per_layer) {
+        if (j == k_of) {
+          for (std::size_t jj = 0; jj < grid; ++jj) {
+            if (jj != j) proc.send(rank_of(l, i, jj), repl_a[r], 0);
+          }
+        }
+        if (i == k_of) {
+          for (std::size_t ii = 0; ii < grid; ++ii) {
+            if (ii != i) proc.send(rank_of(l, ii, j), repl_b[r], 1);
+          }
+        }
+      }
+    });
+  }
+
+  // Reduction: layers 1..c-1 send partial C blocks to layer 0.
+  machine.superstep([&](comm::BspMachine::Proc& proc) {
+    const auto r = static_cast<std::size_t>(proc.rank());
+    const std::size_t l = r / layer_procs;
+    const std::size_t i = (r % layer_procs) / grid;
+    const std::size_t j = r % grid;
+    if (l != 0) proc.send(rank_of(0, i, j), local_c[r], /*tag=*/2);
+  });
+  machine.superstep([&](comm::BspMachine::Proc& proc) {
+    const auto r = static_cast<std::size_t>(proc.rank());
+    if (r >= layer_procs) return;
+    for (const comm::Message& msg : proc.inbox()) {
+      for (std::size_t e = 0; e < msg.payload.size(); ++e) {
+        local_c[r][e] += msg.payload[e];
+      }
+      proc.charge_flops(static_cast<double>(msg.payload.size()));
+    }
+  });
+
+  BspMatmulResult res;
+  res.c.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < grid; ++i) {
+    for (std::size_t j = 0; j < grid; ++j) {
+      const auto& blk = local_c[static_cast<std::size_t>(rank_of(0, i, j))];
+      for (std::size_t rr = 0; rr < bs; ++rr) {
+        for (std::size_t cc = 0; cc < bs; ++cc) {
+          res.c[(i * bs + rr) * n + (j * bs + cc)] = blk[rr * bs + cc];
+        }
+      }
+    }
+  }
+  res.stats = machine.stats();
+  return res;
+}
+
+}  // namespace harmony::algos

@@ -1,0 +1,182 @@
+// Dense matrix multiplication across the library's cost models.
+//
+//   * traced kernels (naive / blocked / cache-oblivious) for the cache
+//     experiments (E5) — one template over the get/set array interface;
+//   * fork-join matmul over the generic Ctx for work-span audits (E6);
+//   * an F&M rank-3 function spec (C(i,j,k) = C(i,j,k-1) + A(i,k)B(k,j))
+//     for mapping search (E8) and specialization pricing (E12);
+//   * distributed-memory variants on the BSP machine — naive row-owner,
+//     SUMMA on a sqrt(P) x sqrt(P) grid, and 2.5D with c-fold replication
+//     — measured against the Irony-Toledo-Tiskin lower bounds (E4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/bsp.hpp"
+#include "fm/spec.hpp"
+#include "sched/parallel_ops.hpp"
+#include "support/error.hpp"
+
+namespace harmony::algos {
+
+// --- host kernels over the traced-array interface ---------------------
+
+/// C += A * B, all n x n row-major, classic i-j-k loops.
+template <typename ArrayA, typename ArrayB, typename ArrayC>
+void matmul_naive(const ArrayA& a, const ArrayB& b, ArrayC& c,
+                  std::size_t n) {
+  HARMONY_REQUIRE(a.size() == n * n && b.size() == n * n &&
+                      c.size() == n * n,
+                  "matmul: size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = c.get(i * n + j);
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += a.get(i * n + k) * b.get(k * n + j);
+      }
+      c.set(i * n + j, acc);
+    }
+  }
+}
+
+/// Cache-aware tiled matmul with block size `bs`.
+template <typename ArrayA, typename ArrayB, typename ArrayC>
+void matmul_blocked(const ArrayA& a, const ArrayB& b, ArrayC& c,
+                    std::size_t n, std::size_t bs) {
+  HARMONY_REQUIRE(bs >= 1, "matmul_blocked: block size must be >= 1");
+  for (std::size_t bi = 0; bi < n; bi += bs) {
+    for (std::size_t bj = 0; bj < n; bj += bs) {
+      for (std::size_t bk = 0; bk < n; bk += bs) {
+        const std::size_t ei = std::min(n, bi + bs);
+        const std::size_t ej = std::min(n, bj + bs);
+        const std::size_t ek = std::min(n, bk + bs);
+        for (std::size_t i = bi; i < ei; ++i) {
+          for (std::size_t j = bj; j < ej; ++j) {
+            double acc = c.get(i * n + j);
+            for (std::size_t k = bk; k < ek; ++k) {
+              acc += a.get(i * n + k) * b.get(k * n + j);
+            }
+            c.set(i * n + j, acc);
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace detail {
+template <typename ArrayA, typename ArrayB, typename ArrayC>
+void matmul_co_rec(const ArrayA& a, const ArrayB& b, ArrayC& c,
+                   std::size_t n, std::size_t i0, std::size_t i1,
+                   std::size_t j0, std::size_t j1, std::size_t k0,
+                   std::size_t k1) {
+  const std::size_t di = i1 - i0;
+  const std::size_t dj = j1 - j0;
+  const std::size_t dk = k1 - k0;
+  if (di * dj * dk <= 64) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      for (std::size_t j = j0; j < j1; ++j) {
+        double acc = c.get(i * n + j);
+        for (std::size_t k = k0; k < k1; ++k) {
+          acc += a.get(i * n + k) * b.get(k * n + j);
+        }
+        c.set(i * n + j, acc);
+      }
+    }
+    return;
+  }
+  // Split the largest dimension (Frigo et al.'s rectangular recursion).
+  if (di >= dj && di >= dk) {
+    const std::size_t im = i0 + di / 2;
+    matmul_co_rec(a, b, c, n, i0, im, j0, j1, k0, k1);
+    matmul_co_rec(a, b, c, n, im, i1, j0, j1, k0, k1);
+  } else if (dj >= dk) {
+    const std::size_t jm = j0 + dj / 2;
+    matmul_co_rec(a, b, c, n, i0, i1, j0, jm, k0, k1);
+    matmul_co_rec(a, b, c, n, i0, i1, jm, j1, k0, k1);
+  } else {
+    const std::size_t km = k0 + dk / 2;
+    matmul_co_rec(a, b, c, n, i0, i1, j0, j1, k0, km);
+    matmul_co_rec(a, b, c, n, i0, i1, j0, j1, km, k1);
+  }
+}
+}  // namespace detail
+
+/// Cache-oblivious recursive matmul.
+template <typename ArrayA, typename ArrayB, typename ArrayC>
+void matmul_oblivious(const ArrayA& a, const ArrayB& b, ArrayC& c,
+                      std::size_t n) {
+  if (n == 0) return;
+  detail::matmul_co_rec(a, b, c, n, 0, n, 0, n, 0, n);
+}
+
+// --- fork-join matmul --------------------------------------------------
+
+/// C = A * B over the generic fork-join context (plain vectors,
+/// row-major).  Parallel over output tiles; work Theta(n^3).
+template <typename Ctx>
+void matmul_par(Ctx& ctx, const std::vector<double>& a,
+                const std::vector<double>& b, std::vector<double>& c,
+                std::size_t n, std::size_t grain_rows = 8) {
+  HARMONY_REQUIRE(a.size() == n * n && b.size() == n * n,
+                  "matmul_par: size mismatch");
+  c.assign(n * n, 0.0);
+  sched::parallel_for(ctx, 0, n, grain_rows, [&](std::size_t i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += a[i * n + k] * b[k * n + j];
+      }
+      ctx.work(2.0 * static_cast<double>(n));
+      c[i * n + j] = acc;
+    }
+  });
+}
+
+// --- F&M spec ----------------------------------------------------------
+
+struct MatmulSpecIds {
+  fm::TensorId a = -1, b = -1, c = -1;
+};
+/// Rank-3 recurrence spec; tensor C(i,j,k) holds the partial sums, whole
+/// tensor marked output (read slice k = n-1 for the product).
+[[nodiscard]] fm::FunctionSpec matmul_spec(std::int64_t n,
+                                           MatmulSpecIds* ids = nullptr);
+
+// --- distributed (BSP) variants ----------------------------------------
+
+struct BspMatmulResult {
+  std::vector<double> c;  ///< gathered n x n product (row-major)
+  comm::BspStats stats;
+};
+
+/// Every process owns n/P rows of A and C; B's owner rows are re-fetched
+/// on demand each superstep (the communication-oblivious baseline:
+/// Theta(n^2) words per process).
+[[nodiscard]] BspMatmulResult bsp_matmul_naive(const std::vector<double>& a,
+                                               const std::vector<double>& b,
+                                               std::size_t n, int procs,
+                                               comm::AlphaBeta model = {});
+
+/// SUMMA on a sqrt(P) x sqrt(P) process grid (c = 1 communication-
+/// avoiding baseline: Theta(n^2 / sqrt(P)) words per process).
+[[nodiscard]] BspMatmulResult bsp_matmul_summa(const std::vector<double>& a,
+                                               const std::vector<double>& b,
+                                               std::size_t n, int procs,
+                                               comm::AlphaBeta model = {});
+
+/// 2.5D matmul with replication factor c (P = p*p*c):
+/// Theta(n^2 / sqrt(c*P)) words per process.
+[[nodiscard]] BspMatmulResult bsp_matmul_25d(const std::vector<double>& a,
+                                             const std::vector<double>& b,
+                                             std::size_t n, int procs,
+                                             int c,
+                                             comm::AlphaBeta model = {});
+
+/// Serial reference product.
+[[nodiscard]] std::vector<double> matmul_serial(const std::vector<double>& a,
+                                                const std::vector<double>& b,
+                                                std::size_t n);
+
+}  // namespace harmony::algos

@@ -1,0 +1,72 @@
+#include "algos/pram_scan.hpp"
+
+#include "support/error.hpp"
+
+namespace harmony::algos {
+
+PramScanResult scan_pram(const std::vector<std::int64_t>& in,
+                         std::size_t num_procs) {
+  PramScanResult res;
+  if (in.empty()) return res;
+  std::size_t n = 1;
+  int levels = 0;
+  while (n < in.size()) {
+    n *= 2;
+    ++levels;
+  }
+
+  pram::PramMachine machine(pram::Variant::kErew, num_procs, n);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    machine.mem(i) = in[i];
+  }
+
+  // Rounds: [0, levels) upsweep; levels = save total + clear root;
+  // (levels, 2*levels] downsweep; then halt.
+  const auto p = num_procs;
+  std::int64_t total = 0;
+  auto program = [&, n, levels](pram::PramMachine::Ctx& ctx) {
+    const std::int64_t s = ctx.step();
+    if (s < levels) {
+      // Upsweep level s: combine pairs stride = 2^(s+1) apart.
+      const std::size_t stride = std::size_t{1} << (s + 1);
+      for (std::size_t k = ctx.proc() * stride; k + stride <= n;
+           k += p * stride) {
+        const std::int64_t left = ctx.read(k + stride / 2 - 1);
+        const std::int64_t right = ctx.read(k + stride - 1);
+        ctx.write(k + stride - 1, left + right);
+      }
+      return;
+    }
+    if (s == levels) {
+      if (ctx.proc() == 0) {
+        total = ctx.read(n - 1);  // host-side capture of the grand total
+        ctx.write(n - 1, 0);
+      }
+      return;
+    }
+    const std::int64_t d = 2 * levels - s;  // levels-1 .. 0
+    if (d >= 0) {
+      const std::size_t stride = std::size_t{1} << (d + 1);
+      for (std::size_t k = ctx.proc() * stride; k + stride <= n;
+           k += p * stride) {
+        const std::int64_t left = ctx.read(k + stride / 2 - 1);
+        const std::int64_t root = ctx.read(k + stride - 1);
+        ctx.write(k + stride / 2 - 1, root);
+        ctx.write(k + stride - 1, left + root);
+      }
+      if (d == 0) ctx.halt();
+      return;
+    }
+    ctx.halt();  // n == 1: no levels at all
+  };
+  res.stats = machine.run(program, 2 * levels + 4);
+  res.rounds = res.stats.steps;
+  res.total = total;
+  res.out.resize(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    res.out[i] = machine.mem(i);
+  }
+  return res;
+}
+
+}  // namespace harmony::algos

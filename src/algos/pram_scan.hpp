@@ -1,0 +1,31 @@
+// Work-efficient parallel prefix sums on the EREW PRAM (the bridge
+// between Blelloch's scan and Vishkin's machine model).
+//
+// Classic upsweep/downsweep (Blelloch 1989) executed on the
+// step-synchronous PramMachine: depth 2*log2(n) + O(1) rounds, work
+// Theta(n) shared-memory operations — the *work-efficient* PRAM
+// algorithm Vishkin's statement contrasts with profligate ones like
+// Wyllie's list ranking.  The simulator's EREW conflict detection proves
+// the access discipline as a side effect of running it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pram/pram.hpp"
+
+namespace harmony::algos {
+
+struct PramScanResult {
+  std::vector<std::int64_t> out;  ///< exclusive prefix sums
+  std::int64_t total = 0;
+  pram::PramStats stats;
+  std::int64_t rounds = 0;
+};
+
+/// Exclusive scan of `in` on an EREW PRAM with `num_procs` processors.
+/// Input length is padded to the next power of two internally.
+[[nodiscard]] PramScanResult scan_pram(const std::vector<std::int64_t>& in,
+                                       std::size_t num_procs);
+
+}  // namespace harmony::algos

@@ -1,0 +1,103 @@
+// Scan-based data-parallel primitives (Blelloch, §2: "his early work on
+// implementations and algorithmic applications of the scan (prefix sums)
+// operation has become influential...").
+//
+// The NESL-style building blocks — pack, filter, split — expressed over
+// the generic fork-join Ctx: each is a constant number of maps and one
+// work-efficient scan, so work O(n) and span O(log^2 n) fall out by
+// construction.  These are the "simple constructs in programming
+// languages" the statement asks the models to support.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algos/scan.hpp"
+#include "sched/parallel_ops.hpp"
+#include "support/error.hpp"
+
+namespace harmony::algos {
+
+/// pack: keep data[i] where flags[i] != 0, preserving order.
+template <typename Ctx, typename T>
+std::vector<T> pack(Ctx& ctx, const std::vector<T>& data,
+                    const std::vector<char>& flags,
+                    std::size_t grain = 1024) {
+  HARMONY_REQUIRE(data.size() == flags.size(), "pack: size mismatch");
+  std::vector<std::int64_t> offsets(data.size());
+  sched::parallel_for(ctx, 0, data.size(), grain, [&](std::size_t i) {
+    ctx.work(1);
+    offsets[i] = flags[i] ? 1 : 0;
+  });
+  const std::int64_t total = exclusive_scan(ctx, offsets, grain);
+  std::vector<T> out(static_cast<std::size_t>(total));
+  sched::parallel_for(ctx, 0, data.size(), grain, [&](std::size_t i) {
+    ctx.work(1);
+    if (flags[i]) {
+      out[static_cast<std::size_t>(offsets[i])] = data[i];
+    }
+  });
+  return out;
+}
+
+/// filter: pack with an inline predicate.
+template <typename Ctx, typename T, typename Pred>
+std::vector<T> filter(Ctx& ctx, const std::vector<T>& data, Pred&& pred,
+                      std::size_t grain = 1024) {
+  std::vector<char> flags(data.size());
+  sched::parallel_for(ctx, 0, data.size(), grain, [&](std::size_t i) {
+    ctx.work(1);
+    flags[i] = pred(data[i]) ? 1 : 0;
+  });
+  return pack(ctx, data, flags, grain);
+}
+
+/// split: stable two-way partition — all flag==0 elements first (in
+/// order), then all flag!=0 elements (in order).  Returns the partition
+/// point.  The radix-sort building block.
+template <typename Ctx, typename T>
+std::size_t split(Ctx& ctx, std::vector<T>& data,
+                  const std::vector<char>& flags,
+                  std::size_t grain = 1024) {
+  HARMONY_REQUIRE(data.size() == flags.size(), "split: size mismatch");
+  const std::size_t n = data.size();
+  std::vector<std::int64_t> zeros(n);
+  sched::parallel_for(ctx, 0, n, grain, [&](std::size_t i) {
+    ctx.work(1);
+    zeros[i] = flags[i] ? 0 : 1;
+  });
+  const std::int64_t num_zeros = exclusive_scan(ctx, zeros, grain);
+  // For ones, position = num_zeros + (i - zeros-before-i) adjusted by
+  // ones-before-i = i - zeros[i] (zeros[i] is the exclusive zero count).
+  std::vector<T> out(n);
+  sched::parallel_for(ctx, 0, n, grain, [&](std::size_t i) {
+    ctx.work(2);
+    const auto zi = static_cast<std::size_t>(zeros[i]);
+    if (!flags[i]) {
+      out[zi] = data[i];
+    } else {
+      out[static_cast<std::size_t>(num_zeros) + (i - zi)] = data[i];
+    }
+  });
+  data = std::move(out);
+  return static_cast<std::size_t>(num_zeros);
+}
+
+/// Scan-based LSD radix sort on unsigned keys: `bits` passes of split.
+/// Work O(n * bits), span O(bits * log^2 n) — the canonical "alien
+/// culture" sort a serial programmer would not write.
+template <typename Ctx>
+void radix_sort(Ctx& ctx, std::vector<std::uint64_t>& data, int bits = 64,
+                std::size_t grain = 1024) {
+  HARMONY_REQUIRE(bits >= 1 && bits <= 64, "radix_sort: bits in [1,64]");
+  std::vector<char> flags(data.size());
+  for (int b = 0; b < bits; ++b) {
+    sched::parallel_for(ctx, 0, data.size(), grain, [&](std::size_t i) {
+      ctx.work(1);
+      flags[i] = static_cast<char>((data[i] >> b) & 1);
+    });
+    split(ctx, data, flags, grain);
+  }
+}
+
+}  // namespace harmony::algos

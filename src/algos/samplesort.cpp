@@ -1,0 +1,198 @@
+#include "algos/samplesort.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/error.hpp"
+
+namespace harmony::algos {
+
+namespace {
+
+/// Block boundaries: process r owns [start(r), start(r+1)).
+std::size_t block_start(std::size_t n, int procs, int r) {
+  return n * static_cast<std::size_t>(r) / static_cast<std::size_t>(procs);
+}
+
+// Keys ride in the double-typed BSP payloads via bit_cast — a lossless
+// encoding (a static_cast would round 64-bit keys to 53-bit mantissas).
+double encode(std::int64_t k) { return std::bit_cast<double>(k); }
+std::int64_t decode(double d) { return std::bit_cast<std::int64_t>(d); }
+
+std::vector<double> to_doubles(const std::vector<std::int64_t>& v,
+                               std::size_t lo, std::size_t hi) {
+  std::vector<double> out;
+  out.reserve(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) {
+    out.push_back(encode(v[i]));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> to_ints(const std::vector<double>& v) {
+  std::vector<std::int64_t> out;
+  out.reserve(v.size());
+  for (double d : v) out.push_back(decode(d));
+  return out;
+}
+
+}  // namespace
+
+BspSortResult bsp_sample_sort(const std::vector<std::int64_t>& keys,
+                              int procs, int oversample,
+                              comm::AlphaBeta model) {
+  HARMONY_REQUIRE(procs >= 1, "bsp_sample_sort: need >= 1 process");
+  HARMONY_REQUIRE(oversample >= 1, "bsp_sample_sort: oversample >= 1");
+  const std::size_t n = keys.size();
+  const auto p = static_cast<std::size_t>(procs);
+
+  comm::BspMachine m(procs, model);
+  // Local state per rank.
+  std::vector<std::vector<std::int64_t>> local(p);
+  for (int r = 0; r < procs; ++r) {
+    local[static_cast<std::size_t>(r)].assign(
+        keys.begin() + static_cast<std::ptrdiff_t>(block_start(n, procs, r)),
+        keys.begin() +
+            static_cast<std::ptrdiff_t>(block_start(n, procs, r + 1)));
+  }
+  std::vector<std::int64_t> splitters;
+
+  // Superstep 1: local sort + regular samples to rank 0.
+  m.superstep([&](comm::BspMachine::Proc& proc) {
+    auto& mine = local[static_cast<std::size_t>(proc.rank())];
+    std::sort(mine.begin(), mine.end());
+    proc.charge_flops(static_cast<double>(mine.size()) * 14.0);  // ~n log n
+    std::vector<double> samples;
+    for (int s = 0; s < oversample; ++s) {
+      if (mine.empty()) break;
+      const std::size_t at =
+          (static_cast<std::size_t>(s) + 1) * mine.size() /
+              (static_cast<std::size_t>(oversample) + 1);
+      samples.push_back(encode(mine[std::min(at, mine.size() - 1)]));
+    }
+    proc.send(0, std::move(samples), /*tag=*/1);
+  });
+
+  // Superstep 2: rank 0 picks splitters, broadcasts.
+  m.superstep([&](comm::BspMachine::Proc& proc) {
+    if (proc.rank() != 0) return;
+    std::vector<std::int64_t> all;
+    for (const comm::Message& msg : proc.inbox()) {
+      for (double d : msg.payload) {
+        all.push_back(decode(d));
+      }
+    }
+    std::sort(all.begin(), all.end());
+    std::vector<double> split;
+    for (std::size_t r = 1; r < p; ++r) {
+      if (all.empty()) break;
+      split.push_back(encode(
+          all[std::min(r * all.size() / p, all.size() - 1)]));
+    }
+    for (int dst = 0; dst < procs; ++dst) {
+      proc.send(dst, split, /*tag=*/2);
+    }
+  });
+
+  // Superstep 3: partition by splitters and route buckets.
+  m.superstep([&](comm::BspMachine::Proc& proc) {
+    const auto r = static_cast<std::size_t>(proc.rank());
+    for (const comm::Message& msg : proc.inbox()) {
+      splitters = to_ints(msg.payload);  // same on every rank
+    }
+    const auto& mine = local[r];
+    std::size_t lo = 0;
+    for (std::size_t dst = 0; dst < p; ++dst) {
+      const std::size_t hi =
+          dst + 1 < p
+              ? static_cast<std::size_t>(
+                    std::upper_bound(mine.begin(), mine.end(),
+                                     splitters[dst]) -
+                    mine.begin())
+              : mine.size();
+      proc.send(static_cast<int>(dst), to_doubles(mine, lo, hi),
+                /*tag=*/3);
+      lo = hi;
+    }
+  });
+
+  // Superstep 4: merge received runs.
+  std::vector<std::vector<std::int64_t>> final_runs(p);
+  m.superstep([&](comm::BspMachine::Proc& proc) {
+    const auto r = static_cast<std::size_t>(proc.rank());
+    std::vector<std::int64_t> merged;
+    for (const comm::Message& msg : proc.inbox()) {
+      const auto run = to_ints(msg.payload);
+      std::vector<std::int64_t> next;
+      next.reserve(merged.size() + run.size());
+      std::merge(merged.begin(), merged.end(), run.begin(), run.end(),
+                 std::back_inserter(next));
+      merged = std::move(next);
+      proc.charge_flops(static_cast<double>(merged.size()));
+    }
+    final_runs[r] = std::move(merged);
+  });
+
+  BspSortResult res;
+  for (std::size_t r = 0; r < p; ++r) {
+    res.sorted.insert(res.sorted.end(), final_runs[r].begin(),
+                      final_runs[r].end());
+  }
+  res.stats = m.stats();
+  return res;
+}
+
+BspSortResult bsp_root_sort(const std::vector<std::int64_t>& keys,
+                            int procs, comm::AlphaBeta model) {
+  HARMONY_REQUIRE(procs >= 1, "bsp_root_sort: need >= 1 process");
+  const std::size_t n = keys.size();
+  const auto p = static_cast<std::size_t>(procs);
+  comm::BspMachine m(procs, model);
+  std::vector<std::int64_t> root_sorted;
+
+  m.superstep([&](comm::BspMachine::Proc& proc) {
+    const int r = proc.rank();
+    if (r == 0) return;
+    proc.send(0,
+              to_doubles(keys, block_start(n, procs, r),
+                         block_start(n, procs, r + 1)));
+  });
+  std::vector<std::vector<std::int64_t>> scattered(p);
+  m.superstep([&](comm::BspMachine::Proc& proc) {
+    if (proc.rank() != 0) return;
+    std::vector<std::int64_t> all(
+        keys.begin(),
+        keys.begin() + static_cast<std::ptrdiff_t>(block_start(n, procs, 1)));
+    for (const comm::Message& msg : proc.inbox()) {
+      const auto run = to_ints(msg.payload);
+      all.insert(all.end(), run.begin(), run.end());
+    }
+    std::sort(all.begin(), all.end());
+    proc.charge_flops(static_cast<double>(n) * 14.0);
+    for (int dst = 1; dst < procs; ++dst) {
+      proc.send(dst,
+                to_doubles(all, block_start(n, procs, dst),
+                           block_start(n, procs, dst + 1)));
+    }
+    scattered[0].assign(
+        all.begin(),
+        all.begin() + static_cast<std::ptrdiff_t>(block_start(n, procs, 1)));
+  });
+  m.superstep([&](comm::BspMachine::Proc& proc) {
+    const auto r = static_cast<std::size_t>(proc.rank());
+    if (r == 0) return;
+    for (const comm::Message& msg : proc.inbox()) {
+      scattered[r] = to_ints(msg.payload);
+    }
+  });
+
+  BspSortResult res;
+  for (std::size_t r = 0; r < p; ++r) {
+    res.sorted.insert(res.sorted.end(), scattered[r].begin(),
+                      scattered[r].end());
+  }
+  res.stats = m.stats();
+  return res;
+}
+
+}  // namespace harmony::algos

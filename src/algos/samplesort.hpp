@@ -1,0 +1,33 @@
+// Distributed sorting on the BSP machine (Yelick, §6).
+//
+// Sample sort is the communication-avoiding schedule: every key crosses
+// the network once and the h-relation stays ~2n/P + O(P * oversample);
+// the root-sort baseline (gather, sort, scatter) moves the same total
+// volume but concentrates a Theta(n) h-relation at one process — volume
+// vs events again, in sorting clothes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/bsp.hpp"
+
+namespace harmony::algos {
+
+struct BspSortResult {
+  std::vector<std::int64_t> sorted;
+  comm::BspStats stats;
+};
+
+/// Regular sample sort over P processes.  `oversample` samples per
+/// process pick the P-1 splitters.  Deterministic.
+[[nodiscard]] BspSortResult bsp_sample_sort(
+    const std::vector<std::int64_t>& keys, int procs, int oversample = 8,
+    comm::AlphaBeta model = {});
+
+/// Baseline: gather everything at rank 0, sort, scatter back.
+[[nodiscard]] BspSortResult bsp_root_sort(
+    const std::vector<std::int64_t>& keys, int procs,
+    comm::AlphaBeta model = {});
+
+}  // namespace harmony::algos

@@ -1,0 +1,139 @@
+// Scan (prefix sums) and reduction — Blelloch's signature primitive
+// (paper §2: "His early work on implementations and algorithmic
+// applications of the scan (prefix sums) operation...").
+//
+// Three expressions of the same computation:
+//   * sequential scan — the RAM algorithm (n reads, n writes, depth n);
+//   * work-efficient parallel scan (contraction / Blelloch 1989) written
+//     against the generic fork-join Ctx, so the same source runs on the
+//     work-stealing scheduler and under the work-span analyzer
+//     (W = O(n), D = O(log^2 n) with parallel_for's binary splitting);
+//   * traced scans over the cache/ARAM array interface, for the locality
+//     and read/write-asymmetry experiments (E5, E11).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/parallel_ops.hpp"
+#include "support/error.hpp"
+
+namespace harmony::algos {
+
+/// Sequential inclusive scan: out[i] = in[0] + ... + in[i].
+template <typename T>
+void inclusive_scan_seq(const std::vector<T>& in, std::vector<T>& out) {
+  out.resize(in.size());
+  T acc{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc = acc + in[i];
+    out[i] = acc;
+  }
+}
+
+/// Sequential exclusive scan; returns the grand total.
+template <typename T>
+T exclusive_scan_seq(const std::vector<T>& in, std::vector<T>& out) {
+  out.resize(in.size());
+  T acc{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = acc;
+    acc = acc + in[i];
+  }
+  return acc;
+}
+
+/// Work-efficient parallel exclusive scan (contraction scheme) over a
+/// fork-join context.  Returns the grand total.  Deterministic
+/// combination tree.  `grain` bounds the serial base case.
+template <typename Ctx, typename T>
+T exclusive_scan(Ctx& ctx, std::vector<T>& data, std::size_t grain = 1024) {
+  const std::size_t n = data.size();
+  if (n == 0) return T{};
+  if (n <= grain) {
+    T acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      ctx.work(1);
+      const T v = data[i];
+      data[i] = acc;
+      acc = acc + v;
+    }
+    return acc;
+  }
+  // Contract: pair sums.
+  const std::size_t half = n / 2;
+  std::vector<T> sums(half + (n % 2));
+  sched::parallel_for(ctx, 0, half, grain, [&](std::size_t i) {
+    ctx.work(1);
+    sums[i] = data[2 * i] + data[2 * i + 1];
+  });
+  if (n % 2) sums[half] = data[n - 1];
+  // Recurse.
+  const T total = exclusive_scan(ctx, sums, grain);
+  // Expand.
+  sched::parallel_for(ctx, 0, half, grain, [&](std::size_t i) {
+    ctx.work(2);
+    const T left = data[2 * i];
+    data[2 * i] = sums[i];
+    data[2 * i + 1] = sums[i] + left;
+  });
+  if (n % 2) data[n - 1] = sums[half];
+  return total;
+}
+
+/// Parallel tree reduction over a fork-join context.
+template <typename Ctx, typename T>
+T reduce(Ctx& ctx, const std::vector<T>& data, std::size_t grain = 1024) {
+  return sched::parallel_reduce(
+      ctx, 0, data.size(), grain, T{},
+      [&](std::size_t i) {
+        ctx.work(1);
+        return data[i];
+      },
+      [](T a, T b) { return a + b; });
+}
+
+/// Inclusive scan over the traced-array interface (get/set), sequential:
+/// the read/write-minimal RAM scan — n reads, n writes (E5/E11 baseline).
+template <typename ArrayIn, typename ArrayOut, typename T>
+void inclusive_scan_traced(const ArrayIn& in, ArrayOut& out, T zero) {
+  HARMONY_REQUIRE(out.size() == in.size(),
+                  "inclusive_scan_traced: size mismatch");
+  T acc = zero;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc = acc + in.get(i);
+    out.set(i, acc);
+  }
+}
+
+/// Tree-structured scan over traced arrays: upsweep + downsweep on an
+/// explicit temporary — the parallel-friendly schedule, which pays ~2x
+/// the writes of the sequential scan.  Used by E11 to show the ARAM
+/// (write-cost omega) crossover against inclusive_scan_traced.
+template <typename ArrayIn, typename ArrayOut, typename Tmp, typename T>
+void tree_scan_traced(const ArrayIn& in, ArrayOut& out, Tmp& tmp, T zero) {
+  const std::size_t n = in.size();
+  HARMONY_REQUIRE(out.size() == n && tmp.size() >= n,
+                  "tree_scan_traced: size mismatch");
+  if (n == 0) return;
+  // Upsweep on tmp (copy + pairwise partial sums, level by level).
+  for (std::size_t i = 0; i < n; ++i) tmp.set(i, in.get(i));
+  for (std::size_t stride = 1; stride < n; stride *= 2) {
+    for (std::size_t i = 2 * stride - 1; i < n; i += 2 * stride) {
+      tmp.set(i, tmp.get(i) + tmp.get(i - stride));
+    }
+  }
+  // Downsweep producing the inclusive result in out.
+  for (std::size_t i = 0; i < n; ++i) out.set(i, tmp.get(i));
+  std::size_t top = 1;
+  while (top * 2 < n) top *= 2;
+  for (std::size_t stride = top; stride >= 1; stride /= 2) {
+    for (std::size_t i = 3 * stride - 1; i < n; i += 2 * stride) {
+      out.set(i, out.get(i) + out.get(i - stride));
+    }
+    if (stride == 1) break;
+  }
+  (void)zero;
+}
+
+}  // namespace harmony::algos

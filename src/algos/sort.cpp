@@ -1,0 +1,16 @@
+#include "algos/sort.hpp"
+
+#include "support/rng.hpp"
+
+namespace harmony::algos {
+
+std::vector<std::int64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> keys(n);
+  for (auto& k : keys) {
+    k = static_cast<std::int64_t>(rng.next_u64() >> 1);
+  }
+  return keys;
+}
+
+}  // namespace harmony::algos

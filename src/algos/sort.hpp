@@ -1,0 +1,314 @@
+// Sorting in several cost models.
+//
+//   * merge_sort_seq     — the RAM baseline.
+//   * merge_sort_par     — fork-join mergesort with parallel merge over
+//     the generic Ctx (work O(n log n), span O(log^3 n)); runs on the
+//     work-stealing scheduler and under the work-span analyzer (E6).
+//   * merge_sort_traced  — 2-way mergesort over traced arrays:
+//     Theta(n log2 n) big-memory writes.
+//   * kway_merge_sort_traced — k-way mergesort over traced arrays:
+//     Theta(n log_k n) big-memory writes for ~the same reads, the
+//     write-efficient choice once ARAM's omega grows (E11).  The k-entry
+//     tournament state is deliberately *untraced*: it models registers /
+//     small fast memory, which ARAM prices at zero.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sched/parallel_ops.hpp"
+#include "support/error.hpp"
+
+namespace harmony::algos {
+
+template <typename T>
+void merge_sort_seq(std::vector<T>& data);
+
+/// Fork-join mergesort; `grain` bounds the serial base case.
+template <typename Ctx, typename T>
+void merge_sort_par(Ctx& ctx, std::vector<T>& data, std::size_t grain = 2048);
+
+/// 2-way mergesort over the traced-array interface.
+template <typename Array>
+void merge_sort_traced(Array& data);
+
+/// k-way mergesort over the traced-array interface.
+template <typename Array>
+void kway_merge_sort_traced(Array& data, std::size_t k);
+
+/// k-way mergesort whose tournament re-reads the k run heads from big
+/// memory on every output element — the regime where k exceeds the fast
+/// memory, trading Theta(n*k*log_k n) reads for Theta(n*log_k n) writes.
+/// Against 2-way's n*log2 n of each, the ARAM costs cross over near
+/// omega ~ k/log2(k) (bench E11 locates it empirically).
+template <typename Array>
+void kway_merge_sort_uncached(Array& data, std::size_t k);
+
+/// Deterministic pseudo-random keys for sorting workloads.
+[[nodiscard]] std::vector<std::int64_t> random_keys(std::size_t n,
+                                                    std::uint64_t seed);
+
+// ---------------------------------------------------------------------
+// implementation
+// ---------------------------------------------------------------------
+
+namespace detail {
+
+template <typename T>
+void merge_seq(const std::vector<T>& src, std::vector<T>& dst,
+               std::size_t lo, std::size_t mid, std::size_t hi) {
+  std::size_t a = lo;
+  std::size_t b = mid;
+  for (std::size_t o = lo; o < hi; ++o) {
+    if (a < mid && (b >= hi || !(src[b] < src[a]))) {
+      dst[o] = src[a++];
+    } else {
+      dst[o] = src[b++];
+    }
+  }
+}
+
+template <typename T>
+void merge_sort_seq_rec(std::vector<T>& data, std::vector<T>& tmp,
+                        std::size_t lo, std::size_t hi) {
+  if (hi - lo <= 1) return;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  merge_sort_seq_rec(data, tmp, lo, mid);
+  merge_sort_seq_rec(data, tmp, mid, hi);
+  merge_seq(data, tmp, lo, mid, hi);
+  std::copy(tmp.begin() + static_cast<std::ptrdiff_t>(lo),
+            tmp.begin() + static_cast<std::ptrdiff_t>(hi),
+            data.begin() + static_cast<std::ptrdiff_t>(lo));
+}
+
+/// Parallel merge by dual binary search (classic divide-and-conquer):
+/// splits the larger run at its median, locates the split point in the
+/// other run, recurses on both halves in parallel.
+template <typename Ctx, typename T>
+void merge_par(Ctx& ctx, const std::vector<T>& src, std::vector<T>& dst,
+               std::size_t a_lo, std::size_t a_hi, std::size_t b_lo,
+               std::size_t b_hi, std::size_t out, std::size_t grain) {
+  const std::size_t an = a_hi - a_lo;
+  const std::size_t bn = b_hi - b_lo;
+  if (an + bn <= grain) {
+    std::size_t a = a_lo;
+    std::size_t b = b_lo;
+    std::size_t o = out;
+    while (a < a_hi || b < b_hi) {
+      ctx.work(1);
+      if (a < a_hi && (b >= b_hi || !(src[b] < src[a]))) {
+        dst[o++] = src[a++];
+      } else {
+        dst[o++] = src[b++];
+      }
+    }
+    return;
+  }
+  if (an < bn) {
+    merge_par(ctx, src, dst, b_lo, b_hi, a_lo, a_hi, out, grain);
+    return;
+  }
+  const std::size_t a_mid = a_lo + an / 2;
+  const auto b_mid = static_cast<std::size_t>(
+      std::lower_bound(src.begin() + static_cast<std::ptrdiff_t>(b_lo),
+                       src.begin() + static_cast<std::ptrdiff_t>(b_hi),
+                       src[a_mid]) -
+      src.begin());
+  ctx.work(1);  // the binary search probe (log factor folded to 1 unit)
+  const std::size_t out_mid = out + (a_mid - a_lo) + (b_mid - b_lo);
+  ctx.fork2(
+      [&] {
+        merge_par(ctx, src, dst, a_lo, a_mid, b_lo, b_mid, out, grain);
+      },
+      [&] {
+        merge_par(ctx, src, dst, a_mid, a_hi, b_mid, b_hi, out_mid, grain);
+      });
+}
+
+template <typename Ctx, typename T>
+void merge_sort_par_rec(Ctx& ctx, std::vector<T>& data, std::vector<T>& tmp,
+                        std::size_t lo, std::size_t hi, std::size_t grain) {
+  if (hi - lo <= grain) {
+    for (std::size_t i = lo; i < hi; ++i) ctx.work(1);  // comparison cost
+    std::sort(data.begin() + static_cast<std::ptrdiff_t>(lo),
+              data.begin() + static_cast<std::ptrdiff_t>(hi));
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  ctx.fork2([&] { merge_sort_par_rec(ctx, data, tmp, lo, mid, grain); },
+            [&] { merge_sort_par_rec(ctx, data, tmp, mid, hi, grain); });
+  merge_par(ctx, data, tmp, lo, mid, mid, hi, lo, grain);
+  sched::parallel_for(ctx, lo, hi, grain, [&](std::size_t i) {
+    ctx.work(1);
+    data[i] = tmp[i];
+  });
+}
+
+}  // namespace detail
+
+template <typename T>
+void merge_sort_seq(std::vector<T>& data) {
+  std::vector<T> tmp(data.size());
+  detail::merge_sort_seq_rec(data, tmp, 0, data.size());
+}
+
+template <typename Ctx, typename T>
+void merge_sort_par(Ctx& ctx, std::vector<T>& data, std::size_t grain) {
+  if (grain == 0) grain = 1;
+  std::vector<T> tmp(data.size());
+  detail::merge_sort_par_rec(ctx, data, tmp, 0, data.size(), grain);
+}
+
+template <typename Array>
+void merge_sort_traced(Array& data) {
+  using T = decltype(data.get(0));
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  // Bottom-up with an untraced staging buffer per merge: the staging
+  // write-back is what costs big-memory writes (n per level).
+  for (std::size_t width = 1; width < n; width *= 2) {
+    for (std::size_t lo = 0; lo + width < n; lo += 2 * width) {
+      const std::size_t mid = lo + width;
+      const std::size_t hi = std::min(n, mid + width);
+      std::vector<T> merged;
+      merged.reserve(hi - lo);
+      std::size_t a = lo;
+      std::size_t b = mid;
+      // Heads cached in registers: each element is read once per pass.
+      T va{};
+      T vb{};
+      if (a < mid) va = data.get(a);
+      if (b < hi) vb = data.get(b);
+      while (a < mid || b < hi) {
+        if (a < mid && (b >= hi || !(vb < va))) {
+          merged.push_back(va);
+          if (++a < mid) va = data.get(a);
+        } else {
+          merged.push_back(vb);
+          if (++b < hi) vb = data.get(b);
+        }
+      }
+      for (std::size_t i = 0; i < merged.size(); ++i) {
+        data.set(lo + i, merged[i]);
+      }
+    }
+  }
+}
+
+template <typename Array>
+void kway_merge_sort_traced(Array& data, std::size_t k) {
+  HARMONY_REQUIRE(k >= 2, "kway_merge_sort_traced: need k >= 2");
+  using T = decltype(data.get(0));
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  // Base runs of length k sorted via (untraced) small buffer, written
+  // back once.
+  for (std::size_t lo = 0; lo < n; lo += k) {
+    const std::size_t hi = std::min(n, lo + k);
+    std::vector<T> run;
+    run.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) run.push_back(data.get(i));
+    std::sort(run.begin(), run.end());
+    for (std::size_t i = 0; i < run.size(); ++i) data.set(lo + i, run[i]);
+  }
+  // Passes of k-way merge: run length multiplies by k per pass, so only
+  // ceil(log_k(n/k)) + 1 total passes write big memory.
+  for (std::size_t width = k; width < n; width *= k) {
+    for (std::size_t lo = 0; lo < n; lo += k * width) {
+      // Merge up to k runs [lo + j*width, ...) via a small tournament
+      // (untraced: models registers / L1-resident state).
+      struct Head {
+        std::size_t pos;
+        std::size_t end;
+        T value;      // cached in the untraced tournament state
+        bool alive;
+      };
+      std::vector<Head> heads;
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::size_t s = lo + j * width;
+        if (s >= n) break;
+        const std::size_t e = std::min(n, s + width);
+        heads.push_back(Head{s, e, data.get(s), s < e});
+      }
+      if (heads.size() <= 1) continue;
+      std::vector<T> merged;
+      while (true) {
+        int best = -1;
+        for (std::size_t j = 0; j < heads.size(); ++j) {
+          if (!heads[j].alive) continue;
+          if (best < 0 ||
+              heads[j].value <
+                  heads[static_cast<std::size_t>(best)].value) {
+            best = static_cast<int>(j);
+          }
+        }
+        if (best < 0) break;
+        auto& h = heads[static_cast<std::size_t>(best)];
+        merged.push_back(h.value);
+        if (++h.pos < h.end) {
+          h.value = data.get(h.pos);
+        } else {
+          h.alive = false;
+        }
+      }
+      for (std::size_t i = 0; i < merged.size(); ++i) {
+        data.set(lo + i, merged[i]);
+      }
+    }
+  }
+}
+
+template <typename Array>
+void kway_merge_sort_uncached(Array& data, std::size_t k) {
+  HARMONY_REQUIRE(k >= 2, "kway_merge_sort_uncached: need k >= 2");
+  using T = decltype(data.get(0));
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  // Base runs of length k, one write-back each (as in the cached variant).
+  for (std::size_t lo = 0; lo < n; lo += k) {
+    const std::size_t hi = std::min(n, lo + k);
+    std::vector<T> run;
+    run.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) run.push_back(data.get(i));
+    std::sort(run.begin(), run.end());
+    for (std::size_t i = 0; i < run.size(); ++i) data.set(lo + i, run[i]);
+  }
+  for (std::size_t width = k; width < n; width *= k) {
+    for (std::size_t lo = 0; lo < n; lo += k * width) {
+      struct Head {
+        std::size_t pos;
+        std::size_t end;
+      };
+      std::vector<Head> heads;
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::size_t s = lo + j * width;
+        if (s >= n) break;
+        heads.push_back(Head{s, std::min(n, s + width)});
+      }
+      if (heads.size() <= 1) continue;
+      std::vector<T> merged;
+      while (true) {
+        // Tournament state does NOT fit fast memory: every comparison
+        // re-reads the head elements from big memory.
+        int best = -1;
+        for (std::size_t j = 0; j < heads.size(); ++j) {
+          if (heads[j].pos >= heads[j].end) continue;
+          if (best < 0 ||
+              data.get(heads[j].pos) <
+                  data.get(heads[static_cast<std::size_t>(best)].pos)) {
+            best = static_cast<int>(j);
+          }
+        }
+        if (best < 0) break;
+        auto& h = heads[static_cast<std::size_t>(best)];
+        merged.push_back(data.get(h.pos++));
+      }
+      for (std::size_t i = 0; i < merged.size(); ++i) {
+        data.set(lo + i, merged[i]);
+      }
+    }
+  }
+}
+
+}  // namespace harmony::algos

@@ -1,0 +1,284 @@
+#include "algos/specs.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace harmony::algos {
+
+fm::FunctionSpec stencil1d_spec(std::int64_t n, std::int64_t steps,
+                                StencilSpecIds* ids) {
+  HARMONY_REQUIRE(n >= 1 && steps >= 0, "stencil1d_spec: bad shape");
+  fm::FunctionSpec spec;
+  const fm::TensorId input = spec.add_input("u0", fm::IndexDomain(n), 32);
+  const fm::TensorId u = spec.add_computed(
+      "u", fm::IndexDomain(steps + 1, n),
+      [input, n](const fm::Point& p) {
+        std::vector<fm::ValueRef> deps;
+        if (p.i == 0) {
+          deps.push_back({input, fm::Point{p.j}});
+          return deps;
+        }
+        const fm::TensorId self = input + 1;
+        const std::int64_t lo = std::max<std::int64_t>(0, p.j - 1);
+        const std::int64_t hi = std::min<std::int64_t>(n - 1, p.j + 1);
+        for (std::int64_t j = lo; j <= hi; ++j) {
+          deps.push_back({self, fm::Point{p.i - 1, j}});
+        }
+        return deps;
+      },
+      [](const fm::Point& p, const std::vector<double>& v) {
+        if (p.i == 0) return v[0];
+        double acc = 0.0;
+        for (double x : v) acc += x;
+        return acc / static_cast<double>(v.size());
+      },
+      fm::OpCost{.ops = 3.0, .bits = 32});
+  spec.mark_output(u);
+  if (ids != nullptr) *ids = StencilSpecIds{input, u};
+  return spec;
+}
+
+std::vector<double> stencil1d_reference(const std::vector<double>& u0,
+                                        std::int64_t steps) {
+  std::vector<double> cur = u0;
+  std::vector<double> nxt(u0.size());
+  const auto n = static_cast<std::int64_t>(u0.size());
+  for (std::int64_t s = 0; s < steps; ++s) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int64_t lo = std::max<std::int64_t>(0, j - 1);
+      const std::int64_t hi = std::min<std::int64_t>(n - 1, j + 1);
+      double acc = 0.0;
+      for (std::int64_t k = lo; k <= hi; ++k) {
+        acc += cur[static_cast<std::size_t>(k)];
+      }
+      nxt[static_cast<std::size_t>(j)] =
+          acc / static_cast<double>(hi - lo + 1);
+    }
+    std::swap(cur, nxt);
+  }
+  return cur;
+}
+
+fm::FunctionSpec stencil2d_spec(std::int64_t rows, std::int64_t cols,
+                                std::int64_t steps,
+                                Stencil2dSpecIds* ids) {
+  HARMONY_REQUIRE(rows >= 1 && cols >= 1 && steps >= 0,
+                  "stencil2d_spec: bad shape");
+  fm::FunctionSpec spec;
+  const fm::TensorId input =
+      spec.add_input("u0", fm::IndexDomain(rows, cols), 32);
+  const fm::TensorId u = spec.add_computed(
+      "u", fm::IndexDomain(steps + 1, rows, cols),
+      [input, rows, cols](const fm::Point& p) {
+        std::vector<fm::ValueRef> deps;
+        if (p.i == 0) {
+          deps.push_back({input, fm::Point{p.j, p.k}});
+          return deps;
+        }
+        const fm::TensorId self = input + 1;
+        deps.push_back({self, fm::Point{p.i - 1, p.j, p.k}});
+        if (p.j > 0) deps.push_back({self, fm::Point{p.i - 1, p.j - 1, p.k}});
+        if (p.j + 1 < rows) {
+          deps.push_back({self, fm::Point{p.i - 1, p.j + 1, p.k}});
+        }
+        if (p.k > 0) deps.push_back({self, fm::Point{p.i - 1, p.j, p.k - 1}});
+        if (p.k + 1 < cols) {
+          deps.push_back({self, fm::Point{p.i - 1, p.j, p.k + 1}});
+        }
+        return deps;
+      },
+      [](const fm::Point& p, const std::vector<double>& v) {
+        if (p.i == 0) return v[0];
+        double acc = 0.0;
+        for (double x : v) acc += x;
+        return acc / static_cast<double>(v.size());
+      },
+      fm::OpCost{.ops = 5.0, .bits = 32});
+  spec.mark_output(u);
+  if (ids != nullptr) *ids = Stencil2dSpecIds{input, u};
+  return spec;
+}
+
+std::vector<double> stencil2d_reference(const std::vector<double>& u0,
+                                        std::int64_t rows,
+                                        std::int64_t cols,
+                                        std::int64_t steps) {
+  HARMONY_REQUIRE(static_cast<std::int64_t>(u0.size()) == rows * cols,
+                  "stencil2d_reference: size mismatch");
+  std::vector<double> cur = u0;
+  std::vector<double> nxt(u0.size());
+  for (std::int64_t s = 0; s < steps; ++s) {
+    for (std::int64_t i = 0; i < rows; ++i) {
+      for (std::int64_t j = 0; j < cols; ++j) {
+        double acc = cur[static_cast<std::size_t>(i * cols + j)];
+        int cnt = 1;
+        if (i > 0) {
+          acc += cur[static_cast<std::size_t>((i - 1) * cols + j)];
+          ++cnt;
+        }
+        if (i + 1 < rows) {
+          acc += cur[static_cast<std::size_t>((i + 1) * cols + j)];
+          ++cnt;
+        }
+        if (j > 0) {
+          acc += cur[static_cast<std::size_t>(i * cols + j - 1)];
+          ++cnt;
+        }
+        if (j + 1 < cols) {
+          acc += cur[static_cast<std::size_t>(i * cols + j + 1)];
+          ++cnt;
+        }
+        nxt[static_cast<std::size_t>(i * cols + j)] =
+            acc / static_cast<double>(cnt);
+      }
+    }
+    std::swap(cur, nxt);
+  }
+  return cur;
+}
+
+fm::FunctionSpec conv1d_spec(std::int64_t n_out, std::int64_t k_taps,
+                             ConvSpecIds* ids) {
+  HARMONY_REQUIRE(n_out >= 1 && k_taps >= 1, "conv1d_spec: bad shape");
+  fm::FunctionSpec spec;
+  const fm::TensorId x =
+      spec.add_input("x", fm::IndexDomain(n_out + k_taps - 1), 32);
+  const fm::TensorId w = spec.add_input("w", fm::IndexDomain(k_taps), 32);
+  const fm::TensorId y = spec.add_computed(
+      "y", fm::IndexDomain(n_out, k_taps),
+      [x, w](const fm::Point& p) {
+        std::vector<fm::ValueRef> deps;
+        deps.push_back({x, fm::Point{p.i + p.j}});
+        deps.push_back({w, fm::Point{p.j}});
+        if (p.j > 0) {
+          const fm::TensorId self = w + 1;
+          deps.push_back({self, fm::Point{p.i, p.j - 1}});
+        }
+        return deps;
+      },
+      [](const fm::Point& p, const std::vector<double>& v) {
+        const double prod = v[0] * v[1];
+        return p.j > 0 ? v[2] + prod : prod;
+      },
+      fm::OpCost{.ops = 2.0, .bits = 32});
+  spec.mark_output(y);
+  if (ids != nullptr) *ids = ConvSpecIds{x, w, y};
+  return spec;
+}
+
+std::vector<double> conv1d_reference(const std::vector<double>& x,
+                                     const std::vector<double>& w) {
+  HARMONY_REQUIRE(x.size() >= w.size(), "conv1d_reference: x too short");
+  const std::size_t n_out = x.size() - w.size() + 1;
+  std::vector<double> y(n_out, 0.0);
+  for (std::size_t i = 0; i < n_out; ++i) {
+    for (std::size_t k = 0; k < w.size(); ++k) {
+      y[i] += w[k] * x[i + k];
+    }
+  }
+  return y;
+}
+
+ConvWsBuild conv1d_weight_stationary(std::int64_t n_out,
+                                     std::int64_t k_taps) {
+  HARMONY_REQUIRE(n_out >= 1 && k_taps >= 1,
+                  "conv1d_weight_stationary: bad shape");
+  const std::int64_t n_x = n_out + k_taps - 1;
+
+  ConvWsBuild build;
+  fm::FunctionSpec& spec = build.spec;
+  const fm::TensorId x = spec.add_input("x", fm::IndexDomain(n_x), 32);
+  const fm::TensorId w = spec.add_input("w", fm::IndexDomain(k_taps), 32);
+
+  // wload(k): tap k parked in PE (k,0) once.
+  const fm::TensorId wload = spec.add_computed(
+      "wload", fm::IndexDomain(k_taps),
+      [w](const fm::Point& p) {
+        return std::vector<fm::ValueRef>{{w, fm::Point{p.i}}};
+      },
+      [](const fm::Point&, const std::vector<double>& v) { return v[0]; },
+      fm::OpCost{.ops = 1.0, .bits = 32});
+
+  // xflow(j,k): sample x_j as it passes PE (k,0).
+  const fm::TensorId xflow = spec.add_computed(
+      "xflow", fm::IndexDomain(n_x, k_taps),
+      [x, wload](const fm::Point& p) {
+        std::vector<fm::ValueRef> deps;
+        if (p.j == 0) {
+          deps.push_back({x, fm::Point{p.i}});
+        } else {
+          const fm::TensorId self = wload + 1;
+          deps.push_back({self, fm::Point{p.i, p.j - 1}});
+        }
+        return deps;
+      },
+      [](const fm::Point&, const std::vector<double>& v) { return v[0]; },
+      fm::OpCost{.ops = 1.0, .bits = 32});
+
+  // y(i,k): MAC partial sums flowing east alongside x.
+  const fm::TensorId y = spec.add_computed(
+      "y", fm::IndexDomain(n_out, k_taps),
+      [wload, xflow](const fm::Point& p) {
+        std::vector<fm::ValueRef> deps;
+        deps.push_back({xflow, fm::Point{p.i + p.j, p.j}});
+        deps.push_back({wload, fm::Point{p.j}});
+        if (p.j > 0) {
+          const fm::TensorId self = xflow + 1;
+          deps.push_back({self, fm::Point{p.i, p.j - 1}});
+        }
+        return deps;
+      },
+      [](const fm::Point& p, const std::vector<double>& v) {
+        const double prod = v[0] * v[1];
+        return p.j > 0 ? v[2] + prod : prod;
+      },
+      fm::OpCost{.ops = 2.0, .bits = 32});
+  spec.mark_output(y);
+  build.y = y;
+
+  // Mapping (derivation in specs.hpp):
+  //   wload(k) at ((k,0), 2k+1)
+  //   xflow(j,k) at ((k,0), 2j+2k)      — even cycles
+  //   y(i,k)   at ((k,0), 2i+4k+3)      — odd cycles, clear of wload
+  fm::Mapping& m = build.mapping;
+  m.set_computed(
+      wload,
+      [](const fm::Point& p) {
+        return noc::Coord{static_cast<int>(p.i), 0};
+      },
+      [](const fm::Point& p) { return fm::Cycle{2 * p.i + 1}; });
+  m.set_computed(
+      xflow,
+      [](const fm::Point& p) {
+        return noc::Coord{static_cast<int>(p.j), 0};
+      },
+      [](const fm::Point& p) { return fm::Cycle{2 * p.i + 2 * p.j}; });
+  m.set_computed(
+      y,
+      [](const fm::Point& p) {
+        return noc::Coord{static_cast<int>(p.j), 0};
+      },
+      [](const fm::Point& p) { return fm::Cycle{2 * p.i + 4 * p.j + 3}; });
+  m.set_input(x, fm::InputHome::at({0, 0}));
+  m.set_input(w, fm::InputHome::at({0, 0}));
+  return build;
+}
+
+std::pair<fm::PlaceFn, fm::TimeFn> conv_output_stationary_map(
+    std::int64_t k_taps, int cols) {
+  HARMONY_REQUIRE(k_taps >= 1 && cols >= 1,
+                  "conv_output_stationary_map: bad shape");
+  const std::int64_t c = cols;
+  const std::int64_t k = k_taps;
+  return {
+      [c](const fm::Point& p) {
+        return noc::Coord{static_cast<int>(p.i % c), 0};
+      },
+      [c, k](const fm::Point& p) {
+        return fm::Cycle{c + (p.i / c) * k + p.j};
+      },
+  };
+}
+
+}  // namespace harmony::algos

@@ -1,0 +1,88 @@
+// Additional F&M function specs: stencil and 1-D convolution dataflows.
+//
+// The convolution spec is the library's stand-in for the paper's DNN-
+// accelerator discussion ("weight-stationary dataflows for DNN
+// accelerators, systolic arrays"): weight-stationary and output-
+// stationary are two *mappings* of one function
+//     y(i,k) = y(i,k-1) + w(k) * x(i+k)
+// and the cost evaluator prices their different movement patterns (E12).
+#pragma once
+
+#include <cstdint>
+
+#include "fm/mapping.hpp"
+#include "fm/spec.hpp"
+
+namespace harmony::algos {
+
+/// 1-D Jacobi heat stencil: u(t,i) = (u(t-1,i-1)+u(t-1,i)+u(t-1,i+1))/3
+/// with clamped boundaries; u(0,i) = input.  Domain (steps+1) x n.
+struct StencilSpecIds {
+  fm::TensorId input = -1;
+  fm::TensorId u = -1;
+};
+[[nodiscard]] fm::FunctionSpec stencil1d_spec(std::int64_t n,
+                                              std::int64_t steps,
+                                              StencilSpecIds* ids = nullptr);
+
+/// Host reference for the stencil (same clamped boundary rule).
+[[nodiscard]] std::vector<double> stencil1d_reference(
+    const std::vector<double>& u0, std::int64_t steps);
+
+/// 2-D Jacobi 5-point stencil over a rank-3 domain (steps+1, rows, cols):
+/// u(t,i,j) = mean of the clamped von-Neumann neighbourhood of
+/// u(t-1,·,·); u(0,i,j) = input (row-major rows x cols).
+struct Stencil2dSpecIds {
+  fm::TensorId input = -1;
+  fm::TensorId u = -1;
+};
+[[nodiscard]] fm::FunctionSpec stencil2d_spec(
+    std::int64_t rows, std::int64_t cols, std::int64_t steps,
+    Stencil2dSpecIds* ids = nullptr);
+
+/// Host reference for the 2-D stencil.
+[[nodiscard]] std::vector<double> stencil2d_reference(
+    const std::vector<double>& u0, std::int64_t rows, std::int64_t cols,
+    std::int64_t steps);
+
+/// 1-D convolution partial-sum recurrence over domain n_out x k_taps:
+///   y(i,k) = y(i,k-1) + w(k) * x(i+k);  y(i, k_taps-1) is the output.
+struct ConvSpecIds {
+  fm::TensorId x = -1;
+  fm::TensorId w = -1;
+  fm::TensorId y = -1;
+};
+[[nodiscard]] fm::FunctionSpec conv1d_spec(std::int64_t n_out,
+                                           std::int64_t k_taps,
+                                           ConvSpecIds* ids = nullptr);
+
+/// Host reference convolution.
+[[nodiscard]] std::vector<double> conv1d_reference(
+    const std::vector<double>& x, const std::vector<double>& w);
+
+/// Weight-stationary systolic convolution: spec + mapping together,
+/// because staying faithful to the dataflow needs two extra computed
+/// tensors —
+///   wload(k)   : tap k loaded once into PE (k,0)      [stationary]
+///   xflow(j,k) : sample x_j forwarded east one PE/step [the pipeline]
+///   y(i,k)     : partial sums, also flowing east
+/// All dependences are same-PE or one hop; the schedule interleaves
+/// xflow on even and y on odd cycles so the one-op-per-(PE,cycle) rule
+/// holds.  Requires k_taps <= machine cols and one mesh hop <= 1 cycle.
+struct ConvWsBuild {
+  fm::FunctionSpec spec;
+  fm::Mapping mapping;
+  fm::TensorId y = -1;  ///< read slice k = k_taps-1 of this output
+};
+[[nodiscard]] ConvWsBuild conv1d_weight_stationary(std::int64_t n_out,
+                                                   std::int64_t k_taps);
+
+/// Output-stationary mapping for the *plain* conv1d_spec: PE (i mod
+/// cols, 0) owns output i and runs its own k-loop in place; x and w are
+/// re-fetched from their home every use (the movement the WS pipeline
+/// avoids).  time(i,k) = cols + (i / cols)*k_taps + k — not affine in i,
+/// hence returned as closures.
+[[nodiscard]] std::pair<fm::PlaceFn, fm::TimeFn> conv_output_stationary_map(
+    std::int64_t k_taps, int cols);
+
+}  // namespace harmony::algos

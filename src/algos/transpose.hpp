@@ -1,0 +1,89 @@
+// Matrix transpose in three locality disciplines (Blelloch, §2; E5).
+//
+//   * naive           — row-major read, column-major write: Theta(n^2)
+//     misses when a row of lines no longer fits in cache;
+//   * blocked (aware) — BxB tiles sized to the cache: Theta(n^2/B) misses
+//     but the tile size bakes the cache parameters into the code;
+//   * cache-oblivious — recursive quadrant split (Frigo et al. 1999):
+//     the same Theta(n^2/B) misses on *every* level of any hierarchy,
+//     with no machine parameters in the source.
+//
+// All three run over the traced-array interface (square matrix in
+// row-major order), so one kernel serves the real and simulated paths.
+#pragma once
+
+#include <cstddef>
+
+#include "support/error.hpp"
+
+namespace harmony::algos {
+
+/// out[j*n + i] = in[i*n + j], straightforward loops.
+template <typename ArrayIn, typename ArrayOut>
+void transpose_naive(const ArrayIn& in, ArrayOut& out, std::size_t n) {
+  HARMONY_REQUIRE(in.size() == n * n && out.size() == n * n,
+                  "transpose: size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out.set(j * n + i, in.get(i * n + j));
+    }
+  }
+}
+
+/// Tiled transpose with an explicit block size (cache-aware).
+template <typename ArrayIn, typename ArrayOut>
+void transpose_blocked(const ArrayIn& in, ArrayOut& out, std::size_t n,
+                       std::size_t block) {
+  HARMONY_REQUIRE(block >= 1, "transpose_blocked: block must be >= 1");
+  HARMONY_REQUIRE(in.size() == n * n && out.size() == n * n,
+                  "transpose: size mismatch");
+  for (std::size_t bi = 0; bi < n; bi += block) {
+    for (std::size_t bj = 0; bj < n; bj += block) {
+      const std::size_t ei = std::min(n, bi + block);
+      const std::size_t ej = std::min(n, bj + block);
+      for (std::size_t i = bi; i < ei; ++i) {
+        for (std::size_t j = bj; j < ej; ++j) {
+          out.set(j * n + i, in.get(i * n + j));
+        }
+      }
+    }
+  }
+}
+
+namespace detail {
+template <typename ArrayIn, typename ArrayOut>
+void transpose_co_rec(const ArrayIn& in, ArrayOut& out, std::size_t n,
+                      std::size_t i0, std::size_t i1, std::size_t j0,
+                      std::size_t j1) {
+  const std::size_t di = i1 - i0;
+  const std::size_t dj = j1 - j0;
+  if (di * dj <= 16) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      for (std::size_t j = j0; j < j1; ++j) {
+        out.set(j * n + i, in.get(i * n + j));
+      }
+    }
+    return;
+  }
+  if (di >= dj) {
+    const std::size_t im = i0 + di / 2;
+    transpose_co_rec(in, out, n, i0, im, j0, j1);
+    transpose_co_rec(in, out, n, im, i1, j0, j1);
+  } else {
+    const std::size_t jm = j0 + dj / 2;
+    transpose_co_rec(in, out, n, i0, i1, j0, jm);
+    transpose_co_rec(in, out, n, i0, i1, jm, j1);
+  }
+}
+}  // namespace detail
+
+/// Cache-oblivious recursive transpose.
+template <typename ArrayIn, typename ArrayOut>
+void transpose_oblivious(const ArrayIn& in, ArrayOut& out, std::size_t n) {
+  HARMONY_REQUIRE(in.size() == n * n && out.size() == n * n,
+                  "transpose: size mismatch");
+  if (n == 0) return;
+  detail::transpose_co_rec(in, out, n, 0, n, 0, n);
+}
+
+}  // namespace harmony::algos

@@ -1,0 +1,39 @@
+// Asymmetric RAM (ARAM) cost accounting (Blelloch, paper §2).
+//
+// "There are even reasonably simple extensions that support accounting for
+// locality, as well as asymmetry in read-write costs."  In the ARAM model
+// (Blelloch et al., "Efficient Algorithms with Asymmetric Read and Write
+// Costs", ESA 2016) a write to large memory costs ω >= 1 units against 1
+// per read — modelling NVM.  AramCounter tallies both and prices a run at
+// any ω after the fact, so one simulation serves a whole ω sweep (E11).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cache/traced.hpp"
+
+namespace harmony::cache {
+
+class AramCounter final : public MemorySink {
+ public:
+  void on_read(Addr, std::size_t) override { ++reads_; }
+  void on_write(Addr, std::size_t) override { ++writes_; }
+
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+
+  /// ARAM cost with write-cost multiplier ω.
+  [[nodiscard]] double cost(double omega) const {
+    return static_cast<double>(reads_) +
+           omega * static_cast<double>(writes_);
+  }
+
+  void reset() { reads_ = writes_ = 0; }
+
+ private:
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace harmony::cache

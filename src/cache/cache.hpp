@@ -1,0 +1,151 @@
+// Multilevel cache hierarchy simulator (Blelloch, paper §2).
+//
+// "It is easy to add a one level cache to the RAM model ... when algorithms
+// developed in this model satisfy a property of being cache oblivious, they
+// will also work effectively on a multilevel cache."  This module provides
+// the instrument that claim is tested with: a deterministic write-back,
+// write-allocate, LRU, set-associative hierarchy with per-level statistics
+// plus main-memory traffic counters (which also feed the asymmetric
+// read/write ARAM cost model, aram.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace harmony::cache {
+
+using Addr = std::uint64_t;
+
+enum class Replacement {
+  kLru,     ///< true LRU (timestamp per way)
+  kFifo,    ///< insertion order (hits do not refresh)
+  kRandom,  ///< deterministic xorshift victim choice
+};
+
+[[nodiscard]] const char* replacement_name(Replacement r);
+
+struct CacheConfig {
+  std::string name = "L?";
+  std::size_t size_bytes = 32 * 1024;
+  std::size_t line_bytes = 64;
+  /// Ways per set; 0 means fully associative.
+  std::size_t associativity = 8;
+  Replacement replacement = Replacement::kLru;
+};
+
+struct LevelStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] std::uint64_t accesses() const { return reads + writes; }
+  [[nodiscard]] std::uint64_t misses() const {
+    return read_misses + write_misses;
+  }
+  [[nodiscard]] double miss_rate() const {
+    const auto a = accesses();
+    return a ? static_cast<double>(misses()) / static_cast<double>(a) : 0.0;
+  }
+};
+
+/// One set-associative level with true-LRU replacement.
+class CacheLevel {
+ public:
+  explicit CacheLevel(const CacheConfig& cfg);
+
+  /// Result of probing this level with one line-sized request.
+  struct Outcome {
+    bool hit = false;
+    bool evicted_dirty = false;  ///< a dirty victim must be written back
+    Addr victim_line = 0;        ///< line address of the written-back victim
+  };
+
+  /// Accesses the line containing `addr`.  On a miss, allocates the line
+  /// (write-allocate) and reports any dirty eviction.
+  Outcome access(Addr addr, bool is_write);
+
+  /// Invalidates everything (keeps statistics).
+  void flush();
+
+  [[nodiscard]] const LevelStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t num_sets() const { return num_sets_; }
+  [[nodiscard]] std::size_t num_ways() const { return ways_; }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  // larger = more recently used
+  };
+
+  CacheConfig cfg_;
+  std::size_t num_sets_;
+  std::size_t ways_;
+  std::vector<Line> lines_;  // num_sets_ * ways_, row-major by set
+  std::uint64_t clock_ = 0;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ULL;  // kRandom victims
+  LevelStats stats_;
+};
+
+/// A stack of cache levels in front of main memory.
+class CacheHierarchy {
+ public:
+  /// `configs` ordered nearest-first (L1, L2, ...).  May be empty (then
+  /// every access goes straight to memory — the RAM model).
+  explicit CacheHierarchy(std::vector<CacheConfig> configs);
+
+  /// Simulates a load of `bytes` bytes at `addr` (split across lines).
+  void read(Addr addr, std::size_t bytes);
+  /// Simulates a store of `bytes` bytes at `addr`.
+  void write(Addr addr, std::size_t bytes);
+
+  /// Drops all cached lines; dirty lines are written back to memory
+  /// (counted).  Call between measurement phases for cold-cache runs.
+  void flush();
+
+  [[nodiscard]] std::size_t num_levels() const { return levels_.size(); }
+  [[nodiscard]] const LevelStats& level_stats(std::size_t i) const;
+  [[nodiscard]] const CacheConfig& level_config(std::size_t i) const;
+
+  /// Line transfers that reached main memory.
+  [[nodiscard]] std::uint64_t memory_line_reads() const { return mem_reads_; }
+  [[nodiscard]] std::uint64_t memory_line_writes() const {
+    return mem_writes_;
+  }
+  [[nodiscard]] std::uint64_t memory_traffic_lines() const {
+    return mem_reads_ + mem_writes_;
+  }
+
+  /// Resets all statistics (cache contents are kept).
+  void reset_stats();
+
+ private:
+  void access(Addr addr, std::size_t bytes, bool is_write);
+  /// Sends one line access down from level `from`; handles recursive
+  /// miss/writeback propagation.
+  void access_line(std::size_t from, Addr line_addr, bool is_write);
+
+  std::vector<CacheLevel> levels_;
+  std::size_t line_bytes_;
+  std::uint64_t mem_reads_ = 0;
+  std::uint64_t mem_writes_ = 0;
+};
+
+/// Convenience factories for the configurations used by tests/benches.
+[[nodiscard]] CacheHierarchy make_single_level(std::size_t size_bytes,
+                                               std::size_t line_bytes,
+                                               std::size_t associativity = 0);
+/// A three-level hierarchy loosely shaped like a 2021 server core
+/// (32 KiB L1 / 512 KiB L2 / 8 MiB L3, 64 B lines).
+[[nodiscard]] CacheHierarchy make_three_level();
+
+}  // namespace harmony::cache

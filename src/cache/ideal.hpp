@@ -1,0 +1,57 @@
+// Ideal-cache (cache-oblivious) analytical miss bounds.
+//
+// Q(n; M, B) formulas from Frigo, Leiserson, Prokop, Ramachandran,
+// "Cache-Oblivious Algorithms" (FOCS 1999), used as the theory side of
+// experiment E5: the simulated LRU miss counts of the cache-oblivious
+// kernels must sit within a small constant factor of these bounds
+// (LRU is 2-competitive with OPT at twice the capacity).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "support/error.hpp"
+
+namespace harmony::cache {
+
+/// Parameters of the ideal cache: capacity M bytes, line size B bytes.
+struct IdealCache {
+  double capacity_bytes;
+  double line_bytes;
+
+  [[nodiscard]] double lines() const { return capacity_bytes / line_bytes; }
+};
+
+/// Misses for a sequential scan of n elements of `elem` bytes:
+/// Q = ceil(n*elem/B) + 1.
+[[nodiscard]] inline double scan_misses(const IdealCache& c, double n,
+                                        double elem_bytes) {
+  return std::ceil(n * elem_bytes / c.line_bytes) + 1.0;
+}
+
+/// Misses for cache-oblivious n x n transpose: Theta(n^2*elem/B),
+/// provided the cache is tall (M >= B^2 in elements).
+[[nodiscard]] inline double transpose_misses(const IdealCache& c, double n,
+                                             double elem_bytes) {
+  return 2.0 * n * n * elem_bytes / c.line_bytes;
+}
+
+/// Misses for cache-oblivious n x n x n matrix multiply:
+/// Theta(n^3 * elem / (B * sqrt(M))).
+[[nodiscard]] inline double matmul_misses(const IdealCache& c, double n,
+                                          double elem_bytes) {
+  HARMONY_REQUIRE(c.capacity_bytes > 0, "matmul_misses: empty cache");
+  const double m_elems = c.capacity_bytes / elem_bytes;
+  return n * n * n * elem_bytes / (c.line_bytes * std::sqrt(m_elems));
+}
+
+/// Misses for naive (ikj-untiled) n x n x n matrix multiply when n^2
+/// elements overflow the cache: Theta(n^3 / B) for the streaming operand
+/// plus Theta(n^3) for the strided one in the worst (kij) order.  We
+/// report the n^3*elem/B streaming bound; callers compare shapes.
+[[nodiscard]] inline double matmul_naive_misses(const IdealCache& c, double n,
+                                                double elem_bytes) {
+  return n * n * n * elem_bytes / c.line_bytes;
+}
+
+}  // namespace harmony::cache

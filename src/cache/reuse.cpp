@@ -1,0 +1,70 @@
+#include "cache/reuse.hpp"
+
+#include "support/error.hpp"
+
+namespace harmony::cache {
+
+ReuseProfiler::ReuseProfiler(std::size_t line_bytes)
+    : line_bytes_(line_bytes) {
+  HARMONY_REQUIRE(line_bytes > 0, "ReuseProfiler: line size required");
+}
+
+void ReuseProfiler::on_read(Addr addr, std::size_t bytes) {
+  touch(addr, bytes);
+}
+
+void ReuseProfiler::on_write(Addr addr, std::size_t bytes) {
+  touch(addr, bytes);
+}
+
+void ReuseProfiler::touch(Addr addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  const Addr first = addr / line_bytes_;
+  const Addr last = (addr + bytes - 1) / line_bytes_;
+  for (Addr line = first; line <= last; ++line) {
+    ++accesses_;
+    auto it = where_.find(line);
+    if (it == where_.end()) {
+      ++cold_;
+    } else {
+      // Depth of the line in the stack = #distinct lines above it.
+      std::uint64_t depth = 0;
+      for (auto walk = stack_.begin(); walk != it->second; ++walk) {
+        ++depth;
+      }
+      ++histogram_[depth];
+      stack_.erase(it->second);
+    }
+    stack_.push_front(line);
+    where_[line] = stack_.begin();
+  }
+}
+
+std::uint64_t ReuseProfiler::predicted_misses(std::size_t lines) const {
+  HARMONY_REQUIRE(lines > 0, "predicted_misses: capacity required");
+  std::uint64_t misses = cold_;
+  for (const auto& [distance, count] : histogram_) {
+    if (distance >= lines) misses += count;
+  }
+  return misses;
+}
+
+std::size_t ReuseProfiler::working_set_lines(double slack) const {
+  const auto floor = static_cast<double>(cold_);
+  std::size_t lines = 1;
+  // Distances are sorted; the knee is the first capacity where all
+  // finite-distance reuses hit within the slack.
+  std::uint64_t tail = 0;
+  for (const auto& [distance, count] : histogram_) {
+    (void)distance;
+    tail += count;
+  }
+  for (const auto& [distance, count] : histogram_) {
+    if (static_cast<double>(tail) <= slack * floor + 1.0) break;
+    lines = static_cast<std::size_t>(distance) + 1;
+    tail -= count;
+  }
+  return lines;
+}
+
+}  // namespace harmony::cache

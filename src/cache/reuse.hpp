@@ -1,0 +1,59 @@
+// LRU stack-distance (reuse-distance) profiling (Mattson et al., IBM
+// Systems Journal 1970) — the one-pass analysis behind the ideal-cache
+// model's practicality: a single trace yields the fully-associative LRU
+// miss count for *every* capacity simultaneously, because LRU has the
+// stack inclusion property.
+//
+// Used as a second, independent implementation of LRU semantics: tests
+// require predicted_misses(L) to equal the CacheLevel simulator's misses
+// for a fully-associative L-line cache, exactly, for every L probed.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "cache/traced.hpp"
+
+namespace harmony::cache {
+
+class ReuseProfiler final : public MemorySink {
+ public:
+  explicit ReuseProfiler(std::size_t line_bytes = 64);
+
+  void on_read(Addr addr, std::size_t bytes) override;
+  void on_write(Addr addr, std::size_t bytes) override;
+
+  /// Total line-granular accesses observed.
+  [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+  /// First-touch (compulsory) misses — infinite stack distance.
+  [[nodiscard]] std::uint64_t cold_misses() const { return cold_; }
+  /// Histogram: stack distance -> occurrence count (finite distances).
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& histogram()
+      const {
+    return histogram_;
+  }
+
+  /// Predicted misses of a fully-associative LRU cache holding `lines`
+  /// lines: cold misses + accesses whose stack distance >= lines.
+  [[nodiscard]] std::uint64_t predicted_misses(std::size_t lines) const;
+
+  /// Smallest capacity (in lines) whose predicted miss count is within
+  /// `slack` of the compulsory floor — the working-set knee.
+  [[nodiscard]] std::size_t working_set_lines(double slack = 0.01) const;
+
+ private:
+  void touch(Addr addr, std::size_t bytes);
+
+  std::size_t line_bytes_;
+  // LRU stack: front = most recent.  Position lookups via iterator map;
+  // the depth walk is O(distance) per access.
+  std::list<Addr> stack_;
+  std::unordered_map<Addr, std::list<Addr>::iterator> where_;
+  std::map<std::uint64_t, std::uint64_t> histogram_;
+  std::uint64_t cold_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace harmony::cache

@@ -1,0 +1,132 @@
+// Traced arrays: real data plus a memory-access event stream.
+//
+// Cache experiments need algorithms to run on *actual data* (so results can
+// be validated) while every element access is reported to a model — a cache
+// hierarchy, an ARAM read/write counter, or both.  TracedArray<T> wraps a
+// vector and forwards each get/set to a MemorySink with a stable simulated
+// address; PlainArray<T> has the identical interface with zero overhead, so
+// one templated kernel serves both the measured and the fast path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "support/error.hpp"
+
+namespace harmony::cache {
+
+/// Receiver of simulated memory events.
+class MemorySink {
+ public:
+  virtual ~MemorySink() = default;
+  virtual void on_read(Addr addr, std::size_t bytes) = 0;
+  virtual void on_write(Addr addr, std::size_t bytes) = 0;
+};
+
+/// Adapts a CacheHierarchy to the MemorySink interface.
+class CacheSink final : public MemorySink {
+ public:
+  explicit CacheSink(CacheHierarchy& h) : hierarchy_(&h) {}
+  void on_read(Addr addr, std::size_t bytes) override {
+    hierarchy_->read(addr, bytes);
+  }
+  void on_write(Addr addr, std::size_t bytes) override {
+    hierarchy_->write(addr, bytes);
+  }
+
+ private:
+  CacheHierarchy* hierarchy_;
+};
+
+/// Fans one event stream out to several sinks (e.g. cache + ARAM).
+class TeeSink final : public MemorySink {
+ public:
+  explicit TeeSink(std::vector<MemorySink*> sinks)
+      : sinks_(std::move(sinks)) {}
+  void on_read(Addr addr, std::size_t bytes) override {
+    for (auto* s : sinks_) s->on_read(addr, bytes);
+  }
+  void on_write(Addr addr, std::size_t bytes) override {
+    for (auto* s : sinks_) s->on_write(addr, bytes);
+  }
+
+ private:
+  std::vector<MemorySink*> sinks_;
+};
+
+/// Hands out non-overlapping simulated address ranges, page-aligned so
+/// distinct arrays never share a cache line.
+class AddressSpace {
+ public:
+  explicit AddressSpace(Addr base = 0x10000, std::size_t align = 4096)
+      : next_(base), align_(align) {}
+
+  Addr allocate(std::size_t bytes) {
+    const Addr a = next_;
+    const Addr size = (bytes + align_ - 1) / align_ * align_;
+    next_ += size + align_;  // guard page between arrays
+    return a;
+  }
+
+ private:
+  Addr next_;
+  std::size_t align_;
+};
+
+/// An array whose element accesses are reported to a MemorySink.
+template <typename T>
+class TracedArray {
+ public:
+  TracedArray(std::size_t n, AddressSpace& space, MemorySink& sink)
+      : data_(n), base_(space.allocate(n * sizeof(T))), sink_(&sink) {}
+
+  TracedArray(std::vector<T> init, AddressSpace& space, MemorySink& sink)
+      : data_(std::move(init)),
+        base_(space.allocate(data_.size() * sizeof(T))),
+        sink_(&sink) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] T get(std::size_t i) const {
+    HARMONY_ASSERT(i < data_.size());
+    sink_->on_read(base_ + i * sizeof(T), sizeof(T));
+    return data_[i];
+  }
+
+  void set(std::size_t i, const T& v) {
+    HARMONY_ASSERT(i < data_.size());
+    sink_->on_write(base_ + i * sizeof(T), sizeof(T));
+    data_[i] = v;
+  }
+
+  /// Untraced view of the underlying storage (for result validation).
+  [[nodiscard]] const std::vector<T>& raw() const { return data_; }
+  [[nodiscard]] std::vector<T>& raw_mutable() { return data_; }
+  [[nodiscard]] Addr base_address() const { return base_; }
+
+ private:
+  std::vector<T> data_;
+  Addr base_;
+  MemorySink* sink_;
+};
+
+/// Interface-compatible untraced array: the fast path.
+template <typename T>
+class PlainArray {
+ public:
+  explicit PlainArray(std::size_t n) : data_(n) {}
+  explicit PlainArray(std::vector<T> init) : data_(std::move(init)) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] T get(std::size_t i) const { return data_[i]; }
+  void set(std::size_t i, const T& v) { data_[i] = v; }
+  [[nodiscard]] const std::vector<T>& raw() const { return data_; }
+  [[nodiscard]] std::vector<T>& raw_mutable() { return data_; }
+
+ private:
+  std::vector<T> data_;
+};
+
+}  // namespace harmony::cache

@@ -1,0 +1,75 @@
+// The alpha-beta communication cost model (Yelick, paper §6).
+//
+// "Algorithms must also treat communication avoidance as a first-class
+//  optimization target, reducing both data movement volume and number of
+//  distinct events."
+//
+// A message of w words costs  alpha + beta * w  time: alpha is the
+// per-message latency/overhead ("number of distinct events"), beta the
+// per-word bandwidth cost ("data movement volume").  Energy is priced
+// per message and per word analogously.  The defaults are loosely a 2021
+// HPC interconnect: alpha = 1 us, beta = 1 ns/word (8 GB/s per link for
+// 8-byte words), 0.5 nJ/word off-node (consistent with the paper's
+// "off chip is an order of magnitude more expensive" scaled up to
+// off-node).
+#pragma once
+
+#include <cstdint>
+
+#include "support/units.hpp"
+
+namespace harmony::comm {
+
+struct AlphaBeta {
+  Time alpha = Time::nanoseconds(1000.0);      ///< per message
+  Time beta = Time::nanoseconds(1.0);          ///< per 64-bit word
+  /// BSP's L: barrier/synchronization latency charged once per
+  /// superstep (the "global synchronization" cost Yelick's statement
+  /// warns about).
+  Time barrier = Time::nanoseconds(2000.0);
+  Time flop = Time::picoseconds(100.0);        ///< per local flop
+  Energy energy_per_message = Energy::nanojoules(20.0);
+  Energy energy_per_word = Energy::nanojoules(0.5);
+  Energy energy_per_flop = Energy::femtojoules(16.0);  ///< 32 bits @0.5fJ/b
+
+  [[nodiscard]] Time message_time(std::uint64_t words) const {
+    return alpha + beta * static_cast<double>(words);
+  }
+  [[nodiscard]] Energy message_energy(std::uint64_t words) const {
+    return energy_per_message +
+           energy_per_word * static_cast<double>(words);
+  }
+  [[nodiscard]] Time compute_time(double flops) const {
+    return flop * flops;
+  }
+};
+
+/// Tally of one process's (or one phase's) communication.
+struct CommLedger {
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+  double flops = 0.0;
+
+  void add_message(std::uint64_t w) {
+    ++messages;
+    words += w;
+  }
+  CommLedger& operator+=(const CommLedger& o) {
+    messages += o.messages;
+    words += o.words;
+    flops += o.flops;
+    return *this;
+  }
+
+  [[nodiscard]] Time time(const AlphaBeta& m) const {
+    return m.alpha * static_cast<double>(messages) +
+           m.beta * static_cast<double>(words) + m.compute_time(flops);
+  }
+  [[nodiscard]] Energy energy(const AlphaBeta& m) const {
+    return m.energy_per_message * static_cast<double>(messages) +
+           m.energy_per_word * static_cast<double>(words) +
+           m.energy_per_flop * flops;
+  }
+};
+
+}  // namespace harmony::comm

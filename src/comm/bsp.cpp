@@ -1,0 +1,98 @@
+#include "comm/bsp.hpp"
+
+#include <algorithm>
+
+namespace harmony::comm {
+
+BspMachine::BspMachine(int num_procs, AlphaBeta model)
+    : model_(model),
+      inboxes_(static_cast<std::size_t>(num_procs)),
+      outboxes_(static_cast<std::size_t>(num_procs)),
+      sent_words_(static_cast<std::size_t>(num_procs), 0),
+      sent_msgs_(static_cast<std::size_t>(num_procs), 0) {
+  HARMONY_REQUIRE(num_procs >= 1, "BspMachine: need >= 1 process");
+}
+
+const std::vector<Message>& BspMachine::Proc::inbox() const {
+  return machine_->inboxes_[static_cast<std::size_t>(rank_)];
+}
+
+void BspMachine::Proc::send(int dst, std::vector<double> payload, int tag) {
+  HARMONY_REQUIRE(dst >= 0 && dst < nprocs(), "Proc::send: bad rank");
+  auto& out = machine_->outboxes_[static_cast<std::size_t>(dst)];
+  machine_->sent_words_[static_cast<std::size_t>(rank_)] += payload.size();
+  ++machine_->sent_msgs_[static_cast<std::size_t>(rank_)];
+  out.push_back(Message{rank_, tag, std::move(payload)});
+}
+
+void BspMachine::superstep(const std::function<void(Proc&)>& body) {
+  HARMONY_REQUIRE(body != nullptr, "BspMachine::superstep: null body");
+  const auto p = static_cast<std::size_t>(num_procs());
+  std::fill(sent_words_.begin(), sent_words_.end(), 0);
+  std::fill(sent_msgs_.begin(), sent_msgs_.end(), 0);
+
+  double max_flops = 0.0;
+  double step_flops = 0.0;
+  for (std::size_t r = 0; r < p; ++r) {
+    Proc proc(*this, static_cast<int>(r));
+    body(proc);
+    max_flops = std::max(max_flops, proc.flops_);
+    step_flops += proc.flops_;
+    stats_.total_flops += proc.flops_;
+  }
+
+  // Exchange: outboxes become next-superstep inboxes, ordered by sender.
+  std::vector<std::uint64_t> recv_words(p, 0);
+  std::vector<std::uint64_t> recv_msgs(p, 0);
+  for (std::size_t dst = 0; dst < p; ++dst) {
+    auto& box = outboxes_[dst];
+    std::stable_sort(box.begin(), box.end(),
+                     [](const Message& a, const Message& b) {
+                       return a.src < b.src;
+                     });
+    for (const Message& msg : box) {
+      recv_words[dst] += msg.payload.size();
+      ++recv_msgs[dst];
+      stats_.total_words += msg.payload.size();
+      ++stats_.total_messages;
+    }
+    inboxes_[dst] = std::move(box);
+    box.clear();
+  }
+
+  // Cost of the superstep at the critical process.
+  std::uint64_t max_h = 0;
+  std::uint64_t max_msgs = 0;
+  for (std::size_t r = 0; r < p; ++r) {
+    max_h = std::max(max_h, sent_words_[r] + recv_words[r]);
+    max_msgs = std::max(max_msgs, sent_msgs_[r] + recv_msgs[r]);
+  }
+  stats_.max_h_relation = std::max(stats_.max_h_relation, max_h);
+  stats_.time += model_.barrier + model_.compute_time(max_flops) +
+                 model_.alpha * static_cast<double>(max_msgs) +
+                 model_.beta * static_cast<double>(max_h);
+  // Energy is additive over all traffic and arithmetic, not critical-path.
+  std::uint64_t step_words = 0;
+  std::uint64_t step_msgs = 0;
+  for (std::size_t r = 0; r < p; ++r) {
+    step_words += sent_words_[r];
+    step_msgs += sent_msgs_[r];
+  }
+  stats_.energy += model_.energy_per_message *
+                       static_cast<double>(step_msgs) +
+                   model_.energy_per_word * static_cast<double>(step_words) +
+                   model_.energy_per_flop * step_flops;
+  ++stats_.supersteps;
+}
+
+void BspMachine::run_until(
+    const std::function<bool(int step)>& continue_predicate,
+    const std::function<void(Proc&)>& body) {
+  int step = 0;
+  while (continue_predicate(step)) {
+    superstep(body);
+    ++step;
+  }
+}
+
+}  // namespace harmony::comm

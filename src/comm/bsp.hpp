@@ -1,0 +1,94 @@
+// Bulk-synchronous distributed-memory machine simulator (Yelick, §6).
+//
+// P processes with private memories advance through supersteps: local
+// compute, message exchange, barrier.  Messages sent in superstep s are
+// visible in the receivers' inboxes during superstep s+1.  Per-superstep
+// cost follows the alpha-beta model applied to the *critical process*:
+//
+//   T_step = max_p(compute_p) + alpha * max_p(msgs_p) + beta * max_p(h_p)
+//
+// where h_p is process p's h-relation (words sent + received).  The
+// simulator is single-threaded and deterministic: inboxes are ordered by
+// (sender, send sequence).  Used by the communication-avoiding matmul
+// (E4) and the latency-hiding study (E14).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "comm/alphabeta.hpp"
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace harmony::comm {
+
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<double> payload;
+};
+
+struct BspStats {
+  std::int64_t supersteps = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_words = 0;
+  double total_flops = 0.0;
+  /// Critical-path cost accumulated superstep by superstep.
+  Time time = Time::zero();
+  Energy energy = Energy::zero();
+  /// Largest single-superstep h-relation observed (words).
+  std::uint64_t max_h_relation = 0;
+};
+
+class BspMachine {
+ public:
+  BspMachine(int num_procs, AlphaBeta model = {});
+
+  [[nodiscard]] int num_procs() const {
+    return static_cast<int>(outboxes_.size());
+  }
+  [[nodiscard]] const AlphaBeta& model() const { return model_; }
+  [[nodiscard]] const BspStats& stats() const { return stats_; }
+
+  /// Per-process handle inside a superstep.
+  class Proc {
+   public:
+    [[nodiscard]] int rank() const { return rank_; }
+    [[nodiscard]] int nprocs() const { return machine_->num_procs(); }
+    /// Messages delivered from the previous superstep, ordered by
+    /// (sender, send order).
+    [[nodiscard]] const std::vector<Message>& inbox() const;
+    /// Queues a message for delivery next superstep.
+    void send(int dst, std::vector<double> payload, int tag = 0);
+    /// Records local arithmetic for the cost model.
+    void charge_flops(double flops) { flops_ += flops; }
+
+   private:
+    friend class BspMachine;
+    Proc(BspMachine& m, int rank) : machine_(&m), rank_(rank) {}
+    BspMachine* machine_;
+    int rank_;
+    double flops_ = 0.0;
+  };
+
+  /// Executes one superstep: `body(proc)` for every process, then the
+  /// exchange and cost accounting.
+  void superstep(const std::function<void(Proc&)>& body);
+
+  /// Convenience: runs supersteps until `body` returns false (checked
+  /// after the exchange).
+  void run_until(const std::function<bool(int step)>& continue_predicate,
+                 const std::function<void(Proc&)>& body);
+
+ private:
+  friend class Proc;
+  AlphaBeta model_;
+  std::vector<std::vector<Message>> inboxes_;
+  std::vector<std::vector<Message>> outboxes_;  // staging, indexed by dst
+  std::vector<std::uint64_t> sent_words_;
+  std::vector<std::uint64_t> sent_msgs_;
+  BspStats stats_;
+};
+
+}  // namespace harmony::comm

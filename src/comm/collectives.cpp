@@ -1,0 +1,259 @@
+#include "comm/collectives.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace harmony::comm {
+
+namespace {
+
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+void add_into(std::vector<double>& acc, const std::vector<double>& v) {
+  HARMONY_ASSERT(acc.size() == v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) acc[i] += v[i];
+}
+
+CollectiveResult naive_root(const std::vector<std::vector<double>>& inputs,
+                            AlphaBeta model) {
+  const int p = static_cast<int>(inputs.size());
+  BspMachine m(p, model);
+  std::vector<std::vector<double>> local = inputs;
+
+  // Step 1: everyone sends to rank 0.
+  m.superstep([&](BspMachine::Proc& proc) {
+    if (proc.rank() != 0) proc.send(0, local[static_cast<std::size_t>(
+                                         proc.rank())]);
+  });
+  // Step 2: root reduces and broadcasts.
+  m.superstep([&](BspMachine::Proc& proc) {
+    if (proc.rank() != 0) return;
+    auto& acc = local[0];
+    for (const Message& msg : proc.inbox()) {
+      add_into(acc, msg.payload);
+      proc.charge_flops(static_cast<double>(msg.payload.size()));
+    }
+    for (int dst = 1; dst < p; ++dst) proc.send(dst, acc);
+  });
+  // Step 3: receivers adopt the result.
+  m.superstep([&](BspMachine::Proc& proc) {
+    if (proc.rank() == 0) return;
+    HARMONY_ASSERT(proc.inbox().size() == 1);
+    local[static_cast<std::size_t>(proc.rank())] = proc.inbox()[0].payload;
+  });
+  return CollectiveResult{std::move(local), m.stats()};
+}
+
+CollectiveResult binomial_tree(
+    const std::vector<std::vector<double>>& inputs, AlphaBeta model) {
+  const auto p = inputs.size();
+  HARMONY_REQUIRE(is_pow2(p), "binomial tree allreduce: P must be 2^k");
+  BspMachine m(static_cast<int>(p), model);
+  std::vector<std::vector<double>> local = inputs;
+
+  // Reduce up the binomial tree, then broadcast down it.
+  for (std::size_t stride = 1; stride < p; stride *= 2) {
+    m.superstep([&](BspMachine::Proc& proc) {
+      const auto r = static_cast<std::size_t>(proc.rank());
+      for (const Message& msg : proc.inbox()) {
+        add_into(local[r], msg.payload);
+        proc.charge_flops(static_cast<double>(msg.payload.size()));
+      }
+      if (r % (2 * stride) == stride) {
+        proc.send(static_cast<int>(r - stride), local[r]);
+      }
+    });
+  }
+  m.superstep([&](BspMachine::Proc& proc) {  // fold the last reduction in
+    const auto r = static_cast<std::size_t>(proc.rank());
+    for (const Message& msg : proc.inbox()) {
+      add_into(local[r], msg.payload);
+      proc.charge_flops(static_cast<double>(msg.payload.size()));
+    }
+  });
+  for (std::size_t stride = p / 2; stride >= 1; stride /= 2) {
+    m.superstep([&](BspMachine::Proc& proc) {
+      const auto r = static_cast<std::size_t>(proc.rank());
+      for (const Message& msg : proc.inbox()) {
+        local[r] = msg.payload;
+      }
+      if (r % (2 * stride) == 0 && r + stride < p) {
+        proc.send(static_cast<int>(r + stride), local[r]);
+      }
+    });
+    if (stride == 1) break;
+  }
+  m.superstep([&](BspMachine::Proc& proc) {  // deliver the last hop
+    const auto r = static_cast<std::size_t>(proc.rank());
+    for (const Message& msg : proc.inbox()) {
+      local[r] = msg.payload;
+    }
+  });
+  return CollectiveResult{std::move(local), m.stats()};
+}
+
+CollectiveResult recursive_doubling(
+    const std::vector<std::vector<double>>& inputs, AlphaBeta model) {
+  const auto p = inputs.size();
+  HARMONY_REQUIRE(is_pow2(p), "recursive doubling: P must be 2^k");
+  BspMachine m(static_cast<int>(p), model);
+  std::vector<std::vector<double>> local = inputs;
+
+  for (std::size_t stride = 1; stride < p; stride *= 2) {
+    // Everyone exchanges with its partner and adds.
+    m.superstep([&](BspMachine::Proc& proc) {
+      const auto r = static_cast<std::size_t>(proc.rank());
+      for (const Message& msg : proc.inbox()) {
+        add_into(local[r], msg.payload);
+        proc.charge_flops(static_cast<double>(msg.payload.size()));
+      }
+      proc.send(static_cast<int>(r ^ stride), local[r]);
+    });
+  }
+  m.superstep([&](BspMachine::Proc& proc) {
+    const auto r = static_cast<std::size_t>(proc.rank());
+    for (const Message& msg : proc.inbox()) {
+      add_into(local[r], msg.payload);
+      proc.charge_flops(static_cast<double>(msg.payload.size()));
+    }
+  });
+  return CollectiveResult{std::move(local), m.stats()};
+}
+
+CollectiveResult ring(const std::vector<std::vector<double>>& inputs,
+                      AlphaBeta model) {
+  const auto p = inputs.size();
+  const std::size_t n = inputs[0].size();
+  HARMONY_REQUIRE(n % p == 0, "ring allreduce: P must divide n");
+  const std::size_t blk = n / p;
+  BspMachine m(static_cast<int>(p), model);
+  std::vector<std::vector<double>> local = inputs;
+
+  auto block_of = [&](std::vector<double>& v, std::size_t b) {
+    return std::vector<double>(v.begin() + static_cast<std::ptrdiff_t>(
+                                               b * blk),
+                               v.begin() + static_cast<std::ptrdiff_t>(
+                                               (b + 1) * blk));
+  };
+  auto store_block = [&](std::vector<double>& v, std::size_t b,
+                         const std::vector<double>& data) {
+    std::copy(data.begin(), data.end(),
+              v.begin() + static_cast<std::ptrdiff_t>(b * blk));
+  };
+
+  // Reduce-scatter: superstep s first folds in the arriving block
+  // (r - s) mod P, then forwards that same (now fuller) block east.
+  // After superstep P-1, rank r holds the fully reduced block
+  // (r + 1) mod P.
+  for (std::size_t s = 0; s < p; ++s) {
+    m.superstep([&](BspMachine::Proc& proc) {
+      const auto r = static_cast<std::size_t>(proc.rank());
+      auto& v = local[r];
+      const auto b = (r + p - s) % p;
+      if (s >= 1) {
+        for (const Message& msg : proc.inbox()) {
+          auto acc = block_of(v, b);
+          add_into(acc, msg.payload);
+          store_block(v, b, acc);
+          proc.charge_flops(static_cast<double>(blk));
+        }
+      }
+      if (s + 1 < p) {
+        proc.send(static_cast<int>((r + 1) % p), block_of(v, b));
+      }
+    });
+  }
+  // Allgather: superstep g stores the arriving complete block
+  // (r - g + 1) mod P, then forwards it; g = 0 starts with the block
+  // completed by the reduce-scatter, (r + 1) mod P.
+  for (std::size_t g = 0; g < p; ++g) {
+    m.superstep([&](BspMachine::Proc& proc) {
+      const auto r = static_cast<std::size_t>(proc.rank());
+      auto& v = local[r];
+      const auto b = (r + 1 + p - g) % p;
+      if (g >= 1) {
+        for (const Message& msg : proc.inbox()) {
+          store_block(v, b, msg.payload);
+        }
+      }
+      if (g + 1 < p) {
+        proc.send(static_cast<int>((r + 1) % p), block_of(v, b));
+      }
+    });
+  }
+  return CollectiveResult{std::move(local), m.stats()};
+}
+
+}  // namespace
+
+const char* allreduce_name(AllreduceAlgo a) {
+  switch (a) {
+    case AllreduceAlgo::kNaiveRoot:
+      return "naive root";
+    case AllreduceAlgo::kBinomialTree:
+      return "binomial tree";
+    case AllreduceAlgo::kRecursiveDoubling:
+      return "recursive doubling";
+    case AllreduceAlgo::kRing:
+      return "ring";
+  }
+  return "?";
+}
+
+CollectiveResult allreduce(const std::vector<std::vector<double>>& inputs,
+                           AllreduceAlgo algo, AlphaBeta model) {
+  HARMONY_REQUIRE(!inputs.empty(), "allreduce: no processes");
+  const std::size_t n = inputs[0].size();
+  for (const auto& v : inputs) {
+    HARMONY_REQUIRE(v.size() == n, "allreduce: ragged inputs");
+  }
+  switch (algo) {
+    case AllreduceAlgo::kNaiveRoot:
+      return naive_root(inputs, model);
+    case AllreduceAlgo::kBinomialTree:
+      return binomial_tree(inputs, model);
+    case AllreduceAlgo::kRecursiveDoubling:
+      return recursive_doubling(inputs, model);
+    case AllreduceAlgo::kRing:
+      return ring(inputs, model);
+  }
+  HARMONY_ASSERT(false);
+  return {};
+}
+
+CollectiveResult allgather_ring(
+    const std::vector<std::vector<double>>& inputs, AlphaBeta model) {
+  HARMONY_REQUIRE(!inputs.empty(), "allgather_ring: no processes");
+  const auto p = inputs.size();
+  const std::size_t blk = inputs[0].size();
+  BspMachine m(static_cast<int>(p), model);
+  std::vector<std::vector<double>> local(p,
+                                         std::vector<double>(blk * p, 0.0));
+  for (std::size_t r = 0; r < p; ++r) {
+    std::copy(inputs[r].begin(), inputs[r].end(),
+              local[r].begin() + static_cast<std::ptrdiff_t>(r * blk));
+  }
+  for (std::size_t s = 0; s < p; ++s) {
+    m.superstep([&](BspMachine::Proc& proc) {
+      const auto r = static_cast<std::size_t>(proc.rank());
+      auto& v = local[r];
+      for (const Message& msg : proc.inbox()) {
+        const auto b = (r + p - s) % p;
+        std::copy(msg.payload.begin(), msg.payload.end(),
+                  v.begin() + static_cast<std::ptrdiff_t>(b * blk));
+      }
+      if (s < p - 1) {
+        const auto send_b = (r + p - s) % p;
+        proc.send(static_cast<int>((r + 1) % p),
+                  std::vector<double>(
+                      v.begin() + static_cast<std::ptrdiff_t>(send_b * blk),
+                      v.begin() + static_cast<std::ptrdiff_t>(
+                                      (send_b + 1) * blk)));
+      }
+    });
+  }
+  return CollectiveResult{std::move(local), m.stats()};
+}
+
+}  // namespace harmony::comm

@@ -1,0 +1,54 @@
+// Collective communication algorithms on the BSP machine (Yelick, §6).
+//
+// "Algorithm designers could have significant influence in showing that
+//  a simpler set of data movement and synchronization primitives are
+//  universally useful across algorithms and applications."
+//
+// Four allreduce schedules with the classic alpha-beta trade-offs
+// (Thakur, Rabenseifner, Gropp, IJHPCA 2005):
+//
+//   naive root          2 steps,     root h-relation Theta(P*n)
+//   binomial tree       2 log P steps, h = n per step
+//   recursive doubling  log P steps,   h = n per step
+//   ring                2(P-1) steps,  h = n/P per step  (bandwidth-
+//                                      optimal volume 2n(P-1)/P)
+//
+// Small vectors favour the latency-lean recursive doubling; large
+// vectors favour the ring.  Bench E15 sweeps n to locate the crossover.
+// All variants compute real elementwise sums and are validated.
+#pragma once
+
+#include <vector>
+
+#include "comm/bsp.hpp"
+
+namespace harmony::comm {
+
+enum class AllreduceAlgo {
+  kNaiveRoot,
+  kBinomialTree,
+  kRecursiveDoubling,
+  kRing,
+};
+
+[[nodiscard]] const char* allreduce_name(AllreduceAlgo a);
+
+struct CollectiveResult {
+  /// Final vector at every process (identical across processes).
+  std::vector<std::vector<double>> per_proc;
+  BspStats stats;
+};
+
+/// Elementwise-sum allreduce of `inputs[p]` (all the same length) over
+/// P = inputs.size() processes.  kBinomialTree and kRecursiveDoubling
+/// require power-of-two P; kRing requires P | n (any P).
+[[nodiscard]] CollectiveResult allreduce(
+    const std::vector<std::vector<double>>& inputs, AllreduceAlgo algo,
+    AlphaBeta model = {});
+
+/// Allgather: process p contributes `inputs[p]`; everyone ends with the
+/// concatenation.  Ring schedule, P-1 supersteps, h = |block| per step.
+[[nodiscard]] CollectiveResult allgather_ring(
+    const std::vector<std::vector<double>>& inputs, AlphaBeta model = {});
+
+}  // namespace harmony::comm

@@ -1,0 +1,45 @@
+// Communication lower bounds for dense linear algebra (Yelick, §6).
+//
+// The communication-avoiding programme measures algorithms against the
+// bandwidth and latency lower bounds of Irony-Toledo-Tiskin (2004) and
+// Ballard-Demmel-Holtz-Schwartz (2011):
+//
+//   classic matmul, P processes, M words of local memory each:
+//     words moved per process >= c * n^3 / (P * sqrt(M))
+//   "2.5D" with c replicas of the data (M ~ c*n^2/P):
+//     words  >= Omega(n^2 / sqrt(c*P))
+//     messages >= Omega(sqrt(P / c^3))
+//
+// These functions return the Omega expressions with unit constants; bench
+// E4 reports measured/bound ratios, which must be O(1) for the
+// communication-optimal variants and grow for the naive ones.
+#pragma once
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace harmony::comm {
+
+/// Per-process bandwidth bound for classic (non-Strassen) n^3 matmul.
+[[nodiscard]] inline double matmul_bandwidth_bound(double n, double procs,
+                                                   double local_mem_words) {
+  HARMONY_REQUIRE(procs > 0 && local_mem_words > 0,
+                  "matmul_bandwidth_bound: bad parameters");
+  return n * n * n / (procs * std::sqrt(local_mem_words));
+}
+
+/// Per-process bandwidth bound for 2.5D matmul with replication factor c.
+[[nodiscard]] inline double matmul_25d_bandwidth_bound(double n, double procs,
+                                                       double c) {
+  HARMONY_REQUIRE(procs > 0 && c >= 1, "matmul_25d_bandwidth_bound: bad c");
+  return n * n / std::sqrt(c * procs);
+}
+
+/// Per-process latency (message-count) bound for 2.5D matmul.
+[[nodiscard]] inline double matmul_25d_latency_bound(double procs, double c) {
+  HARMONY_REQUIRE(procs > 0 && c >= 1, "matmul_25d_latency_bound: bad c");
+  return std::sqrt(procs / (c * c * c));
+}
+
+}  // namespace harmony::comm

@@ -1,0 +1,174 @@
+#include "fm/default_mapper.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace harmony::fm {
+
+Mapping default_mapping(const FunctionSpec& spec,
+                        const MachineConfig& machine,
+                        bool inputs_from_dram) {
+  Mapping m;
+  const auto num_pes = static_cast<std::int64_t>(machine.geom.num_nodes());
+
+  // --- placement: block distribution of each computed tensor ----------
+  struct TensorPlace {
+    std::int64_t size = 0;
+  };
+  const auto computed = spec.computed_tensors();
+  for (TensorId t : computed) {
+    const IndexDomain dom = spec.domain(t);
+    const std::int64_t size = dom.size();
+    const noc::GridGeometry geom = machine.geom;
+    m.set_computed(
+        t,
+        [dom, size, num_pes, geom](const Point& p) {
+          const std::int64_t lin = dom.linearize(p);
+          const auto pe = static_cast<std::size_t>(
+              std::min(lin * num_pes / size, num_pes - 1));
+          return geom.coord(pe);
+        },
+        // placeholder; replaced after scheduling below
+        [](const Point&) { return Cycle{0}; });
+  }
+  for (TensorId t : spec.input_tensors()) {
+    if (inputs_from_dram) {
+      m.set_input(t, InputHome::dram());
+      continue;
+    }
+    // Block-distribute inputs across the grid: pre-loading tensors into
+    // the PE SRAMs spreads the fan-out traffic; a single-PE home turns
+    // that PE's mesh links into a provable bandwidth hot-spot.
+    const IndexDomain dom = spec.domain(t);
+    const std::int64_t size = dom.size();
+    const noc::GridGeometry geom = machine.geom;
+    m.set_input(t, InputHome::distributed(
+                       [dom, size, num_pes, geom](const Point& p) {
+                         const std::int64_t lin = dom.linearize(p);
+                         const auto pe = static_cast<std::size_t>(
+                             std::min(lin * num_pes / size, num_pes - 1));
+                         return geom.coord(pe);
+                       }));
+  }
+
+  // --- schedule: ASAP list scheduling in dependence (DFS post-) order --
+  const auto total = static_cast<std::size_t>(spec.total_values());
+  // Times stored per tensor so closures can share them.
+  std::vector<std::shared_ptr<std::vector<Cycle>>> times(
+      static_cast<std::size_t>(spec.num_tensors()));
+  for (TensorId t : computed) {
+    times[static_cast<std::size_t>(t)] = std::make_shared<std::vector<Cycle>>(
+        static_cast<std::size_t>(spec.domain(t).size()), Cycle{-1});
+  }
+  std::vector<Cycle> pe_next(static_cast<std::size_t>(num_pes), 0);
+  std::vector<char> scheduled(total, 0);
+  std::vector<char> on_stack(total, 0);
+
+  auto time_of = [&](const ValueRef& r) -> Cycle {
+    return (*times[static_cast<std::size_t>(r.tensor)])
+        [static_cast<std::size_t>(spec.domain(r.tensor).linearize(r.point))];
+  };
+
+  for (TensorId root_t : computed) {
+    spec.domain(root_t).for_each([&](const Point& root_p) {
+      const auto root_vi = static_cast<std::size_t>(
+          spec.value_index(ValueRef{root_t, root_p}));
+      if (scheduled[root_vi]) return;
+
+      struct Frame {
+        TensorId tensor;
+        Point point;
+        std::vector<ValueRef> deps;
+        std::size_t next = 0;
+      };
+      std::vector<Frame> stack;
+      stack.push_back(Frame{root_t, root_p, spec.deps(root_t, root_p)});
+      on_stack[root_vi] = 1;
+
+      while (!stack.empty()) {
+        Frame& f = stack.back();
+        bool descended = false;
+        while (f.next < f.deps.size()) {
+          const ValueRef& d = f.deps[f.next];
+          if (spec.is_input(d.tensor)) {
+            ++f.next;
+            continue;
+          }
+          const auto di = static_cast<std::size_t>(spec.value_index(d));
+          if (scheduled[di]) {
+            ++f.next;
+            continue;
+          }
+          if (on_stack[di]) {
+            throw SimulationError(
+                "default_mapping: cyclic dependence in function spec");
+          }
+          on_stack[di] = 1;
+          stack.push_back(Frame{d.tensor, d.point,
+                                spec.deps(d.tensor, d.point)});
+          descended = true;
+          break;
+        }
+        if (descended) continue;
+
+        // All deps scheduled: compute the ASAP slot.
+        const noc::Coord here = m.place(f.tensor, f.point);
+        Cycle ready = 0;
+        for (const ValueRef& d : f.deps) {
+          Cycle arrive;
+          if (spec.is_input(d.tensor)) {
+            const InputHome& home = m.input_home(d.tensor);
+            arrive = home.kind == InputHome::Kind::kDram
+                         ? machine.dram_cycles(here)
+                         : machine.transit_cycles(home.home_of(d.point),
+                                                  here);
+          } else {
+            const noc::Coord there = m.place(d.tensor, d.point);
+            arrive = time_of(d) +
+                     std::max<Cycle>(1, machine.transit_cycles(there, here));
+          }
+          ready = std::max(ready, arrive);
+        }
+        const auto pe = machine.geom.index(here);
+        const Cycle slot = std::max(ready, pe_next[pe]);
+        pe_next[pe] = slot + 1;
+        (*times[static_cast<std::size_t>(f.tensor)])
+            [static_cast<std::size_t>(
+                spec.domain(f.tensor).linearize(f.point))] = slot;
+        const auto vi = static_cast<std::size_t>(
+            spec.value_index(ValueRef{f.tensor, f.point}));
+        scheduled[vi] = 1;
+        on_stack[vi] = 0;
+        stack.pop_back();
+      }
+    });
+  }
+
+  // Install the concrete time tables (placement closures are kept).
+  for (TensorId t : computed) {
+    const IndexDomain dom = spec.domain(t);
+    const std::int64_t size = dom.size();
+    const noc::GridGeometry geom = machine.geom;
+    auto table = times[static_cast<std::size_t>(t)];
+    m.set_computed(
+        t,
+        [dom, size, num_pes, geom](const Point& p) {
+          const std::int64_t lin = dom.linearize(p);
+          const auto pe = static_cast<std::size_t>(
+              std::min(lin * num_pes / size, num_pes - 1));
+          return geom.coord(pe);
+        },
+        [dom, table](const Point& p) {
+          const Cycle c =
+              (*table)[static_cast<std::size_t>(dom.linearize(p))];
+          HARMONY_ASSERT(c >= 0);
+          return c;
+        });
+  }
+  return m;
+}
+
+}  // namespace harmony::fm

@@ -1,0 +1,31 @@
+// The default mapper (Dally, paper §3).
+//
+// "Programmers that don't want to bother with mapping can use a default
+//  mapper — with results no worse than with today's abstractions."
+//
+// default_mapping() produces a legal mapping automatically:
+//   * placement — each computed tensor is block-distributed over the PEs
+//     in row-major linearized order (the "obvious" data-parallel layout);
+//   * schedule  — ASAP list scheduling in dependence order: each element
+//     starts at the first cycle >= the arrival of its last operand at
+//     which its PE is free.  One op per PE per cycle by construction.
+//
+// Bench E9 compares this against serial_mapping() (the conventional-
+// architecture stand-in) across the algorithm suite to test the "no
+// worse" claim.
+#pragma once
+
+#include "fm/machine.hpp"
+#include "fm/mapping.hpp"
+#include "fm/spec.hpp"
+
+namespace harmony::fm {
+
+/// Builds the automatic block-placement + ASAP-schedule mapping.
+/// `inputs_from_dram == false` homes every input tensor at PE (0,0)
+/// instead of DRAM (useful for kernels whose inputs are small).
+[[nodiscard]] Mapping default_mapping(const FunctionSpec& spec,
+                                      const MachineConfig& machine,
+                                      bool inputs_from_dram = false);
+
+}  // namespace harmony::fm

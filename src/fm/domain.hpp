@@ -1,0 +1,102 @@
+// Index domains for the F&M model (Dally, paper §3).
+//
+// A *function* in the F&M sense defines each element of a computation over
+// a rectangular index domain ("Forall i, j in (0:N-1, 0:N-1)").  Domains
+// here are dense integer boxes of rank 1..3 — enough for every kernel the
+// panel statements name (scan, FFT, DP recurrences, matmul, stencils).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace harmony::fm {
+
+/// An index point.  Unused trailing coordinates are zero, so a Point is
+/// usable with any domain of rank >= the number of set coordinates.
+struct Point {
+  std::int64_t i = 0;
+  std::int64_t j = 0;
+  std::int64_t k = 0;
+
+  constexpr Point() = default;
+  constexpr explicit Point(std::int64_t i_) : i(i_) {}
+  constexpr Point(std::int64_t i_, std::int64_t j_) : i(i_), j(j_) {}
+  constexpr Point(std::int64_t i_, std::int64_t j_, std::int64_t k_)
+      : i(i_), j(j_), k(k_) {}
+
+  [[nodiscard]] constexpr std::int64_t operator[](int d) const {
+    return d == 0 ? i : d == 1 ? j : k;
+  }
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.i << ',' << p.j << ',' << p.k << ')';
+}
+
+/// A dense box [0, extent0) x [0, extent1) x [0, extent2).
+class IndexDomain {
+ public:
+  /// Rank-1 .. rank-3 constructors; extents must be positive.
+  explicit IndexDomain(std::int64_t e0) : IndexDomain(e0, 1, 1, 1) {}
+  IndexDomain(std::int64_t e0, std::int64_t e1) : IndexDomain(e0, e1, 1, 2) {}
+  IndexDomain(std::int64_t e0, std::int64_t e1, std::int64_t e2)
+      : IndexDomain(e0, e1, e2, 3) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] std::int64_t extent(int d) const {
+    HARMONY_ASSERT(d >= 0 && d < 3);
+    return ext_[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] std::int64_t size() const {
+    return ext_[0] * ext_[1] * ext_[2];
+  }
+
+  [[nodiscard]] bool contains(const Point& p) const {
+    return p.i >= 0 && p.i < ext_[0] && p.j >= 0 && p.j < ext_[1] &&
+           p.k >= 0 && p.k < ext_[2];
+  }
+
+  /// Row-major linearization; inverse of delinearize.
+  [[nodiscard]] std::int64_t linearize(const Point& p) const {
+    HARMONY_ASSERT(contains(p));
+    return (p.i * ext_[1] + p.j) * ext_[2] + p.k;
+  }
+
+  [[nodiscard]] Point delinearize(std::int64_t idx) const {
+    HARMONY_ASSERT(idx >= 0 && idx < size());
+    const std::int64_t k = idx % ext_[2];
+    const std::int64_t rest = idx / ext_[2];
+    return Point{rest / ext_[1], rest % ext_[1], k};
+  }
+
+  /// Visits every point in row-major order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::int64_t i = 0; i < ext_[0]; ++i) {
+      for (std::int64_t j = 0; j < ext_[1]; ++j) {
+        for (std::int64_t k = 0; k < ext_[2]; ++k) {
+          fn(Point{i, j, k});
+        }
+      }
+    }
+  }
+
+  friend bool operator==(const IndexDomain&, const IndexDomain&) = default;
+
+ private:
+  IndexDomain(std::int64_t e0, std::int64_t e1, std::int64_t e2, int rank)
+      : ext_{e0, e1, e2}, rank_(rank) {
+    HARMONY_REQUIRE(e0 > 0 && e1 > 0 && e2 > 0,
+                    "IndexDomain: extents must be positive");
+  }
+
+  std::array<std::int64_t, 3> ext_;
+  int rank_;
+};
+
+}  // namespace harmony::fm

@@ -1,0 +1,62 @@
+// Mechanical lowering of (function, mapping) to a hardware description
+// (Dally, paper §3).
+//
+// "An algorithm expressed in this model also directly specifies a
+//  domain-specific architecture.  Given a definition and mapping, lowering
+//  the specification to hardware (e.g., in Verilog or Chisel) is a
+//  mechanical process."
+//
+// lower() walks the mapped computation once and derives, per grid point:
+// the operation count and width it must sustain, the peak number of live
+// values it must register, and the port traffic per mesh direction.  The
+// result can be serialized as a Verilog-flavoured structural skeleton
+// (modules, ports, register banks — a scaffold a hardware engineer would
+// fill with the datapath), and it carries a rough area estimate used by
+// the specialization bench E12.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fm/machine.hpp"
+#include "fm/mapping.hpp"
+#include "fm/spec.hpp"
+#include "support/units.hpp"
+
+namespace harmony::fm {
+
+struct PeSpec {
+  noc::Coord at;
+  std::uint64_t ops = 0;           ///< elements computed on this PE
+  std::size_t max_bits = 0;        ///< widest operation
+  std::int64_t registers = 0;      ///< peak live values resident
+  /// Bits forwarded per mesh direction over the whole run (E,W,N,S).
+  std::array<std::uint64_t, 4> port_bits{};
+  bool has_dram_port = false;
+  [[nodiscard]] bool is_active() const { return ops > 0; }
+};
+
+struct HardwareSpec {
+  std::string name;
+  int cols = 0;
+  int rows = 0;
+  std::vector<PeSpec> pes;  ///< row-major, cols*rows entries
+  Cycle schedule_length = 0;
+
+  [[nodiscard]] std::size_t active_pes() const;
+  /// Rough silicon area: per-ALU + per-register constants (documented in
+  /// the implementation; inputs to a shape comparison, not a sign-off).
+  [[nodiscard]] Area estimated_area() const;
+  /// Emits a structural Verilog-flavoured skeleton.
+  void emit_verilog(std::ostream& os) const;
+};
+
+[[nodiscard]] HardwareSpec lower(const FunctionSpec& spec,
+                                 const Mapping& mapping,
+                                 const MachineConfig& machine,
+                                 std::string name = "fm_array");
+
+}  // namespace harmony::fm

@@ -1,0 +1,100 @@
+// Grid-machine configuration, shared timing rules, and the executing
+// simulator for the F&M model (Dally, paper §3).
+//
+// "A programmable target can be realized by putting a programmable
+//  processor at each grid point and surrounding it with many 'tiles' of
+//  memory."  MachineConfig describes such a target: a GridGeometry (which
+//  carries the technology model), a cycle time, per-PE storage, and link
+//  bandwidth.  GridMachine executes a (FunctionSpec, Mapping) pair on real
+//  inputs, enforcing the same timing rules the legality checker verifies,
+//  and returns both the outputs and the cost ledger.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fm/mapping.hpp"
+#include "fm/spec.hpp"
+#include "noc/mesh.hpp"
+#include "support/units.hpp"
+
+namespace harmony::fm {
+
+struct MachineConfig {
+  noc::GridGeometry geom;
+  /// Cycle time; defaults to the technology's 32-bit add delay so one
+  /// ALU op takes one cycle.
+  Time cycle = Time::picoseconds(200.0);
+  /// Live values one PE can hold (registers + local SRAM tiles).
+  std::int64_t pe_capacity_values = 1 << 20;
+  /// Bits one directed mesh link can carry per cycle.  A systolic
+  /// dataflow moves ~two 32-bit operands per PE per cycle plus input
+  /// streaming, so links are provisioned at 256 bits (realistic for a
+  /// 0.2 mm-pitch mesh in a 5 nm-class process).
+  double link_bits_per_cycle = 256.0;
+  /// Wire distance charged for a same-PE operand (register/SRAM tile
+  /// reach), as a fraction of the grid pitch.
+  double local_access_pitch_fraction = 0.25;
+
+  /// Cycles for a value to travel between two PEs (0 if same PE).
+  [[nodiscard]] Cycle transit_cycles(noc::Coord a, noc::Coord b) const;
+  /// Cycles for a DRAM access issued from `c` (latency + on-chip leg).
+  [[nodiscard]] Cycle dram_cycles(noc::Coord c) const;
+
+  /// Earliest cycle at which element (t, p) of the spec may execute given
+  /// one dependence `dep` under `mapping`.  This single function is the
+  /// timing contract shared by the legality checker, the cost evaluator,
+  /// and the executing machine:
+  ///   - computed dep q:  time(q) + max(1, transit(place(q), place(p)))
+  ///   - PE-resident input: transit(home, place(p))
+  ///   - DRAM input:        dram_cycles(place(p))
+  [[nodiscard]] Cycle earliest_start(const FunctionSpec& spec,
+                                     const Mapping& mapping, TensorId t,
+                                     const Point& p,
+                                     const ValueRef& dep) const;
+};
+
+/// A default machine: `cols` x `rows` PEs at 0.2 mm pitch (sub-mm grid,
+/// one hop = 160 ps < one 200 ps cycle, so neighbour transfers pipeline
+/// with compute exactly as in a systolic array).
+[[nodiscard]] MachineConfig make_machine(int cols, int rows,
+                                         noc::TechnologyModel tech =
+                                             noc::TechnologyModel::n5());
+
+/// Execution result of GridMachine::run.
+struct ExecutionResult {
+  /// Output tensors in FunctionSpec::output_tensors() order, row-major.
+  std::vector<std::vector<double>> outputs;
+  Cycle makespan_cycles = 0;
+  Time makespan = Time::zero();
+  Energy compute_energy = Energy::zero();
+  Energy onchip_movement_energy = Energy::zero();
+  Energy local_access_energy = Energy::zero();
+  Energy dram_energy = Energy::zero();
+  std::uint64_t messages = 0;
+  std::uint64_t bit_hops = 0;
+
+  [[nodiscard]] Energy total_energy() const {
+    return compute_energy + onchip_movement_energy + local_access_energy +
+           dram_energy;
+  }
+};
+
+/// Executes the spec under the mapping.  Throws SimulationError if the
+/// mapping is illegal (a dependence would be consumed before it can
+/// arrive, or two elements share one (PE, cycle) slot).
+class GridMachine {
+ public:
+  explicit GridMachine(MachineConfig cfg) : cfg_(std::move(cfg)) {}
+
+  [[nodiscard]] ExecutionResult run(
+      const FunctionSpec& spec, const Mapping& mapping,
+      const std::vector<std::vector<double>>& inputs) const;
+
+  [[nodiscard]] const MachineConfig& config() const { return cfg_; }
+
+ private:
+  MachineConfig cfg_;
+};
+
+}  // namespace harmony::fm

@@ -1,0 +1,129 @@
+#include "fm/mapping.hpp"
+
+namespace harmony::fm {
+
+void Mapping::grow(TensorId t) {
+  const auto need = static_cast<std::size_t>(t) + 1;
+  if (computed_.size() < need) {
+    computed_.resize(need);
+    inputs_.resize(need);
+    has_computed_.resize(need, 0);
+    has_input_.resize(need, 0);
+  }
+}
+
+void Mapping::set_computed(TensorId t, PlaceFn place, TimeFn time) {
+  HARMONY_REQUIRE(t >= 0, "Mapping: bad tensor id");
+  HARMONY_REQUIRE(place != nullptr && time != nullptr,
+                  "Mapping: place/time functions required");
+  grow(t);
+  computed_[static_cast<std::size_t>(t)] = {std::move(place),
+                                            std::move(time)};
+  has_computed_[static_cast<std::size_t>(t)] = 1;
+}
+
+void Mapping::set_input(TensorId t, InputHome home) {
+  HARMONY_REQUIRE(t >= 0, "Mapping: bad tensor id");
+  grow(t);
+  inputs_[static_cast<std::size_t>(t)] = home;
+  has_input_[static_cast<std::size_t>(t)] = 1;
+}
+
+bool Mapping::has_computed(TensorId t) const {
+  return t >= 0 && static_cast<std::size_t>(t) < has_computed_.size() &&
+         has_computed_[static_cast<std::size_t>(t)];
+}
+
+bool Mapping::has_input(TensorId t) const {
+  return t >= 0 && static_cast<std::size_t>(t) < has_input_.size() &&
+         has_input_[static_cast<std::size_t>(t)];
+}
+
+noc::Coord Mapping::place(TensorId t, const Point& p) const {
+  HARMONY_REQUIRE(has_computed(t), "Mapping::place: tensor unmapped");
+  return computed_[static_cast<std::size_t>(t)].place(p);
+}
+
+Cycle Mapping::time(TensorId t, const Point& p) const {
+  HARMONY_REQUIRE(has_computed(t), "Mapping::time: tensor unmapped");
+  return computed_[static_cast<std::size_t>(t)].time(p);
+}
+
+const InputHome& Mapping::input_home(TensorId t) const {
+  HARMONY_REQUIRE(has_input(t), "Mapping::input_home: tensor unmapped");
+  return inputs_[static_cast<std::size_t>(t)];
+}
+
+void Mapping::require_complete(const FunctionSpec& spec) const {
+  for (int t = 0; t < spec.num_tensors(); ++t) {
+    if (spec.is_input(t)) {
+      HARMONY_REQUIRE(has_input(t), "Mapping: input tensor " +
+                                        spec.name(t) + " has no home");
+    } else {
+      HARMONY_REQUIRE(has_computed(t), "Mapping: computed tensor " +
+                                           spec.name(t) + " is unmapped");
+    }
+  }
+}
+
+Mapping serial_mapping(const FunctionSpec& spec, noc::Coord pe) {
+  Mapping m;
+  // Row-major order across all computed tensors, one op per cycle.  For a
+  // recurrence this is the textbook serial loop nest.
+  Cycle offset = 0;
+  for (TensorId t : spec.computed_tensors()) {
+    const IndexDomain dom = spec.domain(t);
+    m.set_computed(
+        t, [pe](const Point&) { return pe; },
+        [dom, offset](const Point& p) { return offset + dom.linearize(p); });
+    offset += dom.size();
+  }
+  for (TensorId t : spec.input_tensors()) {
+    m.set_input(t, InputHome::at(pe));
+  }
+  return m;
+}
+
+PlaceFn WavefrontMap::place_fn() const {
+  const int p = num_pes;
+  return [p](const Point& pt) {
+    return noc::Coord{static_cast<int>(pt.i % p), 0};
+  };
+}
+
+TimeFn WavefrontMap::time_fn() const {
+  const std::int64_t n = n_cols;
+  const std::int64_t p = num_pes;
+  return [n, p](const Point& pt) {
+    return (pt.i / p) * (n + p) + (pt.i % p) + pt.j;
+  };
+}
+
+WavefrontMap wavefront_map(std::int64_t n_cols, int num_pes) {
+  HARMONY_REQUIRE(num_pes >= 1, "wavefront_map: need >= 1 PE");
+  HARMONY_REQUIRE(n_cols >= 1, "wavefront_map: need >= 1 column");
+  return WavefrontMap{n_cols, num_pes};
+}
+
+FoldedMap fold_columns(PlaceFn place, TimeFn time, int logical_cols,
+                       int physical_cols) {
+  HARMONY_REQUIRE(place != nullptr && time != nullptr,
+                  "fold_columns: null mapping functions");
+  HARMONY_REQUIRE(logical_cols >= 1 && physical_cols >= 1,
+                  "fold_columns: column counts must be positive");
+  const std::int64_t factor =
+      (logical_cols + physical_cols - 1) / physical_cols;
+  FoldedMap out;
+  out.fold_factor = factor;
+  out.place = [place, physical_cols](const Point& p) {
+    const noc::Coord c = place(p);
+    return noc::Coord{c.x % physical_cols, c.y};
+  };
+  out.time = [place, time, physical_cols, factor](const Point& p) {
+    const noc::Coord c = place(p);
+    return time(p) * factor + (c.x / physical_cols);
+  };
+  return out;
+}
+
+}  // namespace harmony::fm

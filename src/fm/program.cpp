@@ -1,0 +1,78 @@
+#include "fm/program.hpp"
+
+#include <cmath>
+
+#include "fm/legality.hpp"
+#include "support/error.hpp"
+
+namespace harmony::fm {
+
+ProgramResult run_program(const std::vector<ProgramStage>& stages,
+                          const std::vector<Joint>& joints,
+                          const MachineConfig& machine,
+                          const std::vector<std::vector<double>>& first_inputs,
+                          const VerifyOptions& verify_opts) {
+  HARMONY_REQUIRE(!stages.empty(), "run_program: no stages");
+  HARMONY_REQUIRE(joints.size() + 1 == stages.size(),
+                  "run_program: need exactly one joint between each pair "
+                  "of stages");
+  for (const ProgramStage& s : stages) {
+    HARMONY_REQUIRE(s.spec != nullptr && s.mapping != nullptr,
+                    "run_program: stage " + s.name + " is incomplete");
+  }
+
+  ProgramResult res;
+  const GridMachine gm(machine);
+  std::vector<std::vector<double>> carried = first_inputs;
+
+  for (std::size_t k = 0; k < stages.size(); ++k) {
+    const ProgramStage& stage = stages[k];
+    // The verify-before-run discipline applies per stage.
+    const LegalityReport rep =
+        verify(*stage.spec, *stage.mapping, machine, verify_opts);
+    if (!rep.ok) {
+      throw SimulationError("run_program: stage " + stage.name +
+                            " has an illegal mapping: " +
+                            (rep.messages.empty() ? "(no detail)"
+                                                  : rep.messages[0]));
+    }
+    ExecutionResult exec = gm.run(*stage.spec, *stage.mapping, carried);
+    res.total_cycles += exec.makespan_cycles;
+    res.total_energy += exec.total_energy();
+    carried = exec.outputs;
+    res.per_stage.push_back(std::move(exec));
+
+    if (k + 1 < stages.size()) {
+      const Joint& joint = joints[k];
+      // Value adaptation (host-side reshape/slice).
+      if (joint.adapt) carried = joint.adapt(carried);
+      // Movement pricing: aligned joints are free.
+      HARMONY_REQUIRE(joint.produced.place != nullptr &&
+                          joint.consumed.place != nullptr,
+                      "run_program: joint " + std::to_string(k) +
+                          " missing distributions");
+      bool aligned = true;
+      joint.domain.for_each([&](const Point& p) {
+        if (!(joint.produced.place(p) == joint.consumed.place(p))) {
+          aligned = false;
+        }
+      });
+      res.joint_aligned.push_back(aligned);
+      if (!aligned) {
+        const RemapCost cost = remap_cost(joint.domain, joint.bits,
+                                          joint.produced, joint.consumed,
+                                          machine);
+        res.remap_energy += cost.energy;
+        res.total_energy += cost.energy;
+        res.remap_messages += cost.messages;
+        res.total_cycles += static_cast<Cycle>(
+            std::ceil(cost.latency.picoseconds() /
+                      machine.cycle.picoseconds()));
+      }
+    }
+  }
+  res.outputs = carried;
+  return res;
+}
+
+}  // namespace harmony::fm

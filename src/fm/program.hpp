@@ -1,0 +1,68 @@
+// Multi-stage F&M programs: modular composition, executed (Dally, §3).
+//
+// "Functions compose as usual.  Mappings, however, must be aligned to
+//  compose modules.  The output of module A must have the same mapping
+//  as the input of module B ... or a remapping module must be inserted."
+//
+// run_program() chains (FunctionSpec, Mapping) stages on one grid
+// machine: each stage executes for real (GridMachine), its outputs are
+// carried to the next stage's inputs, and each joint is either aligned
+// (free) or priced as a remap module via the idiom cost model.  The
+// program's makespan is the sum of stage makespans plus remap transit;
+// energy adds stage energies plus remap movement.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fm/idioms.hpp"
+#include "fm/legality.hpp"
+#include "fm/machine.hpp"
+
+namespace harmony::fm {
+
+/// Carries stage k's outputs into stage k+1's inputs.
+struct Joint {
+  /// Host-side value adapter: maps the producer's output tensors to the
+  /// consumer's input tensors (e.g. slice the k = last plane out of a
+  /// partial-sum tensor).  Defaults to the identity.
+  std::function<std::vector<std::vector<double>>(
+      const std::vector<std::vector<double>>&)> adapt;
+  /// Movement pricing for the joint: where the carried values live after
+  /// the producer vs where the consumer's mapping expects them.  The
+  /// joint is "aligned" (free) when the distributions agree pointwise.
+  IndexDomain domain{1};
+  std::size_t bits = 32;
+  Distribution produced;
+  Distribution consumed;
+};
+
+struct ProgramStage {
+  std::string name;
+  const FunctionSpec* spec = nullptr;
+  const Mapping* mapping = nullptr;
+};
+
+struct ProgramResult {
+  /// Outputs of the final stage.
+  std::vector<std::vector<double>> outputs;
+  Cycle total_cycles = 0;
+  Energy total_energy = Energy::zero();
+  Energy remap_energy = Energy::zero();
+  std::uint64_t remap_messages = 0;
+  std::vector<ExecutionResult> per_stage;
+  /// Joint alignment flags (true = no remap inserted).
+  std::vector<bool> joint_aligned;
+};
+
+/// Executes stages sequentially; joints.size() must be stages.size()-1.
+/// Every stage's mapping must verify-cleanly under `machine` (checked
+/// with causality/exclusivity; storage and bandwidth per VerifyOptions).
+[[nodiscard]] ProgramResult run_program(
+    const std::vector<ProgramStage>& stages,
+    const std::vector<Joint>& joints, const MachineConfig& machine,
+    const std::vector<std::vector<double>>& first_inputs,
+    const VerifyOptions& verify_opts = {});
+
+}  // namespace harmony::fm

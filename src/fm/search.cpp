@@ -1,0 +1,252 @@
+#include "fm/search.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace harmony::fm {
+
+namespace {
+
+/// Extremes of an affine form over the domain box (attained at corners).
+struct Range {
+  std::int64_t lo;
+  std::int64_t hi;
+};
+
+Range affine_range(const IndexDomain& dom, std::int64_t ci, std::int64_t cj,
+                   std::int64_t ck, std::int64_t c0) {
+  Range r{std::numeric_limits<std::int64_t>::max(),
+          std::numeric_limits<std::int64_t>::min()};
+  const std::int64_t is[2] = {0, dom.extent(0) - 1};
+  const std::int64_t js[2] = {0, dom.extent(1) - 1};
+  const std::int64_t ks[2] = {0, dom.extent(2) - 1};
+  for (std::int64_t i : is) {
+    for (std::int64_t j : js) {
+      for (std::int64_t k : ks) {
+        const std::int64_t v = ci * i + cj * j + ck * k + c0;
+        r.lo = std::min(r.lo, v);
+        r.hi = std::max(r.hi, v);
+      }
+    }
+  }
+  return r;
+}
+
+/// Builds the full candidate mapping: the searched map on the computed
+/// tensor plus the caller's input homes.
+Mapping make_candidate(const FunctionSpec& spec, TensorId target,
+                       const AffineMap& map, const Mapping& input_proto) {
+  Mapping m;
+  m.set_computed(target, map.place_fn(), map.time_fn());
+  for (TensorId t : spec.input_tensors()) {
+    m.set_input(t, input_proto.input_home(t));
+  }
+  return m;
+}
+
+}  // namespace
+
+SearchResult search_affine(const FunctionSpec& spec,
+                           const MachineConfig& machine,
+                           const Mapping& input_proto,
+                           const SearchOptions& opts) {
+  const auto computed = spec.computed_tensors();
+  HARMONY_REQUIRE(computed.size() == 1,
+                  "search_affine: spec must have exactly one computed "
+                  "tensor");
+  const TensorId target = computed[0];
+  const IndexDomain& dom = spec.domain(target);
+  const bool use_j = dom.rank() >= 2;
+  const bool use_k = dom.rank() >= 3;
+
+  // Sample points for the quick causality gate (deterministic stride).
+  std::vector<Point> sample;
+  {
+    const std::int64_t n = dom.size();
+    const std::int64_t stride =
+        std::max<std::int64_t>(1, n / static_cast<std::int64_t>(
+                                          std::max<std::size_t>(
+                                              1, opts.quick_sample)));
+    for (std::int64_t lin = 0; lin < n; lin += stride) {
+      sample.push_back(dom.delinearize(lin));
+    }
+    sample.push_back(dom.delinearize(n - 1));
+  }
+
+  const double serial_size = static_cast<double>(dom.size());
+  const double makespan_bound = serial_size * opts.makespan_slack + 1.0;
+
+  SearchResult result;
+  double best_merit = std::numeric_limits<double>::infinity();
+
+  const std::vector<std::int64_t> zero{0};
+  const auto& tc = opts.space.time_coeffs;
+  const auto& sc = opts.space.space_coeffs;
+  const auto& tcj = use_j ? tc : zero;
+  const auto& tck = use_k ? tc : zero;
+  const auto& scj = use_j ? sc : zero;
+  const auto& sck = use_k ? sc : zero;
+  const auto& scy = opts.space.search_y && machine.geom.rows() > 1 ? sc
+                                                                   : zero;
+  const auto& scyj = use_j ? scy : zero;
+  const auto& scyk = use_k ? scy : zero;
+
+  for (std::int64_t ti : tc) {
+    for (std::int64_t tj : tcj) {
+      for (std::int64_t tk : tck) {
+        // Normalize the offset so the schedule starts at cycle 0.
+        const Range tr = affine_range(dom, ti, tj, tk, 0);
+        const std::int64_t t0 = -tr.lo;
+        if (static_cast<double>(tr.hi - tr.lo + 1) > makespan_bound) {
+          continue;  // hopelessly stretched; skip before inner loops
+        }
+        for (std::int64_t xi : sc) {
+          for (std::int64_t xj : scj) {
+            for (std::int64_t xk : sck) {
+              for (std::int64_t yi : scy) {
+                for (std::int64_t yj : scyj) {
+                  for (std::int64_t yk : scyk) {
+                    ++result.enumerated;
+                    AffineMap map{.ti = ti, .tj = tj, .tk = tk, .t0 = t0,
+                                  .xi = xi, .xj = xj, .xk = xk, .x0 = 0,
+                                  .yi = yi, .yj = yj, .yk = yk, .y0 = 0,
+                                  .cols = machine.geom.cols(),
+                                  .rows = machine.geom.rows()};
+
+                    // Gate 1: sampled causality.
+                    bool plausible = true;
+                    for (const Point& p : sample) {
+                      const Cycle when = map.time(p);
+                      for (const ValueRef& d : spec.deps(target, p)) {
+                        if (spec.is_input(d.tensor)) continue;
+                        const noc::Coord here = map.place(p);
+                        const noc::Coord there = map.place(d.point);
+                        const Cycle need =
+                            map.time(d.point) +
+                            std::max<Cycle>(
+                                1, machine.transit_cycles(there, here));
+                        if (when < need) {
+                          plausible = false;
+                          break;
+                        }
+                      }
+                      if (!plausible) break;
+                    }
+                    if (!plausible) {
+                      ++result.quick_rejected;
+                      continue;
+                    }
+
+                    // Input-arrival normalization: computed-dep legality
+                    // is shift-invariant, input arrival is not — slide
+                    // the whole schedule so every element starts no
+                    // earlier than its input operands can reach it.
+                    {
+                      Cycle deficit = 0;
+                      dom.for_each([&](const Point& p) {
+                        const Cycle when = map.time(p);
+                        const noc::Coord here = map.place(p);
+                        for (const ValueRef& d : spec.deps(target, p)) {
+                          if (!spec.is_input(d.tensor)) continue;
+                          const InputHome& home =
+                              input_proto.input_home(d.tensor);
+                          const Cycle need =
+                              home.kind == InputHome::Kind::kDram
+                                  ? machine.dram_cycles(here)
+                                  : machine.transit_cycles(
+                                        home.home_of(d.point), here);
+                          deficit = std::max(deficit, need - when);
+                        }
+                      });
+                      map.t0 += deficit;
+                    }
+
+                    // Gate 2: full legality.
+                    const Mapping candidate =
+                        make_candidate(spec, target, map, input_proto);
+                    const LegalityReport rep =
+                        verify(spec, candidate, machine, opts.verify);
+                    if (!rep.ok) {
+                      ++result.verify_rejected;
+                      continue;
+                    }
+                    ++result.legal;
+
+                    // Gate 3: cost + ranking.
+                    const CostReport cost =
+                        evaluate_cost(spec, candidate, machine);
+                    if (opts.keep_all_legal) {
+                      result.all_legal.push_back(
+                          Candidate{map, cost,
+                                    merit_value(cost, opts.fom)});
+                    }
+                    const double merit = merit_value(cost, opts.fom);
+                    Candidate cand{map, cost, merit};
+                    result.top.push_back(cand);
+                    std::sort(result.top.begin(), result.top.end(),
+                              [](const Candidate& a, const Candidate& b) {
+                                return a.merit < b.merit;
+                              });
+                    if (result.top.size() > opts.top_k) {
+                      result.top.resize(opts.top_k);
+                    }
+                    if (merit < best_merit) {
+                      best_merit = merit;
+                      result.best = cand;
+                      result.found = true;
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Candidate> pareto_front(
+    const std::vector<Candidate>& candidates) {
+  std::vector<Candidate> front;
+  for (const Candidate& c : candidates) {
+    bool dominated = false;
+    for (const Candidate& other : candidates) {
+      const bool no_worse =
+          other.cost.makespan_cycles <= c.cost.makespan_cycles &&
+          other.cost.total_energy().femtojoules() <=
+              c.cost.total_energy().femtojoules();
+      const bool strictly_better =
+          other.cost.makespan_cycles < c.cost.makespan_cycles ||
+          other.cost.total_energy().femtojoules() <
+              c.cost.total_energy().femtojoules();
+      if (no_worse && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      // Deduplicate identical (time, energy) points.
+      bool dup = false;
+      for (const Candidate& f : front) {
+        if (f.cost.makespan_cycles == c.cost.makespan_cycles &&
+            f.cost.total_energy().femtojoules() ==
+                c.cost.total_energy().femtojoules()) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) front.push_back(c);
+    }
+  }
+  std::sort(front.begin(), front.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.cost.makespan_cycles < b.cost.makespan_cycles;
+            });
+  return front;
+}
+
+}  // namespace harmony::fm

@@ -1,0 +1,86 @@
+// Systematic mapping search (Dally, paper §3).
+//
+// "For each function there are many possible mappings that range from
+//  completely serial to minimum-depth parallel with many points between.
+//  One can systematically search the space of possible mappings to
+//  optimize a given figure of merit: execution time, energy per op,
+//  memory footprint, or some combination."
+//
+// search_affine() enumerates the AffineMap family for a spec with a
+// single computed tensor: time coefficients from one candidate set, space
+// coefficients from another, with the time offset auto-normalized so the
+// schedule starts at cycle 0.  Candidates pass three gates:
+//   1. a cheap sampled causality pre-check (rejects most of the space),
+//   2. the full legality verifier (fm/legality.hpp),
+//   3. cost evaluation and ranking by the requested figure of merit.
+// Benches E8 uses this to show the wavefront emerging from search rather
+// than being hand-planted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fm/cost.hpp"
+#include "fm/legality.hpp"
+#include "fm/machine.hpp"
+#include "fm/mapping.hpp"
+#include "fm/spec.hpp"
+
+namespace harmony::fm {
+
+struct SearchSpace {
+  std::vector<std::int64_t> time_coeffs{0, 1, 2};
+  std::vector<std::int64_t> space_coeffs{-1, 0, 1};
+  /// Explore the second grid dimension (else y is pinned to 0).
+  bool search_y = true;
+};
+
+struct SearchOptions {
+  SearchSpace space;
+  FigureOfMerit fom = FigureOfMerit::kEnergyDelay;
+  VerifyOptions verify;
+  /// Points sampled by the causality pre-check.
+  std::size_t quick_sample = 64;
+  /// Candidates whose normalized makespan exceeds serial_size * this
+  /// factor are discarded (guards against absurd stretched schedules).
+  double makespan_slack = 4.0;
+  /// How many best candidates to keep.
+  std::size_t top_k = 5;
+  /// Also retain every legal candidate (for pareto_front()).
+  bool keep_all_legal = false;
+};
+
+struct Candidate {
+  AffineMap map;
+  CostReport cost;
+  double merit = 0.0;
+};
+
+struct SearchResult {
+  bool found = false;
+  Candidate best;
+  std::vector<Candidate> top;  ///< up to top_k, best first
+  std::uint64_t enumerated = 0;
+  std::uint64_t quick_rejected = 0;
+  std::uint64_t verify_rejected = 0;
+  std::uint64_t legal = 0;
+  /// Filled when SearchOptions::keep_all_legal is set.
+  std::vector<Candidate> all_legal;
+};
+
+/// The (makespan, energy) Pareto-optimal subset of `candidates` — the
+/// paper's "execution time, energy per op, ... or some combination" made
+/// explicit: everything on the front is a defensible design point.
+/// Sorted by ascending makespan.
+[[nodiscard]] std::vector<Candidate> pareto_front(
+    const std::vector<Candidate>& candidates);
+
+/// Searches mappings for `spec`, which must have exactly one computed
+/// tensor.  `input_proto` supplies the homes of all input tensors (its
+/// computed assignments, if any, are ignored).
+[[nodiscard]] SearchResult search_affine(const FunctionSpec& spec,
+                                         const MachineConfig& machine,
+                                         const Mapping& input_proto,
+                                         const SearchOptions& opts = {});
+
+}  // namespace harmony::fm

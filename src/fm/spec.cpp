@@ -1,0 +1,206 @@
+#include "fm/spec.hpp"
+
+#include <algorithm>
+
+namespace harmony::fm {
+
+TensorId FunctionSpec::add_input(std::string name, IndexDomain domain,
+                                 std::size_t bits) {
+  Tensor t{.name = std::move(name),
+           .domain = domain,
+           .is_input = true,
+           .bits = bits,
+           .cost = {},
+           .deps = nullptr,
+           .eval = nullptr,
+           .value_offset = total_values_};
+  total_values_ += domain.size();
+  tensors_.push_back(std::move(t));
+  return static_cast<TensorId>(tensors_.size() - 1);
+}
+
+TensorId FunctionSpec::add_computed(std::string name, IndexDomain domain,
+                                    DepFn deps, EvalFn eval, OpCost cost) {
+  HARMONY_REQUIRE(deps != nullptr, "add_computed: deps function required");
+  HARMONY_REQUIRE(eval != nullptr, "add_computed: eval function required");
+  Tensor t{.name = std::move(name),
+           .domain = domain,
+           .is_input = false,
+           .bits = cost.bits,
+           .cost = cost,
+           .deps = std::move(deps),
+           .eval = std::move(eval),
+           .value_offset = total_values_};
+  total_values_ += domain.size();
+  tensors_.push_back(std::move(t));
+  return static_cast<TensorId>(tensors_.size() - 1);
+}
+
+void FunctionSpec::mark_output(TensorId t) {
+  HARMONY_REQUIRE(!at(t).is_input, "mark_output: inputs cannot be outputs");
+  at(t).is_output = true;
+}
+
+std::vector<TensorId> FunctionSpec::computed_tensors() const {
+  std::vector<TensorId> out;
+  for (int t = 0; t < num_tensors(); ++t) {
+    if (!tensors_[static_cast<std::size_t>(t)].is_input) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TensorId> FunctionSpec::input_tensors() const {
+  std::vector<TensorId> out;
+  for (int t = 0; t < num_tensors(); ++t) {
+    if (tensors_[static_cast<std::size_t>(t)].is_input) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TensorId> FunctionSpec::output_tensors() const {
+  std::vector<TensorId> out;
+  for (int t = 0; t < num_tensors(); ++t) {
+    if (tensors_[static_cast<std::size_t>(t)].is_output) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<ValueRef> FunctionSpec::deps(TensorId t, const Point& p) const {
+  const Tensor& tensor = at(t);
+  HARMONY_REQUIRE(!tensor.is_input, "deps: input tensors have no deps");
+  HARMONY_ASSERT(tensor.domain.contains(p));
+  std::vector<ValueRef> refs = tensor.deps(p);
+  for (const ValueRef& r : refs) {
+    HARMONY_REQUIRE(r.tensor >= 0 && r.tensor < num_tensors(),
+                    "deps: reference to unknown tensor");
+    HARMONY_ASSERT_MSG(
+        at(r.tensor).domain.contains(r.point),
+        "deps: reference outside tensor domain (tensor " +
+            at(r.tensor).name + ")");
+  }
+  return refs;
+}
+
+double FunctionSpec::eval(TensorId t, const Point& p,
+                          const std::vector<double>& dep_values) const {
+  const Tensor& tensor = at(t);
+  HARMONY_REQUIRE(!tensor.is_input, "eval: input tensors have no eval");
+  return tensor.eval(p, dep_values);
+}
+
+std::int64_t FunctionSpec::total_values() const { return total_values_; }
+
+std::int64_t FunctionSpec::value_index(const ValueRef& r) const {
+  const Tensor& t = at(r.tensor);
+  return t.value_offset + t.domain.linearize(r.point);
+}
+
+double FunctionSpec::total_ops() const {
+  double ops = 0.0;
+  for (const Tensor& t : tensors_) {
+    if (!t.is_input) ops += t.cost.ops * static_cast<double>(t.domain.size());
+  }
+  return ops;
+}
+
+std::vector<std::vector<double>> FunctionSpec::evaluate_reference(
+    const std::vector<std::vector<double>>& inputs) const {
+  // Flat value store + computed flags; iterative worklist topological
+  // evaluation (recursion would overflow on long dependence chains).
+  std::vector<double> values(static_cast<std::size_t>(total_values_), 0.0);
+  std::vector<char> ready(static_cast<std::size_t>(total_values_), 0);
+
+  // Load inputs.
+  {
+    std::size_t input_idx = 0;
+    for (int t = 0; t < num_tensors(); ++t) {
+      const Tensor& tensor = tensors_[static_cast<std::size_t>(t)];
+      if (!tensor.is_input) continue;
+      HARMONY_REQUIRE(input_idx < inputs.size(),
+                      "evaluate_reference: missing input tensor data");
+      const auto& data = inputs[input_idx++];
+      HARMONY_REQUIRE(
+          data.size() == static_cast<std::size_t>(tensor.domain.size()),
+          "evaluate_reference: input size mismatch for " + tensor.name);
+      for (std::int64_t i = 0; i < tensor.domain.size(); ++i) {
+        values[static_cast<std::size_t>(tensor.value_offset + i)] = data[
+            static_cast<std::size_t>(i)];
+        ready[static_cast<std::size_t>(tensor.value_offset + i)] = 1;
+      }
+    }
+    HARMONY_REQUIRE(input_idx == inputs.size(),
+                    "evaluate_reference: too many input tensors supplied");
+  }
+
+  // Evaluate each computed element with an explicit DFS stack.
+  std::vector<char> on_stack(static_cast<std::size_t>(total_values_), 0);
+  for (TensorId t : computed_tensors()) {
+    const Tensor& tensor = tensors_[static_cast<std::size_t>(t)];
+    tensor.domain.for_each([&](const Point& p0) {
+      const auto root = static_cast<std::size_t>(
+          value_index(ValueRef{t, p0}));
+      if (ready[root]) return;
+      struct Frame {
+        TensorId tensor;
+        Point point;
+        std::vector<ValueRef> deps;
+        std::size_t next_dep = 0;
+      };
+      std::vector<Frame> stack;
+      stack.push_back(Frame{t, p0, deps(t, p0)});
+      on_stack[root] = 1;
+      while (!stack.empty()) {
+        Frame& f = stack.back();
+        const auto self = static_cast<std::size_t>(
+            value_index(ValueRef{f.tensor, f.point}));
+        bool descended = false;
+        while (f.next_dep < f.deps.size()) {
+          const ValueRef& d = f.deps[f.next_dep];
+          const auto di = static_cast<std::size_t>(value_index(d));
+          if (ready[di]) {
+            ++f.next_dep;
+            continue;
+          }
+          if (on_stack[di]) {
+            throw SimulationError(
+                "FunctionSpec: cyclic dependence involving tensor " +
+                at(d.tensor).name);
+          }
+          HARMONY_REQUIRE(!at(d.tensor).is_input,
+                          "evaluate_reference: unready input value");
+          on_stack[di] = 1;
+          stack.push_back(Frame{d.tensor, d.point, deps(d.tensor, d.point)});
+          descended = true;
+          break;
+        }
+        if (descended) continue;
+        // All deps ready: evaluate.
+        std::vector<double> dep_values;
+        dep_values.reserve(f.deps.size());
+        for (const ValueRef& d : f.deps) {
+          dep_values.push_back(values[static_cast<std::size_t>(
+              value_index(d))]);
+        }
+        values[self] = eval(f.tensor, f.point, dep_values);
+        ready[self] = 1;
+        on_stack[self] = 0;
+        stack.pop_back();
+      }
+    });
+  }
+
+  // Extract outputs in tensor order.
+  std::vector<std::vector<double>> out;
+  for (TensorId t : output_tensors()) {
+    const Tensor& tensor = tensors_[static_cast<std::size_t>(t)];
+    std::vector<double> data(static_cast<std::size_t>(tensor.domain.size()));
+    for (std::int64_t i = 0; i < tensor.domain.size(); ++i) {
+      data[static_cast<std::size_t>(i)] =
+          values[static_cast<std::size_t>(tensor.value_offset + i)];
+    }
+    out.push_back(std::move(data));
+  }
+  return out;
+}
+
+}  // namespace harmony::fm

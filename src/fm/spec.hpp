@@ -1,0 +1,135 @@
+// FunctionSpec: the "function" half of the F&M model (Dally, paper §3).
+//
+// "The function can be specified by a functional program that describes
+//  how each element of a computation is computed from earlier elements.
+//  No ordering — other than that imposed by data dependencies — is
+//  specified.  By its nature, a definition exposes all available
+//  parallelism in the computation."
+//
+// A FunctionSpec holds a set of logical tensors.  *Input* tensors carry
+// externally supplied values.  *Computed* tensors define one value per
+// domain point through
+//   - a dependence function  deps(p)  -> the values each element reads,
+//   - a semantic function    eval(p, dep_values) -> double, and
+//   - an operation cost      (op count x bit width).
+//
+// The dependence function is the contract the mapping legality checker
+// and the cost evaluator consume; the semantic function lets the grid
+// machine execute the spec on real data so mapped results can be
+// validated against a direct evaluation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fm/domain.hpp"
+#include "support/error.hpp"
+
+namespace harmony::fm {
+
+using TensorId = int;
+
+/// A reference to one value: element `point` of tensor `tensor`.
+struct ValueRef {
+  TensorId tensor = -1;
+  Point point;
+  friend bool operator==(const ValueRef&, const ValueRef&) = default;
+};
+
+/// deps(p): the values element p reads.  Must be pure and cheap — it is
+/// re-evaluated by the verifier, the cost model, and the machine.
+using DepFn = std::function<std::vector<ValueRef>(const Point&)>;
+
+/// eval(p, values-of-deps-in-order): the element's numeric semantics.
+using EvalFn =
+    std::function<double(const Point&, const std::vector<double>&)>;
+
+struct OpCost {
+  double ops = 1.0;        ///< ALU operations per element
+  std::size_t bits = 32;   ///< operand width
+};
+
+class FunctionSpec {
+ public:
+  /// Declares an input tensor (externally supplied values).
+  TensorId add_input(std::string name, IndexDomain domain,
+                     std::size_t bits = 32);
+
+  /// Declares a computed tensor.
+  TensorId add_computed(std::string name, IndexDomain domain, DepFn deps,
+                        EvalFn eval, OpCost cost = {});
+
+  /// Marks a computed tensor as an output of the whole function.
+  void mark_output(TensorId t);
+
+  // --- introspection ---
+  [[nodiscard]] int num_tensors() const {
+    return static_cast<int>(tensors_.size());
+  }
+  [[nodiscard]] const std::string& name(TensorId t) const {
+    return at(t).name;
+  }
+  [[nodiscard]] const IndexDomain& domain(TensorId t) const {
+    return at(t).domain;
+  }
+  [[nodiscard]] bool is_input(TensorId t) const { return at(t).is_input; }
+  [[nodiscard]] bool is_output(TensorId t) const { return at(t).is_output; }
+  [[nodiscard]] const OpCost& cost(TensorId t) const { return at(t).cost; }
+  [[nodiscard]] std::size_t bits(TensorId t) const { return at(t).bits; }
+  [[nodiscard]] std::vector<TensorId> computed_tensors() const;
+  [[nodiscard]] std::vector<TensorId> input_tensors() const;
+  [[nodiscard]] std::vector<TensorId> output_tensors() const;
+
+  /// Dependences of element p of computed tensor t.  Every returned ref
+  /// is validated to lie inside its tensor's domain.
+  [[nodiscard]] std::vector<ValueRef> deps(TensorId t, const Point& p) const;
+
+  /// Semantics of element p given its dependence values.
+  [[nodiscard]] double eval(TensorId t, const Point& p,
+                            const std::vector<double>& dep_values) const;
+
+  /// Total number of values across all tensors; per-tensor dense offsets
+  /// for flat indexing (tensor-major, row-major within a tensor).
+  [[nodiscard]] std::int64_t total_values() const;
+  [[nodiscard]] std::int64_t value_index(const ValueRef& r) const;
+
+  /// Total ALU work of one evaluation of the function.
+  [[nodiscard]] double total_ops() const;
+
+  /// Reference execution: evaluates every computed tensor directly in
+  /// dependence order (topological; throws SimulationError on a cycle).
+  /// `inputs[t]` supplies input tensor t in row-major order.
+  [[nodiscard]] std::vector<std::vector<double>> evaluate_reference(
+      const std::vector<std::vector<double>>& inputs) const;
+
+ private:
+  struct Tensor {
+    std::string name;
+    IndexDomain domain;
+    bool is_input = false;
+    bool is_output = false;
+    std::size_t bits = 32;
+    OpCost cost;
+    DepFn deps;
+    EvalFn eval;
+    std::int64_t value_offset = 0;  // into the flat value index space
+  };
+
+  const Tensor& at(TensorId t) const {
+    HARMONY_REQUIRE(t >= 0 && t < num_tensors(),
+                    "FunctionSpec: bad tensor id");
+    return tensors_[static_cast<std::size_t>(t)];
+  }
+  Tensor& at(TensorId t) {
+    HARMONY_REQUIRE(t >= 0 && t < num_tensors(),
+                    "FunctionSpec: bad tensor id");
+    return tensors_[static_cast<std::size_t>(t)];
+  }
+
+  std::vector<Tensor> tensors_;
+  std::int64_t total_values_ = 0;
+};
+
+}  // namespace harmony::fm

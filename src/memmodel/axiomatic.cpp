@@ -1,0 +1,276 @@
+// Axiomatic SC / x86-TSO / PSO candidate-execution checker (litmus.hpp).
+//
+// Candidate executions: every load picks a reads-from source (a store to
+// the same location, or the initial value); every location picks a total
+// coherence order over its stores.  A candidate is consistent when:
+//
+//   SC:   acyclic(po u rf u co u fr)
+//   TSO:  acyclic(po-loc u rf u co u fr)                ["uniproc"]
+//         and acyclic(ppo u mfence u rfe u co u fr)     ["ghb"]
+//         where ppo = po \ (store -> load), rfe = inter-thread rf,
+//         mfence = pairs separated in po by a fence.
+//
+// References: Alglave, Maranget, Tautschnig, "Herding cats" (TOPLAS 2014)
+// — the TSO instance of the framework.
+#include <algorithm>
+#include <numeric>
+
+#include "memmodel/litmus.hpp"
+
+namespace harmony::memmodel {
+
+namespace {
+
+struct Event {
+  int id;
+  int thread;
+  int index;  // position in thread
+  OpType type;
+  int loc;
+  int value;  // store value (assigned); for loads filled per candidate
+};
+
+/// Simple DFS cycle detector over an adjacency matrix.
+class Graph {
+ public:
+  explicit Graph(int n) : n_(n), adj_(static_cast<std::size_t>(n * n), 0) {}
+  void edge(int a, int b) {
+    adj_[static_cast<std::size_t>(a * n_ + b)] = 1;
+  }
+  [[nodiscard]] bool acyclic() const {
+    std::vector<int> state(static_cast<std::size_t>(n_), 0);  // 0/1/2
+    for (int v = 0; v < n_; ++v) {
+      if (state[static_cast<std::size_t>(v)] == 0 && has_cycle(v, state)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  bool has_cycle(int v, std::vector<int>& state) const {
+    state[static_cast<std::size_t>(v)] = 1;
+    for (int w = 0; w < n_; ++w) {
+      if (!adj_[static_cast<std::size_t>(v * n_ + w)]) continue;
+      if (state[static_cast<std::size_t>(w)] == 1) return true;
+      if (state[static_cast<std::size_t>(w)] == 0 &&
+          has_cycle(w, state)) {
+        return true;
+      }
+    }
+    state[static_cast<std::size_t>(v)] = 2;
+    return false;
+  }
+  int n_;
+  std::vector<char> adj_;
+};
+
+}  // namespace
+
+CheckResult check_axiomatic(const LitmusTest& test, Model model) {
+  HARMONY_REQUIRE(test.condition != nullptr,
+                  "check_axiomatic: test has no condition");
+  HARMONY_REQUIRE(!test.uses_rmw(),
+                  "check_axiomatic: RMW is not supported by the axiomatic "
+                  "checker; use check_operational");
+
+  // Flatten events.
+  std::vector<Event> events;
+  std::vector<int> loads;                       // event ids
+  std::vector<std::vector<int>> stores_of_loc(  // event ids per location
+      static_cast<std::size_t>(test.num_locs));
+  for (std::size_t t = 0; t < test.threads.size(); ++t) {
+    for (std::size_t i = 0; i < test.threads[t].size(); ++i) {
+      const Op& op = test.threads[t][i];
+      const int id = static_cast<int>(events.size());
+      events.push_back(Event{id, static_cast<int>(t),
+                             static_cast<int>(i), op.type, op.loc,
+                             op.value});
+      if (op.type == OpType::kLoad) loads.push_back(id);
+      if (op.type == OpType::kStore) {
+        stores_of_loc[static_cast<std::size_t>(op.loc)].push_back(id);
+      }
+    }
+  }
+  const int n = static_cast<int>(events.size());
+
+  CheckResult result;
+
+  // Enumerate rf choices: per load, index into {-1 (init)} u stores(loc).
+  std::vector<int> rf_choice(loads.size(), -1);
+  // Enumerate co: a permutation per location.
+  std::vector<std::vector<int>> co_perm(
+      static_cast<std::size_t>(test.num_locs));
+  for (int l = 0; l < test.num_locs; ++l) {
+    auto& perm = co_perm[static_cast<std::size_t>(l)];
+    perm.resize(stores_of_loc[static_cast<std::size_t>(l)].size());
+    std::iota(perm.begin(), perm.end(), 0);
+  }
+
+  // Recursive enumeration over loads, then permutations per location.
+  auto check_candidate = [&]() {
+    ++result.executions_explored;
+    // co position per store event (for fr derivation).
+    std::vector<int> co_pos(static_cast<std::size_t>(n), -1);
+    for (int l = 0; l < test.num_locs; ++l) {
+      const auto& sl = stores_of_loc[static_cast<std::size_t>(l)];
+      const auto& perm = co_perm[static_cast<std::size_t>(l)];
+      for (std::size_t k = 0; k < perm.size(); ++k) {
+        co_pos[static_cast<std::size_t>(
+            sl[static_cast<std::size_t>(perm[k])])] =
+            static_cast<int>(k);
+      }
+    }
+
+    // Build relations.
+    Graph sc_graph(n), uniproc(n), ghb(n);
+    const bool tso = model != Model::kSc;  // any store-buffer model
+    const bool pso = model == Model::kPso;
+
+    // po (and derived ppo / po-loc / mfence).
+    for (std::size_t t = 0; t < test.threads.size(); ++t) {
+      std::vector<int> ids;
+      for (const Event& e : events) {
+        if (e.thread == static_cast<int>(t)) ids.push_back(e.id);
+      }
+      for (std::size_t a = 0; a < ids.size(); ++a) {
+        for (std::size_t b = a + 1; b < ids.size(); ++b) {
+          const Event& ea = events[static_cast<std::size_t>(ids[a])];
+          const Event& eb = events[static_cast<std::size_t>(ids[b])];
+          if (ea.type == OpType::kFence || eb.type == OpType::kFence) {
+            continue;  // fences matter only through the mfence relation
+          }
+          sc_graph.edge(ea.id, eb.id);
+          if (ea.loc == eb.loc) uniproc.edge(ea.id, eb.id);
+          if (tso) {
+            // Pairs the buffer may reorder: W->R (TSO and PSO), and
+            // W->W to a *different* location (PSO only; same-location
+            // order is preserved by the per-location FIFO).
+            const bool is_wr = ea.type == OpType::kStore &&
+                               eb.type == OpType::kLoad;
+            const bool is_ww_diff = pso &&
+                                    ea.type == OpType::kStore &&
+                                    eb.type == OpType::kStore &&
+                                    ea.loc != eb.loc;
+            bool fence_between = false;
+            for (std::size_t c = a + 1; c < b; ++c) {
+              if (events[static_cast<std::size_t>(ids[c])].type ==
+                  OpType::kFence) {
+                fence_between = true;
+                break;
+              }
+            }
+            if ((!is_wr && !is_ww_diff) || fence_between) {
+              ghb.edge(ea.id, eb.id);
+            }
+          }
+        }
+      }
+    }
+
+    // rf, fr.
+    std::vector<std::vector<std::int64_t>> regs(test.threads.size());
+    for (std::size_t t = 0; t < test.threads.size(); ++t) {
+      regs[t].assign(test.threads[t].size(), 0);
+    }
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+      const Event& load = events[static_cast<std::size_t>(loads[li])];
+      const auto& sl = stores_of_loc[static_cast<std::size_t>(load.loc)];
+      const int choice = rf_choice[li];
+      if (choice >= 0) {
+        const Event& src = events[static_cast<std::size_t>(
+            sl[static_cast<std::size_t>(choice)])];
+        regs[static_cast<std::size_t>(load.thread)]
+            [static_cast<std::size_t>(load.index)] = src.value;
+        sc_graph.edge(src.id, load.id);
+        uniproc.edge(src.id, load.id);
+        if (tso && src.thread != load.thread) ghb.edge(src.id, load.id);
+        // fr: load -> every store co-after its source.
+        for (int sid : sl) {
+          if (co_pos[static_cast<std::size_t>(sid)] >
+              co_pos[static_cast<std::size_t>(src.id)]) {
+            sc_graph.edge(load.id, sid);
+            uniproc.edge(load.id, sid);
+            if (tso) ghb.edge(load.id, sid);
+          }
+        }
+      } else {
+        // Reads the initial value 0: fr to every store on the location.
+        for (int sid : sl) {
+          sc_graph.edge(load.id, sid);
+          uniproc.edge(load.id, sid);
+          if (tso) ghb.edge(load.id, sid);
+        }
+      }
+    }
+
+    // co edges (successive pairs suffice for cycle detection together
+    // with the explicit fr edges above).
+    for (int l = 0; l < test.num_locs; ++l) {
+      const auto& sl = stores_of_loc[static_cast<std::size_t>(l)];
+      const auto& perm = co_perm[static_cast<std::size_t>(l)];
+      for (std::size_t k = 0; k + 1 < perm.size(); ++k) {
+        const int a = sl[static_cast<std::size_t>(perm[k])];
+        const int b = sl[static_cast<std::size_t>(perm[k + 1])];
+        sc_graph.edge(a, b);
+        uniproc.edge(a, b);
+        if (tso) ghb.edge(a, b);
+      }
+    }
+
+    // Axioms.
+    bool consistent;
+    if (tso) {
+      consistent = uniproc.acyclic() && ghb.acyclic();
+    } else {
+      consistent = sc_graph.acyclic();
+    }
+    if (!consistent) return;
+    ++result.states_visited;
+
+    // Final memory: co-last store per location (or 0).
+    FinalState fs;
+    fs.regs = regs;
+    fs.mem.assign(static_cast<std::size_t>(test.num_locs), 0);
+    for (int l = 0; l < test.num_locs; ++l) {
+      const auto& sl = stores_of_loc[static_cast<std::size_t>(l)];
+      const auto& perm = co_perm[static_cast<std::size_t>(l)];
+      if (!perm.empty()) {
+        fs.mem[static_cast<std::size_t>(l)] =
+            events[static_cast<std::size_t>(
+                       sl[static_cast<std::size_t>(perm.back())])]
+                .value;
+      }
+    }
+    if (test.condition(fs)) result.condition_reachable = true;
+  };
+
+  // Nested enumeration: permutations (per location) x rf choices.
+  auto enumerate_perms = [&](auto&& self, std::size_t loc) -> void {
+    if (loc == co_perm.size()) {
+      check_candidate();
+      return;
+    }
+    auto& perm = co_perm[loc];
+    std::sort(perm.begin(), perm.end());
+    do {
+      self(self, loc + 1);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  };
+  auto enumerate_rf = [&](auto&& self, std::size_t li) -> void {
+    if (li == loads.size()) {
+      enumerate_perms(enumerate_perms, 0);
+      return;
+    }
+    const Event& load = events[static_cast<std::size_t>(loads[li])];
+    const auto& sl = stores_of_loc[static_cast<std::size_t>(load.loc)];
+    for (int c = -1; c < static_cast<int>(sl.size()); ++c) {
+      rf_choice[li] = c;
+      self(self, li + 1);
+    }
+  };
+  enumerate_rf(enumerate_rf, 0);
+  return result;
+}
+
+}  // namespace harmony::memmodel

@@ -1,0 +1,220 @@
+// The classic litmus-test library (see litmus.hpp).
+#include "memmodel/litmus.hpp"
+
+namespace harmony::memmodel {
+
+namespace {
+/// reg(t, i): value observed by op i of thread t.
+std::int64_t reg(const FinalState& s, std::size_t t, std::size_t i) {
+  return s.regs[t][i];
+}
+}  // namespace
+
+LitmusTest store_buffering() {
+  LitmusTest t;
+  t.name = "SB";
+  t.num_locs = 2;
+  t.threads = {
+      {Op::store(0, 1), Op::load(1)},
+      {Op::store(1, 1), Op::load(0)},
+  };
+  // r0 == 0 && r1 == 0: both threads miss each other's store.
+  t.condition = [](const FinalState& s) {
+    return reg(s, 0, 1) == 0 && reg(s, 1, 1) == 0;
+  };
+  t.allowed_sc = false;
+  t.allowed_tso = true;  // the signature TSO relaxation
+  t.allowed_pso = true;
+  return t;
+}
+
+LitmusTest store_buffering_fenced() {
+  LitmusTest t;
+  t.name = "SB+mfences";
+  t.num_locs = 2;
+  t.threads = {
+      {Op::store(0, 1), Op::fence(), Op::load(1)},
+      {Op::store(1, 1), Op::fence(), Op::load(0)},
+  };
+  t.condition = [](const FinalState& s) {
+    return reg(s, 0, 2) == 0 && reg(s, 1, 2) == 0;
+  };
+  t.allowed_sc = false;
+  t.allowed_tso = false;  // fences restore SC here
+  t.allowed_pso = false;
+  return t;
+}
+
+LitmusTest message_passing() {
+  LitmusTest t;
+  t.name = "MP";
+  t.num_locs = 2;  // x0 = data, x1 = flag
+  t.threads = {
+      {Op::store(0, 42), Op::store(1, 1)},
+      {Op::load(1), Op::load(0)},
+  };
+  // flag observed set but data not yet visible.
+  t.condition = [](const FinalState& s) {
+    return reg(s, 1, 0) == 1 && reg(s, 1, 1) == 0;
+  };
+  t.allowed_sc = false;
+  t.allowed_tso = false;  // TSO keeps W->W and R->R order
+  t.allowed_pso = true;  // PSO reorders the data/flag writes
+  return t;
+}
+
+LitmusTest load_buffering() {
+  LitmusTest t;
+  t.name = "LB";
+  t.num_locs = 2;
+  t.threads = {
+      {Op::load(0), Op::store(1, 1)},
+      {Op::load(1), Op::store(0, 1)},
+  };
+  // Both loads observe the other thread's (po-later) store.
+  t.condition = [](const FinalState& s) {
+    return reg(s, 0, 0) == 1 && reg(s, 1, 0) == 1;
+  };
+  t.allowed_sc = false;
+  t.allowed_tso = false;  // TSO does not reorder R->W
+  t.allowed_pso = false;  // nor does PSO
+  return t;
+}
+
+LitmusTest iriw() {
+  LitmusTest t;
+  t.name = "IRIW";
+  t.num_locs = 2;
+  t.threads = {
+      {Op::store(0, 1)},
+      {Op::store(1, 1)},
+      {Op::load(0), Op::load(1)},
+      {Op::load(1), Op::load(0)},
+  };
+  // The two readers observe the writes in opposite orders.
+  t.condition = [](const FinalState& s) {
+    return reg(s, 2, 0) == 1 && reg(s, 2, 1) == 0 &&
+           reg(s, 3, 0) == 1 && reg(s, 3, 1) == 0;
+  };
+  t.allowed_sc = false;
+  t.allowed_tso = false;  // TSO is multi-copy atomic
+  t.allowed_pso = false;  // PSO too (single shared memory)
+  return t;
+}
+
+LitmusTest two_plus_two_w() {
+  LitmusTest t;
+  t.name = "2+2W";
+  t.num_locs = 2;
+  t.threads = {
+      {Op::store(0, 1), Op::store(1, 2)},
+      {Op::store(1, 1), Op::store(0, 2)},
+  };
+  // Both locations end with the po-first values: requires a co cycle.
+  t.condition = [](const FinalState& s) {
+    return s.mem[0] == 1 && s.mem[1] == 1;
+  };
+  t.allowed_sc = false;
+  t.allowed_tso = false;
+  t.allowed_pso = true;  // per-location buffers drain in either order
+  return t;
+}
+
+LitmusTest corr() {
+  LitmusTest t;
+  t.name = "CoRR";
+  t.num_locs = 1;
+  t.threads = {
+      {Op::store(0, 1)},
+      {Op::load(0), Op::load(0)},
+  };
+  // New value then old value: violates per-location coherence.
+  t.condition = [](const FinalState& s) {
+    return reg(s, 1, 0) == 1 && reg(s, 1, 1) == 0;
+  };
+  t.allowed_sc = false;
+  t.allowed_tso = false;
+  t.allowed_pso = false;  // per-location coherence survives
+  return t;
+}
+
+LitmusTest store_buffering_rmw() {
+  LitmusTest t;
+  t.name = "SB+rmws";
+  t.num_locs = 2;
+  t.threads = {
+      {Op::rmw(0, 1), Op::load(1)},
+      {Op::rmw(1, 1), Op::load(0)},
+  };
+  t.condition = [](const FinalState& s) {
+    return reg(s, 0, 1) == 0 && reg(s, 1, 1) == 0;
+  };
+  t.allowed_sc = false;
+  t.allowed_tso = false;  // RMW drains the store buffer (locked op)
+  t.allowed_pso = false;
+  return t;
+}
+
+LitmusTest r_test() {
+  LitmusTest t;
+  t.name = "R";
+  t.num_locs = 2;  // x0 = x, x1 = y
+  t.threads = {
+      {Op::store(0, 1), Op::store(1, 1)},
+      {Op::store(1, 2), Op::load(0)},
+  };
+  // y finishes at T1's value while T1's read missed T0's x.
+  t.condition = [](const FinalState& s) {
+    return s.mem[1] == 2 && reg(s, 1, 1) == 0;
+  };
+  t.allowed_sc = false;
+  t.allowed_tso = true;  // T1's W->R reorders
+  t.allowed_pso = true;
+  return t;
+}
+
+LitmusTest s_test() {
+  LitmusTest t;
+  t.name = "S";
+  t.num_locs = 2;  // x0 = x, x1 = y
+  t.threads = {
+      {Op::store(0, 2), Op::store(1, 1)},
+      {Op::load(1), Op::store(0, 1)},
+  };
+  // T1 saw y=1 (so T0's stores "happened"), wrote x=1, yet x ends at 2.
+  t.condition = [](const FinalState& s) {
+    return reg(s, 1, 0) == 1 && s.mem[0] == 2;
+  };
+  t.allowed_sc = false;
+  t.allowed_tso = false;  // needs T0's W->W to reorder
+  t.allowed_pso = true;   // per-location buffers deliver y=1 before x=2
+  return t;
+}
+
+LitmusTest cowr() {
+  LitmusTest t;
+  t.name = "CoWR";
+  t.num_locs = 1;
+  t.threads = {
+      {Op::store(0, 1), Op::load(0)},
+      {Op::store(0, 2)},
+  };
+  // T0 reads the external 2 past its own buffered/committed 1, yet 1
+  // wins the coherence order — forbidden by per-location coherence.
+  t.condition = [](const FinalState& s) {
+    return reg(s, 0, 1) == 2 && s.mem[0] == 1;
+  };
+  t.allowed_sc = false;
+  t.allowed_tso = false;
+  t.allowed_pso = false;
+  return t;
+}
+
+std::vector<LitmusTest> classic_suite() {
+  return {store_buffering(),  store_buffering_fenced(), message_passing(),
+          load_buffering(),   iriw(),                   two_plus_two_w(),
+          corr(),             store_buffering_rmw(),    r_test(),
+          s_test(),           cowr()};
+}
+
+}  // namespace harmony::memmodel

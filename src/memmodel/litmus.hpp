@@ -1,0 +1,162 @@
+// Litmus-test programs and memory-model checkers (Martonosi, paper §4).
+//
+// "I will advocate for a shift towards formal specifications that support
+//  automated full-stack verification for correctness and security."
+//
+// This module is that idea in miniature, applied to the hardware memory
+// consistency interface (Martonosi's own research area): small multi-
+// threaded programs ("litmus tests") are checked against two formal
+// specifications of the architecture —
+//
+//   * an *operational* model (SC: all interleavings; TSO: per-thread FIFO
+//     store buffers with explicit flush transitions), explored
+//     exhaustively with memoized state-space search; and
+//   * an *axiomatic* model (candidate executions = reads-from + coherence
+//     choices, validated by acyclicity axioms: SC = acyclic(po u com);
+//     x86-TSO = uniproc + acyclic(ppo u fence u rfe u co u fr) with
+//     ppo = po minus store->load).
+//
+// The two specifications are independent implementations; the test suite
+// requires them to agree on every litmus test, and bench E10 reports the
+// classic allowed/forbidden table plus enumeration throughput.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace harmony::memmodel {
+
+enum class OpType {
+  kLoad,   ///< reg := mem[loc]
+  kStore,  ///< mem[loc] := value
+  kFence,  ///< full fence (MFENCE): drains the store buffer
+  kRmw,    ///< atomic reg := fetch_add(mem[loc], value)
+};
+
+struct Op {
+  OpType type;
+  int loc = 0;    ///< location index (kLoad/kStore/kRmw)
+  int value = 0;  ///< stored value (kStore) / addend (kRmw)
+
+  [[nodiscard]] static Op load(int loc) { return {OpType::kLoad, loc, 0}; }
+  [[nodiscard]] static Op store(int loc, int value) {
+    return {OpType::kStore, loc, value};
+  }
+  [[nodiscard]] static Op fence() { return {OpType::kFence, 0, 0}; }
+  [[nodiscard]] static Op rmw(int loc, int addend) {
+    return {OpType::kRmw, loc, addend};
+  }
+};
+
+/// Register file of one finished execution: regs[t][i] is the value
+/// observed by the i-th op of thread t (loads and RMWs; 0 otherwise).
+struct FinalState {
+  std::vector<std::vector<std::int64_t>> regs;
+  std::vector<std::int64_t> mem;
+};
+
+using Condition = std::function<bool(const FinalState&)>;
+
+struct LitmusTest {
+  std::string name;
+  int num_locs = 0;
+  std::vector<std::vector<Op>> threads;
+  /// The interesting final condition (e.g. "both loads saw 0").
+  Condition condition;
+  /// Ground truth for the classic tests (used by the test suite).
+  bool allowed_sc = false;
+  bool allowed_tso = false;
+  bool allowed_pso = false;
+  [[nodiscard]] bool uses_rmw() const;
+};
+
+struct CheckResult {
+  bool condition_reachable = false;
+  std::uint64_t executions_explored = 0;  ///< final states / candidates
+  std::uint64_t states_visited = 0;       ///< operational: distinct states
+  /// A witness interleaving when reachable (operational checkers):
+  /// sequence of "T<t>:<op>" / "flush T<t>" labels.
+  std::optional<std::vector<std::string>> witness;
+};
+
+/// kSc  — sequential consistency (atomic interleavings).
+/// kTso — x86-TSO: per-thread FIFO store buffer (W->R reordering).
+/// kPso — SPARC-PSO-style: per-(thread, location) store buffers
+///        (W->R and W->W reordering; R->R / R->W stay ordered).
+enum class Model { kSc, kTso, kPso };
+
+/// Exhaustive operational exploration.
+[[nodiscard]] CheckResult check_operational(const LitmusTest& test,
+                                            Model model);
+
+/// Axiomatic candidate-execution enumeration.  RMW is not supported here
+/// (throws InvalidArgument); the classic tests below avoid it except
+/// where noted.
+[[nodiscard]] CheckResult check_axiomatic(const LitmusTest& test,
+                                          Model model);
+
+// --- fence synthesis ---------------------------------------------------
+//
+// Martonosi's "automated verification" turned into repair: given a test
+// whose condition is a *violation* (must never be observable), find the
+// minimal sets of fences that forbid it under the given model.
+
+struct FencePlacement {
+  int thread = 0;
+  int before_op = 0;  ///< fence inserted before this op index
+  friend bool operator==(const FencePlacement&,
+                         const FencePlacement&) = default;
+};
+
+struct FenceSynthesisResult {
+  bool already_forbidden = false;
+  /// All minimal (by cardinality) fence sets that forbid the condition;
+  /// empty if no fence set works (e.g. single-thread coherence bugs).
+  std::vector<std::vector<FencePlacement>> minimal_sets;
+  std::uint64_t candidates_tried = 0;
+};
+
+/// Exhaustively tries fence insertions (smallest sets first) and returns
+/// every minimal set under which `check_operational(test', model)` makes
+/// the condition unreachable.
+[[nodiscard]] FenceSynthesisResult synthesize_fences(const LitmusTest& test,
+                                                     Model model);
+
+// --- the classic litmus library --------------------------------------
+
+/// SB: Dekker store buffering — allowed on TSO, forbidden on SC.
+[[nodiscard]] LitmusTest store_buffering();
+/// MP: message passing — forbidden on SC and TSO.
+[[nodiscard]] LitmusTest message_passing();
+/// LB: load buffering — forbidden on SC and TSO.
+[[nodiscard]] LitmusTest load_buffering();
+/// SB+mfences: store buffering with fences — forbidden on TSO too.
+[[nodiscard]] LitmusTest store_buffering_fenced();
+/// IRIW: independent reads of independent writes — forbidden on SC & TSO.
+[[nodiscard]] LitmusTest iriw();
+/// 2+2W: write serialization — forbidden on SC and TSO.
+[[nodiscard]] LitmusTest two_plus_two_w();
+/// CoRR: read-read coherence on one location — forbidden everywhere.
+[[nodiscard]] LitmusTest corr();
+/// SB with RMWs instead of plain stores — forbidden on TSO (RMW drains
+/// the buffer); operational checkers only.
+[[nodiscard]] LitmusTest store_buffering_rmw();
+/// R: write-serialization vs stale read — forbidden on SC, allowed on
+/// TSO and PSO (the reader's W->R pair reorders).
+[[nodiscard]] LitmusTest r_test();
+/// S: the PSO discriminator — forbidden on SC and TSO, allowed on PSO
+/// (needs W->W reordering, which TSO forbids).
+[[nodiscard]] LitmusTest s_test();
+/// CoWR: a read po-after a same-location write cannot see a value the
+/// write is co-after — forbidden on all three models (coherence).
+[[nodiscard]] LitmusTest cowr();
+
+/// All of the above, for table-driven tests and bench E10.
+[[nodiscard]] std::vector<LitmusTest> classic_suite();
+
+}  // namespace harmony::memmodel

@@ -1,0 +1,316 @@
+// Operational SC / x86-TSO / PSO model exploration and fence synthesis
+// (see litmus.hpp).
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <unordered_set>
+
+#include "memmodel/litmus.hpp"
+
+namespace harmony::memmodel {
+
+bool LitmusTest::uses_rmw() const {
+  for (const auto& th : threads) {
+    for (const Op& op : th) {
+      if (op.type == OpType::kRmw) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+struct MachineState {
+  std::vector<int> pc;
+  std::vector<std::int64_t> mem;
+  std::vector<std::vector<std::int64_t>> regs;
+  // TSO store buffers: FIFO of (loc, value) per thread.  Empty under SC.
+  std::vector<std::deque<std::pair<int, std::int64_t>>> buffers;
+
+  [[nodiscard]] std::string key() const {
+    std::string k;
+    k.reserve(64);
+    auto put = [&k](std::int64_t v) {
+      k.append(reinterpret_cast<const char*>(&v), sizeof v);
+    };
+    for (int p : pc) put(p);
+    for (std::int64_t m : mem) put(m);
+    for (const auto& r : regs) {
+      for (std::int64_t v : r) put(v);
+    }
+    for (const auto& b : buffers) {
+      put(static_cast<std::int64_t>(b.size()));
+      for (const auto& [loc, val] : b) {
+        put(loc);
+        put(val);
+      }
+    }
+    return k;
+  }
+};
+
+class Explorer {
+ public:
+  Explorer(const LitmusTest& test, Model model)
+      : test_(test), model_(model) {
+    HARMONY_REQUIRE(test.condition != nullptr,
+                    "check_operational: test has no condition");
+  }
+
+  CheckResult run() {
+    MachineState init;
+    const auto nt = test_.threads.size();
+    init.pc.assign(nt, 0);
+    init.mem.assign(static_cast<std::size_t>(test_.num_locs), 0);
+    init.regs.resize(nt);
+    for (std::size_t t = 0; t < nt; ++t) {
+      init.regs[t].assign(test_.threads[t].size(), 0);
+    }
+    init.buffers.resize(nt);
+    dfs(init);
+    return result_;
+  }
+
+ private:
+  [[nodiscard]] bool is_final(const MachineState& s) const {
+    for (std::size_t t = 0; t < s.pc.size(); ++t) {
+      if (s.pc[t] < static_cast<int>(test_.threads[t].size())) return false;
+      if (!s.buffers[t].empty()) return false;
+    }
+    return true;
+  }
+
+  void dfs(const MachineState& s) {
+    const std::string k = s.key();
+    if (!visited_.insert(k).second) return;
+    ++result_.states_visited;
+
+    if (is_final(s)) {
+      ++result_.executions_explored;
+      if (!result_.condition_reachable &&
+          test_.condition(FinalState{s.regs, s.mem})) {
+        result_.condition_reachable = true;
+        result_.witness = path_;
+      }
+      return;
+    }
+
+    for (std::size_t t = 0; t < s.pc.size(); ++t) {
+      // Instruction step.
+      if (s.pc[t] < static_cast<int>(test_.threads[t].size())) {
+        const Op& op = test_.threads[t][static_cast<std::size_t>(s.pc[t])];
+        if (enabled(s, t, op)) {
+          MachineState next = s;
+          const std::string label = step(next, t, op);
+          path_.push_back(label);
+          dfs(next);
+          path_.pop_back();
+        }
+      }
+      // Buffer flush steps.
+      if (model_ == Model::kTso && !s.buffers[t].empty()) {
+        // TSO: one FIFO per thread — only the oldest entry may drain.
+        MachineState next = s;
+        const auto [loc, val] = next.buffers[t].front();
+        next.buffers[t].pop_front();
+        next.mem[static_cast<std::size_t>(loc)] = val;
+        path_.push_back("flush T" + std::to_string(t));
+        dfs(next);
+        path_.pop_back();
+      } else if (model_ == Model::kPso && !s.buffers[t].empty()) {
+        // PSO: FIFO per (thread, location) — the oldest entry of *each*
+        // location may drain, so writes to different locations reorder.
+        std::vector<char> seen_loc(
+            static_cast<std::size_t>(test_.num_locs), 0);
+        for (std::size_t e = 0; e < s.buffers[t].size(); ++e) {
+          const int loc = s.buffers[t][e].first;
+          if (seen_loc[static_cast<std::size_t>(loc)]) {
+            continue;  // not the oldest for its location
+          }
+          seen_loc[static_cast<std::size_t>(loc)] = 1;
+          MachineState next = s;
+          const auto [l, val] = next.buffers[t][e];
+          next.buffers[t].erase(next.buffers[t].begin() +
+                                static_cast<std::ptrdiff_t>(e));
+          next.mem[static_cast<std::size_t>(l)] = val;
+          path_.push_back("flush T" + std::to_string(t) + " x" +
+                          std::to_string(l));
+          dfs(next);
+          path_.pop_back();
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool enabled(const MachineState& s, std::size_t t,
+                             const Op& op) const {
+    if (model_ == Model::kSc) return true;
+    // TSO: fences and RMWs require an empty store buffer.
+    if (op.type == OpType::kFence || op.type == OpType::kRmw) {
+      return s.buffers[t].empty();
+    }
+    return true;
+  }
+
+  /// Applies op for thread t; returns a trace label.
+  std::string step(MachineState& s, std::size_t t, const Op& op) const {
+    const auto i = static_cast<std::size_t>(s.pc[t]);
+    ++s.pc[t];
+    const std::string tn = "T" + std::to_string(t) + ":";
+    switch (op.type) {
+      case OpType::kLoad: {
+        std::int64_t v = 0;
+        bool forwarded = false;
+        if (model_ != Model::kSc) {
+          // Store-to-load forwarding from own buffer (newest first).
+          const auto& buf = s.buffers[t];
+          for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
+            if (it->first == op.loc) {
+              v = it->second;
+              forwarded = true;
+              break;
+            }
+          }
+        }
+        if (!forwarded) v = s.mem[static_cast<std::size_t>(op.loc)];
+        s.regs[t][i] = v;
+        return tn + "r=x" + std::to_string(op.loc) + "(" +
+               std::to_string(v) + ")";
+      }
+      case OpType::kStore:
+        if (model_ != Model::kSc) {
+          s.buffers[t].emplace_back(op.loc, op.value);
+        } else {
+          s.mem[static_cast<std::size_t>(op.loc)] = op.value;
+        }
+        return tn + "x" + std::to_string(op.loc) + "=" +
+               std::to_string(op.value);
+      case OpType::kFence:
+        return tn + "mfence";
+      case OpType::kRmw: {
+        auto& cell = s.mem[static_cast<std::size_t>(op.loc)];
+        s.regs[t][i] = cell;
+        cell += op.value;
+        return tn + "rmw x" + std::to_string(op.loc);
+      }
+    }
+    HARMONY_ASSERT(false);
+    return {};
+  }
+
+  const LitmusTest& test_;
+  Model model_;
+  std::unordered_set<std::string> visited_;
+  std::vector<std::string> path_;
+  CheckResult result_;
+};
+
+}  // namespace
+
+CheckResult check_operational(const LitmusTest& test, Model model) {
+  return Explorer(test, model).run();
+}
+
+namespace {
+
+/// Applies a set of fence insertions.  Inserting shifts op indices, and
+/// the test's Condition closure refers to *original* indices, so the
+/// returned test wraps the condition with a register remap (fence rows
+/// removed) before evaluating the original predicate.
+LitmusTest with_fences(const LitmusTest& test,
+                       std::vector<FencePlacement> fences) {
+  LitmusTest out = test;
+  std::sort(fences.begin(), fences.end(),
+            [](const FencePlacement& a, const FencePlacement& b) {
+              if (a.thread != b.thread) return a.thread < b.thread;
+              return a.before_op > b.before_op;  // stable indices
+            });
+  // new_index[t][i] = position of original op i after insertion.
+  std::vector<std::vector<std::size_t>> new_index(test.threads.size());
+  for (std::size_t t = 0; t < test.threads.size(); ++t) {
+    new_index[t].resize(test.threads[t].size());
+    for (std::size_t i = 0; i < test.threads[t].size(); ++i) {
+      std::size_t shift = 0;
+      for (const FencePlacement& f : fences) {
+        if (f.thread == static_cast<int>(t) &&
+            static_cast<std::size_t>(f.before_op) <= i) {
+          ++shift;
+        }
+      }
+      new_index[t][i] = i + shift;
+    }
+  }
+  for (const FencePlacement& f : fences) {
+    auto& ops = out.threads[static_cast<std::size_t>(f.thread)];
+    ops.insert(ops.begin() + f.before_op, Op::fence());
+  }
+  Condition original = test.condition;
+  out.condition = [original, new_index](const FinalState& fs) {
+    FinalState remapped;
+    remapped.mem = fs.mem;
+    remapped.regs.resize(new_index.size());
+    for (std::size_t t = 0; t < new_index.size(); ++t) {
+      remapped.regs[t].resize(new_index[t].size());
+      for (std::size_t i = 0; i < new_index[t].size(); ++i) {
+        remapped.regs[t][i] = fs.regs[t][new_index[t][i]];
+      }
+    }
+    return original(remapped);
+  };
+  out.name = test.name + "+synthesized-fences";
+  return out;
+}
+
+}  // namespace
+
+FenceSynthesisResult synthesize_fences(const LitmusTest& test,
+                                       Model model) {
+  FenceSynthesisResult result;
+  if (!check_operational(test, model).condition_reachable) {
+    result.already_forbidden = true;
+    return result;
+  }
+
+  // Candidate insertion points: between consecutive ops of each thread.
+  std::vector<FencePlacement> points;
+  for (std::size_t t = 0; t < test.threads.size(); ++t) {
+    for (std::size_t i = 1; i < test.threads[t].size(); ++i) {
+      points.push_back(FencePlacement{static_cast<int>(t),
+                                      static_cast<int>(i)});
+    }
+  }
+
+  // Breadth-first over subset cardinality: all minimal sets share the
+  // first cardinality at which any subset forbids the condition.
+  const std::size_t n = points.size();
+  for (std::size_t k = 1; k <= n; ++k) {
+    // k-combinations in lexicographic order.
+    std::vector<std::size_t> idx(k);
+    for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+    bool more = k <= n;
+    while (more) {
+      std::vector<FencePlacement> chosen;
+      chosen.reserve(k);
+      for (std::size_t i : idx) chosen.push_back(points[i]);
+      ++result.candidates_tried;
+      if (!check_operational(with_fences(test, chosen), model)
+               .condition_reachable) {
+        result.minimal_sets.push_back(std::move(chosen));
+      }
+      // Advance the combination.
+      more = false;
+      for (std::size_t i = k; i-- > 0;) {
+        if (idx[i] + (k - i) < n) {
+          ++idx[i];
+          for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+          more = true;
+          break;
+        }
+      }
+    }
+    if (!result.minimal_sets.empty()) break;
+  }
+  return result;
+}
+
+}  // namespace harmony::memmodel

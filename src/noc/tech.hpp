@@ -1,0 +1,106 @@
+// Physical technology cost model (Dally, paper §3).
+//
+// The statement's argument rests on a handful of 5 nm constants:
+//
+//   * a 32-bit add costs ~0.5 fJ/bit and takes ~200 ps;
+//   * on-chip communication costs ~80 fJ/bit-mm and 1 mm takes ~800 ps;
+//   * therefore moving an add result 1 mm costs 160x the add, crossing an
+//     800 mm^2 die ~4500x, and going off chip is another order of
+//     magnitude (~50,000x an add);
+//   * the instruction-delivery overhead of an out-of-order core is
+//     ~10,000x the energy of the add it performs.
+//
+// TechnologyModel encodes those constants (overridable — they are inputs,
+// not conclusions) and derives every energy/delay quantity the grid
+// machine, the F&M cost evaluator, and bench E1/E12 need.  With the
+// defaults, ratio_move_over_add(1 mm) == 160 exactly.
+#pragma once
+
+#include <cstddef>
+
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace harmony::noc {
+
+struct TechnologyModel {
+  // --- primitive constants (5 nm defaults, straight from the paper) ---
+  double add_energy_per_bit_fj = 0.5;   ///< ALU op energy, fJ/bit
+  Time add_delay = Time::picoseconds(200.0);  ///< 32-bit add latency
+  double wire_energy_per_bit_mm_fj = 80.0;    ///< on-chip wire, fJ/bit-mm
+  Time wire_delay_per_mm = Time::picoseconds(800.0);
+  double sram_cell_energy_per_bit_fj = 0.1;  ///< bit-cell R/W ("extremely
+                                             ///< fast and efficient")
+  Time sram_cell_delay = Time::picoseconds(100.0);
+  /// Off-chip transport costs "an order of magnitude more" than crossing
+  /// the die; applied on top of a full die traversal.
+  double offchip_multiplier = 10.0;
+  Time offchip_latency = Time::nanoseconds(20.0);  ///< DRAM round trip
+  /// Energy overhead factor of delivering one instruction on a modern
+  /// out-of-order core, relative to the arithmetic it performs.
+  double instruction_overhead_factor = 10000.0;
+  Area die = Area::mm2(800.0);  ///< the paper's "800 mm^2 GPU"
+
+  // --- derived quantities ---
+
+  /// Energy of a `bits`-wide ALU operation (add-class).
+  [[nodiscard]] Energy op_energy(std::size_t bits) const {
+    return Energy::femtojoules(add_energy_per_bit_fj *
+                               static_cast<double>(bits));
+  }
+
+  /// Latency of a `bits`-wide ALU operation.  The paper quotes 200 ps for
+  /// 32 bits; we scale logarithmically with width (carry-lookahead-ish),
+  /// normalized so 32 bits matches the quoted figure.
+  [[nodiscard]] Time op_delay(std::size_t bits) const;
+
+  /// Energy to move `bits` over distance `d` on chip.
+  [[nodiscard]] Energy move_energy(std::size_t bits, Length d) const {
+    return Energy::femtojoules(wire_energy_per_bit_mm_fj *
+                               static_cast<double>(bits) * d.millimetres());
+  }
+
+  /// Wire delay over distance `d` (repeatered, linear in d).
+  [[nodiscard]] Time move_delay(Length d) const {
+    return wire_delay_per_mm * d.millimetres();
+  }
+
+  /// Energy of an SRAM access of `bits` at wire distance `d` from the
+  /// consumer: bit-cell cost plus transport ("all the cost in accessing
+  /// memory is data movement").
+  [[nodiscard]] Energy sram_access_energy(std::size_t bits, Length d) const {
+    return Energy::femtojoules(sram_cell_energy_per_bit_fj *
+                               static_cast<double>(bits)) +
+           move_energy(bits, d);
+  }
+
+  /// Energy of one off-chip (DRAM) transfer of `bits`: full-die traversal
+  /// times the off-chip multiplier.
+  [[nodiscard]] Energy offchip_energy(std::size_t bits) const {
+    return move_energy(bits, die.side()) * offchip_multiplier;
+  }
+
+  /// Energy of executing a `bits`-wide add *as a CPU instruction*,
+  /// including fetch/rename/schedule/ROB overheads.
+  [[nodiscard]] Energy cpu_instruction_energy(std::size_t bits) const {
+    return op_energy(bits) * instruction_overhead_factor;
+  }
+
+  // --- the paper's headline ratios, as checkable functions ---
+
+  /// move(d) / add, for `bits`-wide values; == 160 * d_mm at defaults.
+  [[nodiscard]] double ratio_move_over_add(Length d,
+                                           std::size_t bits = 32) const {
+    return move_energy(bits, d) / op_energy(bits);
+  }
+
+  /// offchip / add; ~45,000 at defaults ("50,000x more expensive").
+  [[nodiscard]] double ratio_offchip_over_add(std::size_t bits = 32) const {
+    return offchip_energy(bits) / op_energy(bits);
+  }
+
+  /// The paper's published 5 nm numbers.
+  [[nodiscard]] static TechnologyModel n5() { return TechnologyModel{}; }
+};
+
+}  // namespace harmony::noc

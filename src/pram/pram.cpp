@@ -1,0 +1,128 @@
+#include "pram/pram.hpp"
+
+#include <string>
+
+namespace harmony::pram {
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kErew:
+      return "EREW";
+    case Variant::kCrew:
+      return "CREW";
+    case Variant::kCrcwCommon:
+      return "CRCW-common";
+    case Variant::kCrcwArbitrary:
+      return "CRCW-arbitrary";
+    case Variant::kCrcwPriority:
+      return "CRCW-priority";
+  }
+  return "?";
+}
+
+PramMachine::PramMachine(Variant variant, std::size_t num_procs,
+                         std::size_t mem_words)
+    : variant_(variant), num_procs_(num_procs), mem_(mem_words, 0) {
+  HARMONY_REQUIRE(num_procs >= 1, "PramMachine: need >= 1 processor");
+}
+
+std::int64_t PramMachine::Ctx::read(std::size_t addr) {
+  return machine_->do_read(proc_, addr);
+}
+
+void PramMachine::Ctx::write(std::size_t addr, std::int64_t value) {
+  machine_->do_write(proc_, addr, value);
+}
+
+std::int64_t PramMachine::do_read(std::size_t proc, std::size_t addr) {
+  HARMONY_REQUIRE(addr < mem_.size(), "PRAM read out of range");
+  ++stats_.reads;
+  if (variant_ == Variant::kErew) {
+    auto [it, inserted] = read_owner_.try_emplace(addr, proc);
+    if (!inserted && it->second != proc) {
+      throw SimulationError(
+          "EREW violation: processors " + std::to_string(it->second) +
+          " and " + std::to_string(proc) + " concurrently read address " +
+          std::to_string(addr) + " at step " + std::to_string(stats_.steps));
+    }
+  }
+  return mem_[addr];
+}
+
+void PramMachine::do_write(std::size_t proc, std::size_t addr,
+                           std::int64_t value) {
+  HARMONY_REQUIRE(addr < mem_.size(), "PRAM write out of range");
+  ++stats_.writes;
+  auto it = pending_writes_.find(addr);
+  if (it == pending_writes_.end()) {
+    pending_writes_.emplace(addr, WriteRecord{proc, value});
+    return;
+  }
+  if (it->second.proc == proc) {
+    it->second.value = value;  // same processor overwrites its own write
+    return;
+  }
+  switch (variant_) {
+    case Variant::kErew:
+    case Variant::kCrew:
+      throw SimulationError(
+          variant_ == Variant::kErew
+              ? std::string("EREW violation: ")
+              : std::string("CREW violation: ") +
+                    "processors " + std::to_string(it->second.proc) +
+                    " and " + std::to_string(proc) +
+                    " concurrently write address " + std::to_string(addr) +
+                    " at step " + std::to_string(stats_.steps));
+    case Variant::kCrcwCommon:
+      if (it->second.value != value) {
+        throw SimulationError(
+            "CRCW-common violation: conflicting values written to address " +
+            std::to_string(addr) + " at step " +
+            std::to_string(stats_.steps));
+      }
+      break;
+    case Variant::kCrcwArbitrary:
+    case Variant::kCrcwPriority:
+      // Lowest processor id wins (deterministic).
+      if (proc < it->second.proc) {
+        it->second = WriteRecord{proc, value};
+      }
+      break;
+  }
+}
+
+PramStats PramMachine::run(const std::function<void(Ctx&)>& step_fn,
+                           std::int64_t max_steps) {
+  HARMONY_REQUIRE(step_fn != nullptr, "PramMachine::run: null program");
+  stats_ = PramStats{};
+  std::vector<char> live(num_procs_, 1);
+  std::size_t num_live = num_procs_;
+
+  while (num_live > 0) {
+    if (stats_.steps >= max_steps) {
+      throw SimulationError("PramMachine::run: exceeded " +
+                            std::to_string(max_steps) +
+                            " steps without quiescence");
+    }
+    read_owner_.clear();
+    pending_writes_.clear();
+    for (std::size_t p = 0; p < num_procs_; ++p) {
+      if (!live[p]) continue;
+      Ctx ctx(*this, p, stats_.steps);
+      step_fn(ctx);
+      ++stats_.work;
+      if (ctx.halted_) {
+        live[p] = 0;
+        --num_live;
+      }
+    }
+    // Commit the write phase.
+    for (const auto& [addr, rec] : pending_writes_) {
+      mem_[addr] = rec.value;
+    }
+    ++stats_.steps;
+  }
+  return stats_;
+}
+
+}  // namespace harmony::pram

@@ -1,0 +1,115 @@
+// Step-synchronous PRAM simulator (Vishkin, paper §5).
+//
+// The PRAM is the statement's algorithm-friendly abstraction: P processors
+// execute in lock-step against a flat shared memory, each step consisting
+// of a read phase, a compute phase, and a write phase.  PramMachine
+// enforces the access discipline of the selected variant:
+//
+//   EREW          — exclusive read, exclusive write (violations throw)
+//   CREW          — concurrent read, exclusive write
+//   CRCW-common   — concurrent writes must agree on the value
+//   CRCW-arbitrary— one writer wins; resolved deterministically as the
+//                   lowest processor id (a legal "arbitrary" choice)
+//   CRCW-priority — lowest processor id wins by definition
+//
+// Reads during a step observe the memory as of the step start; writes
+// commit at the step end.  The machine reports work (active
+// processor-steps) and depth (steps) — the quantities Vishkin's
+// work-efficiency arguments are stated in.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace harmony::pram {
+
+enum class Variant {
+  kErew,
+  kCrew,
+  kCrcwCommon,
+  kCrcwArbitrary,
+  kCrcwPriority,
+};
+
+[[nodiscard]] const char* variant_name(Variant v);
+
+struct PramStats {
+  std::int64_t steps = 0;   ///< depth: synchronous rounds executed
+  std::int64_t work = 0;    ///< sum over rounds of active processors
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+};
+
+class PramMachine {
+ public:
+  PramMachine(Variant variant, std::size_t num_procs,
+              std::size_t mem_words);
+
+  [[nodiscard]] Variant variant() const { return variant_; }
+  [[nodiscard]] std::size_t num_procs() const { return num_procs_; }
+  [[nodiscard]] std::size_t mem_size() const { return mem_.size(); }
+
+  /// Host access for setup and readout (not counted, not checked).
+  [[nodiscard]] std::int64_t& mem(std::size_t addr) {
+    HARMONY_REQUIRE(addr < mem_.size(), "PramMachine::mem: out of range");
+    return mem_[addr];
+  }
+  [[nodiscard]] std::int64_t mem(std::size_t addr) const {
+    HARMONY_REQUIRE(addr < mem_.size(), "PramMachine::mem: out of range");
+    return mem_[addr];
+  }
+
+  /// Per-processor view of one synchronous step.
+  class Ctx {
+   public:
+    [[nodiscard]] std::size_t proc() const { return proc_; }
+    [[nodiscard]] std::int64_t step() const { return step_; }
+    /// Shared-memory read (sees the state at step start).
+    [[nodiscard]] std::int64_t read(std::size_t addr);
+    /// Shared-memory write (commits at step end).
+    void write(std::size_t addr, std::int64_t value);
+    /// This processor stops participating after the current step.
+    void halt() { halted_ = true; }
+
+   private:
+    friend class PramMachine;
+    Ctx(PramMachine& m, std::size_t proc, std::int64_t step)
+        : machine_(&m), proc_(proc), step_(step) {}
+    PramMachine* machine_;
+    std::size_t proc_;
+    std::int64_t step_;
+    bool halted_ = false;
+  };
+
+  /// Runs `step_fn(ctx)` for every live processor per round until all
+  /// processors have halted.  Throws SimulationError on an access-
+  /// discipline violation or when `max_steps` rounds pass without
+  /// quiescence.
+  PramStats run(const std::function<void(Ctx&)>& step_fn,
+                std::int64_t max_steps = std::int64_t{1} << 20);
+
+ private:
+  friend class Ctx;
+
+  std::int64_t do_read(std::size_t proc, std::size_t addr);
+  void do_write(std::size_t proc, std::size_t addr, std::int64_t value);
+
+  Variant variant_;
+  std::size_t num_procs_;
+  std::vector<std::int64_t> mem_;
+
+  // Per-step conflict state.
+  struct WriteRecord {
+    std::size_t proc;
+    std::int64_t value;
+  };
+  std::unordered_map<std::size_t, std::size_t> read_owner_;
+  std::unordered_map<std::size_t, WriteRecord> pending_writes_;
+  PramStats stats_;
+};
+
+}  // namespace harmony::pram

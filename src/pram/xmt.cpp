@@ -1,0 +1,100 @@
+#include "pram/xmt.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace harmony::pram {
+
+XmtStats& XmtStats::operator+=(const XmtStats& o) {
+  threads += o.threads;
+  work += o.work;
+  depth += o.depth;  // sequential composition of spawn blocks
+  ps_ops += o.ps_ops;
+  max_ps_contention = std::max(max_ps_contention, o.max_ps_contention);
+  estimated_cycles += o.estimated_cycles;
+  return *this;
+}
+
+XmtMachine::XmtMachine(std::size_t mem_words, XmtConfig cfg)
+    : cfg_(cfg), mem_(mem_words, 0) {
+  HARMONY_REQUIRE(cfg.num_tcus >= 1, "XmtMachine: need >= 1 TCU");
+}
+
+std::int64_t& XmtMachine::mem(std::size_t addr) {
+  HARMONY_REQUIRE(addr < mem_.size(), "XmtMachine::mem: out of range");
+  return mem_[addr];
+}
+
+std::int64_t XmtMachine::mem(std::size_t addr) const {
+  HARMONY_REQUIRE(addr < mem_.size(), "XmtMachine::mem: out of range");
+  return mem_[addr];
+}
+
+std::int64_t XmtMachine::Thread::read(std::size_t addr) {
+  ++instructions_;
+  HARMONY_REQUIRE(addr < machine_->mem_.size(), "XMT read out of range");
+  return machine_->mem_[addr];
+}
+
+void XmtMachine::Thread::write(std::size_t addr, std::int64_t value) {
+  ++instructions_;
+  HARMONY_REQUIRE(addr < machine_->mem_.size(), "XMT write out of range");
+  auto [it, inserted] = machine_->writer_of_.try_emplace(addr, id_);
+  if (!inserted && it->second != id_) {
+    throw SimulationError(
+        "XMT race: threads " + std::to_string(it->second) + " and " +
+        std::to_string(id_) + " both write address " + std::to_string(addr) +
+        " within one spawn block");
+  }
+  machine_->mem_[addr] = value;
+}
+
+std::int64_t XmtMachine::Thread::ps(std::size_t base_addr,
+                                    std::int64_t delta) {
+  ++instructions_;
+  HARMONY_REQUIRE(base_addr < machine_->mem_.size(),
+                  "XMT ps out of range");
+  ++machine_->ps_count_[base_addr];
+  const std::int64_t old = machine_->mem_[base_addr];
+  machine_->mem_[base_addr] += delta;
+  return old;
+}
+
+XmtStats XmtMachine::spawn(std::int64_t n,
+                           const std::function<void(Thread&)>& body) {
+  HARMONY_REQUIRE(n >= 0, "XmtMachine::spawn: negative thread count");
+  HARMONY_REQUIRE(body != nullptr, "XmtMachine::spawn: null body");
+  writer_of_.clear();
+  ps_count_.clear();
+
+  XmtStats st;
+  st.threads = n;
+  for (std::int64_t id = 0; id < n; ++id) {
+    Thread t(*this, id);
+    current_thread_ = id;
+    body(t);
+    st.work += t.instructions_;
+    st.depth = std::max(st.depth, t.instructions_);
+  }
+  current_thread_ = -1;
+
+  for (const auto& [base, count] : ps_count_) {
+    (void)base;
+    st.ps_ops += count;
+    st.max_ps_contention = std::max(st.max_ps_contention, count);
+  }
+
+  // Cost model (see header).  Threads are multiplexed over num_tcus.
+  const auto p = static_cast<std::int64_t>(cfg_.num_tcus);
+  const std::int64_t throughput = (st.work + p - 1) / p;
+  std::int64_t cycles = cfg_.spawn_overhead_cycles +
+                        std::max(throughput, st.depth);
+  if (!cfg_.hardware_ps && st.max_ps_contention > 1) {
+    // Software fetch-add serializes the hottest base register.
+    cycles += st.max_ps_contention - 1;
+  }
+  st.estimated_cycles = cycles;
+  return st;
+}
+
+}  // namespace harmony::pram

@@ -1,0 +1,103 @@
+// XMT-style spawn/join execution with a hardware prefix-sum primitive
+// (Vishkin, paper §5).
+//
+// "Having invented the XMT architecture, which to a first approximation
+//  is about reducing overheads of PRAM algorithms using hardware
+//  primitives" — the flagship primitive being ps(R, B): an atomic
+//  fetch-and-add that XMT implements in constant time even when many
+//  threads hit the same base register simultaneously (the hardware
+//  combines them in a prefix-sum tree).
+//
+// XmtMachine executes spawn blocks of virtual threads against a shared
+// int64 memory and prices them under a configurable overhead model:
+//
+//   cycles(spawn) = spawn_overhead
+//                 + ceil(work / P)                      (throughput term)
+//                 + max_thread_instructions residue     (critical thread)
+//                 + ps contention penalty               (see below)
+//
+// ps contention: with the hardware primitive, k simultaneous ps ops on a
+// base cost 1 cycle each (combined in the interconnect).  A software
+// fetch-add (CAS loop / lock) serializes: k ops on one base cost Θ(k)
+// cycles of serial latency.  XmtMachine records per-base ps counts and
+// charges  max_base(count) - 1  extra depth when hardware_ps is off.
+// Bench E13 sweeps this contrast.
+//
+// Virtual threads are executed sequentially to completion (they are
+// independent by the XMT programming discipline except through ps and
+// writes to distinct locations; a write-write race on the same address
+// is detected and throws).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace harmony::pram {
+
+struct XmtConfig {
+  std::size_t num_tcus = 64;  ///< thread control units (physical parallelism)
+  bool hardware_ps = true;
+  std::int64_t spawn_overhead_cycles = 24;  ///< spawn + join broadcast
+};
+
+struct XmtStats {
+  std::int64_t threads = 0;
+  std::int64_t work = 0;          ///< total instructions, all threads
+  std::int64_t depth = 0;         ///< longest single thread
+  std::int64_t ps_ops = 0;
+  std::int64_t max_ps_contention = 0;  ///< hottest base register
+  std::int64_t estimated_cycles = 0;   ///< under the overhead model
+
+  XmtStats& operator+=(const XmtStats& o);
+};
+
+class XmtMachine {
+ public:
+  explicit XmtMachine(std::size_t mem_words, XmtConfig cfg = {});
+
+  [[nodiscard]] const XmtConfig& config() const { return cfg_; }
+
+  /// Host access (not counted).
+  [[nodiscard]] std::int64_t& mem(std::size_t addr);
+  [[nodiscard]] std::int64_t mem(std::size_t addr) const;
+
+  class Thread {
+   public:
+    [[nodiscard]] std::int64_t id() const { return id_; }
+    /// Shared read; 1 instruction.
+    [[nodiscard]] std::int64_t read(std::size_t addr);
+    /// Shared write; 1 instruction.  Two threads of one spawn writing the
+    /// same address is a race and throws.
+    void write(std::size_t addr, std::int64_t value);
+    /// ps(delta, base): atomic fetch-add, returns the old value;
+    /// 1 instruction (hardware) — contention priced at join.
+    std::int64_t ps(std::size_t base_addr, std::int64_t delta);
+    /// Charges `n` local compute instructions.
+    void charge(std::int64_t n = 1) { instructions_ += n; }
+
+   private:
+    friend class XmtMachine;
+    Thread(XmtMachine& m, std::int64_t id) : machine_(&m), id_(id) {}
+    XmtMachine* machine_;
+    std::int64_t id_;
+    std::int64_t instructions_ = 0;
+  };
+
+  /// Runs `body` for virtual threads 0..n-1 and returns the cost record.
+  XmtStats spawn(std::int64_t n, const std::function<void(Thread&)>& body);
+
+ private:
+  friend class Thread;
+  XmtConfig cfg_;
+  std::vector<std::int64_t> mem_;
+  // Per-spawn bookkeeping.
+  std::unordered_map<std::size_t, std::int64_t> writer_of_;
+  std::unordered_map<std::size_t, std::int64_t> ps_count_;
+  std::int64_t current_thread_ = -1;
+};
+
+}  // namespace harmony::pram

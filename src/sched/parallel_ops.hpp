@@ -1,0 +1,79 @@
+// Generic fork-join combinators over a "parallel context".
+//
+// Every parallel algorithm in src/algos is written once, against a Ctx
+// concept with two members:
+//
+//     void work(double ops);                    // cost annotation
+//     template <F, G> void fork2(F&& f, G&& g); // parallel composition
+//
+// Two contexts implement it:
+//   * RealCtx      — executes on the work-stealing scheduler (work() is
+//                    a no-op); used for wall-clock benchmarks.
+//   * WorkSpanCtx  — executes serially while recording the series-parallel
+//                    computation DAG; yields work W, span D, and a greedy
+//                    P-processor schedule time (workspan.hpp).
+//
+// This is the paper's (§2) claim made executable: one simple model, one
+// source program, costs that translate down to the machine.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "sched/scheduler.hpp"
+
+namespace harmony::sched {
+
+/// Executes on the default work-stealing scheduler.
+struct RealCtx {
+  static constexpr bool is_simulation = false;
+  void work(double) {}
+  template <typename F, typename G>
+  void fork2(F&& f, G&& g) {
+    Scheduler::fork2(std::forward<F>(f), std::forward<G>(g));
+  }
+};
+
+/// Runs the loop body over [lo, hi) with binary fork-join splitting;
+/// ranges of at most `grain` iterations run serially.
+template <typename Ctx, typename Body>
+void parallel_for(Ctx& ctx, std::size_t lo, std::size_t hi, std::size_t grain,
+                  Body&& body) {
+  if (lo >= hi) return;
+  if (grain == 0) grain = 1;
+  if (hi - lo <= grain) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  ctx.fork2([&] { parallel_for(ctx, lo, mid, grain, body); },
+            [&] { parallel_for(ctx, mid, hi, grain, body); });
+}
+
+/// Tree reduction over [lo, hi): combine(map(lo), ..., map(hi-1)).
+/// `combine` must be associative; the combination tree shape is
+/// deterministic, so floating-point results are reproducible.
+template <typename Ctx, typename T, typename Map, typename Combine>
+T parallel_reduce(Ctx& ctx, std::size_t lo, std::size_t hi, std::size_t grain,
+                  T identity, Map&& map, Combine&& combine) {
+  if (lo >= hi) return identity;
+  if (grain == 0) grain = 1;
+  if (hi - lo <= grain) {
+    T acc = identity;
+    for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
+    return acc;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  T left{};
+  T right{};
+  ctx.fork2(
+      [&] {
+        left = parallel_reduce(ctx, lo, mid, grain, identity, map, combine);
+      },
+      [&] {
+        right = parallel_reduce(ctx, mid, hi, grain, identity, map, combine);
+      });
+  return combine(left, right);
+}
+
+}  // namespace harmony::sched

@@ -1,0 +1,100 @@
+#include "sched/scheduler.hpp"
+
+#include <chrono>
+
+namespace harmony::sched {
+
+Scheduler::Worker*& Scheduler::current_worker_slot() {
+  thread_local Worker* tls = nullptr;
+  return tls;
+}
+
+Scheduler::Scheduler(unsigned num_workers) {
+  HARMONY_REQUIRE(num_workers >= 1, "Scheduler: need at least one worker");
+  workers_.reserve(num_workers);
+  for (unsigned i = 0; i < num_workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->scheduler = this;
+    w->index = i;
+    w->rng = Rng(0x5eed0000 + i);
+    workers_.push_back(std::move(w));
+  }
+  threads_.reserve(num_workers > 0 ? num_workers - 1 : 0);
+  for (unsigned i = 1; i < num_workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  shutdown_.store(true, std::memory_order_release);
+  sleep_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void Scheduler::begin_session() {
+  session_mutex_.lock();
+  HARMONY_ASSERT_MSG(current_worker() == nullptr,
+                     "Scheduler::run: nested run() is not supported");
+  active_.store(true, std::memory_order_release);
+  current_worker_slot() = workers_[0].get();
+  sleep_cv_.notify_all();  // wake helpers
+}
+
+void Scheduler::end_session() {
+  active_.store(false, std::memory_order_release);
+  current_worker_slot() = nullptr;
+  session_mutex_.unlock();
+}
+
+bool Scheduler::help(Worker& self) {
+  // Own work first (depth-first execution preserves locality).
+  if (Job* j = self.deque.pop()) {
+    j->run();
+    return true;
+  }
+  // Then steal from a uniformly random victim.
+  const auto n = workers_.size();
+  const std::size_t start = self.rng.next_below(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Worker& victim = *workers_[(start + k) % n];
+    if (&victim == &self) continue;
+    if (Job* j = victim.deque.steal()) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      j->run();
+      return true;
+    }
+  }
+  return false;
+}
+
+void Scheduler::worker_loop(unsigned index) {
+  Worker& self = *workers_[index];
+  current_worker_slot() = &self;
+  unsigned failures = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (active_.load(std::memory_order_acquire) && help(self)) {
+      failures = 0;
+      continue;
+    }
+    ++failures;
+    if (failures < 64) {
+      std::this_thread::yield();
+    } else {
+      // Nothing to do: park until a session starts or shutdown.
+      std::unique_lock<std::mutex> lk(sleep_mutex_);
+      sleep_cv_.wait_for(lk, std::chrono::milliseconds(1), [this] {
+        return shutdown_.load(std::memory_order_acquire) ||
+               active_.load(std::memory_order_acquire);
+      });
+      failures = 0;
+    }
+  }
+  current_worker_slot() = nullptr;
+}
+
+Scheduler& default_scheduler() {
+  static Scheduler instance(std::max(1u, std::thread::hardware_concurrency()));
+  return instance;
+}
+
+}  // namespace harmony::sched

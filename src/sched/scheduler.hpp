@@ -1,0 +1,157 @@
+// Fork-join work-stealing scheduler (Blelloch, paper §2).
+//
+// The work-depth model the statement advocates maps to exactly two runtime
+// primitives: fork2 (run two closures in parallel, join both) and the
+// parallel_for / reduce combinators built on it (parallel_ops.hpp).
+//
+// Design: child-stealing.  fork2 pushes the second closure onto the calling
+// worker's Chase–Lev deque and runs the first inline.  On return it pops:
+// if the child is still at the bottom of the deque it runs inline (the
+// common, allocation-free fast path); if a thief took it, the parent helps
+// (steals other work) until the child completes.  Jobs live on the forking
+// stack frame — no heap allocation per fork.
+//
+// Every fork site works without a scheduler too: if the calling thread is
+// not a worker, fork2 degrades to serial execution, so algorithms written
+// against this API run correctly in any context (Core Guidelines CP.1).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/chase_lev.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace harmony::sched {
+
+/// Type-erased job: a stack-allocated closure plus completion flag.
+struct Job {
+  void (*invoke)(Job*) = nullptr;
+  std::atomic<bool> done{false};
+
+  void run() {
+    invoke(this);
+    done.store(true, std::memory_order_release);
+  }
+};
+
+template <typename F>
+struct ClosureJob : Job {
+  explicit ClosureJob(F* f) : fn(f) {
+    invoke = [](Job* self) { (*static_cast<ClosureJob*>(self)->fn)(); };
+  }
+  F* fn;
+};
+
+class Scheduler {
+ public:
+  /// Creates `num_workers` execution contexts.  Worker 0 is the thread
+  /// that calls run(); workers 1..n-1 are spawned here.
+  explicit Scheduler(unsigned num_workers);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] unsigned num_workers() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Executes `root` with the calling thread acting as worker 0.
+  /// Only one run() may be active at a time (checked).
+  template <typename F>
+  void run(F&& root) {
+    begin_session();
+    try {
+      std::forward<F>(root)();
+    } catch (...) {
+      end_session();
+      throw;
+    }
+    end_session();
+  }
+
+  /// Fork-join primitive.  Callable from inside run() (parallel) or from
+  /// any other context (serial fallback).  `f` and `g` must not throw
+  /// across the join when executed in parallel.
+  template <typename F, typename G>
+  static void fork2(F&& f, G&& g) {
+    Worker* w = current_worker();
+    if (w == nullptr) {
+      f();
+      g();
+      return;
+    }
+    ClosureJob<std::remove_reference_t<G>> gj(&g);
+    w->deque.push(&gj);
+    f();
+    // After f() returns, every job pushed during f() has been consumed,
+    // so the bottom of the deque is gj unless a thief took it (thieves
+    // consume from the top, so gj is the *last* entry to be stolen).
+    Job* popped = w->deque.pop();
+    if (popped == &gj) {
+      g();
+      return;
+    }
+    HARMONY_ASSERT_MSG(popped == nullptr,
+                       "fork2: deque discipline violated");
+    // Stolen: mark g as complete only when the thief sets done; help
+    // with other work meanwhile (greedy scheduling, no idle waiting).
+    Worker* self = current_worker();
+    while (!gj.done.load(std::memory_order_acquire)) {
+      if (!self->scheduler->help(*self)) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Total number of successful steals since construction (diagnostics).
+  [[nodiscard]] std::uint64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+  /// True if the calling thread is currently a scheduler worker.
+  [[nodiscard]] static bool in_parallel_context() {
+    return current_worker() != nullptr;
+  }
+
+ private:
+  struct Worker {
+    ChaseLevDeque<Job> deque;
+    Scheduler* scheduler = nullptr;
+    unsigned index = 0;
+    Rng rng{0};
+  };
+
+  static Worker*& current_worker_slot();
+  static Worker* current_worker() { return current_worker_slot(); }
+
+  void begin_session();
+  void end_session();
+  void worker_loop(unsigned index);
+  /// Attempts to execute one job (own deque, then random steals).
+  /// Returns true if a job was executed.
+  bool help(Worker& self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> active_{false};  // a run() session is in progress
+  std::atomic<std::uint64_t> steals_{0};
+  std::mutex session_mutex_;
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+};
+
+/// Process-wide default scheduler, lazily created with
+/// std::thread::hardware_concurrency() workers.
+Scheduler& default_scheduler();
+
+}  // namespace harmony::sched

@@ -1,0 +1,205 @@
+#include "sched/workspan.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace harmony::sched {
+
+WorkSpanCtx::WorkSpanCtx(Options opts) : opts_(opts) {
+  root_ = new_node(Node::Kind::kSeries);
+  series_stack_.push_back(root_);
+}
+
+std::size_t WorkSpanCtx::new_node(Node::Kind k) {
+  nodes_.push_back(Node{k, 0.0, {}});
+  return nodes_.size() - 1;
+}
+
+void WorkSpanCtx::work(double ops) {
+  HARMONY_REQUIRE(ops >= 0.0, "WorkSpanCtx::work: negative cost");
+  if (ops == 0.0) return;
+  Node& series = nodes_[series_stack_.back()];
+  // Merge into a preceding leaf: consecutive sequential work is one strand.
+  if (!series.children.empty() &&
+      nodes_[series.children.back()].kind == Node::Kind::kLeaf) {
+    nodes_[series.children.back()].cost += ops;
+    return;
+  }
+  const std::size_t leaf = new_node(Node::Kind::kLeaf);
+  nodes_[leaf].cost = ops;
+  nodes_[series_stack_.back()].children.push_back(leaf);
+}
+
+std::size_t WorkSpanCtx::begin_fork() {
+  if (opts_.fork_cost > 0.0) work(opts_.fork_cost);
+  ++fork_count_;
+  const std::size_t par = new_node(Node::Kind::kPar);
+  nodes_[series_stack_.back()].children.push_back(par);
+  return par;
+}
+
+void WorkSpanCtx::begin_branch(std::size_t par) {
+  const std::size_t branch = new_node(Node::Kind::kSeries);
+  nodes_[par].children.push_back(branch);
+  series_stack_.push_back(branch);
+}
+
+void WorkSpanCtx::end_branch(std::size_t par) {
+  HARMONY_ASSERT(!series_stack_.empty());
+  HARMONY_ASSERT(nodes_[par].kind == Node::Kind::kPar);
+  series_stack_.pop_back();
+}
+
+void WorkSpanCtx::end_fork(std::size_t par) {
+  HARMONY_ASSERT(nodes_[par].children.size() == 2);
+}
+
+double WorkSpanCtx::node_work(std::size_t id) const {
+  const Node& n = nodes_[id];
+  if (n.kind == Node::Kind::kLeaf) return n.cost;
+  double w = 0.0;
+  for (std::size_t c : n.children) w += node_work(c);
+  return w;
+}
+
+double WorkSpanCtx::node_span(std::size_t id) const {
+  const Node& n = nodes_[id];
+  switch (n.kind) {
+    case Node::Kind::kLeaf:
+      return n.cost;
+    case Node::Kind::kSeries: {
+      double d = 0.0;
+      for (std::size_t c : n.children) d += node_span(c);
+      return d;
+    }
+    case Node::Kind::kPar: {
+      double d = 0.0;
+      for (std::size_t c : n.children) d = std::max(d, node_span(c));
+      return d;
+    }
+  }
+  return 0.0;
+}
+
+double WorkSpanCtx::total_work() const { return node_work(root_); }
+double WorkSpanCtx::span() const { return node_span(root_); }
+
+std::size_t WorkSpanCtx::leaf_count() const {
+  std::size_t n = 0;
+  for (const Node& node : nodes_) {
+    if (node.kind == Node::Kind::kLeaf) ++n;
+  }
+  return n;
+}
+
+double WorkSpanCtx::parallelism() const {
+  const double d = span();
+  return d > 0.0 ? total_work() / d : 0.0;
+}
+
+namespace {
+
+/// Strand-level DAG extracted from the SP tree for schedule simulation.
+struct StrandDag {
+  std::vector<double> dur;
+  std::vector<std::vector<std::size_t>> succ;
+  std::vector<int> indeg;
+
+  std::size_t add(double d) {
+    dur.push_back(d);
+    succ.emplace_back();
+    indeg.push_back(0);
+    return dur.size() - 1;
+  }
+  void edge(std::size_t from, std::size_t to) {
+    succ[from].push_back(to);
+    ++indeg[to];
+  }
+};
+
+}  // namespace
+
+double WorkSpanCtx::greedy_time(unsigned p) const {
+  HARMONY_REQUIRE(p >= 1, "greedy_time: need at least one processor");
+  StrandDag dag;
+
+  // Lower each SP-tree node to a (head, tail) pair of strand-DAG tasks.
+  // Implemented iteratively-recursive via an explicit lambda to keep the
+  // tree walk readable.
+  struct HeadTail {
+    std::size_t head, tail;
+  };
+  auto lower = [&](auto&& self, std::size_t id) -> HeadTail {
+    const Node& n = nodes_[id];
+    switch (n.kind) {
+      case Node::Kind::kLeaf: {
+        const std::size_t t = dag.add(n.cost);
+        return {t, t};
+      }
+      case Node::Kind::kSeries: {
+        if (n.children.empty()) {
+          const std::size_t t = dag.add(0.0);
+          return {t, t};
+        }
+        HeadTail first = self(self, n.children[0]);
+        std::size_t tail = first.tail;
+        for (std::size_t i = 1; i < n.children.size(); ++i) {
+          HeadTail next = self(self, n.children[i]);
+          dag.edge(tail, next.head);
+          tail = next.tail;
+        }
+        return {first.head, tail};
+      }
+      case Node::Kind::kPar: {
+        const std::size_t fork = dag.add(0.0);
+        const std::size_t join = dag.add(0.0);
+        for (std::size_t c : n.children) {
+          HeadTail branch = self(self, c);
+          dag.edge(fork, branch.head);
+          dag.edge(branch.tail, join);
+        }
+        return {fork, join};
+      }
+    }
+    HARMONY_ASSERT(false);
+    return {0, 0};
+  };
+  const HeadTail root = lower(lower, root_);
+  (void)root;
+
+  // Greedy non-preemptive list scheduling.  Ready tasks are dispatched in
+  // task-id (creation) order; no processor idles while a task is ready.
+  const std::size_t n = dag.dur.size();
+  // Min-heap of ready task ids (creation order).
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      std::greater<>> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dag.indeg[i] == 0) ready.push(i);
+  }
+  // Min-heap of (finish_time, task id) running events.
+  using Event = std::pair<double, std::size_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> running;
+  double now = 0.0;
+  double makespan = 0.0;
+  std::size_t completed = 0;
+  while (completed < n) {
+    while (!ready.empty() && running.size() < p) {
+      const std::size_t t = ready.top();
+      ready.pop();
+      running.emplace(now + dag.dur[t], t);
+    }
+    HARMONY_ASSERT_MSG(!running.empty(),
+                       "greedy_time: no runnable task — DAG has a cycle?");
+    const auto [finish, task] = running.top();
+    running.pop();
+    now = finish;
+    makespan = std::max(makespan, finish);
+    ++completed;
+    for (std::size_t s : dag.succ[task]) {
+      if (--dag.indeg[s] == 0) ready.push(s);
+    }
+  }
+  return makespan;
+}
+
+}  // namespace harmony::sched

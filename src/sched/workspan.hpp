@@ -1,0 +1,99 @@
+// Work-span (work-depth) cost analyzer (Blelloch, paper §2).
+//
+// WorkSpanCtx runs a fork-join algorithm *serially* while recording its
+// series-parallel computation tree.  From the tree it reports:
+//
+//   * work  W  — total operations,
+//   * span  D  — longest dependence chain,
+//   * greedy_time(P) — the completion time of a greedy (no processor idles
+//     while a task is ready) non-preemptive schedule on P processors.
+//
+// Brent's theorem guarantees  max(W/P, D) <= T_P <= W/P + D  for any
+// greedy schedule; tests and bench E6 audit the simulator against both
+// sides of that bound.
+//
+// Optional fork overheads model the constant cost a real runtime pays per
+// fork (the "cost mapping down to the machine" the statement asks for).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace harmony::sched {
+
+class WorkSpanCtx {
+ public:
+  struct Options {
+    /// Cost charged as a sequential strand before every fork2 — models the
+    /// constant runtime overhead of a fork (contributes to both W and D,
+    /// and appears in the greedy schedule as a real task).
+    double fork_cost = 0.0;
+  };
+
+  WorkSpanCtx() : WorkSpanCtx(Options{}) {}
+  explicit WorkSpanCtx(Options opts);
+
+  static constexpr bool is_simulation = true;
+
+  /// Charges `ops` units of sequential work on the current strand.
+  void work(double ops);
+
+  /// Records a parallel composition; executes both closures serially.
+  template <typename F, typename G>
+  void fork2(F&& f, G&& g) {
+    const std::size_t par = begin_fork();
+    begin_branch(par);
+    std::forward<F>(f)();
+    end_branch(par);
+    begin_branch(par);
+    std::forward<G>(g)();
+    end_branch(par);
+    end_fork(par);
+  }
+
+  /// Total work W (includes fork overheads).
+  [[nodiscard]] double total_work() const;
+  /// Span D — cost of the longest chain (includes fork overheads).
+  [[nodiscard]] double span() const;
+  /// Number of fork2 nodes recorded.
+  [[nodiscard]] std::size_t fork_count() const { return fork_count_; }
+  /// Number of strand leaves in the recorded tree.
+  [[nodiscard]] std::size_t leaf_count() const;
+
+  /// Simulated greedy schedule length on `p` processors.
+  /// Deterministic: ready tasks are served in creation order.
+  [[nodiscard]] double greedy_time(unsigned p) const;
+
+  /// Parallelism W/D (the "maximum useful processor count").
+  [[nodiscard]] double parallelism() const;
+
+ private:
+  // Series-parallel tree.  SERIES children alternate leaves and PAR nodes;
+  // consecutive sequential work is merged into one leaf strand.
+  struct Node {
+    enum class Kind { kLeaf, kSeries, kPar } kind;
+    double cost = 0.0;                 // kLeaf only
+    std::vector<std::size_t> children;  // kSeries / kPar (node indices)
+  };
+
+  std::size_t new_node(Node::Kind k);
+  std::size_t begin_fork();
+  void begin_branch(std::size_t par);
+  void end_branch(std::size_t par);
+  void end_fork(std::size_t par);
+
+  double node_work(std::size_t id) const;
+  double node_span(std::size_t id) const;
+
+  Options opts_;
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> series_stack_;  // innermost active SERIES node
+  std::size_t root_;
+  std::size_t fork_count_ = 0;
+};
+
+}  // namespace harmony::sched

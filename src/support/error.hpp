@@ -1,0 +1,59 @@
+// Error handling for the harmony library.
+//
+// Library invariants are checked with HARMONY_ASSERT (active in all build
+// types: simulators must never silently produce garbage), and user-facing
+// precondition violations throw harmony::InvalidArgument so callers can
+// recover.  Follows C++ Core Guidelines I.5/I.6 (state preconditions) and
+// E.x (use exceptions for error handling at API boundaries).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace harmony {
+
+/// Thrown when a caller violates a documented API precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when a simulated machine detects an illegal program/mapping
+/// (e.g. a causality violation, an EREW write conflict, a deadlock).
+class SimulationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "HARMONY_ASSERT failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace harmony
+
+// Internal invariant check.  Always on: the library is a measurement
+// instrument, and a wrong number is worse than a slow one.
+#define HARMONY_ASSERT(expr)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::harmony::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define HARMONY_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::harmony::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+// Precondition check at a public API boundary: throws InvalidArgument.
+#define HARMONY_REQUIRE(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) throw ::harmony::InvalidArgument(msg);                   \
+  } while (0)

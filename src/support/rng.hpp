@@ -1,0 +1,118 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Simulator experiments must be reproducible bit-for-bit across runs and
+// platforms, so we carry our own generator (SplitMix64 for seeding,
+// xoshiro256** for the stream) instead of std::mt19937 whose distributions
+// are implementation-defined.  Distribution helpers are written out
+// explicitly for the same reason.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace harmony {
+
+/// SplitMix64: used to expand a single seed into generator state.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator (Blackman & Vigna).
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from one word via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) {
+    HARMONY_REQUIRE(bound > 0, "Rng::next_below: bound must be positive");
+    // 128-bit multiply-shift; rejection keeps it exactly uniform.
+    while (true) {
+      const std::uint64_t x = next_u64();
+      const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      const std::uint64_t low = static_cast<std::uint64_t>(m);
+      if (low >= bound || low >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    HARMONY_REQUIRE(lo <= hi, "Rng::next_int: empty range");
+    const auto width = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(width == 0 ? next_u64()
+                                                     : next_below(width));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  bool next_bool(double p_true = 0.5) { return next_double() < p_true; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+  /// A random permutation of {0, ..., n-1}.
+  std::vector<std::uint32_t> permutation(std::uint32_t n) {
+    std::vector<std::uint32_t> p(n);
+    for (std::uint32_t i = 0; i < n; ++i) p[i] = i;
+    shuffle(p);
+    return p;
+  }
+
+  /// Derives an independent child generator (for per-worker streams).
+  Rng split() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace harmony

@@ -1,0 +1,53 @@
+// Lightweight descriptive statistics for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace harmony {
+
+/// Streaming mean/variance/extrema accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-safe pattern:
+  /// accumulate per worker, merge at join).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile of a sample (linear interpolation between order
+/// statistics).  `q` in [0,1].  Copies and sorts; intended for reporting,
+/// not hot loops.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+/// Geometric mean; all samples must be positive.
+[[nodiscard]] double geometric_mean(const std::vector<double>& samples);
+
+/// Ordinary least squares fit y = a + b*x; returns {a, b, r^2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+[[nodiscard]] LinearFit linear_fit(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+}  // namespace harmony

@@ -1,0 +1,121 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iomanip>
+
+#include "support/error.hpp"
+
+namespace harmony {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HARMONY_REQUIRE(!headers_.empty(), "Table: need at least one column");
+}
+
+Table& Table::title(std::string t) {
+  title_ = std::move(t);
+  return *this;
+}
+
+Table& Table::add_row(std::vector<Cell> row) {
+  HARMONY_REQUIRE(row.size() == headers_.size(),
+                  "Table::add_row: arity mismatch with headers");
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  const double mag = std::fabs(v);
+  if (v == 0.0) {
+    return "0";
+  } else if (mag >= 1e7 || mag < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3e", v);
+  } else if (mag >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  }
+  return buf;
+}
+
+std::string format_ratio(double v) { return format_double(v) + "x"; }
+
+std::string Table::format_cell(const Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&c)) return std::to_string(*i);
+  return format_double(std::get<double>(c));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << ' ';
+    }
+    os << "|\n";
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& r : rendered) line(r);
+  rule();
+  // Machine-readable mirror for downstream tooling (plots, diffing):
+  // every bench run with HARMONY_CSV=1 emits each table as CSV too.
+  if (std::getenv("HARMONY_CSV") != nullptr) {
+    os << "-- csv --\n";
+    print_csv(os);
+    os << "-- end csv --\n";
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << quote(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << quote(format_cell(row[c]));
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace harmony

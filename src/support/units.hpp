@@ -1,0 +1,148 @@
+// Strong physical-quantity types used throughout the cost models.
+//
+// Dally's statement (paper §3) prices computation in femtojoules and
+// picoseconds; mixing those with cycle counts or bytes is the classic unit
+// bug, so each quantity gets its own vocabulary type (Core Guidelines
+// I.4: make interfaces precisely and strongly typed).
+//
+// All types are trivially-copyable value types with the usual affine
+// arithmetic: Q+Q, Q-Q, Q*scalar, Q/scalar, Q/Q -> double (dimensionless
+// ratio).  Construction is explicit; named factory functions give the unit.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace harmony {
+
+namespace detail {
+
+/// CRTP base providing arithmetic for a scalar quantity stored as double.
+template <typename Derived>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double raw) : raw_(raw) {}
+
+  /// Raw magnitude in the type's canonical unit (documented per type).
+  [[nodiscard]] constexpr double raw() const { return raw_; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.raw_ + b.raw_};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.raw_ - b.raw_};
+  }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.raw_ * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{a.raw_ * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.raw_ / s};
+  }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.raw_ / b.raw_;
+  }
+  friend constexpr auto operator<=>(const Quantity&, const Quantity&) = default;
+
+  Derived& operator+=(Derived o) {
+    raw_ += o.raw_;
+    return static_cast<Derived&>(*this);
+  }
+  Derived& operator-=(Derived o) {
+    raw_ -= o.raw_;
+    return static_cast<Derived&>(*this);
+  }
+  Derived& operator*=(double s) {
+    raw_ *= s;
+    return static_cast<Derived&>(*this);
+  }
+
+ private:
+  double raw_ = 0.0;
+};
+
+}  // namespace detail
+
+/// Energy, canonical unit: femtojoule (fJ).
+class Energy : public detail::Quantity<Energy> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double femtojoules() const { return raw(); }
+  [[nodiscard]] constexpr double picojoules() const { return raw() * 1e-3; }
+  [[nodiscard]] constexpr double nanojoules() const { return raw() * 1e-6; }
+  [[nodiscard]] static constexpr Energy femtojoules(double fj) {
+    return Energy{fj};
+  }
+  [[nodiscard]] static constexpr Energy picojoules(double pj) {
+    return Energy{pj * 1e3};
+  }
+  [[nodiscard]] static constexpr Energy nanojoules(double nj) {
+    return Energy{nj * 1e6};
+  }
+  [[nodiscard]] static constexpr Energy zero() { return Energy{0.0}; }
+};
+
+/// Time, canonical unit: picosecond (ps).
+class Time : public detail::Quantity<Time> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double picoseconds() const { return raw(); }
+  [[nodiscard]] constexpr double nanoseconds() const { return raw() * 1e-3; }
+  [[nodiscard]] constexpr double microseconds() const { return raw() * 1e-6; }
+  [[nodiscard]] static constexpr Time picoseconds(double ps) {
+    return Time{ps};
+  }
+  [[nodiscard]] static constexpr Time nanoseconds(double ns) {
+    return Time{ns * 1e3};
+  }
+  [[nodiscard]] static constexpr Time zero() { return Time{0.0}; }
+};
+
+/// On-die length, canonical unit: millimetre (mm).
+class Length : public detail::Quantity<Length> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double millimetres() const { return raw(); }
+  [[nodiscard]] static constexpr Length millimetres(double mm) {
+    return Length{mm};
+  }
+  [[nodiscard]] static constexpr Length zero() { return Length{0.0}; }
+};
+
+/// Die area, canonical unit: mm^2.
+class Area : public detail::Quantity<Area> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double mm2() const { return raw(); }
+  [[nodiscard]] static constexpr Area mm2(double a) { return Area{a}; }
+  /// Side length of a square die of this area.
+  [[nodiscard]] Length side() const {
+    return Length::millimetres(std::sqrt(mm2()));
+  }
+  /// Diagonal of a square die of this area (the paper's "across the
+  /// diagonal of an 800mm^2 GPU").
+  [[nodiscard]] Length diagonal() const {
+    return Length::millimetres(std::sqrt(2.0 * mm2()));
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, Energy e) {
+  return os << e.femtojoules() << " fJ";
+}
+inline std::ostream& operator<<(std::ostream& os, Time t) {
+  return os << t.picoseconds() << " ps";
+}
+inline std::ostream& operator<<(std::ostream& os, Length l) {
+  return os << l.millimetres() << " mm";
+}
+inline std::ostream& operator<<(std::ostream& os, Area a) {
+  return os << a.mm2() << " mm^2";
+}
+
+}  // namespace harmony

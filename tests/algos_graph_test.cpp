@@ -1,0 +1,225 @@
+// Tests for graphs/BFS and list ranking (src/algos: graph, listrank).
+#include <gtest/gtest.h>
+
+#include "algos/connectivity.hpp"
+#include "algos/graph.hpp"
+#include "algos/listrank.hpp"
+
+namespace harmony::algos {
+namespace {
+
+TEST(Graph, GridGraphStructure) {
+  const CsrGraph g = grid_graph(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.num_edges(), 2 * (3 * 3 + 2 * 4));  // 2*(h+v edges)
+  EXPECT_EQ(g.degree(0), 2);   // corner
+  EXPECT_EQ(g.degree(1), 3);   // edge
+  EXPECT_EQ(g.degree(5), 4);   // interior
+}
+
+TEST(Graph, RandomGraphIsSymmetricAndDeterministic) {
+  const CsrGraph g1 = random_graph(100, 300, 42);
+  const CsrGraph g2 = random_graph(100, 300, 42);
+  EXPECT_EQ(g1.offsets, g2.offsets);
+  EXPECT_EQ(g1.targets, g2.targets);
+  EXPECT_EQ(g1.num_edges(), 600);
+  // Symmetry: count directed edges in both directions.
+  std::vector<std::pair<std::int64_t, std::int64_t>> fwd;
+  for (std::int64_t v = 0; v < g1.num_vertices(); ++v) {
+    for (std::int64_t e = g1.offsets[static_cast<std::size_t>(v)];
+         e < g1.offsets[static_cast<std::size_t>(v) + 1]; ++e) {
+      fwd.emplace_back(v, g1.targets[static_cast<std::size_t>(e)]);
+    }
+  }
+  auto rev = fwd;
+  for (auto& [a, b] : rev) std::swap(a, b);
+  std::sort(fwd.begin(), fwd.end());
+  std::sort(rev.begin(), rev.end());
+  EXPECT_EQ(fwd, rev);
+}
+
+TEST(Bfs, SerialDistancesOnGrid) {
+  const CsrGraph g = grid_graph(4, 4);
+  const auto res = bfs_serial(g, 0);
+  EXPECT_EQ(res.dist[0], 0);
+  EXPECT_EQ(res.dist[3], 3);        // (0,3)
+  EXPECT_EQ(res.dist[15], 6);       // (3,3)
+  EXPECT_GT(res.work, g.num_vertices());
+}
+
+TEST(Bfs, SerialUnreachableVertices) {
+  // Two-node graph with no edges: vertex 1 unreachable.
+  CsrGraph g;
+  g.offsets = {0, 0, 0};
+  const auto res = bfs_serial(g, 0);
+  EXPECT_EQ(res.dist[0], 0);
+  EXPECT_EQ(res.dist[1], -1);
+}
+
+class BfsAgreement
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::size_t>> {
+};
+
+TEST_P(BfsAgreement, PramMatchesSerial) {
+  const auto [n, procs] = GetParam();
+  const CsrGraph g = random_graph(n, 3 * n, 7);
+  const auto serial = bfs_serial(g, 0);
+  const auto pram = bfs_pram(g, 0, procs);
+  EXPECT_EQ(pram.dist, serial.dist);
+  EXPECT_GT(pram.stats.steps, 0);
+}
+
+TEST_P(BfsAgreement, XmtMatchesSerial) {
+  const auto [n, procs] = GetParam();
+  const CsrGraph g = random_graph(n, 3 * n, 13);
+  const auto serial = bfs_serial(g, 0);
+  pram::XmtConfig cfg;
+  cfg.num_tcus = procs;
+  const auto xmt = bfs_xmt(g, 0, cfg);
+  EXPECT_EQ(xmt.dist, serial.dist);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BfsAgreement,
+    ::testing::Combine(::testing::Values(std::int64_t{32}, std::int64_t{256},
+                                         std::int64_t{1024}),
+                       ::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{16})));
+
+TEST(Bfs, PramAndXmtOnHighDiameterGrid) {
+  const CsrGraph g = grid_graph(20, 20);
+  const auto serial = bfs_serial(g, 0);
+  const auto pram = bfs_pram(g, 0, 8);
+  const auto xmt = bfs_xmt(g, 0);
+  EXPECT_EQ(pram.dist, serial.dist);
+  EXPECT_EQ(xmt.dist, serial.dist);
+  EXPECT_EQ(pram.levels, 39);  // (20-1)+(20-1)+1
+  EXPECT_EQ(xmt.levels, 39);
+}
+
+TEST(Bfs, XmtIsWorkEfficientPramLevelSyncIsNot) {
+  // The E7 mechanism: dense level-synchronous PRAM BFS rescans all
+  // vertices every level (work ~ n * levels), the ps-based frontier
+  // version touches each edge O(1) times.
+  const CsrGraph g = grid_graph(16, 16);  // diameter 30
+  const auto pram = bfs_pram(g, 0, 4);
+  const auto xmt = bfs_xmt(g, 0);
+  const auto n = g.num_vertices();
+  const auto m = g.num_edges();
+  // PRAM reads: at least n per relax round.
+  EXPECT_GT(pram.stats.reads, 20 * n);
+  // XMT work: bounded by a constant times edges + vertices.
+  EXPECT_LT(xmt.stats.work, 8 * (n + m));
+}
+
+TEST(ListRank, SerialOnKnownList) {
+  // 0 -> 1 -> 2 (terminal).
+  LinkedList l;
+  l.next = {1, 2, 2};
+  l.head = 0;
+  const auto r = list_rank_serial(l);
+  EXPECT_EQ(r, (std::vector<std::int64_t>{2, 1, 0}));
+}
+
+class ListRankSizes
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::size_t>> {
+};
+
+TEST_P(ListRankSizes, PointerJumpingMatchesSerial) {
+  const auto [n, procs] = GetParam();
+  const LinkedList l = random_list(n, 19);
+  const auto serial = list_rank_serial(l);
+  const auto pram = list_rank_pram(l, procs);
+  EXPECT_EQ(pram.rank, serial);
+  // Depth is logarithmic: rounds == ceil(log2 n).
+  std::int64_t expect_rounds = 0;
+  std::int64_t span = 1;
+  while (span < n) {
+    span *= 2;
+    ++expect_rounds;
+  }
+  EXPECT_EQ(pram.rounds, expect_rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ListRankSizes,
+    ::testing::Combine(::testing::Values(std::int64_t{1}, std::int64_t{2},
+                                         std::int64_t{100},
+                                         std::int64_t{1000}),
+                       ::testing::Values(std::size_t{1}, std::size_t{8})));
+
+TEST(Connectivity, SerialOnKnownGraph) {
+  // Two components: {0,1,2} (path) and {3,4} (edge).
+  CsrGraph g;
+  g.offsets = {0, 1, 3, 4, 5, 6};
+  g.targets = {1, 0, 2, 1, 4, 3};
+  const auto label = components_serial(g);
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[1], label[2]);
+  EXPECT_EQ(label[3], label[4]);
+  EXPECT_NE(label[0], label[3]);
+}
+
+TEST(Connectivity, SamePartitionHelper) {
+  EXPECT_TRUE(same_partition({0, 0, 5}, {7, 7, 2}));
+  EXPECT_FALSE(same_partition({0, 0, 5}, {7, 2, 2}));
+  EXPECT_FALSE(same_partition({0, 1, 2}, {0, 0, 2}));  // refinement only
+  EXPECT_FALSE(same_partition({0, 0}, {0, 0, 0}));
+}
+
+class ConnectivitySweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::size_t>> {
+};
+
+TEST_P(ConnectivitySweep, PramMatchesSerialPartition) {
+  const auto [n, procs] = GetParam();
+  // Sparse graph so several components exist.
+  const CsrGraph g = random_graph(n, n / 3 + 1, 77);
+  const auto serial = components_serial(g);
+  const auto pram = components_pram(g, procs);
+  EXPECT_TRUE(same_partition(serial, pram.label))
+      << "n=" << n << " P=" << procs;
+  // Hook-and-jump converges in few rounds (log-ish, not linear).
+  EXPECT_LE(pram.rounds, 4 * 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConnectivitySweep,
+    ::testing::Combine(::testing::Values(std::int64_t{16}, std::int64_t{128},
+                                         std::int64_t{1024}),
+                       ::testing::Values(std::size_t{1}, std::size_t{8},
+                                         std::size_t{64})));
+
+TEST(Connectivity, PramHandlesPathGraphWorstCase) {
+  // A long path stresses the jumping phase.
+  const std::int64_t n = 512;
+  const CsrGraph g = grid_graph(1, n);
+  const auto serial = components_serial(g);
+  const auto pram = components_pram(g, 16);
+  EXPECT_TRUE(same_partition(serial, pram.label));
+  // One component; labels must all equal vertex 0's.
+  for (std::int64_t v = 0; v < n; ++v) {
+    EXPECT_EQ(pram.label[static_cast<std::size_t>(v)], pram.label[0]);
+  }
+  // Depth should be far below the serial chain length.
+  EXPECT_LT(pram.rounds, 64);
+}
+
+TEST(Connectivity, SingleVertexAndEdgeless) {
+  CsrGraph g;
+  g.offsets = {0, 0, 0, 0};
+  g.targets = {};
+  const auto pram = components_pram(g, 4);
+  EXPECT_EQ(pram.label, (std::vector<std::int64_t>{0, 1, 2}));
+}
+
+TEST(ListRank, WyllieWorkIsNLogN) {
+  const std::int64_t n = 1024;
+  const LinkedList l = random_list(n, 3);
+  const auto pram = list_rank_pram(l, 16);
+  // reads per round ~ 3n; rounds = 10 -> ~30n reads, far above serial n.
+  EXPECT_GT(pram.stats.reads, 10 * n);
+}
+
+}  // namespace
+}  // namespace harmony::algos

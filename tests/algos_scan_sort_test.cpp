@@ -1,0 +1,354 @@
+// Tests for scan/reduce and the sorting family (src/algos: scan, sort),
+// including the traced/ARAM variants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "algos/primitives.hpp"
+#include "algos/samplesort.hpp"
+#include "algos/scan.hpp"
+#include "algos/sort.hpp"
+#include "cache/aram.hpp"
+#include "cache/traced.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workspan.hpp"
+#include "support/rng.hpp"
+
+namespace harmony::algos {
+namespace {
+
+TEST(Scan, SequentialInclusiveAndExclusive) {
+  const std::vector<int> in{3, 1, 4, 1, 5};
+  std::vector<int> inc;
+  inclusive_scan_seq(in, inc);
+  EXPECT_EQ(inc, (std::vector<int>{3, 4, 8, 9, 14}));
+  std::vector<int> exc;
+  const int total = exclusive_scan_seq(in, exc);
+  EXPECT_EQ(exc, (std::vector<int>{0, 3, 4, 8, 9}));
+  EXPECT_EQ(total, 14);
+}
+
+class ScanSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanSizes, ParallelScanMatchesSerialAtAnySize) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<std::int64_t> in(n);
+  for (auto& v : in) v = rng.next_int(-100, 100);
+  std::vector<std::int64_t> expect;
+  const std::int64_t expect_total = exclusive_scan_seq(in, expect);
+
+  sched::WorkSpanCtx ctx;
+  std::vector<std::int64_t> data = in;
+  const std::int64_t total = exclusive_scan(ctx, data, /*grain=*/4);
+  EXPECT_EQ(total, expect_total);
+  EXPECT_EQ(data, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizes,
+                         ::testing::Values(0u, 1u, 2u, 3u, 7u, 8u, 17u,
+                                           100u, 1000u, 4097u));
+
+TEST(Scan, ReduceMatchesAccumulate) {
+  Rng rng(5);
+  std::vector<double> data(1234);
+  for (auto& v : data) v = rng.next_double(-1, 1);
+  sched::WorkSpanCtx ctx;
+  const double got = reduce(ctx, data, 32);
+  // Tree order differs from left fold; compare with tolerance.
+  const double expect = std::accumulate(data.begin(), data.end(), 0.0);
+  EXPECT_NEAR(got, expect, 1e-9);
+}
+
+TEST(Scan, TracedVariantsAgreeOnValues) {
+  const std::size_t n = 257;
+  Rng rng(7);
+  std::vector<double> init(n);
+  for (auto& v : init) v = rng.next_double(0, 4);
+  std::vector<double> expect;
+  inclusive_scan_seq(init, expect);
+
+  cache::AramCounter aram;
+  cache::AddressSpace space;
+  cache::TracedArray<double> in(init, space, aram);
+  cache::TracedArray<double> out(n, space, aram);
+  inclusive_scan_traced(in, out, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(out.raw()[i], expect[i], 1e-9);
+  }
+
+  cache::AramCounter aram2;
+  cache::TracedArray<double> in2(init, space, aram2);
+  cache::TracedArray<double> out2(n, space, aram2);
+  cache::TracedArray<double> tmp(n, space, aram2);
+  tree_scan_traced(in2, out2, tmp, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(out2.raw()[i], expect[i], 1e-9) << i;
+  }
+}
+
+TEST(Scan, TreeScanWritesMoreThanSequentialScan) {
+  // The ARAM tradeoff that E11 sweeps: the parallel-friendly schedule
+  // costs ~3x the big-memory writes of the RAM scan.
+  const std::size_t n = 1024;
+  cache::AddressSpace space;
+  cache::AramCounter seq;
+  {
+    cache::TracedArray<double> in(n, space, seq);
+    cache::TracedArray<double> out(n, space, seq);
+    inclusive_scan_traced(in, out, 0.0);
+  }
+  cache::AramCounter tree;
+  {
+    cache::TracedArray<double> in(n, space, tree);
+    cache::TracedArray<double> out(n, space, tree);
+    cache::TracedArray<double> tmp(n, space, tree);
+    tree_scan_traced(in, out, tmp, 0.0);
+  }
+  EXPECT_EQ(seq.writes(), n);
+  EXPECT_GT(tree.writes(), 2 * n);
+  // The parallel-friendly schedule pays a persistent ARAM penalty at
+  // every write-cost ratio.
+  for (double omega : {1.0, 4.0, 16.0}) {
+    EXPECT_GT(tree.cost(omega) / seq.cost(omega), 3.0) << omega;
+  }
+}
+
+TEST(Primitives, PackKeepsFlaggedInOrder) {
+  sched::WorkSpanCtx ctx;
+  const std::vector<int> data{10, 11, 12, 13, 14, 15};
+  const std::vector<char> flags{1, 0, 1, 1, 0, 1};
+  const auto out = pack(ctx, data, flags, 2);
+  EXPECT_EQ(out, (std::vector<int>{10, 12, 13, 15}));
+}
+
+TEST(Primitives, FilterMatchesCopyIf) {
+  Rng rng(3);
+  std::vector<std::int64_t> data(5000);
+  for (auto& v : data) v = rng.next_int(-50, 50);
+  sched::WorkSpanCtx ctx;
+  const auto got =
+      filter(ctx, data, [](std::int64_t v) { return v % 3 == 0; }, 64);
+  std::vector<std::int64_t> expect;
+  std::copy_if(data.begin(), data.end(), std::back_inserter(expect),
+               [](std::int64_t v) { return v % 3 == 0; });
+  EXPECT_EQ(got, expect);
+  // Work-efficient, polylog span.
+  EXPECT_LT(ctx.total_work(), 16.0 * static_cast<double>(data.size()));
+  const double lg = std::log2(static_cast<double>(data.size()));
+  EXPECT_LT(ctx.span(), 60.0 * lg * lg);
+}
+
+TEST(Primitives, SplitIsStableTwoWayPartition) {
+  sched::WorkSpanCtx ctx;
+  std::vector<int> data{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<char> flags{1, 0, 0, 1, 1, 0, 1, 0};
+  const std::size_t pivot = split(ctx, data, flags, 2);
+  EXPECT_EQ(pivot, 4u);
+  EXPECT_EQ(data, (std::vector<int>{2, 3, 6, 8, 1, 4, 5, 7}));
+}
+
+class RadixSortSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RadixSortSizes, MatchesStdSort) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 2);
+  std::vector<std::uint64_t> data(n);
+  for (auto& v : data) v = rng.next_below(1u << 20);
+  auto expect = data;
+  std::sort(expect.begin(), expect.end());
+  sched::WorkSpanCtx ctx;
+  radix_sort(ctx, data, /*bits=*/20, 64);
+  EXPECT_EQ(data, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RadixSortSizes,
+                         ::testing::Values(0u, 1u, 7u, 100u, 1000u));
+
+TEST(Primitives, RadixSortOnRealScheduler) {
+  sched::Scheduler sched(4);
+  sched::RealCtx ctx;
+  Rng rng(12);
+  std::vector<std::uint64_t> data(20000);
+  for (auto& v : data) v = rng.next_below(1u << 16);
+  auto expect = data;
+  std::sort(expect.begin(), expect.end());
+  sched.run([&] { radix_sort(ctx, data, /*bits=*/16, 512); });
+  EXPECT_EQ(data, expect);
+}
+
+TEST(Sort, SequentialMergeSortSorts) {
+  auto keys = random_keys(1000, 3);
+  merge_sort_seq(keys);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+class SortSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortSizes, ParallelMergeSortMatchesStdSort) {
+  const std::size_t n = GetParam();
+  auto keys = random_keys(n, n + 1);
+  auto expect = keys;
+  std::sort(expect.begin(), expect.end());
+  sched::WorkSpanCtx ctx;
+  merge_sort_par(ctx, keys, /*grain=*/8);
+  EXPECT_EQ(keys, expect);
+}
+
+TEST_P(SortSizes, TracedSortsMatchStdSort) {
+  const std::size_t n = GetParam();
+  if (n == 0) GTEST_SKIP();
+  auto init = random_keys(n, 2 * n + 5);
+  auto expect = init;
+  std::sort(expect.begin(), expect.end());
+
+  cache::AramCounter aram;
+  cache::AddressSpace space;
+  cache::TracedArray<std::int64_t> a(init, space, aram);
+  merge_sort_traced(a);
+  EXPECT_EQ(a.raw(), expect);
+
+  for (std::size_t k : {2u, 4u, 8u}) {
+    cache::AramCounter aram2;
+    cache::TracedArray<std::int64_t> b(init, space, aram2);
+    kway_merge_sort_traced(b, k);
+    EXPECT_EQ(b.raw(), expect) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortSizes,
+                         ::testing::Values(0u, 1u, 2u, 3u, 10u, 64u, 100u,
+                                           1000u, 2048u));
+
+TEST(Sort, UncachedKwaySortsAndExhibitsAramCrossover) {
+  const std::size_t n = 4096;
+  const auto init = random_keys(n, 21);
+  auto expect = init;
+  std::sort(expect.begin(), expect.end());
+
+  cache::AddressSpace space;
+  cache::AramCounter two;
+  {
+    cache::TracedArray<std::int64_t> a(init, space, two);
+    merge_sort_traced(a);
+  }
+  cache::AramCounter uncached;
+  {
+    cache::TracedArray<std::int64_t> a(init, space, uncached);
+    kway_merge_sort_uncached(a, 16);
+    EXPECT_EQ(a.raw(), expect);
+  }
+  // Read-heavy but write-lean: loses at omega = 1, wins at omega = 64.
+  EXPECT_LT(two.cost(1.0) / uncached.cost(1.0), 1.0);
+  EXPECT_GT(two.cost(64.0) / uncached.cost(64.0), 1.0);
+  EXPECT_GT(uncached.reads(), 4 * two.reads() / 2);
+  EXPECT_LT(uncached.writes(), two.writes() / 2);
+}
+
+TEST(Sort, KwayWritesFewerBigMemoryWordsThanTwoWay) {
+  const std::size_t n = 4096;
+  const auto init = random_keys(n, 11);
+  cache::AddressSpace space;
+  cache::AramCounter two;
+  {
+    cache::TracedArray<std::int64_t> a(init, space, two);
+    merge_sort_traced(a);
+  }
+  cache::AramCounter sixteen;
+  {
+    cache::TracedArray<std::int64_t> a(init, space, sixteen);
+    kway_merge_sort_traced(a, 16);
+  }
+  // log_16(4096) = 3 passes vs log_2(4096) = 12 passes.
+  EXPECT_LT(2 * sixteen.writes(), two.writes());
+}
+
+TEST(Sort, ParallelMergeSortHandlesDuplicatesAndSortedInput) {
+  std::vector<std::int64_t> dup(500, 42);
+  sched::WorkSpanCtx ctx;
+  merge_sort_par(ctx, dup, 16);
+  EXPECT_TRUE(std::is_sorted(dup.begin(), dup.end()));
+
+  std::vector<std::int64_t> sorted(300);
+  std::iota(sorted.begin(), sorted.end(), 0);
+  auto expect = sorted;
+  sched::WorkSpanCtx ctx2;
+  merge_sort_par(ctx2, sorted, 16);
+  EXPECT_EQ(sorted, expect);
+
+  std::vector<std::int64_t> reversed(300);
+  std::iota(reversed.rbegin(), reversed.rend(), 0);
+  sched::WorkSpanCtx ctx3;
+  merge_sort_par(ctx3, reversed, 16);
+  EXPECT_TRUE(std::is_sorted(reversed.begin(), reversed.end()));
+}
+
+class BspSortSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(BspSortSweep, SampleSortMatchesStdSort) {
+  const auto [n, procs] = GetParam();
+  const auto keys = random_keys(n, n * 13 + procs);
+  auto expect = keys;
+  std::sort(expect.begin(), expect.end());
+  const auto res = bsp_sample_sort(keys, procs);
+  EXPECT_EQ(res.sorted, expect);
+}
+
+TEST_P(BspSortSweep, RootSortMatchesStdSort) {
+  const auto [n, procs] = GetParam();
+  const auto keys = random_keys(n, n * 17 + procs);
+  auto expect = keys;
+  std::sort(expect.begin(), expect.end());
+  const auto res = bsp_root_sort(keys, procs);
+  EXPECT_EQ(res.sorted, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BspSortSweep,
+    ::testing::Combine(::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{100},
+                                         std::size_t{1000},
+                                         std::size_t{5000}),
+                       ::testing::Values(1, 4, 7, 16)));
+
+TEST(BspSort, SampleSortSpreadsTheHRelation) {
+  const std::size_t n = 1 << 14;
+  const int procs = 16;
+  const auto keys = random_keys(n, 5);
+  const auto sample = bsp_sample_sort(keys, procs);
+  const auto root = bsp_root_sort(keys, procs);
+  // Root sort funnels ~2n words through rank 0; sample sort's biggest
+  // h-relation is ~2n/P plus sampling noise.
+  EXPECT_GT(root.stats.max_h_relation,
+            4 * sample.stats.max_h_relation);
+  // Both move every key across the network O(1) times.
+  EXPECT_LT(sample.stats.total_words, 3 * n);
+  EXPECT_LT(root.stats.total_words, 3 * n);
+}
+
+TEST(BspSort, HandlesDuplicateHeavyInput) {
+  std::vector<std::int64_t> keys(4096, 7);
+  for (std::size_t i = 0; i < keys.size(); i += 5) keys[i] = 3;
+  auto expect = keys;
+  std::sort(expect.begin(), expect.end());
+  const auto res = bsp_sample_sort(keys, 8);
+  EXPECT_EQ(res.sorted, expect);
+}
+
+TEST(Sort, MergeSortWorkIsNLogNAndSpanPolylog) {
+  const std::size_t n = 1 << 12;
+  auto keys = random_keys(n, 77);
+  sched::WorkSpanCtx ctx;
+  merge_sort_par(ctx, keys, 16);
+  const double nlogn =
+      static_cast<double>(n) * std::log2(static_cast<double>(n));
+  EXPECT_LT(ctx.total_work(), 6.0 * nlogn);
+  const double lg = std::log2(static_cast<double>(n));
+  EXPECT_LT(ctx.span(), 60.0 * lg * lg * lg);
+}
+
+}  // namespace
+}  // namespace harmony::algos

@@ -1,0 +1,70 @@
+// Tests for the ghost-zone distributed stencil (src/algos/bsp_stencil).
+#include <gtest/gtest.h>
+
+#include "algos/bsp_stencil.hpp"
+#include "algos/specs.hpp"
+#include "support/rng.hpp"
+
+namespace harmony::algos {
+namespace {
+
+class HaloSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::int64_t, int, std::int64_t>> {};
+
+TEST_P(HaloSweep, MatchesSerialReferenceAtAnyHaloDepth) {
+  const auto [steps, procs, halo] = GetParam();
+  const std::int64_t n = 96;
+  Rng rng(3 * steps + procs + halo);
+  std::vector<double> u0(static_cast<std::size_t>(n));
+  for (auto& v : u0) v = rng.next_double(-5, 5);
+
+  const auto expect = stencil1d_reference(u0, steps);
+  const auto res = bsp_stencil1d(u0, steps, procs, halo);
+  ASSERT_EQ(res.u.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    ASSERT_NEAR(res.u[i], expect[i], 1e-9)
+        << "i=" << i << " steps=" << steps << " P=" << procs
+        << " halo=" << halo;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HaloSweep,
+    ::testing::Combine(::testing::Values(std::int64_t{0}, std::int64_t{1},
+                                         std::int64_t{5}, std::int64_t{24}),
+                       ::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(std::int64_t{1}, std::int64_t{3},
+                                         std::int64_t{8})));
+
+TEST(BspStencil, DeeperHalosMeanFewerRoundsMoreFlops) {
+  const std::int64_t n = 256;
+  const std::int64_t steps = 32;
+  std::vector<double> u0(static_cast<std::size_t>(n), 1.0);
+  u0[40] = 100.0;
+
+  const auto h1 = bsp_stencil1d(u0, steps, 8, 1);
+  const auto h8 = bsp_stencil1d(u0, steps, 8, 8);
+  EXPECT_EQ(h1.rounds, 32);
+  EXPECT_EQ(h8.rounds, 4);
+  // Messages shrink by ~the halo depth; words stay ~linear in steps
+  // (h cells per message x steps/h messages).
+  EXPECT_GT(h1.stats.total_messages, 6 * h8.stats.total_messages);
+  // Redundant boundary recompute: deeper halo does more flops.
+  EXPECT_GT(h8.stats.total_flops, h1.stats.total_flops);
+  // Results identical.
+  for (std::size_t i = 0; i < h1.u.size(); ++i) {
+    ASSERT_NEAR(h1.u[i], h8.u[i], 1e-9);
+  }
+}
+
+TEST(BspStencil, ValidatesParameters) {
+  std::vector<double> u0(64, 0.0);
+  EXPECT_THROW((void)bsp_stencil1d(u0, 4, 0, 1), InvalidArgument);
+  EXPECT_THROW((void)bsp_stencil1d(u0, 4, 8, 0), InvalidArgument);
+  EXPECT_THROW((void)bsp_stencil1d(u0, 4, 7, 1), InvalidArgument);
+  EXPECT_THROW((void)bsp_stencil1d(u0, 4, 32, 3), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace harmony::algos

@@ -1,0 +1,311 @@
+// Tests for the cache hierarchy simulator, traced arrays, ideal-cache
+// bounds, and ARAM accounting (src/cache).
+#include <gtest/gtest.h>
+
+#include "cache/aram.hpp"
+#include "cache/cache.hpp"
+#include "cache/ideal.hpp"
+#include "cache/reuse.hpp"
+#include "cache/traced.hpp"
+#include "algos/transpose.hpp"
+#include "support/rng.hpp"
+
+namespace harmony::cache {
+namespace {
+
+CacheConfig tiny(std::size_t size, std::size_t line, std::size_t assoc) {
+  return CacheConfig{"t", size, line, assoc};
+}
+
+TEST(CacheLevel, HitAfterMiss) {
+  CacheLevel c(tiny(1024, 64, 0));
+  EXPECT_FALSE(c.access(0, false).hit);
+  EXPECT_TRUE(c.access(0, false).hit);
+  EXPECT_TRUE(c.access(63, false).hit);   // same line
+  EXPECT_FALSE(c.access(64, false).hit);  // next line
+  EXPECT_EQ(c.stats().reads, 4u);
+  EXPECT_EQ(c.stats().read_misses, 2u);
+}
+
+TEST(CacheLevel, LruEvictionOrder) {
+  // Fully associative, 4 lines of 64 B.
+  CacheLevel c(tiny(256, 64, 0));
+  for (Addr a = 0; a < 4; ++a) c.access(a * 64, false);
+  c.access(0, false);             // touch line 0 -> line 1 is LRU
+  c.access(4 * 64, false);        // evicts line 1
+  EXPECT_TRUE(c.access(0, false).hit);
+  EXPECT_FALSE(c.access(64, false).hit);  // line 1 was evicted
+}
+
+TEST(CacheLevel, DirtyEvictionReportsWriteback) {
+  CacheLevel c(tiny(128, 64, 0));  // 2 lines
+  c.access(0, true);               // dirty line 0
+  c.access(64, false);
+  const auto out = c.access(128, false);  // evicts LRU = line 0 (dirty)
+  EXPECT_TRUE(out.evicted_dirty);
+  EXPECT_EQ(out.victim_line, 0u);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(CacheLevel, SetConflictsInDirectMapped) {
+  // Direct-mapped, 4 sets of 64 B: addresses 0 and 256 share set 0.
+  CacheLevel c(tiny(256, 64, 1));
+  EXPECT_FALSE(c.access(0, false).hit);
+  EXPECT_FALSE(c.access(256, false).hit);
+  EXPECT_FALSE(c.access(0, false).hit);  // conflict-evicted
+  EXPECT_EQ(c.stats().evictions, 2u);
+}
+
+TEST(CacheLevel, RejectsBadGeometry) {
+  EXPECT_THROW(CacheLevel(tiny(100, 64, 0)), InvalidArgument);
+  EXPECT_THROW(CacheLevel(tiny(1024, 63, 0)), InvalidArgument);
+  EXPECT_THROW(CacheLevel(tiny(1024, 64, 3)), InvalidArgument);
+}
+
+TEST(Hierarchy, MissPropagatesThroughLevels) {
+  CacheHierarchy h({tiny(128, 64, 0), tiny(1024, 64, 0)});
+  h.read(0, 4);
+  EXPECT_EQ(h.level_stats(0).read_misses, 1u);
+  EXPECT_EQ(h.level_stats(1).read_misses, 1u);
+  EXPECT_EQ(h.memory_line_reads(), 1u);
+  h.read(0, 4);  // L1 hit, nothing deeper
+  EXPECT_EQ(h.level_stats(1).reads, 1u);
+  EXPECT_EQ(h.memory_line_reads(), 1u);
+}
+
+TEST(Hierarchy, L2AbsorbsL1ConflictMisses) {
+  CacheHierarchy h({tiny(128, 64, 0), tiny(4096, 64, 0)});
+  for (int round = 0; round < 3; ++round) {
+    for (Addr a = 0; a < 4; ++a) h.read(a * 64, 4);
+  }
+  // L1 (2 lines) thrashes; L2 (64 lines) holds everything after round 1.
+  EXPECT_GT(h.level_stats(0).read_misses, 4u);
+  EXPECT_EQ(h.level_stats(1).read_misses, 4u);
+  EXPECT_EQ(h.memory_line_reads(), 4u);
+}
+
+TEST(Hierarchy, WriteMissIsAllocatingAndWritebackReachesMemory) {
+  CacheHierarchy h({tiny(128, 64, 0)});
+  h.write(0, 4);
+  EXPECT_EQ(h.memory_line_reads(), 1u);  // write-allocate fill
+  h.write(64, 4);
+  h.write(128, 4);  // evicts dirty line 0 -> memory write
+  EXPECT_EQ(h.memory_line_writes(), 1u);
+}
+
+TEST(Hierarchy, StraddlingAccessTouchesBothLines) {
+  CacheHierarchy h({tiny(1024, 64, 0)});
+  h.read(60, 8);  // crosses the line boundary
+  EXPECT_EQ(h.level_stats(0).reads, 2u);
+}
+
+TEST(Hierarchy, EmptyHierarchyCountsRawMemoryTraffic) {
+  CacheHierarchy h({});
+  h.read(0, 4);
+  h.write(64, 4);
+  EXPECT_EQ(h.memory_line_reads(), 1u);
+  EXPECT_EQ(h.memory_line_writes(), 1u);
+}
+
+TEST(TracedArray, ReportsAccessesWithDistinctAddresses) {
+  CacheHierarchy h = make_single_level(1024, 64);
+  CacheSink sink(h);
+  AddressSpace space;
+  TracedArray<double> a(16, space, sink);
+  TracedArray<double> b(16, space, sink);
+  EXPECT_NE(a.base_address(), b.base_address());
+  a.set(0, 1.5);
+  EXPECT_DOUBLE_EQ(a.get(0), 1.5);
+  EXPECT_EQ(h.level_stats(0).writes, 1u);
+  EXPECT_EQ(h.level_stats(0).reads, 1u);
+}
+
+TEST(TracedArray, TeeSinkDuplicates) {
+  CacheHierarchy h = make_single_level(1024, 64);
+  CacheSink cs(h);
+  AramCounter aram;
+  TeeSink tee({&cs, &aram});
+  AddressSpace space;
+  TracedArray<int> a(8, space, tee);
+  a.set(3, 7);
+  (void)a.get(3);
+  EXPECT_EQ(aram.reads(), 1u);
+  EXPECT_EQ(aram.writes(), 1u);
+  EXPECT_EQ(h.level_stats(0).accesses(), 2u);
+}
+
+TEST(Aram, CostScalesWithOmega) {
+  AramCounter c;
+  for (int i = 0; i < 10; ++i) c.on_read(0, 8);
+  for (int i = 0; i < 5; ++i) c.on_write(0, 8);
+  EXPECT_DOUBLE_EQ(c.cost(1.0), 15.0);
+  EXPECT_DOUBLE_EQ(c.cost(4.0), 30.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.cost(16.0), 0.0);
+}
+
+TEST(IdealCache, ScanMissesMatchSimulatedSequentialScan) {
+  const std::size_t n = 4096;
+  CacheHierarchy h = make_single_level(32 * 1024, 64);
+  CacheSink sink(h);
+  AddressSpace space;
+  TracedArray<double> a(n, space, sink);
+  for (std::size_t i = 0; i < n; ++i) (void)a.get(i);
+  const double predicted =
+      scan_misses(IdealCache{32.0 * 1024, 64.0}, n, sizeof(double));
+  const auto measured = static_cast<double>(h.level_stats(0).misses());
+  EXPECT_NEAR(measured, predicted, predicted * 0.05 + 2.0);
+}
+
+// Property sweep: the cache-oblivious transpose must stay within a small
+// constant of the ideal-cache bound across cache shapes, while the naive
+// transpose blows past it once a row set exceeds the cache.
+class ObliviousTranspose
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(ObliviousTranspose, WithinConstantOfIdealBound) {
+  const auto [n, cache_kib] = GetParam();
+  CacheHierarchy h = make_single_level(cache_kib * 1024, 64);
+  CacheSink sink(h);
+  AddressSpace space;
+  TracedArray<double> in(n * n, space, sink);
+  TracedArray<double> out(n * n, space, sink);
+  for (std::size_t i = 0; i < n * n; ++i) in.raw_mutable()[i] =
+      static_cast<double>(i);
+  algos::transpose_oblivious(in, out, n);
+  // Validate the result itself.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(out.raw()[j * n + i], in.raw()[i * n + j]);
+    }
+  }
+  const double bound = transpose_misses(
+      IdealCache{static_cast<double>(cache_kib) * 1024, 64.0},
+      static_cast<double>(n), sizeof(double));
+  const auto measured = static_cast<double>(h.level_stats(0).misses());
+  EXPECT_LT(measured, 4.0 * bound) << "n=" << n << " cache=" << cache_kib;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ObliviousTranspose,
+    ::testing::Combine(::testing::Values(64u, 128u, 256u),
+                       ::testing::Values(8u, 32u, 128u)));
+
+TEST(Reuse, DistancesOnKnownTrace) {
+  ReuseProfiler prof(64);
+  // Lines A, B, A, C, B, A  (8-byte accesses, distinct lines).
+  const Addr a = 0;
+  const Addr b = 64;
+  const Addr c = 128;
+  for (Addr addr : {a, b, a, c, b, a}) prof.on_read(addr, 8);
+  EXPECT_EQ(prof.accesses(), 6u);
+  EXPECT_EQ(prof.cold_misses(), 3u);
+  // Reuses: A at distance 1, B at distance 2, A at distance 2.
+  const auto& h = prof.histogram();
+  EXPECT_EQ(h.at(1), 1u);
+  EXPECT_EQ(h.at(2), 2u);
+  // Capacity 1 line: every reuse at distance >= 1 misses.
+  EXPECT_EQ(prof.predicted_misses(1), 6u);
+  EXPECT_EQ(prof.predicted_misses(2), 5u);
+  EXPECT_EQ(prof.predicted_misses(3), 3u);   // everything fits
+  EXPECT_EQ(prof.predicted_misses(64), 3u);  // compulsory floor
+}
+
+TEST(Reuse, PredictionsAreMonotoneInCapacity) {
+  Rng rng(31);
+  ReuseProfiler prof(64);
+  for (int i = 0; i < 20000; ++i) {
+    prof.on_read(rng.next_below(512) * 8, 8);
+  }
+  std::uint64_t prev = prof.predicted_misses(1);
+  for (std::size_t lines = 2; lines <= 128; lines *= 2) {
+    const std::uint64_t cur = prof.predicted_misses(lines);
+    EXPECT_LE(cur, prev) << lines;
+    prev = cur;
+  }
+}
+
+// The profiler is a second implementation of LRU: its capacity-L
+// prediction must equal the CacheLevel simulator's fully-associative
+// L-line miss count exactly, on the same trace.
+class ReuseVsSimulator : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ReuseVsSimulator, ExactAgreementOnRandomAndKernelTraces) {
+  const std::size_t lines = GetParam();
+
+  // Random trace.
+  {
+    Rng rng(7);
+    ReuseProfiler prof(64);
+    CacheHierarchy sim = make_single_level(lines * 64, 64, 0);
+    for (int i = 0; i < 30000; ++i) {
+      const Addr addr = rng.next_below(256) * 64;
+      prof.on_read(addr, 8);
+      sim.read(addr, 8);
+    }
+    EXPECT_EQ(prof.predicted_misses(lines), sim.level_stats(0).misses());
+  }
+  // Transpose kernel trace.
+  {
+    const std::size_t n = 64;
+    ReuseProfiler prof(64);
+    CacheHierarchy sim = make_single_level(lines * 64, 64, 0);
+    CacheSink sink(sim);
+    TeeSink tee({&prof, &sink});
+    AddressSpace space;
+    TracedArray<double> in(n * n, space, tee);
+    TracedArray<double> out(n * n, space, tee);
+    algos::transpose_naive(in, out, n);
+    EXPECT_EQ(prof.predicted_misses(lines), sim.level_stats(0).misses());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, ReuseVsSimulator,
+                         ::testing::Values(std::size_t{1}, std::size_t{4},
+                                           std::size_t{16}, std::size_t{64},
+                                           std::size_t{256},
+                                           std::size_t{1024}));
+
+TEST(Reuse, WorkingSetKneeOfBlockedTranspose) {
+  // The blocked kernel's working set is ~2 tiles; the naive kernel's is
+  // ~a whole row set.  The knee estimate must reflect that ordering.
+  const std::size_t n = 128;
+  auto profile = [n](bool blocked) {
+    ReuseProfiler prof(64);
+    AddressSpace space;
+    TracedArray<double> in(n * n, space, prof);
+    TracedArray<double> out(n * n, space, prof);
+    if (blocked) {
+      algos::transpose_blocked(in, out, n, 16);
+    } else {
+      algos::transpose_naive(in, out, n);
+    }
+    return prof.working_set_lines();
+  };
+  EXPECT_LT(profile(true), profile(false));
+}
+
+TEST(Transpose, NaiveThrashesSmallCacheObliviousDoesNot) {
+  const std::size_t n = 256;
+  auto run = [n](auto kernel) {
+    CacheHierarchy h = make_single_level(8 * 1024, 64);
+    CacheSink sink(h);
+    AddressSpace space;
+    TracedArray<double> in(n * n, space, sink);
+    TracedArray<double> out(n * n, space, sink);
+    kernel(in, out);
+    return h.level_stats(0).misses();
+  };
+  const auto naive = run([n](auto& in, auto& out) {
+    algos::transpose_naive(in, out, n);
+  });
+  const auto oblivious = run([n](auto& in, auto& out) {
+    algos::transpose_oblivious(in, out, n);
+  });
+  EXPECT_GT(static_cast<double>(naive),
+            2.5 * static_cast<double>(oblivious));
+}
+
+}  // namespace
+}  // namespace harmony::cache

@@ -1,0 +1,129 @@
+// Tests for the collective algorithms (src/comm/collectives).
+#include <gtest/gtest.h>
+
+#include "comm/collectives.hpp"
+#include "support/rng.hpp"
+
+namespace harmony::comm {
+namespace {
+
+std::vector<std::vector<double>> random_inputs(std::size_t p,
+                                               std::size_t n,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> in(p, std::vector<double>(n));
+  for (auto& v : in) {
+    for (auto& x : v) x = rng.next_double(-1, 1);
+  }
+  return in;
+}
+
+std::vector<double> expected_sum(
+    const std::vector<std::vector<double>>& in) {
+  std::vector<double> sum(in[0].size(), 0.0);
+  for (const auto& v : in) {
+    for (std::size_t i = 0; i < v.size(); ++i) sum[i] += v[i];
+  }
+  return sum;
+}
+
+class AllreduceAlgos
+    : public ::testing::TestWithParam<std::tuple<AllreduceAlgo,
+                                                 std::size_t>> {};
+
+TEST_P(AllreduceAlgos, EveryProcessGetsTheSum) {
+  const auto [algo, p] = GetParam();
+  const std::size_t n = 64;
+  const auto in = random_inputs(p, n, p * 7 + 1);
+  const auto expect = expected_sum(in);
+  const CollectiveResult res = allreduce(in, algo);
+  ASSERT_EQ(res.per_proc.size(), p);
+  for (std::size_t r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(res.per_proc[r][i], expect[i], 1e-9)
+          << allreduce_name(algo) << " rank " << r << " elem " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllreduceAlgos,
+    ::testing::Combine(::testing::Values(AllreduceAlgo::kNaiveRoot,
+                                         AllreduceAlgo::kBinomialTree,
+                                         AllreduceAlgo::kRecursiveDoubling,
+                                         AllreduceAlgo::kRing),
+                       ::testing::Values(std::size_t{2}, std::size_t{4},
+                                         std::size_t{8}, std::size_t{16})));
+
+TEST(Allreduce, RingWorksForNonPowerOfTwoP) {
+  const auto in = random_inputs(6, 66, 3);  // 6 | 66
+  const auto expect = expected_sum(in);
+  const CollectiveResult res = allreduce(in, AllreduceAlgo::kRing);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t i = 0; i < 66; ++i) {
+      ASSERT_NEAR(res.per_proc[r][i], expect[i], 1e-9);
+    }
+  }
+}
+
+TEST(Allreduce, TreeRejectsNonPowerOfTwoP) {
+  const auto in = random_inputs(6, 12, 3);
+  EXPECT_THROW((void)allreduce(in, AllreduceAlgo::kBinomialTree),
+               InvalidArgument);
+  EXPECT_THROW((void)allreduce(in, AllreduceAlgo::kRecursiveDoubling),
+               InvalidArgument);
+}
+
+TEST(Allreduce, RingMovesLeastVolumeRootMovesMost) {
+  const std::size_t p = 16;
+  const std::size_t n = 1024;
+  const auto in = random_inputs(p, n, 9);
+  const auto root = allreduce(in, AllreduceAlgo::kNaiveRoot);
+  const auto ring = allreduce(in, AllreduceAlgo::kRing);
+  const auto rd = allreduce(in, AllreduceAlgo::kRecursiveDoubling);
+  // Ring total words = 2n(P-1); recursive doubling = nP log P;
+  // naive root = 2n(P-1) too in total but with a Theta(nP) h-relation
+  // at the root (its critical-path time is worse).
+  EXPECT_LT(ring.stats.total_words, rd.stats.total_words);
+  EXPECT_GT(root.stats.max_h_relation, ring.stats.max_h_relation * 4);
+}
+
+TEST(Allreduce, LatencyVsBandwidthRegimes) {
+  const std::size_t p = 16;
+  AlphaBeta model;  // alpha 1 us, beta 1 ns/word, barrier 2 us
+  // Small vectors: fewer supersteps (recursive doubling) wins.
+  {
+    const auto in = random_inputs(p, 16, 1);
+    const auto rd = allreduce(in, AllreduceAlgo::kRecursiveDoubling, model);
+    const auto ring = allreduce(in, AllreduceAlgo::kRing, model);
+    EXPECT_LT(rd.stats.time.picoseconds(), ring.stats.time.picoseconds());
+  }
+  // Large vectors: the bandwidth-optimal ring wins.
+  {
+    const auto in = random_inputs(p, 1 << 16, 2);
+    const auto rd = allreduce(in, AllreduceAlgo::kRecursiveDoubling, model);
+    const auto ring = allreduce(in, AllreduceAlgo::kRing, model);
+    EXPECT_LT(ring.stats.time.picoseconds(), rd.stats.time.picoseconds());
+  }
+}
+
+TEST(Allgather, RingConcatenatesEverywhere) {
+  const std::size_t p = 8;
+  const std::size_t blk = 16;
+  const auto in = random_inputs(p, blk, 5);
+  const CollectiveResult res = allgather_ring(in);
+  for (std::size_t r = 0; r < p; ++r) {
+    ASSERT_EQ(res.per_proc[r].size(), p * blk);
+    for (std::size_t src = 0; src < p; ++src) {
+      for (std::size_t i = 0; i < blk; ++i) {
+        ASSERT_NEAR(res.per_proc[r][src * blk + i], in[src][i], 1e-12)
+            << "rank " << r << " block " << src;
+      }
+    }
+  }
+  // Volume: each rank forwards P-1 blocks.
+  EXPECT_EQ(res.stats.total_words, p * (p - 1) * blk);
+}
+
+}  // namespace
+}  // namespace harmony::comm

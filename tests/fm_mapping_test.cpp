@@ -1,0 +1,350 @@
+// Tests for mappings, the legality verifier, the cost evaluator, and the
+// executing grid machine (src/fm: mapping, legality, cost, machine).
+#include <gtest/gtest.h>
+
+#include "algos/editdist.hpp"
+#include "algos/matmul.hpp"
+#include "algos/specs.hpp"
+#include "fm/idioms.hpp"
+#include "support/rng.hpp"
+#include "fm/cost.hpp"
+#include "fm/legality.hpp"
+#include "fm/machine.hpp"
+#include "fm/mapping.hpp"
+
+namespace harmony::fm {
+namespace {
+
+/// Small edit-distance fixture mapped three ways.
+struct EditDistFixture {
+  std::string r = "GATTACA";
+  std::string q = "GCATGCU";
+  algos::SwScores scores;
+  FunctionSpec spec;
+  TensorId rt = -1, qt = -1, ht = -1;
+
+  EditDistFixture() {
+    spec = algos::editdist_spec(static_cast<std::int64_t>(r.size()),
+                                static_cast<std::int64_t>(q.size()),
+                                scores, &rt, &qt, &ht);
+  }
+
+  Mapping wavefront(int pes) const {
+    Mapping m;
+    const WavefrontMap wf =
+        wavefront_map(static_cast<std::int64_t>(q.size()), pes);
+    m.set_computed(ht, wf.place_fn(), wf.time_fn());
+    m.set_input(rt, InputHome::at({0, 0}));
+    m.set_input(qt, InputHome::at({0, 0}));
+    return m;
+  }
+};
+
+TEST(Mapping, CompletenessChecked) {
+  EditDistFixture fx;
+  Mapping m;
+  EXPECT_THROW(m.require_complete(fx.spec), InvalidArgument);
+  m = serial_mapping(fx.spec);
+  EXPECT_NO_THROW(m.require_complete(fx.spec));
+}
+
+TEST(Mapping, AffineMapWrapsNegatives) {
+  AffineMap m{.xi = -1, .cols = 4, .rows = 1};
+  EXPECT_EQ(m.place(Point{1, 0}).x, 3);
+  EXPECT_EQ(m.place(Point{4, 0}).x, 0);
+  EXPECT_EQ(m.place(Point{9, 0}).x, 3);
+}
+
+TEST(Legality, SerialMappingIsLegal) {
+  EditDistFixture fx;
+  const MachineConfig machine = make_machine(4, 1);
+  const LegalityReport rep =
+      verify(fx.spec, serial_mapping(fx.spec), machine);
+  EXPECT_TRUE(rep.ok) << (rep.messages.empty() ? "" : rep.messages[0]);
+  EXPECT_EQ(rep.total_violations(), 0u);
+}
+
+TEST(Legality, WavefrontMappingIsLegal) {
+  EditDistFixture fx;
+  for (int pes : {1, 2, 4, 7}) {
+    const MachineConfig machine = make_machine(pes, 1);
+    const LegalityReport rep =
+        verify(fx.spec, fx.wavefront(pes), machine);
+    EXPECT_TRUE(rep.ok) << "P=" << pes << ": "
+                        << (rep.messages.empty() ? "" : rep.messages[0]);
+  }
+}
+
+TEST(Legality, PapersUnskewedScheduleIsCaught) {
+  // The paper sketches "Map H(i,j) at i % P time floor(i/P)*N + j" — with
+  // no skew, H(i,j) and H(i-1,j) are simultaneous.  The verifier must
+  // reject it (DESIGN.md §4).
+  EditDistFixture fx;
+  const int pes = 4;
+  const auto n_cols = static_cast<std::int64_t>(fx.q.size());
+  Mapping m;
+  m.set_computed(
+      fx.ht,
+      [pes](const Point& p) {
+        return noc::Coord{static_cast<int>(p.i % pes), 0};
+      },
+      [n_cols, pes](const Point& p) {
+        return (p.i / pes) * n_cols + p.j;
+      });
+  m.set_input(fx.rt, InputHome::at({0, 0}));
+  m.set_input(fx.qt, InputHome::at({0, 0}));
+  const MachineConfig machine = make_machine(pes, 1);
+  const LegalityReport rep = verify(fx.spec, m, machine);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_GT(rep.causality_violations, 0u);
+}
+
+TEST(Legality, ExclusivityViolationDetected) {
+  EditDistFixture fx;
+  // Everything on one PE at cycle = i + j: anti-diagonal collisions.
+  Mapping m;
+  m.set_computed(
+      fx.ht, [](const Point&) { return noc::Coord{0, 0}; },
+      [](const Point& p) { return p.i + p.j; });
+  m.set_input(fx.rt, InputHome::at({0, 0}));
+  m.set_input(fx.qt, InputHome::at({0, 0}));
+  const MachineConfig machine = make_machine(2, 1);
+  const LegalityReport rep = verify(fx.spec, m, machine);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_GT(rep.exclusivity_violations, 0u);
+}
+
+TEST(Legality, StorageBoundViolationDetected) {
+  EditDistFixture fx;
+  MachineConfig machine = make_machine(2, 1);
+  machine.pe_capacity_values = 4;  // far below |H| held to the end
+  const LegalityReport rep =
+      verify(fx.spec, serial_mapping(fx.spec), machine);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_GT(rep.storage_violations, 0u);
+  EXPECT_GT(rep.peak_live_values, 4);
+}
+
+TEST(Legality, NegativeTimeRejected) {
+  EditDistFixture fx;
+  Mapping m;
+  m.set_computed(
+      fx.ht, [](const Point&) { return noc::Coord{0, 0}; },
+      [](const Point& p) { return p.i - 100; });
+  m.set_input(fx.rt, InputHome::at({0, 0}));
+  m.set_input(fx.qt, InputHome::at({0, 0}));
+  const LegalityReport rep = verify(fx.spec, m, make_machine(2, 1));
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(Machine, SerialMappingReproducesReference) {
+  EditDistFixture fx;
+  const GridMachine machine(make_machine(2, 2));
+  const auto res = machine.run(
+      fx.spec, serial_mapping(fx.spec),
+      {algos::encode_string(fx.r), algos::encode_string(fx.q)});
+  const auto expect =
+      algos::smith_waterman_serial(fx.r, fx.q, fx.scores);
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0], expect);
+}
+
+class WavefrontExecution : public ::testing::TestWithParam<int> {};
+
+TEST_P(WavefrontExecution, ReproducesReferenceOnAnyWidth) {
+  EditDistFixture fx;
+  const int pes = GetParam();
+  const GridMachine machine(make_machine(pes, 1));
+  const auto res = machine.run(
+      fx.spec, fx.wavefront(pes),
+      {algos::encode_string(fx.r), algos::encode_string(fx.q)});
+  const auto expect =
+      algos::smith_waterman_serial(fx.r, fx.q, fx.scores);
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0], expect);
+  // Parallel mapping must beat the serial schedule length when P > 1.
+  if (pes > 1) {
+    const auto serial_cycles =
+        static_cast<Cycle>(fx.r.size() * fx.q.size());
+    EXPECT_LT(res.makespan_cycles, serial_cycles);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WavefrontExecution,
+                         ::testing::Values(1, 2, 3, 4, 7));
+
+TEST(Machine, IllegalMappingThrows) {
+  EditDistFixture fx;
+  Mapping m;
+  m.set_computed(
+      fx.ht, [](const Point&) { return noc::Coord{0, 0}; },
+      [](const Point& p) { return p.i + p.j; });  // collides + too early
+  m.set_input(fx.rt, InputHome::at({0, 0}));
+  m.set_input(fx.qt, InputHome::at({0, 0}));
+  const GridMachine machine(make_machine(2, 1));
+  EXPECT_THROW(machine.run(fx.spec, m,
+                           {algos::encode_string(fx.r),
+                            algos::encode_string(fx.q)}),
+               SimulationError);
+}
+
+TEST(Cost, AnalyticEvaluatorAgreesWithMachineLedger) {
+  EditDistFixture fx;
+  for (int pes : {1, 4}) {
+    const MachineConfig cfg = make_machine(pes, 1);
+    const Mapping m = fx.wavefront(pes);
+    const CostReport cost = evaluate_cost(fx.spec, m, cfg);
+    const auto exec = GridMachine(cfg).run(
+        fx.spec, m,
+        {algos::encode_string(fx.r), algos::encode_string(fx.q)});
+    EXPECT_EQ(cost.makespan_cycles, exec.makespan_cycles);
+    EXPECT_DOUBLE_EQ(cost.compute_energy.femtojoules(),
+                     exec.compute_energy.femtojoules());
+    EXPECT_DOUBLE_EQ(cost.onchip_movement_energy.femtojoules(),
+                     exec.onchip_movement_energy.femtojoules());
+    EXPECT_DOUBLE_EQ(cost.local_access_energy.femtojoules(),
+                     exec.local_access_energy.femtojoules());
+    EXPECT_DOUBLE_EQ(cost.dram_energy.femtojoules(),
+                     exec.dram_energy.femtojoules());
+    EXPECT_EQ(cost.messages, exec.messages);
+    EXPECT_EQ(cost.bit_hops, exec.bit_hops);
+  }
+}
+
+TEST(Cost, WavefrontBeatsSerialOnTimeSerialWinsNothing) {
+  EditDistFixture fx;
+  const MachineConfig cfg = make_machine(7, 1);
+  const CostReport wf = evaluate_cost(fx.spec, fx.wavefront(7), cfg);
+  const CostReport ser =
+      evaluate_cost(fx.spec, serial_mapping(fx.spec), cfg);
+  EXPECT_LT(wf.makespan_cycles, ser.makespan_cycles);
+  EXPECT_DOUBLE_EQ(wf.compute_energy.femtojoules(),
+                   ser.compute_energy.femtojoules());
+}
+
+TEST(Machine, Systolic2DMatmulOnSquareGrid) {
+  // The classic 2-D systolic schedule: C(i,j,k) on PE (i,j) at
+  // t = i + j + k (+ input-arrival offset) — output-stationary Cannon
+  // timing.  Hand-built, verified, executed, validated.
+  const std::int64_t n = 8;
+  algos::MatmulSpecIds ids;
+  const auto spec = algos::matmul_spec(n, &ids);
+  const MachineConfig cfg = make_machine(static_cast<int>(n),
+                                         static_cast<int>(n));
+
+  Mapping m;
+  const Cycle offset = static_cast<Cycle>(n);  // covers input transit
+  m.set_computed(
+      ids.c,
+      [](const Point& p) {
+        return noc::Coord{static_cast<int>(p.i), static_cast<int>(p.j)};
+      },
+      [offset](const Point& p) { return offset + p.i + p.j + p.k; });
+  // Inputs pre-loaded block-wise (single-PE homes are hot-spots).
+  for (TensorId t : spec.input_tensors()) {
+    m.set_input(t, InputHome::distributed(
+                       block_distribution(spec.domain(t), cfg.geom).place));
+  }
+
+  const LegalityReport rep = verify(spec, m, cfg);
+  ASSERT_TRUE(rep.ok) << (rep.messages.empty() ? "" : rep.messages[0]);
+
+  Rng rng(5);
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  std::vector<double> b(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = rng.next_double(-1, 1);
+  for (auto& v : b) v = rng.next_double(-1, 1);
+  const auto res = GridMachine(cfg).run(spec, m, {a, b});
+  const auto expect = algos::matmul_serial(a, b, static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      ASSERT_NEAR(res.outputs[0][static_cast<std::size_t>(
+                      (i * n + j) * n + (n - 1))],
+                  expect[static_cast<std::size_t>(i * n + j)], 1e-9);
+    }
+  }
+  // Makespan ~ 3n + offset, i.e. ~n^2/3 speedup over the serial n^3.
+  EXPECT_LE(res.makespan_cycles, 4 * n + offset);
+}
+
+class FoldedWavefront : public ::testing::TestWithParam<int> {};
+
+TEST_P(FoldedWavefront, VerifiesExecutesAndSlowsByTheFoldFactor) {
+  // Build the full-width wavefront (one PE per row), then fold it onto
+  // fewer physical columns; it must stay legal, still compute the right
+  // matrix, and slow down by ~the fold factor.
+  EditDistFixture fx;
+  const int logical = static_cast<int>(fx.r.size());  // 7
+  const int physical = GetParam();
+  const WavefrontMap wf =
+      wavefront_map(static_cast<std::int64_t>(fx.q.size()), logical);
+  const FoldedMap folded =
+      fold_columns(wf.place_fn(), wf.time_fn(), logical, physical);
+
+  Mapping m;
+  m.set_computed(fx.ht, folded.place, folded.time);
+  m.set_input(fx.rt, InputHome::at({0, 0}));
+  m.set_input(fx.qt, InputHome::at({0, 0}));
+  const MachineConfig cfg = make_machine(physical, 1);
+  const LegalityReport rep = verify(fx.spec, m, cfg);
+  ASSERT_TRUE(rep.ok) << "P=" << physical << ": "
+                      << (rep.messages.empty() ? "" : rep.messages[0]);
+
+  const auto res = GridMachine(cfg).run(
+      fx.spec, m,
+      {algos::encode_string(fx.r), algos::encode_string(fx.q)});
+  EXPECT_EQ(res.outputs[0],
+            algos::smith_waterman_serial(fx.r, fx.q, fx.scores));
+
+  // Makespan scales by the fold factor (same schedule, stretched).
+  const CostReport full = evaluate_cost(
+      fx.spec, fx.wavefront(logical), make_machine(logical, 1));
+  EXPECT_LE(res.makespan_cycles,
+            full.makespan_cycles * folded.fold_factor +
+                folded.fold_factor);
+}
+
+INSTANTIATE_TEST_SUITE_P(Folds, FoldedWavefront, ::testing::Values(1, 2, 3,
+                                                                   4, 7));
+
+TEST(Mapping, FoldColumnsValidatesArguments) {
+  EXPECT_THROW((void)fold_columns(nullptr, nullptr, 4, 2),
+               InvalidArgument);
+  const WavefrontMap wf = wavefront_map(4, 4);
+  EXPECT_THROW((void)fold_columns(wf.place_fn(), wf.time_fn(), 0, 2),
+               InvalidArgument);
+}
+
+TEST(Cost, MeritValuesMatchFields) {
+  CostReport r;
+  r.makespan = Time::picoseconds(100.0);
+  r.compute_energy = Energy::femtojoules(50.0);
+  EXPECT_DOUBLE_EQ(merit_value(r, FigureOfMerit::kTime), 100.0);
+  EXPECT_DOUBLE_EQ(merit_value(r, FigureOfMerit::kEnergy), 50.0);
+  EXPECT_DOUBLE_EQ(merit_value(r, FigureOfMerit::kEnergyDelay), 5000.0);
+}
+
+TEST(Machine, ConvWeightStationaryExecutesCorrectly) {
+  const std::int64_t n_out = 12;
+  const std::int64_t k = 4;
+  auto build = algos::conv1d_weight_stationary(n_out, k);
+  const MachineConfig cfg = make_machine(static_cast<int>(k), 1);
+  const LegalityReport rep = verify(build.spec, build.mapping, cfg);
+  ASSERT_TRUE(rep.ok) << (rep.messages.empty() ? "" : rep.messages[0]);
+
+  std::vector<double> x(static_cast<std::size_t>(n_out + k - 1));
+  std::vector<double> w(static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.25 * (1.0 + i);
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = 1.0 - 0.5 * i;
+  const auto res = GridMachine(cfg).run(build.spec, build.mapping, {x, w});
+  const auto expect = algos::conv1d_reference(x, w);
+  // y output is the last output tensor; slice k-1.
+  const auto& y = res.outputs.back();
+  for (std::int64_t i = 0; i < n_out; ++i) {
+    ASSERT_NEAR(y[static_cast<std::size_t>(i * k + (k - 1))],
+                expect[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace harmony::fm

@@ -1,0 +1,141 @@
+// Tests for multi-stage program execution (src/fm/program).
+#include <gtest/gtest.h>
+
+#include "algos/specs.hpp"
+#include "fm/default_mapper.hpp"
+#include "fm/program.hpp"
+#include "support/rng.hpp"
+
+namespace harmony::fm {
+namespace {
+
+/// Two chained stencil stages must equal one long stencil run.
+TEST(Program, ChainedStencilsEqualOneLongStencil) {
+  const std::int64_t n = 24;
+  const std::int64_t t1 = 5;
+  const std::int64_t t2 = 7;
+  Rng rng(4);
+  std::vector<double> u0(static_cast<std::size_t>(n));
+  for (auto& v : u0) v = rng.next_double(0, 10);
+
+  const auto spec1 = algos::stencil1d_spec(n, t1);
+  const auto spec2 = algos::stencil1d_spec(n, t2);
+  const MachineConfig cfg = make_machine(4, 2);
+  const Mapping m1 = default_mapping(spec1, cfg);
+  const Mapping m2 = default_mapping(spec2, cfg);
+
+  // Joint: slice the last time-plane of stage 1's (t1+1) x n output into
+  // stage 2's length-n input.
+  Joint joint;
+  joint.adapt = [n, t1](const std::vector<std::vector<double>>& outs) {
+    std::vector<double> last(
+        outs[0].begin() + static_cast<std::ptrdiff_t>(t1 * n),
+        outs[0].begin() + static_cast<std::ptrdiff_t>((t1 + 1) * n));
+    return std::vector<std::vector<double>>{std::move(last)};
+  };
+  joint.domain = IndexDomain(n);
+  joint.produced = block_distribution(IndexDomain(n), cfg.geom);
+  joint.consumed = block_distribution(IndexDomain(n), cfg.geom);
+
+  const ProgramResult res = run_program(
+      {{"stencilA", &spec1, &m1}, {"stencilB", &spec2, &m2}}, {joint},
+      cfg, {u0});
+
+  const auto expect = algos::stencil1d_reference(u0, t1 + t2);
+  const auto& u_final = res.outputs[0];
+  for (std::int64_t j = 0; j < n; ++j) {
+    ASSERT_NEAR(u_final[static_cast<std::size_t>(t2 * n + j)],
+                expect[static_cast<std::size_t>(j)], 1e-9);
+  }
+  ASSERT_EQ(res.joint_aligned.size(), 1u);
+  EXPECT_TRUE(res.joint_aligned[0]);  // same block distribution
+  EXPECT_DOUBLE_EQ(res.remap_energy.femtojoules(), 0.0);
+  EXPECT_EQ(res.total_cycles, res.per_stage[0].makespan_cycles +
+                                  res.per_stage[1].makespan_cycles);
+}
+
+/// Two-layer convolution; the joint is deliberately misaligned so a
+/// remap module is inserted and priced.
+TEST(Program, TwoLayerConvWithRemapJoint) {
+  const std::int64_t n2 = 20;  // final outputs
+  const std::int64_t k = 4;
+  const std::int64_t n1 = n2 + k - 1;  // intermediate length
+  Rng rng(9);
+  std::vector<double> x(static_cast<std::size_t>(n1 + k - 1));
+  std::vector<double> w1(static_cast<std::size_t>(k));
+  std::vector<double> w2(static_cast<std::size_t>(k));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  for (auto& v : w1) v = rng.next_double(-1, 1);
+  for (auto& v : w2) v = rng.next_double(-1, 1);
+
+  const auto spec1 = algos::conv1d_spec(n1, k);
+  const auto spec2 = algos::conv1d_spec(n2, k);
+  const MachineConfig cfg = make_machine(8, 1);
+  const Mapping m1 = default_mapping(spec1, cfg);
+  const Mapping m2 = default_mapping(spec2, cfg);
+
+  Joint joint;
+  joint.adapt = [n1, k](const std::vector<std::vector<double>>& outs) {
+    // Slice plane k-1 of the n1 x k partial-sum tensor -> y1, and carry
+    // w2 through as the second input (injected below via captured copy).
+    std::vector<double> y1(static_cast<std::size_t>(n1));
+    for (std::int64_t i = 0; i < n1; ++i) {
+      y1[static_cast<std::size_t>(i)] =
+          outs[0][static_cast<std::size_t>(i * k + (k - 1))];
+    }
+    return std::vector<std::vector<double>>{std::move(y1)};
+  };
+  joint.domain = IndexDomain(n1);
+  joint.produced = block_distribution(IndexDomain(n1), cfg.geom);
+  joint.consumed = cyclic_distribution(IndexDomain(n1), cfg.geom);
+
+  // Stage 2 consumes [y1, w2]: wrap the adapter to append w2.
+  auto base = joint.adapt;
+  joint.adapt = [base, w2](const std::vector<std::vector<double>>& outs) {
+    auto v = base(outs);
+    v.push_back(w2);
+    return v;
+  };
+
+  const ProgramResult res = run_program(
+      {{"conv1", &spec1, &m1}, {"conv2", &spec2, &m2}}, {joint}, cfg,
+      {x, w1});
+
+  const auto y1 = algos::conv1d_reference(x, w1);
+  const auto y2 = algos::conv1d_reference(y1, w2);
+  for (std::int64_t i = 0; i < n2; ++i) {
+    ASSERT_NEAR(res.outputs[0][static_cast<std::size_t>(i * k + (k - 1))],
+                y2[static_cast<std::size_t>(i)], 1e-9);
+  }
+  EXPECT_FALSE(res.joint_aligned[0]);
+  EXPECT_GT(res.remap_energy.femtojoules(), 0.0);
+  EXPECT_GT(res.remap_messages, 0u);
+  EXPECT_GT(res.total_cycles, res.per_stage[0].makespan_cycles +
+                                  res.per_stage[1].makespan_cycles);
+}
+
+TEST(Program, RejectsIllegalStage) {
+  const auto spec = algos::stencil1d_spec(8, 2);
+  const MachineConfig cfg = make_machine(2, 1);
+  Mapping bad;
+  bad.set_computed(1, [](const Point&) { return noc::Coord{0, 0}; },
+                   [](const Point&) { return Cycle{0}; });  // all at t=0
+  bad.set_input(0, InputHome::at({0, 0}));
+  Joint none;
+  EXPECT_THROW((void)run_program({{"bad", &spec, &bad}}, {}, cfg,
+                                 {std::vector<double>(8, 1.0)}),
+               SimulationError);
+}
+
+TEST(Program, ValidatesShape) {
+  const auto spec = algos::stencil1d_spec(8, 2);
+  const MachineConfig cfg = make_machine(2, 1);
+  const Mapping m = default_mapping(spec, cfg);
+  EXPECT_THROW((void)run_program({}, {}, cfg, {}), InvalidArgument);
+  EXPECT_THROW((void)run_program({{"a", &spec, &m}, {"b", &spec, &m}}, {},
+                                 cfg, {std::vector<double>(8, 1.0)}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace harmony::fm

@@ -1,0 +1,274 @@
+// Tests for F&M index domains and function specs (src/fm: domain, spec).
+#include <gtest/gtest.h>
+
+#include "algos/editdist.hpp"
+#include "algos/matmul.hpp"
+#include "algos/specs.hpp"
+#include "fm/domain.hpp"
+#include "fm/legality.hpp"
+#include "fm/machine.hpp"
+#include "fm/spec.hpp"
+#include "support/rng.hpp"
+
+namespace harmony::fm {
+namespace {
+
+TEST(Domain, LinearizeRoundTrip) {
+  const IndexDomain d(3, 4, 5);
+  EXPECT_EQ(d.size(), 60);
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d.linearize(d.delinearize(i)), i);
+  }
+}
+
+TEST(Domain, ContainsAndRank) {
+  const IndexDomain d1(7);
+  EXPECT_EQ(d1.rank(), 1);
+  EXPECT_TRUE(d1.contains(Point{6}));
+  EXPECT_FALSE(d1.contains(Point{7}));
+  const IndexDomain d2(2, 3);
+  EXPECT_EQ(d2.rank(), 2);
+  EXPECT_FALSE(d2.contains(Point{0, 3}));
+  EXPECT_FALSE(d2.contains(Point{0, 0, 1}));  // k out of range for rank 2
+}
+
+TEST(Domain, ForEachVisitsRowMajorExactlyOnce) {
+  const IndexDomain d(2, 3);
+  std::vector<std::int64_t> order;
+  d.for_each([&](const Point& p) { order.push_back(d.linearize(p)); });
+  ASSERT_EQ(order.size(), 6u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(Domain, RejectsEmptyExtents) {
+  EXPECT_THROW(IndexDomain(0), InvalidArgument);
+  EXPECT_THROW(IndexDomain(2, 0), InvalidArgument);
+}
+
+TEST(Spec, TensorBookkeeping) {
+  FunctionSpec spec;
+  const TensorId a = spec.add_input("a", IndexDomain(4), 16);
+  const TensorId b = spec.add_computed(
+      "b", IndexDomain(4),
+      [a](const Point& p) {
+        return std::vector<ValueRef>{{a, p}};
+      },
+      [](const Point&, const std::vector<double>& v) { return 2.0 * v[0]; });
+  spec.mark_output(b);
+  EXPECT_EQ(spec.num_tensors(), 2);
+  EXPECT_TRUE(spec.is_input(a));
+  EXPECT_FALSE(spec.is_input(b));
+  EXPECT_TRUE(spec.is_output(b));
+  EXPECT_EQ(spec.bits(a), 16u);
+  EXPECT_EQ(spec.total_values(), 8);
+  EXPECT_EQ(spec.value_index({b, Point{2}}), 6);
+  EXPECT_EQ(spec.input_tensors().size(), 1u);
+  EXPECT_EQ(spec.computed_tensors().size(), 1u);
+}
+
+TEST(Spec, ReferenceEvaluationSimpleChain) {
+  FunctionSpec spec;
+  const TensorId x = spec.add_input("x", IndexDomain(5));
+  const TensorId s = spec.add_computed(
+      "s", IndexDomain(5),
+      [x](const Point& p) {
+        std::vector<ValueRef> deps{{x, p}};
+        if (p.i > 0) deps.push_back({x + 1, Point{p.i - 1}});
+        return deps;
+      },
+      [](const Point& p, const std::vector<double>& v) {
+        return p.i > 0 ? v[0] + v[1] : v[0];  // prefix sum recurrence
+      });
+  spec.mark_output(s);
+  const auto out = spec.evaluate_reference({{1, 2, 3, 4, 5}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (std::vector<double>{1, 3, 6, 10, 15}));
+}
+
+TEST(Spec, CyclicDependenceDetected) {
+  FunctionSpec spec;
+  const TensorId t = spec.add_computed(
+      "loop", IndexDomain(2),
+      [](const Point& p) {
+        // 0 depends on 1 and 1 depends on 0.
+        return std::vector<ValueRef>{{0, Point{1 - p.i}}};
+      },
+      [](const Point&, const std::vector<double>& v) { return v[0]; });
+  spec.mark_output(t);
+  EXPECT_THROW(spec.evaluate_reference({}), SimulationError);
+}
+
+TEST(Spec, InputArityValidated) {
+  FunctionSpec spec;
+  spec.add_input("x", IndexDomain(4));
+  const TensorId y = spec.add_computed(
+      "y", IndexDomain(4),
+      [](const Point& p) {
+        return std::vector<ValueRef>{{0, p}};
+      },
+      [](const Point&, const std::vector<double>& v) { return v[0]; });
+  spec.mark_output(y);
+  EXPECT_THROW(spec.evaluate_reference({}), InvalidArgument);
+  EXPECT_THROW(spec.evaluate_reference({{1, 2, 3}}), InvalidArgument);
+  EXPECT_THROW(spec.evaluate_reference({{1, 2, 3, 4}, {5}}),
+               InvalidArgument);
+}
+
+TEST(Spec, TotalOpsAccumulates) {
+  FunctionSpec spec;
+  const TensorId x = spec.add_input("x", IndexDomain(8));
+  spec.add_computed(
+      "y", IndexDomain(8),
+      [x](const Point& p) {
+        return std::vector<ValueRef>{{x, p}};
+      },
+      [](const Point&, const std::vector<double>& v) { return v[0]; },
+      OpCost{.ops = 3.0, .bits = 32});
+  EXPECT_DOUBLE_EQ(spec.total_ops(), 24.0);
+}
+
+// --- the algorithm specs against their host references -----------------
+
+TEST(EditDistSpec, MatchesSerialSmithWaterman) {
+  const std::string r = "GATTACATTGAC";
+  const std::string q = "GCATGCATAG";
+  algos::SwScores s;
+  const auto expect = algos::smith_waterman_serial(r, q, s);
+
+  const auto spec = algos::editdist_spec(
+      static_cast<std::int64_t>(r.size()),
+      static_cast<std::int64_t>(q.size()), s);
+  const auto out = spec.evaluate_reference(
+      {algos::encode_string(r), algos::encode_string(q)});
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    ASSERT_DOUBLE_EQ(out[0][i], expect[i]) << "cell " << i;
+  }
+}
+
+TEST(EditDistSpec, AntidiagonalOrderGivesSameMatrix) {
+  const std::string r = "ACCGGTATT";
+  const std::string q = "AGGCCTTAA";
+  algos::SwScores s;
+  EXPECT_EQ(algos::smith_waterman_serial(r, q, s),
+            algos::smith_waterman_antidiagonal(r, q, s));
+}
+
+TEST(MatmulSpec, SliceMatchesSerialProduct) {
+  const std::int64_t n = 6;
+  Rng rng(3);
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  std::vector<double> b(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = rng.next_double(-1, 1);
+  for (auto& v : b) v = rng.next_double(-1, 1);
+
+  const auto spec = algos::matmul_spec(n);
+  const auto out = spec.evaluate_reference({a, b});
+  ASSERT_EQ(out.size(), 1u);
+  const auto c_ref = algos::matmul_serial(a, b, static_cast<std::size_t>(n));
+  // out[0] is C(i,j,k) rank-3; read the k = n-1 slice.
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const double got = out[0][static_cast<std::size_t>(
+          (i * n + j) * n + (n - 1))];
+      ASSERT_NEAR(got, c_ref[static_cast<std::size_t>(i * n + j)], 1e-9);
+    }
+  }
+}
+
+TEST(StencilSpec, MatchesHostReference) {
+  const std::int64_t n = 17;
+  const std::int64_t steps = 6;
+  Rng rng(8);
+  std::vector<double> u0(static_cast<std::size_t>(n));
+  for (auto& v : u0) v = rng.next_double(0, 10);
+  const auto spec = algos::stencil1d_spec(n, steps);
+  const auto out = spec.evaluate_reference({u0});
+  const auto expect = algos::stencil1d_reference(u0, steps);
+  // Row `steps` of the (steps+1) x n output.
+  for (std::int64_t j = 0; j < n; ++j) {
+    ASSERT_NEAR(out[0][static_cast<std::size_t>(steps * n + j)],
+                expect[static_cast<std::size_t>(j)], 1e-9);
+  }
+}
+
+TEST(Stencil2dSpec, MatchesHostReference) {
+  const std::int64_t rows = 7;
+  const std::int64_t cols = 9;
+  const std::int64_t steps = 4;
+  Rng rng(44);
+  std::vector<double> u0(static_cast<std::size_t>(rows * cols));
+  for (auto& v : u0) v = rng.next_double(-2, 2);
+  const auto spec = algos::stencil2d_spec(rows, cols, steps);
+  const auto out = spec.evaluate_reference({u0});
+  const auto expect = algos::stencil2d_reference(u0, rows, cols, steps);
+  for (std::int64_t i = 0; i < rows * cols; ++i) {
+    ASSERT_NEAR(out[0][static_cast<std::size_t>(steps * rows * cols + i)],
+                expect[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(Stencil2dSpec, SystolicTilePlacementExecutes) {
+  // The natural 2-D mapping: u(t,i,j) on PE (j, i), t stretched so the
+  // one-hop neighbour exchanges fit (time = t * 2 handles the 1-cycle
+  // transit plus the op slot).
+  const std::int64_t rows = 6;
+  const std::int64_t cols = 6;
+  const std::int64_t steps = 5;
+  algos::Stencil2dSpecIds ids;
+  const auto spec = algos::stencil2d_spec(rows, cols, steps, &ids);
+  const fm::MachineConfig cfg = fm::make_machine(static_cast<int>(cols),
+                                                 static_cast<int>(rows));
+  fm::Mapping m;
+  const fm::Cycle offset = static_cast<fm::Cycle>(rows + cols);
+  m.set_computed(
+      ids.u,
+      [](const fm::Point& p) {
+        return noc::Coord{static_cast<int>(p.k), static_cast<int>(p.j)};
+      },
+      [offset](const fm::Point& p) { return offset + 2 * p.i; });
+  m.set_input(ids.input,
+              fm::InputHome::distributed([](const fm::Point& p) {
+                return noc::Coord{static_cast<int>(p.j),
+                                  static_cast<int>(p.i)};
+              }));
+  const fm::LegalityReport rep = verify(spec, m, cfg);
+  ASSERT_TRUE(rep.ok) << (rep.messages.empty() ? "" : rep.messages[0]);
+
+  Rng rng(13);
+  std::vector<double> u0(static_cast<std::size_t>(rows * cols));
+  for (auto& v : u0) v = rng.next_double(0, 1);
+  const auto res = fm::GridMachine(cfg).run(spec, m, {u0});
+  const auto expect = algos::stencil2d_reference(u0, rows, cols, steps);
+  for (std::int64_t i = 0; i < rows * cols; ++i) {
+    ASSERT_NEAR(res.outputs[0][static_cast<std::size_t>(
+                    steps * rows * cols + i)],
+                expect[static_cast<std::size_t>(i)], 1e-9);
+  }
+  // Fully parallel in space: makespan ~ 2*steps + offset, not
+  // steps*rows*cols.
+  EXPECT_LE(res.makespan_cycles, 2 * steps + offset + 1);
+}
+
+TEST(ConvSpec, MatchesHostReference) {
+  const std::int64_t n_out = 20;
+  const std::int64_t k = 5;
+  Rng rng(21);
+  std::vector<double> x(static_cast<std::size_t>(n_out + k - 1));
+  std::vector<double> w(static_cast<std::size_t>(k));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  for (auto& v : w) v = rng.next_double(-1, 1);
+  const auto spec = algos::conv1d_spec(n_out, k);
+  const auto out = spec.evaluate_reference({x, w});
+  const auto expect = algos::conv1d_reference(x, w);
+  for (std::int64_t i = 0; i < n_out; ++i) {
+    ASSERT_NEAR(out[0][static_cast<std::size_t>(i * k + (k - 1))],
+                expect[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace harmony::fm

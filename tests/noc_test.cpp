@@ -1,0 +1,235 @@
+// Tests for the technology model and the mesh network (src/noc) —
+// including the paper's headline ratios as pinned constants.
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hpp"
+#include "noc/tech.hpp"
+
+namespace harmony::noc {
+namespace {
+
+TEST(Tech, PaperConstantsAsPublished) {
+  const TechnologyModel t = TechnologyModel::n5();
+  // "an add costs about 0.5fJ/bit and a 32-bit add takes about 200ps"
+  EXPECT_DOUBLE_EQ(t.op_energy(32).femtojoules(), 16.0);
+  EXPECT_DOUBLE_EQ(t.op_delay(32).picoseconds(), 200.0);
+  // "on-chip communication costs 80fJ/bit-mm and 1mm takes about 800ps"
+  EXPECT_DOUBLE_EQ(
+      t.move_energy(1, Length::millimetres(1.0)).femtojoules(), 80.0);
+  EXPECT_DOUBLE_EQ(t.move_delay(Length::millimetres(1.0)).picoseconds(),
+                   800.0);
+}
+
+TEST(Tech, HeadlineRatio160xPerMm) {
+  const TechnologyModel t = TechnologyModel::n5();
+  // "Transporting the result of an add 1mm costs 160x as much as
+  //  performing the add."
+  EXPECT_DOUBLE_EQ(t.ratio_move_over_add(Length::millimetres(1.0)), 160.0);
+}
+
+TEST(Tech, HeadlineRatioAcross800mm2Die) {
+  const TechnologyModel t = TechnologyModel::n5();
+  // "Sending it across the diagonal of an 800mm2 GPU costs 4500x."
+  // (sqrt(800) mm = 28.28 mm; 160 * 28.28 = 4525.)
+  const double r = t.ratio_move_over_add(t.die.side());
+  EXPECT_NEAR(r, 4500.0, 50.0);
+}
+
+TEST(Tech, HeadlineRatioOffChip) {
+  const TechnologyModel t = TechnologyModel::n5();
+  // "the off-chip access is 50,000x more expensive" (order of magnitude
+  // above the die crossing: 10 * 4525 = 45,254).
+  const double r = t.ratio_offchip_over_add();
+  EXPECT_GT(r, 40000.0);
+  EXPECT_LT(r, 55000.0);
+}
+
+TEST(Tech, InstructionOverheadFactor) {
+  const TechnologyModel t = TechnologyModel::n5();
+  // "The energy overhead of an ADD instruction is 10,000x times more
+  //  than the energy required to do the add."
+  EXPECT_DOUBLE_EQ(t.cpu_instruction_energy(32) / t.op_energy(32), 10000.0);
+}
+
+TEST(Tech, OpDelayScalesGentlyWithWidth) {
+  const TechnologyModel t = TechnologyModel::n5();
+  EXPECT_LT(t.op_delay(8).picoseconds(), 200.0);
+  EXPECT_GT(t.op_delay(64).picoseconds(), 200.0);
+  EXPECT_LT(t.op_delay(64).picoseconds(), 300.0);  // log, not linear
+}
+
+TEST(Geometry, IndexCoordRoundTrip) {
+  GridGeometry g(5, 3, Length::millimetres(0.2));
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(static_cast<int>(g.index(g.coord(static_cast<std::size_t>(i)))),
+              i);
+  }
+  EXPECT_FALSE(g.contains({5, 0}));
+  EXPECT_FALSE(g.contains({0, 3}));
+  EXPECT_FALSE(g.contains({-1, 0}));
+}
+
+TEST(Geometry, ManhattanDistances) {
+  GridGeometry g(8, 8, Length::millimetres(0.5));
+  EXPECT_EQ(g.hops({0, 0}, {3, 4}), 7);
+  EXPECT_DOUBLE_EQ(g.distance({0, 0}, {3, 4}).millimetres(), 3.5);
+  EXPECT_EQ(g.hops({2, 2}, {2, 2}), 0);
+}
+
+TEST(Geometry, TransferCostsMatchTech) {
+  GridGeometry g(8, 8, Length::millimetres(1.0));
+  // 32 bits over 1 hop of 1mm: 32 * 80 fJ.
+  EXPECT_DOUBLE_EQ(g.transfer_energy(32, {0, 0}, {1, 0}).femtojoules(),
+                   32.0 * 80.0);
+  EXPECT_DOUBLE_EQ(g.transfer_latency({0, 0}, {1, 0}).picoseconds(), 800.0);
+  EXPECT_DOUBLE_EQ(g.transfer_energy(32, {2, 2}, {2, 2}).femtojoules(), 0.0);
+}
+
+TEST(Geometry, DramCostsIncludeOffchipPenalty) {
+  GridGeometry g(8, 8, Length::millimetres(0.2));
+  const Energy near = g.dram_access_energy(32, {0, 0});
+  const Energy far = g.dram_access_energy(32, {7, 0});
+  EXPECT_GT(far.femtojoules(), near.femtojoules());
+  // Both dominated by the off-chip term.
+  EXPECT_GT(near / g.tech().op_energy(32), 10000.0);
+  EXPECT_GT(g.dram_access_latency(32, {0, 0}).picoseconds(), 20000.0);
+}
+
+TEST(Torus, WrapShortensLongAxes) {
+  GridGeometry mesh(8, 1, Length::millimetres(0.2));
+  GridGeometry torus(8, 1, Length::millimetres(0.2),
+                     TechnologyModel::n5(), Topology::kTorus);
+  EXPECT_EQ(mesh.hops({0, 0}, {7, 0}), 7);
+  EXPECT_EQ(torus.hops({0, 0}, {7, 0}), 1);  // wrap
+  EXPECT_EQ(torus.hops({0, 0}, {4, 0}), 4);  // tie goes forward
+  EXPECT_EQ(torus.hops({0, 0}, {5, 0}), 3);  // backward shorter
+  EXPECT_EQ(torus.hops({2, 0}, {2, 0}), 0);
+}
+
+TEST(Torus, NextHopWalksTheWrapRoute) {
+  GridGeometry torus(6, 6, Length::millimetres(0.2),
+                     TechnologyModel::n5(), Topology::kTorus);
+  // 0 -> 5 should go west through the wrap (1 hop).
+  EXPECT_EQ(torus.next_hop({0, 0}, {5, 0}), (Coord{5, 0}));
+  // Walk any pair fully: step count must equal hops().
+  for (int sx = 0; sx < 6; ++sx) {
+    for (int dx = 0; dx < 6; ++dx) {
+      for (int dy = 0; dy < 6; ++dy) {
+        Coord at{sx, 0};
+        const Coord dst{dx, dy};
+        int steps = 0;
+        while (!(at == dst)) {
+          at = torus.next_hop(at, dst);
+          ++steps;
+          ASSERT_LE(steps, 12);
+        }
+        ASSERT_EQ(steps, torus.hops({sx, 0}, dst))
+            << sx << "->" << dx << "," << dy;
+      }
+    }
+  }
+}
+
+TEST(Torus, MeshNextHopMatchesHopsToo) {
+  GridGeometry mesh(5, 4, Length::millimetres(0.2));
+  for (int s = 0; s < mesh.num_nodes(); ++s) {
+    for (int d = 0; d < mesh.num_nodes(); ++d) {
+      Coord at = mesh.coord(static_cast<std::size_t>(s));
+      const Coord dst = mesh.coord(static_cast<std::size_t>(d));
+      int steps = 0;
+      while (!(at == dst)) {
+        at = mesh.next_hop(at, dst);
+        ++steps;
+        ASSERT_LE(steps, 16);
+      }
+      ASSERT_EQ(steps, mesh.hops(mesh.coord(static_cast<std::size_t>(s)),
+                                 dst));
+    }
+  }
+}
+
+TEST(Topology, DiameterAndBisection) {
+  GridGeometry mesh(8, 8, Length::millimetres(0.2));
+  GridGeometry torus(8, 8, Length::millimetres(0.2),
+                     TechnologyModel::n5(), Topology::kTorus);
+  EXPECT_EQ(mesh.diameter_hops(), 14);
+  EXPECT_EQ(torus.diameter_hops(), 8);
+  EXPECT_EQ(mesh.bisection_links(), 16);
+  EXPECT_EQ(torus.bisection_links(), 32);
+  // Diameter is an upper bound on every routed distance.
+  for (int s = 0; s < mesh.num_nodes(); s += 7) {
+    for (int d = 0; d < mesh.num_nodes(); d += 5) {
+      const Coord a = mesh.coord(static_cast<std::size_t>(s));
+      const Coord b = mesh.coord(static_cast<std::size_t>(d));
+      EXPECT_LE(mesh.hops(a, b), mesh.diameter_hops());
+      EXPECT_LE(torus.hops(a, b), torus.diameter_hops());
+    }
+  }
+}
+
+TEST(Torus, NetworkDeliversOverWrapLink) {
+  GridGeometry torus(8, 1, Length::millimetres(1.0),
+                     TechnologyModel::n5(), Topology::kTorus);
+  MeshNetwork net(torus, 1.0);
+  const auto d = net.send({0, 0}, {7, 0}, 64, Time::zero());
+  EXPECT_EQ(d.hops, 1);
+  EXPECT_DOUBLE_EQ(d.energy.femtojoules(), 64.0 * 80.0);
+}
+
+TEST(Mesh, UncontendedDeliveryTimeIsSerializationPlusWire) {
+  GridGeometry g(4, 4, Length::millimetres(1.0));
+  MeshNetwork net(g, /*link_bits_per_ps=*/1.0);
+  const auto d = net.send({0, 0}, {2, 0}, 64, Time::zero());
+  EXPECT_EQ(d.hops, 2);
+  // Store-and-forward: 2 hops x (64 bits / 1 bit/ps + 800 ps wire).
+  EXPECT_DOUBLE_EQ(d.arrival.picoseconds(), 2.0 * (64.0 + 800.0));
+  EXPECT_DOUBLE_EQ(d.energy.femtojoules(), 64.0 * 80.0 * 2.0);
+}
+
+TEST(Mesh, XYRoutingHopCount) {
+  GridGeometry g(4, 4, Length::millimetres(1.0));
+  MeshNetwork net(g);
+  EXPECT_EQ(net.send({0, 0}, {3, 3}, 8, Time::zero()).hops, 6);
+  EXPECT_EQ(net.send({3, 3}, {0, 0}, 8, Time::zero()).hops, 6);
+  EXPECT_EQ(net.send({1, 1}, {1, 1}, 8, Time::zero()).hops, 0);
+}
+
+TEST(Mesh, ContentionSerializesSharedLink) {
+  GridGeometry g(4, 1, Length::millimetres(1.0));
+  MeshNetwork net(g, 1.0);
+  // Two messages cross link (0,0)->(1,0) at the same instant.
+  const auto first = net.send({0, 0}, {1, 0}, 100, Time::zero());
+  const auto second = net.send({0, 0}, {1, 0}, 100, Time::zero());
+  EXPECT_DOUBLE_EQ(first.arrival.picoseconds(), 100.0 + 800.0);
+  EXPECT_DOUBLE_EQ(second.arrival.picoseconds(), 2.0 * (100.0 + 800.0));
+  EXPECT_EQ(net.max_link_bits(), 200u);
+  EXPECT_DOUBLE_EQ(net.drain_time().picoseconds(),
+                   second.arrival.picoseconds());
+}
+
+TEST(Mesh, DisjointPathsDoNotInterfere) {
+  GridGeometry g(4, 4, Length::millimetres(1.0));
+  MeshNetwork net(g, 1.0);
+  const auto a = net.send({0, 0}, {1, 0}, 100, Time::zero());
+  const auto b = net.send({0, 1}, {1, 1}, 100, Time::zero());
+  EXPECT_DOUBLE_EQ(a.arrival.picoseconds(), b.arrival.picoseconds());
+}
+
+TEST(Mesh, StatsAccumulate) {
+  GridGeometry g(4, 4, Length::millimetres(0.5));
+  MeshNetwork net(g);
+  net.send({0, 0}, {3, 0}, 32, Time::zero());
+  net.send({0, 0}, {0, 3}, 32, Time::zero());
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.total_bit_hops(), 32u * 6u);
+  EXPECT_GT(net.total_energy().femtojoules(), 0.0);
+}
+
+TEST(Mesh, RejectsOffGridEndpoints) {
+  GridGeometry g(2, 2, Length::millimetres(0.5));
+  MeshNetwork net(g);
+  EXPECT_THROW(net.send({0, 0}, {5, 0}, 8, Time::zero()), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace harmony::noc

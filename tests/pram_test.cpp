@@ -1,0 +1,272 @@
+// Tests for the PRAM simulator and the XMT spawn/ps machine (src/pram).
+#include <gtest/gtest.h>
+
+#include "algos/pram_scan.hpp"
+#include "pram/pram.hpp"
+#include "pram/xmt.hpp"
+
+namespace harmony::pram {
+namespace {
+
+TEST(Pram, StepSynchronousWriteVisibility) {
+  // Two processors swap two cells: reads must see the step-start state.
+  PramMachine m(Variant::kErew, 2, 2);
+  m.mem(0) = 10;
+  m.mem(1) = 20;
+  m.run([](PramMachine::Ctx& ctx) {
+    const std::size_t src = ctx.proc();
+    const std::size_t dst = 1 - ctx.proc();
+    const std::int64_t v = ctx.read(src);
+    ctx.write(dst, v);
+    ctx.halt();
+  });
+  EXPECT_EQ(m.mem(0), 20);
+  EXPECT_EQ(m.mem(1), 10);
+}
+
+TEST(Pram, ErewDetectsConcurrentRead) {
+  PramMachine m(Variant::kErew, 2, 2);
+  EXPECT_THROW(m.run([](PramMachine::Ctx& ctx) {
+    (void)ctx.read(0);  // both processors read address 0
+    ctx.halt();
+  }),
+               SimulationError);
+}
+
+TEST(Pram, CrewAllowsConcurrentReadRejectsConcurrentWrite) {
+  PramMachine ok(Variant::kCrew, 4, 2);
+  EXPECT_NO_THROW(ok.run([](PramMachine::Ctx& ctx) {
+    (void)ctx.read(0);
+    ctx.halt();
+  }));
+  PramMachine bad(Variant::kCrew, 2, 2);
+  EXPECT_THROW(bad.run([](PramMachine::Ctx& ctx) {
+    ctx.write(0, static_cast<std::int64_t>(ctx.proc()));
+    ctx.halt();
+  }),
+               SimulationError);
+}
+
+TEST(Pram, CrcwCommonRequiresAgreement) {
+  PramMachine ok(Variant::kCrcwCommon, 4, 1);
+  EXPECT_NO_THROW(ok.run([](PramMachine::Ctx& ctx) {
+    ctx.write(0, 7);
+    ctx.halt();
+  }));
+  EXPECT_EQ(ok.mem(0), 7);
+  PramMachine bad(Variant::kCrcwCommon, 2, 1);
+  EXPECT_THROW(bad.run([](PramMachine::Ctx& ctx) {
+    ctx.write(0, static_cast<std::int64_t>(ctx.proc()));
+    ctx.halt();
+  }),
+               SimulationError);
+}
+
+TEST(Pram, CrcwPriorityLowestIdWins) {
+  PramMachine m(Variant::kCrcwPriority, 4, 1);
+  m.run([](PramMachine::Ctx& ctx) {
+    ctx.write(0, 100 + static_cast<std::int64_t>(ctx.proc()));
+    ctx.halt();
+  });
+  EXPECT_EQ(m.mem(0), 100);
+}
+
+TEST(Pram, SameProcessorRewriteIsAllowed) {
+  PramMachine m(Variant::kErew, 1, 1);
+  m.run([](PramMachine::Ctx& ctx) {
+    ctx.write(0, 1);
+    ctx.write(0, 2);
+    ctx.halt();
+  });
+  EXPECT_EQ(m.mem(0), 2);
+}
+
+TEST(Pram, WorkAndDepthAccounting) {
+  PramMachine m(Variant::kCrew, 4, 8);
+  const PramStats st = m.run([](PramMachine::Ctx& ctx) {
+    if (ctx.step() >= 3) {
+      ctx.halt();
+      return;
+    }
+    (void)ctx.read(ctx.proc());
+  });
+  EXPECT_EQ(st.steps, 4);       // 3 active rounds + halting round
+  EXPECT_EQ(st.work, 16);       // 4 procs x 4 rounds
+  EXPECT_EQ(st.reads, 12);      // 4 procs x 3 rounds
+}
+
+TEST(Pram, RunawayProgramThrows) {
+  PramMachine m(Variant::kCrew, 1, 1);
+  EXPECT_THROW(m.run([](PramMachine::Ctx&) { /* never halts */ },
+                     /*max_steps=*/100),
+               SimulationError);
+}
+
+TEST(Pram, OutOfRangeAccessThrows) {
+  PramMachine m(Variant::kCrew, 1, 4);
+  EXPECT_THROW(m.run([](PramMachine::Ctx& ctx) {
+    (void)ctx.read(100);
+    ctx.halt();
+  }),
+               InvalidArgument);
+  EXPECT_THROW((void)m.mem(100), InvalidArgument);
+}
+
+class PramParallelSum : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PramParallelSum, TreeReductionAcrossProcCounts) {
+  const std::size_t p = GetParam();
+  const std::size_t n = 64;
+  // Memory: [0, n) values (reduced in place, EREW tree).
+  PramMachine m(Variant::kErew, p, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.mem(i) = static_cast<std::int64_t>(i + 1);
+  }
+  m.run([n, p](PramMachine::Ctx& ctx) {
+    const auto stride = std::size_t{1} << (ctx.step() + 1);
+    if (stride > n) {
+      ctx.halt();
+      return;
+    }
+    for (std::size_t i = ctx.proc() * stride; i + stride / 2 < n;
+         i += p * stride) {
+      const std::int64_t a = ctx.read(i);
+      const std::int64_t b = ctx.read(i + stride / 2);
+      ctx.write(i, a + b);
+    }
+  });
+  EXPECT_EQ(m.mem(0), static_cast<std::int64_t>(n * (n + 1) / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcSweep, PramParallelSum,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+// --- work-efficient EREW scan -------------------------------------------
+
+class PramScanSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(PramScanSweep, MatchesSerialExclusiveScan) {
+  const auto [n, procs] = GetParam();
+  std::vector<std::int64_t> in(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = static_cast<std::int64_t>((i * 7 + 3) % 11) - 5;
+  }
+  std::int64_t acc = 0;
+  std::vector<std::int64_t> expect(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    expect[i] = acc;
+    acc += in[i];
+  }
+  const auto res = algos::scan_pram(in, procs);
+  EXPECT_EQ(res.out, expect);
+  EXPECT_EQ(res.total, acc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PramScanSweep,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{5}, std::size_t{64},
+                                         std::size_t{100},
+                                         std::size_t{1024}),
+                       ::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{32})));
+
+TEST(PramScan, IsWorkEfficientAndLogDepth) {
+  const std::size_t n = 1024;
+  std::vector<std::int64_t> in(n, 1);
+  const auto res = algos::scan_pram(in, 64);
+  // Depth: 2 log2 n + O(1) synchronous rounds.
+  EXPECT_LE(res.rounds, 2 * 10 + 4);
+  // Work-efficiency: Theta(n) memory operations, not Theta(n log n).
+  EXPECT_LT(res.stats.reads + res.stats.writes, 8 * n);
+  // And it ran under EREW discipline without a conflict throw.
+}
+
+TEST(PramScan, EmptyAndSingleton) {
+  EXPECT_TRUE(algos::scan_pram({}, 4).out.empty());
+  const auto one = algos::scan_pram({42}, 4);
+  EXPECT_EQ(one.out, (std::vector<std::int64_t>{0}));
+  EXPECT_EQ(one.total, 42);
+}
+
+// --- XMT ----------------------------------------------------------------
+
+TEST(Xmt, PsIsAtomicFetchAddAcrossThreads) {
+  XmtMachine m(8);
+  m.mem(0) = 0;
+  std::vector<std::int64_t> slots(100, -1);
+  m.spawn(100, [&](XmtMachine::Thread& t) {
+    const std::int64_t old = t.ps(0, 1);
+    slots[static_cast<std::size_t>(t.id())] = old;
+  });
+  EXPECT_EQ(m.mem(0), 100);
+  std::sort(slots.begin(), slots.end());
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(slots[static_cast<std::size_t>(i)], i);  // distinct slots
+  }
+}
+
+TEST(Xmt, WriteRaceDetected) {
+  XmtMachine m(4);
+  EXPECT_THROW(m.spawn(2, [](XmtMachine::Thread& t) { t.write(0, t.id()); }),
+               SimulationError);
+}
+
+TEST(Xmt, SameThreadMayRewrite) {
+  XmtMachine m(4);
+  EXPECT_NO_THROW(m.spawn(1, [](XmtMachine::Thread& t) {
+    t.write(0, 1);
+    t.write(0, 2);
+  }));
+  EXPECT_EQ(m.mem(0), 2);
+}
+
+TEST(Xmt, RacesResetBetweenSpawns) {
+  XmtMachine m(4);
+  m.spawn(1, [](XmtMachine::Thread& t) { t.write(0, 1); });
+  // A different spawn may write the same address again.
+  EXPECT_NO_THROW(m.spawn(1, [](XmtMachine::Thread& t) { t.write(0, 2); }));
+}
+
+TEST(Xmt, CostModelThroughputTerm) {
+  XmtConfig cfg;
+  cfg.num_tcus = 4;
+  cfg.spawn_overhead_cycles = 10;
+  XmtMachine m(4, cfg);
+  const XmtStats st =
+      m.spawn(8, [](XmtMachine::Thread& t) { t.charge(5); });
+  EXPECT_EQ(st.threads, 8);
+  EXPECT_EQ(st.work, 40);
+  EXPECT_EQ(st.depth, 5);
+  // cycles = overhead + max(ceil(40/4), 5) = 10 + 10.
+  EXPECT_EQ(st.estimated_cycles, 20);
+}
+
+TEST(Xmt, SoftwarePsPaysContentionPenalty) {
+  auto run = [](bool hardware) {
+    XmtConfig cfg;
+    cfg.num_tcus = 64;
+    cfg.hardware_ps = hardware;
+    XmtMachine m(4, cfg);
+    return m.spawn(64, [](XmtMachine::Thread& t) { t.ps(0, 1); });
+  };
+  const XmtStats hw = run(true);
+  const XmtStats sw = run(false);
+  EXPECT_EQ(hw.max_ps_contention, 64);
+  EXPECT_EQ(sw.estimated_cycles - hw.estimated_cycles, 63);
+}
+
+TEST(Xmt, StatsAccumulateAcrossSpawns) {
+  XmtMachine m(4);
+  XmtStats total;
+  total += m.spawn(4, [](XmtMachine::Thread& t) { t.charge(1); });
+  total += m.spawn(2, [](XmtMachine::Thread& t) { t.charge(3); });
+  EXPECT_EQ(total.threads, 6);
+  EXPECT_EQ(total.work, 10);
+  EXPECT_EQ(total.depth, 4);  // sequential composition: 1 + 3
+}
+
+}  // namespace
+}  // namespace harmony::pram

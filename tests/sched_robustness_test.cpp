@@ -1,0 +1,106 @@
+// Failure-injection and robustness tests for the scheduler (src/sched):
+// exceptions crossing run(), scheduler reuse after failure, oversized
+// worker pools, and deep recursion.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "sched/parallel_ops.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workspan.hpp"
+
+namespace harmony::sched {
+namespace {
+
+// Tiny helper so loop bodies are not optimized away.
+void benchmark_blackhole(std::size_t v) {
+  static std::atomic<std::size_t> sink{0};
+  sink.fetch_add(v, std::memory_order_relaxed);
+}
+
+TEST(SchedulerRobustness, ExceptionInRootPropagatesAndSchedulerSurvives) {
+  Scheduler sched(3);
+  EXPECT_THROW(sched.run([] { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  // The session must have been torn down cleanly: a fresh run works.
+  std::atomic<int> count{0};
+  RealCtx ctx;
+  sched.run([&] {
+    parallel_for(ctx, 0, 1000, 16, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 1000);
+  EXPECT_FALSE(Scheduler::in_parallel_context());
+}
+
+TEST(SchedulerRobustness, SequentialExceptionsAcrossSessions) {
+  Scheduler sched(2);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_THROW(sched.run([] { throw std::logic_error("again"); }),
+                 std::logic_error);
+  }
+  int ok = 0;
+  sched.run([&] { ok = 42; });
+  EXPECT_EQ(ok, 42);
+}
+
+TEST(SchedulerRobustness, ManyWorkersFewTasks) {
+  // More workers than work: mostly-idle thieves must not corrupt
+  // anything or spin forever.
+  Scheduler sched(16);
+  std::atomic<int> count{0};
+  RealCtx ctx;
+  sched.run([&] {
+    parallel_for(ctx, 0, 8, 1, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(SchedulerRobustness, DeepUnbalancedRecursion) {
+  // A maximally unbalanced fork tree (linear chain of fork2) stresses
+  // the deque discipline and the join-wait path.
+  Scheduler sched(4);
+  std::atomic<long> sum{0};
+  std::function<void(int)> chain = [&](int depth) {
+    if (depth == 0) return;
+    Scheduler::fork2([&] { sum.fetch_add(1); },
+                     [&] { chain(depth - 1); });
+  };
+  sched.run([&] { chain(2000); });
+  EXPECT_EQ(sum.load(), 2000);
+}
+
+TEST(SchedulerRobustness, DefaultSchedulerSingleton) {
+  Scheduler& a = default_scheduler();
+  Scheduler& b = default_scheduler();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_workers(), 1u);
+  std::atomic<int> hits{0};
+  RealCtx ctx;
+  a.run([&] {
+    parallel_for(ctx, 0, 100, 4, [&](std::size_t) { hits.fetch_add(1); });
+  });
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(SchedulerRobustness, StealCountMonotone) {
+  Scheduler sched(4);
+  const auto before = sched.steal_count();
+  RealCtx ctx;
+  for (int round = 0; round < 10; ++round) {
+    sched.run([&] {
+      parallel_for(ctx, 0, 5000, 8, [&](std::size_t i) {
+        benchmark_blackhole(i);
+      });
+    });
+  }
+  EXPECT_GE(sched.steal_count(), before);
+}
+
+TEST(SchedulerRobustness, WorkSpanCtxRejectsNegativeWork) {
+  WorkSpanCtx ctx;
+  EXPECT_THROW(ctx.work(-1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace harmony::sched

@@ -1,0 +1,219 @@
+// Unit and stress tests for the work-stealing runtime (src/sched).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "sched/chase_lev.hpp"
+#include "sched/parallel_ops.hpp"
+#include "sched/scheduler.hpp"
+
+namespace harmony::sched {
+namespace {
+
+TEST(ChaseLev, LifoOwnerOrder) {
+  ChaseLevDeque<int> d(4);
+  int a = 1;
+  int b = 2;
+  int c = 3;
+  d.push(&a);
+  d.push(&b);
+  d.push(&c);
+  EXPECT_EQ(d.pop(), &c);
+  EXPECT_EQ(d.pop(), &b);
+  EXPECT_EQ(d.pop(), &a);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(ChaseLev, StealTakesOldest) {
+  ChaseLevDeque<int> d(4);
+  int a = 1;
+  int b = 2;
+  d.push(&a);
+  d.push(&b);
+  EXPECT_EQ(d.steal(), &a);
+  EXPECT_EQ(d.pop(), &b);
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(ChaseLev, GrowsPastInitialCapacity) {
+  ChaseLevDeque<int> d(1);  // capacity 2
+  std::vector<int> vals(100);
+  for (int i = 0; i < 100; ++i) {
+    vals[static_cast<std::size_t>(i)] = i;
+    d.push(&vals[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(d.size_approx(), 100);
+  for (int i = 99; i >= 0; --i) {
+    ASSERT_EQ(d.pop(), &vals[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(ChaseLev, ConcurrentStealersDrainExactlyOnce) {
+  constexpr int kJobs = 20000;
+  ChaseLevDeque<int> d(4);
+  std::vector<int> vals(kJobs);
+  std::atomic<int> taken{0};
+  std::vector<std::atomic<int>> seen(kJobs);
+  for (auto& s : seen) s.store(0);
+
+  std::atomic<bool> go{false};
+  auto thief = [&] {
+    while (!go.load()) std::this_thread::yield();
+    while (taken.load(std::memory_order_relaxed) < kJobs) {
+      if (int* v = d.steal()) {
+        seen[static_cast<std::size_t>(v - vals.data())].fetch_add(1);
+        taken.fetch_add(1);
+      }
+    }
+  };
+  std::thread t1(thief);
+  std::thread t2(thief);
+
+  go.store(true);
+  for (int i = 0; i < kJobs; ++i) {
+    vals[static_cast<std::size_t>(i)] = i;
+    d.push(&vals[static_cast<std::size_t>(i)]);
+    // Owner also pops occasionally.
+    if (i % 3 == 0) {
+      if (int* v = d.pop()) {
+        seen[static_cast<std::size_t>(v - vals.data())].fetch_add(1);
+        taken.fetch_add(1);
+      }
+    }
+  }
+  while (taken.load() < kJobs) {
+    if (int* v = d.pop()) {
+      seen[static_cast<std::size_t>(v - vals.data())].fetch_add(1);
+      taken.fetch_add(1);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  t1.join();
+  t2.join();
+  for (int i = 0; i < kJobs; ++i) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "job " << i;
+  }
+}
+
+TEST(Scheduler, Fork2SerialFallbackOutsideScheduler) {
+  int a = 0;
+  int b = 0;
+  Scheduler::fork2([&] { a = 1; }, [&] { b = 2; });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(Scheduler, Fork2RunsBothBranches) {
+  Scheduler sched(4);
+  int a = 0;
+  int b = 0;
+  sched.run([&] {
+    Scheduler::fork2([&] { a = 1; }, [&] { b = 2; });
+  });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(Scheduler, NestedForksComputeFibonacci) {
+  Scheduler sched(4);
+  // Naive parallel fib exercises deep fork nesting and stealing.
+  std::function<long(int)> fib = [&](int n) -> long {
+    if (n < 2) return n;
+    long x = 0;
+    long y = 0;
+    Scheduler::fork2([&] { x = fib(n - 1); }, [&] { y = fib(n - 2); });
+    return x + y;
+  };
+  long result = 0;
+  sched.run([&] { result = fib(18); });
+  EXPECT_EQ(result, 2584);
+}
+
+TEST(Scheduler, ParallelForCoversEveryIndexExactlyOnce) {
+  Scheduler sched(4);
+  constexpr std::size_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  RealCtx ctx;
+  sched.run([&] {
+    parallel_for(ctx, 0, kN, 64, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Scheduler, ParallelReduceMatchesSerialSum) {
+  Scheduler sched(4);
+  constexpr std::size_t kN = 50000;
+  std::vector<std::int64_t> data(kN);
+  std::iota(data.begin(), data.end(), 1);
+  RealCtx ctx;
+  std::int64_t sum = 0;
+  sched.run([&] {
+    sum = parallel_reduce(
+        ctx, 0, kN, 128, std::int64_t{0},
+        [&](std::size_t i) { return data[i]; },
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+  });
+  EXPECT_EQ(sum, static_cast<std::int64_t>(kN) *
+                     static_cast<std::int64_t>(kN + 1) / 2);
+}
+
+TEST(Scheduler, RepeatedSessionsAreClean) {
+  Scheduler sched(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    RealCtx ctx;
+    sched.run([&] {
+      parallel_for(ctx, 0, 1000, 16,
+                   [&](std::size_t) { count.fetch_add(1); });
+    });
+    ASSERT_EQ(count.load(), 1000);
+  }
+}
+
+TEST(Scheduler, SingleWorkerStillCorrect) {
+  Scheduler sched(1);
+  std::int64_t sum = 0;
+  RealCtx ctx;
+  sched.run([&] {
+    sum = parallel_reduce(
+        ctx, 0, std::size_t{1000}, 8, std::int64_t{0},
+        [](std::size_t i) { return static_cast<std::int64_t>(i); },
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+  });
+  EXPECT_EQ(sum, 999 * 1000 / 2);
+}
+
+TEST(Scheduler, InParallelContextFlag) {
+  Scheduler sched(2);
+  EXPECT_FALSE(Scheduler::in_parallel_context());
+  bool inside = false;
+  sched.run([&] { inside = Scheduler::in_parallel_context(); });
+  EXPECT_TRUE(inside);
+  EXPECT_FALSE(Scheduler::in_parallel_context());
+}
+
+TEST(Scheduler, ParallelForEmptyAndTinyRanges) {
+  Scheduler sched(2);
+  RealCtx ctx;
+  int count = 0;
+  sched.run([&] {
+    parallel_for(ctx, 5, 5, 4, [&](std::size_t) { ++count; });
+  });
+  EXPECT_EQ(count, 0);
+  std::atomic<int> c2{0};
+  sched.run([&] {
+    parallel_for(ctx, 0, 1, 4, [&](std::size_t) { c2.fetch_add(1); });
+  });
+  EXPECT_EQ(c2.load(), 1);
+}
+
+}  // namespace
+}  // namespace harmony::sched

@@ -1,0 +1,211 @@
+// Unit tests for src/support: units, rng, stats, table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace harmony {
+namespace {
+
+TEST(Units, EnergyArithmeticAndConversions) {
+  const Energy a = Energy::femtojoules(1500.0);
+  EXPECT_DOUBLE_EQ(a.picojoules(), 1.5);
+  EXPECT_DOUBLE_EQ(Energy::picojoules(2.0).femtojoules(), 2000.0);
+  EXPECT_DOUBLE_EQ(Energy::nanojoules(1.0).femtojoules(), 1e6);
+  const Energy b = a + Energy::femtojoules(500.0);
+  EXPECT_DOUBLE_EQ(b.femtojoules(), 2000.0);
+  EXPECT_DOUBLE_EQ((b - a).femtojoules(), 500.0);
+  EXPECT_DOUBLE_EQ((b * 2.0).femtojoules(), 4000.0);
+  EXPECT_DOUBLE_EQ(b / a, 2000.0 / 1500.0);
+}
+
+TEST(Units, TimeOrderingAndAccumulation) {
+  Time t = Time::zero();
+  t += Time::picoseconds(250.0);
+  t += Time::nanoseconds(1.0);
+  EXPECT_DOUBLE_EQ(t.picoseconds(), 1250.0);
+  EXPECT_LT(Time::picoseconds(1.0), Time::picoseconds(2.0));
+  EXPECT_GT(Time::nanoseconds(1.0), Time::picoseconds(999.0));
+}
+
+TEST(Units, AreaSideAndDiagonal) {
+  const Area die = Area::mm2(800.0);
+  EXPECT_NEAR(die.side().millimetres(), std::sqrt(800.0), 1e-12);
+  EXPECT_NEAR(die.diagonal().millimetres(), std::sqrt(1600.0), 1e-12);
+}
+
+TEST(Units, StreamOutput) {
+  std::ostringstream os;
+  os << Energy::femtojoules(16.0) << " / " << Time::picoseconds(200.0);
+  EXPECT_EQ(os.str(), "16 fJ / 200 ps");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowIsInRangeAndCoversRange) {
+  Rng rng(7);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++hits[static_cast<std::size_t>(v)];
+  }
+  for (int h : hits) EXPECT_GT(h, 800);  // roughly uniform
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.next_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(13);
+  const auto p = rng.permutation(257);
+  std::vector<char> seen(257, 0);
+  for (auto v : p) {
+    ASSERT_LT(v, 257u);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = 1;
+  }
+}
+
+TEST(Rng, RejectsEmptyRanges) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), InvalidArgument);
+  EXPECT_THROW(rng.next_int(3, 2), InvalidArgument);
+}
+
+TEST(Stats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, MergeMatchesSequential) {
+  Rng rng(5);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double(-5.0, 5.0);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+  EXPECT_THROW((void)percentile({}, 0.5), InvalidArgument);
+  EXPECT_THROW((void)percentile(v, 1.5), InvalidArgument);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_THROW((void)geometric_mean({1.0, -1.0}), InvalidArgument);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.5 * i);
+  }
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.5, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Table, RendersAlignedAscii) {
+  Table t({"name", "value"});
+  t.title("demo").add_row({std::string("alpha"), std::int64_t{42}});
+  t.add_row({std::string("beta"), 3.25});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.25"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table t({"a", "b"});
+  t.add_row({std::string("x,y"), std::string("say \"hi\"")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), InvalidArgument);
+}
+
+TEST(Error, AssertAndRequireBehaviour) {
+  EXPECT_THROW([] { HARMONY_ASSERT(1 == 2); }(), std::logic_error);
+  EXPECT_THROW([] { HARMONY_REQUIRE(false, "nope"); }(), InvalidArgument);
+  EXPECT_NO_THROW([] { HARMONY_ASSERT(true); }());
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,146 @@
+// Tests for the work-span analyzer and its greedy-schedule simulator,
+// including the Brent-bound property audit (paper §2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/scan.hpp"
+#include "algos/sort.hpp"
+#include "sched/parallel_ops.hpp"
+#include "sched/workspan.hpp"
+
+namespace harmony::sched {
+namespace {
+
+TEST(WorkSpan, SequentialWorkAccumulates) {
+  WorkSpanCtx ctx;
+  ctx.work(3);
+  ctx.work(4);
+  EXPECT_DOUBLE_EQ(ctx.total_work(), 7.0);
+  EXPECT_DOUBLE_EQ(ctx.span(), 7.0);  // one strand
+  EXPECT_EQ(ctx.leaf_count(), 1u);    // merged into one leaf
+}
+
+TEST(WorkSpan, Fork2TakesMaxForSpan) {
+  WorkSpanCtx ctx;
+  ctx.fork2([&] { ctx.work(10); }, [&] { ctx.work(4); });
+  EXPECT_DOUBLE_EQ(ctx.total_work(), 14.0);
+  EXPECT_DOUBLE_EQ(ctx.span(), 10.0);
+  EXPECT_EQ(ctx.fork_count(), 1u);
+  EXPECT_DOUBLE_EQ(ctx.parallelism(), 1.4);
+}
+
+TEST(WorkSpan, NestedForksCompose) {
+  WorkSpanCtx ctx;
+  ctx.work(1);
+  ctx.fork2(
+      [&] {
+        ctx.fork2([&] { ctx.work(5); }, [&] { ctx.work(6); });
+      },
+      [&] { ctx.work(3); });
+  ctx.work(2);
+  EXPECT_DOUBLE_EQ(ctx.total_work(), 17.0);
+  EXPECT_DOUBLE_EQ(ctx.span(), 1.0 + 6.0 + 2.0);
+}
+
+TEST(WorkSpan, ForkCostChargedOnBothAxes) {
+  WorkSpanCtx::Options opts;
+  opts.fork_cost = 2.0;
+  WorkSpanCtx ctx(opts);
+  ctx.fork2([&] { ctx.work(4); }, [&] { ctx.work(4); });
+  EXPECT_DOUBLE_EQ(ctx.total_work(), 10.0);  // 8 + fork
+  EXPECT_DOUBLE_EQ(ctx.span(), 6.0);         // fork + max(4,4)
+}
+
+TEST(WorkSpan, GreedyOneProcessorEqualsWork) {
+  WorkSpanCtx ctx;
+  ctx.fork2([&] { ctx.work(7); }, [&] { ctx.work(5); });
+  EXPECT_DOUBLE_EQ(ctx.greedy_time(1), 12.0);
+}
+
+TEST(WorkSpan, GreedyInfiniteProcessorsEqualsSpan) {
+  WorkSpanCtx ctx;
+  ctx.work(1);
+  ctx.fork2([&] { ctx.work(10); },
+            [&] {
+              ctx.fork2([&] { ctx.work(3); }, [&] { ctx.work(4); });
+            });
+  EXPECT_DOUBLE_EQ(ctx.greedy_time(64), ctx.span());
+}
+
+TEST(WorkSpan, GreedyTwoProcessorsPerfectSplit) {
+  WorkSpanCtx ctx;
+  ctx.fork2([&] { ctx.work(8); }, [&] { ctx.work(8); });
+  EXPECT_DOUBLE_EQ(ctx.greedy_time(2), 8.0);
+}
+
+// Brent's bound audited over a sweep of algorithms and processor counts.
+class BrentBound : public ::testing::TestWithParam<std::tuple<int, unsigned>> {
+};
+
+TEST_P(BrentBound, ScanRespectsBothSides) {
+  const auto [size_log2, p] = GetParam();
+  const std::size_t n = std::size_t{1} << size_log2;
+  WorkSpanCtx ctx;
+  std::vector<double> data(n, 1.0);
+  algos::exclusive_scan(ctx, data, /*grain=*/16);
+  const double w = ctx.total_work();
+  const double d = ctx.span();
+  const double tp = ctx.greedy_time(p);
+  EXPECT_GE(tp + 1e-9, w / p);
+  EXPECT_GE(tp + 1e-9, d);
+  EXPECT_LE(tp, w / p + d + 1e-9);
+}
+
+TEST_P(BrentBound, MergeSortRespectsBothSides) {
+  const auto [size_log2, p] = GetParam();
+  const std::size_t n = std::size_t{1} << size_log2;
+  WorkSpanCtx ctx;
+  auto keys = algos::random_keys(n, /*seed=*/99);
+  algos::merge_sort_par(ctx, keys, /*grain=*/32);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  const double w = ctx.total_work();
+  const double d = ctx.span();
+  const double tp = ctx.greedy_time(p);
+  EXPECT_GE(tp + 1e-9, w / p);
+  EXPECT_GE(tp + 1e-9, d);
+  EXPECT_LE(tp, w / p + d + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BrentBound,
+    ::testing::Combine(::testing::Values(8, 10, 12),
+                       ::testing::Values(1u, 2u, 4u, 8u, 16u)));
+
+TEST(WorkSpan, ScanIsWorkEfficient) {
+  // Parallel scan work must be within a small constant of serial (n).
+  const std::size_t n = 1 << 14;
+  WorkSpanCtx ctx;
+  std::vector<double> data(n, 1.0);
+  algos::exclusive_scan(ctx, data, 16);
+  EXPECT_LT(ctx.total_work(), 4.0 * static_cast<double>(n));
+  // Span must be polylogarithmic: generous bound c * log^2 n.
+  const double lg = std::log2(static_cast<double>(n));
+  EXPECT_LT(ctx.span(), 40.0 * lg * lg);
+}
+
+TEST(WorkSpan, GreedySpeedupScalesForScan) {
+  const std::size_t n = 1 << 14;
+  WorkSpanCtx ctx;
+  std::vector<double> data(n, 1.0);
+  algos::exclusive_scan(ctx, data, 16);
+  const double t1 = ctx.greedy_time(1);
+  const double t16 = ctx.greedy_time(16);
+  EXPECT_GT(t1 / t16, 8.0);  // at least half of ideal 16x
+}
+
+TEST(WorkSpan, ParallelForSpanLogarithmic) {
+  WorkSpanCtx ctx;
+  const std::size_t n = 1 << 12;
+  parallel_for(ctx, std::size_t{0}, n, 1, [&](std::size_t) { ctx.work(1); });
+  EXPECT_DOUBLE_EQ(ctx.total_work(), static_cast<double>(n));
+  EXPECT_LE(ctx.span(), std::log2(static_cast<double>(n)) + 2.0);
+}
+
+}  // namespace
+}  // namespace harmony::sched
