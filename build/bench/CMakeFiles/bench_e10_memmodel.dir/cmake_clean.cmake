@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_memmodel.dir/bench_e10_memmodel.cpp.o"
+  "CMakeFiles/bench_e10_memmodel.dir/bench_e10_memmodel.cpp.o.d"
+  "bench_e10_memmodel"
+  "bench_e10_memmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_memmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

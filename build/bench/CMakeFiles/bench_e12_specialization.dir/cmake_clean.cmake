@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_specialization.dir/bench_e12_specialization.cpp.o"
+  "CMakeFiles/bench_e12_specialization.dir/bench_e12_specialization.cpp.o.d"
+  "bench_e12_specialization"
+  "bench_e12_specialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_specialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_xmt_ps.dir/bench_e13_xmt_ps.cpp.o"
+  "CMakeFiles/bench_e13_xmt_ps.dir/bench_e13_xmt_ps.cpp.o.d"
+  "bench_e13_xmt_ps"
+  "bench_e13_xmt_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_xmt_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_grain_forkcost.dir/bench_e17_grain_forkcost.cpp.o"
+  "CMakeFiles/bench_e17_grain_forkcost.dir/bench_e17_grain_forkcost.cpp.o.d"
+  "bench_e17_grain_forkcost"
+  "bench_e17_grain_forkcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_grain_forkcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_distributed_sort.dir/bench_e18_distributed_sort.cpp.o"
+  "CMakeFiles/bench_e18_distributed_sort.dir/bench_e18_distributed_sort.cpp.o.d"
+  "bench_e18_distributed_sort"
+  "bench_e18_distributed_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_distributed_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

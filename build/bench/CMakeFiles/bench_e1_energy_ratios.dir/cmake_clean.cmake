@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_energy_ratios.dir/bench_e1_energy_ratios.cpp.o"
+  "CMakeFiles/bench_e1_energy_ratios.dir/bench_e1_energy_ratios.cpp.o.d"
+  "bench_e1_energy_ratios"
+  "bench_e1_energy_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_energy_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e20_ghost_zones.dir/bench_e20_ghost_zones.cpp.o"
+  "CMakeFiles/bench_e20_ghost_zones.dir/bench_e20_ghost_zones.cpp.o.d"
+  "bench_e20_ghost_zones"
+  "bench_e20_ghost_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e20_ghost_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

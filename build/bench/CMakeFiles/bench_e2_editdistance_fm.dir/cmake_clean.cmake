@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_editdistance_fm.dir/bench_e2_editdistance_fm.cpp.o"
+  "CMakeFiles/bench_e2_editdistance_fm.dir/bench_e2_editdistance_fm.cpp.o.d"
+  "bench_e2_editdistance_fm"
+  "bench_e2_editdistance_fm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_editdistance_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_comm_avoiding.dir/bench_e4_comm_avoiding.cpp.o"
+  "CMakeFiles/bench_e4_comm_avoiding.dir/bench_e4_comm_avoiding.cpp.o.d"
+  "bench_e4_comm_avoiding"
+  "bench_e4_comm_avoiding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_comm_avoiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

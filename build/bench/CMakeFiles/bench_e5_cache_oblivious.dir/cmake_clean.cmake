@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_cache_oblivious.dir/bench_e5_cache_oblivious.cpp.o"
+  "CMakeFiles/bench_e5_cache_oblivious.dir/bench_e5_cache_oblivious.cpp.o.d"
+  "bench_e5_cache_oblivious"
+  "bench_e5_cache_oblivious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_cache_oblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_workspan.dir/bench_e6_workspan.cpp.o"
+  "CMakeFiles/bench_e6_workspan.dir/bench_e6_workspan.cpp.o.d"
+  "bench_e6_workspan"
+  "bench_e6_workspan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_workspan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e7_pram_bfs.cpp" "bench/CMakeFiles/bench_e7_pram_bfs.dir/bench_e7_pram_bfs.cpp.o" "gcc" "bench/CMakeFiles/bench_e7_pram_bfs.dir/bench_e7_pram_bfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/harmony_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/harmony_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/harmony_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/harmony_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/harmony_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/harmony_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/harmony_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memmodel/CMakeFiles/harmony_memmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/harmony_algos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_pram_bfs.dir/bench_e7_pram_bfs.cpp.o"
+  "CMakeFiles/bench_e7_pram_bfs.dir/bench_e7_pram_bfs.cpp.o.d"
+  "bench_e7_pram_bfs"
+  "bench_e7_pram_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_pram_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

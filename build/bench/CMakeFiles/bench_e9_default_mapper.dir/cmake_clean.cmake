@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_default_mapper.dir/bench_e9_default_mapper.cpp.o"
+  "CMakeFiles/bench_e9_default_mapper.dir/bench_e9_default_mapper.cpp.o.d"
+  "bench_e9_default_mapper"
+  "bench_e9_default_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_default_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

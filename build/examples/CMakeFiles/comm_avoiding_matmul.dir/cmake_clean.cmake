@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_avoiding_matmul.dir/comm_avoiding_matmul.cpp.o"
+  "CMakeFiles/comm_avoiding_matmul.dir/comm_avoiding_matmul.cpp.o.d"
+  "comm_avoiding_matmul"
+  "comm_avoiding_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_avoiding_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

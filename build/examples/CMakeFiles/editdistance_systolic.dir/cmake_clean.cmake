@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/editdistance_systolic.dir/editdistance_systolic.cpp.o"
+  "CMakeFiles/editdistance_systolic.dir/editdistance_systolic.cpp.o.d"
+  "editdistance_systolic"
+  "editdistance_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/editdistance_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_mapping_explorer.dir/fft_mapping_explorer.cpp.o"
+  "CMakeFiles/fft_mapping_explorer.dir/fft_mapping_explorer.cpp.o.d"
+  "fft_mapping_explorer"
+  "fft_mapping_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_mapping_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memmodel_verifier.dir/memmodel_verifier.cpp.o"
+  "CMakeFiles/memmodel_verifier.dir/memmodel_verifier.cpp.o.d"
+  "memmodel_verifier"
+  "memmodel_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memmodel_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

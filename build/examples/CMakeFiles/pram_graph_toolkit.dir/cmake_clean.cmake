@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pram_graph_toolkit.dir/pram_graph_toolkit.cpp.o"
+  "CMakeFiles/pram_graph_toolkit.dir/pram_graph_toolkit.cpp.o.d"
+  "pram_graph_toolkit"
+  "pram_graph_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pram_graph_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_pipeline.dir/program_pipeline.cpp.o"
+  "CMakeFiles/program_pipeline.dir/program_pipeline.cpp.o.d"
+  "program_pipeline"
+  "program_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

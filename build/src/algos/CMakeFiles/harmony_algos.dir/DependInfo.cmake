@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/bsp_stencil.cpp" "src/algos/CMakeFiles/harmony_algos.dir/bsp_stencil.cpp.o" "gcc" "src/algos/CMakeFiles/harmony_algos.dir/bsp_stencil.cpp.o.d"
+  "/root/repo/src/algos/connectivity.cpp" "src/algos/CMakeFiles/harmony_algos.dir/connectivity.cpp.o" "gcc" "src/algos/CMakeFiles/harmony_algos.dir/connectivity.cpp.o.d"
+  "/root/repo/src/algos/editdist.cpp" "src/algos/CMakeFiles/harmony_algos.dir/editdist.cpp.o" "gcc" "src/algos/CMakeFiles/harmony_algos.dir/editdist.cpp.o.d"
+  "/root/repo/src/algos/fft.cpp" "src/algos/CMakeFiles/harmony_algos.dir/fft.cpp.o" "gcc" "src/algos/CMakeFiles/harmony_algos.dir/fft.cpp.o.d"
+  "/root/repo/src/algos/graph.cpp" "src/algos/CMakeFiles/harmony_algos.dir/graph.cpp.o" "gcc" "src/algos/CMakeFiles/harmony_algos.dir/graph.cpp.o.d"
+  "/root/repo/src/algos/listrank.cpp" "src/algos/CMakeFiles/harmony_algos.dir/listrank.cpp.o" "gcc" "src/algos/CMakeFiles/harmony_algos.dir/listrank.cpp.o.d"
+  "/root/repo/src/algos/matmul.cpp" "src/algos/CMakeFiles/harmony_algos.dir/matmul.cpp.o" "gcc" "src/algos/CMakeFiles/harmony_algos.dir/matmul.cpp.o.d"
+  "/root/repo/src/algos/pram_scan.cpp" "src/algos/CMakeFiles/harmony_algos.dir/pram_scan.cpp.o" "gcc" "src/algos/CMakeFiles/harmony_algos.dir/pram_scan.cpp.o.d"
+  "/root/repo/src/algos/samplesort.cpp" "src/algos/CMakeFiles/harmony_algos.dir/samplesort.cpp.o" "gcc" "src/algos/CMakeFiles/harmony_algos.dir/samplesort.cpp.o.d"
+  "/root/repo/src/algos/sort.cpp" "src/algos/CMakeFiles/harmony_algos.dir/sort.cpp.o" "gcc" "src/algos/CMakeFiles/harmony_algos.dir/sort.cpp.o.d"
+  "/root/repo/src/algos/specs.cpp" "src/algos/CMakeFiles/harmony_algos.dir/specs.cpp.o" "gcc" "src/algos/CMakeFiles/harmony_algos.dir/specs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/harmony_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/harmony_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/harmony_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/harmony_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/harmony_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/harmony_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/harmony_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

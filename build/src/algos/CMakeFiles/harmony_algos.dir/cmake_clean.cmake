@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_algos.dir/bsp_stencil.cpp.o"
+  "CMakeFiles/harmony_algos.dir/bsp_stencil.cpp.o.d"
+  "CMakeFiles/harmony_algos.dir/connectivity.cpp.o"
+  "CMakeFiles/harmony_algos.dir/connectivity.cpp.o.d"
+  "CMakeFiles/harmony_algos.dir/editdist.cpp.o"
+  "CMakeFiles/harmony_algos.dir/editdist.cpp.o.d"
+  "CMakeFiles/harmony_algos.dir/fft.cpp.o"
+  "CMakeFiles/harmony_algos.dir/fft.cpp.o.d"
+  "CMakeFiles/harmony_algos.dir/graph.cpp.o"
+  "CMakeFiles/harmony_algos.dir/graph.cpp.o.d"
+  "CMakeFiles/harmony_algos.dir/listrank.cpp.o"
+  "CMakeFiles/harmony_algos.dir/listrank.cpp.o.d"
+  "CMakeFiles/harmony_algos.dir/matmul.cpp.o"
+  "CMakeFiles/harmony_algos.dir/matmul.cpp.o.d"
+  "CMakeFiles/harmony_algos.dir/pram_scan.cpp.o"
+  "CMakeFiles/harmony_algos.dir/pram_scan.cpp.o.d"
+  "CMakeFiles/harmony_algos.dir/samplesort.cpp.o"
+  "CMakeFiles/harmony_algos.dir/samplesort.cpp.o.d"
+  "CMakeFiles/harmony_algos.dir/sort.cpp.o"
+  "CMakeFiles/harmony_algos.dir/sort.cpp.o.d"
+  "CMakeFiles/harmony_algos.dir/specs.cpp.o"
+  "CMakeFiles/harmony_algos.dir/specs.cpp.o.d"
+  "libharmony_algos.a"
+  "libharmony_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_cache.dir/cache.cpp.o"
+  "CMakeFiles/harmony_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/harmony_cache.dir/reuse.cpp.o"
+  "CMakeFiles/harmony_cache.dir/reuse.cpp.o.d"
+  "libharmony_cache.a"
+  "libharmony_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_comm.dir/bsp.cpp.o"
+  "CMakeFiles/harmony_comm.dir/bsp.cpp.o.d"
+  "CMakeFiles/harmony_comm.dir/collectives.cpp.o"
+  "CMakeFiles/harmony_comm.dir/collectives.cpp.o.d"
+  "libharmony_comm.a"
+  "libharmony_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fm/cost.cpp" "src/fm/CMakeFiles/harmony_fm.dir/cost.cpp.o" "gcc" "src/fm/CMakeFiles/harmony_fm.dir/cost.cpp.o.d"
+  "/root/repo/src/fm/default_mapper.cpp" "src/fm/CMakeFiles/harmony_fm.dir/default_mapper.cpp.o" "gcc" "src/fm/CMakeFiles/harmony_fm.dir/default_mapper.cpp.o.d"
+  "/root/repo/src/fm/idioms.cpp" "src/fm/CMakeFiles/harmony_fm.dir/idioms.cpp.o" "gcc" "src/fm/CMakeFiles/harmony_fm.dir/idioms.cpp.o.d"
+  "/root/repo/src/fm/legality.cpp" "src/fm/CMakeFiles/harmony_fm.dir/legality.cpp.o" "gcc" "src/fm/CMakeFiles/harmony_fm.dir/legality.cpp.o.d"
+  "/root/repo/src/fm/lower.cpp" "src/fm/CMakeFiles/harmony_fm.dir/lower.cpp.o" "gcc" "src/fm/CMakeFiles/harmony_fm.dir/lower.cpp.o.d"
+  "/root/repo/src/fm/machine.cpp" "src/fm/CMakeFiles/harmony_fm.dir/machine.cpp.o" "gcc" "src/fm/CMakeFiles/harmony_fm.dir/machine.cpp.o.d"
+  "/root/repo/src/fm/mapping.cpp" "src/fm/CMakeFiles/harmony_fm.dir/mapping.cpp.o" "gcc" "src/fm/CMakeFiles/harmony_fm.dir/mapping.cpp.o.d"
+  "/root/repo/src/fm/program.cpp" "src/fm/CMakeFiles/harmony_fm.dir/program.cpp.o" "gcc" "src/fm/CMakeFiles/harmony_fm.dir/program.cpp.o.d"
+  "/root/repo/src/fm/recompute.cpp" "src/fm/CMakeFiles/harmony_fm.dir/recompute.cpp.o" "gcc" "src/fm/CMakeFiles/harmony_fm.dir/recompute.cpp.o.d"
+  "/root/repo/src/fm/search.cpp" "src/fm/CMakeFiles/harmony_fm.dir/search.cpp.o" "gcc" "src/fm/CMakeFiles/harmony_fm.dir/search.cpp.o.d"
+  "/root/repo/src/fm/spec.cpp" "src/fm/CMakeFiles/harmony_fm.dir/spec.cpp.o" "gcc" "src/fm/CMakeFiles/harmony_fm.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/harmony_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/harmony_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

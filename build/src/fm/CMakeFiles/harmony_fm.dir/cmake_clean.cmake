@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_fm.dir/cost.cpp.o"
+  "CMakeFiles/harmony_fm.dir/cost.cpp.o.d"
+  "CMakeFiles/harmony_fm.dir/default_mapper.cpp.o"
+  "CMakeFiles/harmony_fm.dir/default_mapper.cpp.o.d"
+  "CMakeFiles/harmony_fm.dir/idioms.cpp.o"
+  "CMakeFiles/harmony_fm.dir/idioms.cpp.o.d"
+  "CMakeFiles/harmony_fm.dir/legality.cpp.o"
+  "CMakeFiles/harmony_fm.dir/legality.cpp.o.d"
+  "CMakeFiles/harmony_fm.dir/lower.cpp.o"
+  "CMakeFiles/harmony_fm.dir/lower.cpp.o.d"
+  "CMakeFiles/harmony_fm.dir/machine.cpp.o"
+  "CMakeFiles/harmony_fm.dir/machine.cpp.o.d"
+  "CMakeFiles/harmony_fm.dir/mapping.cpp.o"
+  "CMakeFiles/harmony_fm.dir/mapping.cpp.o.d"
+  "CMakeFiles/harmony_fm.dir/program.cpp.o"
+  "CMakeFiles/harmony_fm.dir/program.cpp.o.d"
+  "CMakeFiles/harmony_fm.dir/recompute.cpp.o"
+  "CMakeFiles/harmony_fm.dir/recompute.cpp.o.d"
+  "CMakeFiles/harmony_fm.dir/search.cpp.o"
+  "CMakeFiles/harmony_fm.dir/search.cpp.o.d"
+  "CMakeFiles/harmony_fm.dir/spec.cpp.o"
+  "CMakeFiles/harmony_fm.dir/spec.cpp.o.d"
+  "libharmony_fm.a"
+  "libharmony_fm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

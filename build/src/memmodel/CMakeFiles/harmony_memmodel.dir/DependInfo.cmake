@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memmodel/axiomatic.cpp" "src/memmodel/CMakeFiles/harmony_memmodel.dir/axiomatic.cpp.o" "gcc" "src/memmodel/CMakeFiles/harmony_memmodel.dir/axiomatic.cpp.o.d"
+  "/root/repo/src/memmodel/litmus.cpp" "src/memmodel/CMakeFiles/harmony_memmodel.dir/litmus.cpp.o" "gcc" "src/memmodel/CMakeFiles/harmony_memmodel.dir/litmus.cpp.o.d"
+  "/root/repo/src/memmodel/operational.cpp" "src/memmodel/CMakeFiles/harmony_memmodel.dir/operational.cpp.o" "gcc" "src/memmodel/CMakeFiles/harmony_memmodel.dir/operational.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/harmony_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

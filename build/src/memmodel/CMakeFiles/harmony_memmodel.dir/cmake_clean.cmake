@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_memmodel.dir/axiomatic.cpp.o"
+  "CMakeFiles/harmony_memmodel.dir/axiomatic.cpp.o.d"
+  "CMakeFiles/harmony_memmodel.dir/litmus.cpp.o"
+  "CMakeFiles/harmony_memmodel.dir/litmus.cpp.o.d"
+  "CMakeFiles/harmony_memmodel.dir/operational.cpp.o"
+  "CMakeFiles/harmony_memmodel.dir/operational.cpp.o.d"
+  "libharmony_memmodel.a"
+  "libharmony_memmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_memmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

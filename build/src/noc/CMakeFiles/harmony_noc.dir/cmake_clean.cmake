@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_noc.dir/mesh.cpp.o"
+  "CMakeFiles/harmony_noc.dir/mesh.cpp.o.d"
+  "libharmony_noc.a"
+  "libharmony_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_pram.dir/pram.cpp.o"
+  "CMakeFiles/harmony_pram.dir/pram.cpp.o.d"
+  "CMakeFiles/harmony_pram.dir/xmt.cpp.o"
+  "CMakeFiles/harmony_pram.dir/xmt.cpp.o.d"
+  "libharmony_pram.a"
+  "libharmony_pram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/harmony_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/harmony_sched.dir/workspan.cpp.o"
+  "CMakeFiles/harmony_sched.dir/workspan.cpp.o.d"
+  "libharmony_sched.a"
+  "libharmony_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_support.dir/stats.cpp.o"
+  "CMakeFiles/harmony_support.dir/stats.cpp.o.d"
+  "CMakeFiles/harmony_support.dir/table.cpp.o"
+  "CMakeFiles/harmony_support.dir/table.cpp.o.d"
+  "libharmony_support.a"
+  "libharmony_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

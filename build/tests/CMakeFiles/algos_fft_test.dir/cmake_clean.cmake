@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algos_fft_test.dir/algos_fft_test.cpp.o"
+  "CMakeFiles/algos_fft_test.dir/algos_fft_test.cpp.o.d"
+  "algos_fft_test"
+  "algos_fft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algos_fft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algos_graph_test.dir/algos_graph_test.cpp.o"
+  "CMakeFiles/algos_graph_test.dir/algos_graph_test.cpp.o.d"
+  "algos_graph_test"
+  "algos_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algos_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

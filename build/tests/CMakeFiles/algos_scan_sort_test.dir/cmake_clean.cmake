@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algos_scan_sort_test.dir/algos_scan_sort_test.cpp.o"
+  "CMakeFiles/algos_scan_sort_test.dir/algos_scan_sort_test.cpp.o.d"
+  "algos_scan_sort_test"
+  "algos_scan_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algos_scan_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_stencil_test.dir/bsp_stencil_test.cpp.o"
+  "CMakeFiles/bsp_stencil_test.dir/bsp_stencil_test.cpp.o.d"
+  "bsp_stencil_test"
+  "bsp_stencil_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_stencil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

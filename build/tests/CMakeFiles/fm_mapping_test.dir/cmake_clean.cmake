@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_mapping_test.dir/fm_mapping_test.cpp.o"
+  "CMakeFiles/fm_mapping_test.dir/fm_mapping_test.cpp.o.d"
+  "fm_mapping_test"
+  "fm_mapping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

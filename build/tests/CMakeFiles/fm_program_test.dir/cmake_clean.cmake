@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_program_test.dir/fm_program_test.cpp.o"
+  "CMakeFiles/fm_program_test.dir/fm_program_test.cpp.o.d"
+  "fm_program_test"
+  "fm_program_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_spec_test.dir/fm_spec_test.cpp.o"
+  "CMakeFiles/fm_spec_test.dir/fm_spec_test.cpp.o.d"
+  "fm_spec_test"
+  "fm_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_tools_test.dir/fm_tools_test.cpp.o"
+  "CMakeFiles/fm_tools_test.dir/fm_tools_test.cpp.o.d"
+  "fm_tools_test"
+  "fm_tools_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

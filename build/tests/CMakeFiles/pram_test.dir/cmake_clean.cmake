@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pram_test.dir/pram_test.cpp.o"
+  "CMakeFiles/pram_test.dir/pram_test.cpp.o.d"
+  "pram_test"
+  "pram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_robustness_test.dir/sched_robustness_test.cpp.o"
+  "CMakeFiles/sched_robustness_test.dir/sched_robustness_test.cpp.o.d"
+  "sched_robustness_test"
+  "sched_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workspan_test.dir/workspan_test.cpp.o"
+  "CMakeFiles/workspan_test.dir/workspan_test.cpp.o.d"
+  "workspan_test"
+  "workspan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workspan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
