@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Full pre-merge gate:
+#
+#   1. tier-1 — plain build + the whole ctest suite (ROADMAP.md);
+#   2. ASan/UBSan build running the serve tests (the new concurrent
+#      subsystem is where lifetime bugs would live);
+#   3. TSan build running the serve stress test (many clients, tiny
+#      cache, shutdown racing live submitters).
+#
+# Usage:
+#   scripts/check.sh            # all three stages
+#   scripts/check.sh tier1      # just the plain build + tests
+#   scripts/check.sh asan|tsan  # just that sanitizer stage
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+STAGE="${1:-all}"
+
+run_tier1() {
+  echo "== tier-1: build + full test suite =="
+  cmake -B build -S .
+  cmake --build build -j
+  ctest --test-dir build --output-on-failure -j
+}
+
+run_asan() {
+  echo "== ASan/UBSan: serve tests =="
+  cmake -B build-asan -S . -DHARMONY_ASAN=ON
+  cmake --build build-asan -j --target serve_test serve_stress_test
+  ctest --test-dir build-asan --output-on-failure -R "serve"
+}
+
+run_tsan() {
+  echo "== TSan: serve stress test =="
+  cmake -B build-tsan -S . -DHARMONY_TSAN=ON
+  cmake --build build-tsan -j --target serve_stress_test
+  ctest --test-dir build-tsan --output-on-failure -R "serve_stress"
+}
+
+case "$STAGE" in
+  all)   run_tier1; run_asan; run_tsan ;;
+  tier1) run_tier1 ;;
+  asan)  run_asan ;;
+  tsan)  run_tsan ;;
+  *)     echo "usage: $0 [all|tier1|asan|tsan]" >&2; exit 2 ;;
+esac
+
+echo "check.sh: $STAGE passed"

@@ -81,6 +81,14 @@ SearchResult search_affine(const FunctionSpec& spec,
   SearchResult result;
   double best_merit = std::numeric_limits<double>::infinity();
 
+  // Deterministic enumeration-slot counter: the serve layer resumes a
+  // cut-short search by replaying the same loop nest and skipping the
+  // first `resume_from` slots.
+  std::uint64_t slot = 0;
+  const auto stop_requested = [&opts] {
+    return opts.cancel && opts.cancel();
+  };
+
   const std::vector<std::int64_t> zero{0};
   const auto& tc = opts.space.time_coeffs;
   const auto& sc = opts.space.space_coeffs;
@@ -108,6 +116,12 @@ SearchResult search_affine(const FunctionSpec& spec,
               for (std::int64_t yi : scy) {
                 for (std::int64_t yj : scyj) {
                   for (std::int64_t yk : scyk) {
+                    if (slot++ < opts.resume_from) continue;
+                    if (stop_requested()) {
+                      result.exhausted = false;
+                      result.next_offset = slot - 1;
+                      return result;
+                    }
                     ++result.enumerated;
                     AffineMap map{.ti = ti, .tj = tj, .tk = tk, .t0 = t0,
                                   .xi = xi, .xj = xj, .xk = xk, .x0 = 0,
@@ -206,6 +220,7 @@ SearchResult search_affine(const FunctionSpec& spec,
       }
     }
   }
+  result.next_offset = slot;
   return result;
 }
 

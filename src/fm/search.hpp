@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "fm/cost.hpp"
@@ -48,6 +49,19 @@ struct SearchOptions {
   std::size_t top_k = 5;
   /// Also retain every legal candidate (for pareto_front()).
   bool keep_all_legal = false;
+  /// Cooperative cancellation: polled once per enumerated candidate.
+  /// When it returns true the search stops immediately and the result
+  /// carries the best-so-far frontier with `exhausted == false` — this is
+  /// how a serving deadline (serve/service.hpp) cuts tuning short yet
+  /// still answers with a legal mapping.  Null means run to exhaustion.
+  std::function<bool()> cancel;
+  /// Skip this many enumeration slots before doing any work; pass a
+  /// previous SearchResult::next_offset to resume a cut-short search
+  /// where it stopped.  The enumeration order is deterministic, so
+  /// (resume_from = r).top ∪ (first run).top covers exactly the same
+  /// candidates as one uncut run.  Counters in the result describe only
+  /// the slots processed by this call.
+  std::uint64_t resume_from = 0;
 };
 
 struct Candidate {
@@ -66,6 +80,12 @@ struct SearchResult {
   std::uint64_t legal = 0;
   /// Filled when SearchOptions::keep_all_legal is set.
   std::vector<Candidate> all_legal;
+  /// False when SearchOptions::cancel stopped the search before the whole
+  /// space was covered.
+  bool exhausted = true;
+  /// Enumeration slot at which to resume (== the slot after the last one
+  /// processed); feed back via SearchOptions::resume_from.
+  std::uint64_t next_offset = 0;
 };
 
 /// The (makespan, energy) Pareto-optimal subset of `candidates` — the

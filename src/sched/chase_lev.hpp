@@ -17,6 +17,19 @@
 
 #include "support/error.hpp"
 
+// ThreadSanitizer does not model std::atomic_thread_fence, so the
+// fence-based orderings below produce false data-race reports under TSan.
+// When TSan is active we trade each fence for strictly stronger
+// per-operation seq_cst orderings — slower, but precisely understood by
+// the race detector.
+#if defined(__SANITIZE_THREAD__)
+#define HARMONY_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HARMONY_TSAN_ENABLED 1
+#endif
+#endif
+
 namespace harmony::sched {
 
 template <typename T>
@@ -47,17 +60,26 @@ class ChaseLevDeque {
       a = grow(a, b, t);
     }
     a->put(b, job);
+#ifdef HARMONY_TSAN_ENABLED
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+#else
     std::atomic_thread_fence(std::memory_order_release);
     bottom_.store(b + 1, std::memory_order_relaxed);
+#endif
   }
 
   /// Owner only: pop the most recently pushed job, or nullptr if empty.
   T* pop() {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     RingArray* a = array_.load(std::memory_order_relaxed);
+#ifdef HARMONY_TSAN_ENABLED
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+#else
     bottom_.store(b, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
+#endif
     if (t > b) {
       // Deque was empty; restore.
       bottom_.store(b + 1, std::memory_order_relaxed);
@@ -77,9 +99,14 @@ class ChaseLevDeque {
 
   /// Any thread: steal the oldest job, or nullptr (empty or lost race).
   T* steal() {
+#ifdef HARMONY_TSAN_ENABLED
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+#else
     std::int64_t t = top_.load(std::memory_order_acquire);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
+#endif
     if (t >= b) return nullptr;
     RingArray* a = array_.load(std::memory_order_consume);
     T* job = a->get(t);

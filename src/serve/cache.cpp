@@ -1,0 +1,69 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+
+namespace harmony::serve {
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
+  HARMONY_REQUIRE(capacity > 0, "ResultCache: capacity must be positive");
+  shards = std::clamp<std::size_t>(shards, 1, capacity);
+  per_shard_cap_ = (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const Response> ResultCache::get(const CacheKey& key) {
+  Shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lk(sh.mu);
+  const auto it = sh.index.find(key);
+  if (it == sh.index.end()) {
+    ++sh.misses;
+    return nullptr;
+  }
+  ++sh.hits;
+  sh.lru.splice(sh.lru.begin(), sh.lru, it->second);  // bump to MRU
+  return it->second->second;
+}
+
+void ResultCache::put(const CacheKey& key,
+                      std::shared_ptr<const Response> value) {
+  HARMONY_REQUIRE(value != nullptr, "ResultCache::put: null value");
+  Shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lk(sh.mu);
+  if (const auto it = sh.index.find(key); it != sh.index.end()) {
+    it->second->second = std::move(value);
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    return;
+  }
+  if (sh.lru.size() >= per_shard_cap_) {
+    sh.index.erase(sh.lru.back().first);
+    sh.lru.pop_back();
+    ++sh.evictions;
+  }
+  sh.lru.emplace_front(key, std::move(value));
+  sh.index.emplace(key, sh.lru.begin());
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats total;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    total.hits += sh->hits;
+    total.misses += sh->misses;
+    total.evictions += sh->evictions;
+    total.entries += sh->lru.size();
+  }
+  return total;
+}
+
+void ResultCache::clear() {
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    sh->lru.clear();
+    sh->index.clear();
+  }
+}
+
+}  // namespace harmony::serve

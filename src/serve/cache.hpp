@@ -1,0 +1,83 @@
+// Sharded LRU memoization cache for serving responses.
+//
+// Tuning and cost evaluation are pure queries (request.hpp), so the
+// service memoizes them.  The cache is sharded by the high word of the
+// 128-bit key: each shard is an independent lock + LRU list + index, so
+// concurrent lookups on different shards never contend, and a scan-heavy
+// tenant can evict at most its shards' share of the capacity.
+//
+// Values are shared_ptr<const Response> — hits hand back a reference to
+// the immutable cached object (no copy of a potentially large
+// SearchResult under the shard lock); the service copies only to stamp
+// per-waiter latency.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace harmony::serve {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups ? static_cast<double>(hits) /
+                         static_cast<double>(lookups)
+                   : 0.0;
+  }
+};
+
+class ResultCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across
+  /// `shards` (each shard holds at least one entry).
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
+
+  /// Hit: bumps the entry to most-recently-used and returns it.
+  [[nodiscard]] std::shared_ptr<const Response> get(const CacheKey& key);
+
+  /// Inserts or refreshes; evicts the shard's LRU entry when full.
+  void put(const CacheKey& key, std::shared_ptr<const Response> value);
+
+  /// Aggregated over shards (each counter internally consistent; the
+  /// cross-shard sum is a point-in-time composite).
+  [[nodiscard]] CacheStats stats() const;
+
+  void clear();
+
+  [[nodiscard]] std::size_t capacity() const {
+    return per_shard_cap_ * shards_.size();
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<CacheKey, std::shared_ptr<const Response>>> lru;
+    std::unordered_map<CacheKey, decltype(lru)::iterator, CacheKeyHash>
+        index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(const CacheKey& key) {
+    return *shards_[key.hi % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t per_shard_cap_;
+};
+
+}  // namespace harmony::serve

@@ -1,0 +1,119 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace harmony::serve {
+
+void LatencyHistogram::record(std::chrono::nanoseconds latency) {
+  const auto ns = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, latency.count()));
+  const std::size_t bucket =
+      std::min<std::size_t>(kBuckets - 1, std::bit_width(ns));  // 0 ns -> 0
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double LatencyHistogram::percentile_us(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  std::array<std::uint64_t, kBuckets> snap{};
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    snap[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += snap[b];
+  }
+  if (total == 0) return 0.0;
+  // Rank of the q-th order statistic, 1-based, ceil'd like
+  // nearest-rank percentiles.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += snap[b];
+    if (seen >= rank) {
+      const std::uint64_t upper_ns = b == 0 ? 1 : (1ULL << b);
+      return static_cast<double>(upper_ns) / 1000.0;
+    }
+  }
+  return static_cast<double>(1ULL << (kBuckets - 1)) / 1000.0;
+}
+
+void Metrics::on_complete(std::chrono::nanoseconds latency,
+                          bool deadline_cut, bool error) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (deadline_cut) {
+    deadline_cut_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (error) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  latency_.record(latency);
+}
+
+void Metrics::on_batch(std::size_t size) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(size, std::memory_order_relaxed);
+}
+
+MetricsSnapshot Metrics::snapshot(std::uint64_t queue_depth,
+                                  const CacheStats& cache) const {
+  MetricsSnapshot s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.deadline_cut = deadline_cut_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  const std::uint64_t batched =
+      batched_requests_.load(std::memory_order_relaxed);
+  s.mean_batch = s.batches ? static_cast<double>(batched) /
+                                 static_cast<double>(s.batches)
+                           : 0.0;
+  s.queue_depth = queue_depth;
+  s.cache = cache;
+  s.p50_us = latency_.percentile_us(0.50);
+  s.p95_us = latency_.percentile_us(0.95);
+  s.p99_us = latency_.percentile_us(0.99);
+  return s;
+}
+
+Table metrics_table(const MetricsSnapshot& snap) {
+  Table t({"metric", "value"});
+  t.title("harmony::serve metrics");
+  const auto u = [](std::uint64_t v) {
+    return static_cast<std::int64_t>(v);
+  };
+  t.add_row({"submitted", u(snap.submitted)});
+  t.add_row({"completed", u(snap.completed)});
+  t.add_row({"rejected", u(snap.rejected)});
+  t.add_row({"errors", u(snap.errors)});
+  t.add_row({"deadline_cut", u(snap.deadline_cut)});
+  t.add_row({"batches", u(snap.batches)});
+  t.add_row({"mean_batch", snap.mean_batch});
+  t.add_row({"queue_depth", u(snap.queue_depth)});
+  t.add_row({"cache_hits", u(snap.cache.hits)});
+  t.add_row({"cache_misses", u(snap.cache.misses)});
+  t.add_row({"cache_evictions", u(snap.cache.evictions)});
+  t.add_row({"cache_entries", u(snap.cache.entries)});
+  t.add_row({"cache_hit_rate", snap.cache.hit_rate()});
+  t.add_row({"p50_us", snap.p50_us});
+  t.add_row({"p95_us", snap.p95_us});
+  t.add_row({"p99_us", snap.p99_us});
+  return t;
+}
+
+std::string metrics_json(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  metrics_table(snap).print_json(os);
+  return os.str();
+}
+
+}  // namespace harmony::serve

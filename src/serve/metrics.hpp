@@ -1,0 +1,88 @@
+// Serving metrics: latency histograms, queue depth, cache hit rate.
+//
+// Counters are lock-free atomics updated on the request path; snapshots
+// are assembled on demand and exported through support::Table, which
+// renders the same data as an aligned ASCII table (human), CSV
+// (HARMONY_CSV pipeline), or JSON (print_json — the machine-readable
+// endpoint a fronting process would scrape).
+//
+// The histogram uses power-of-two nanosecond buckets: record() is one
+// bit_width + one relaxed fetch_add, and a percentile read costs at most
+// one bucket-width of relative error — the right trade for a hot path
+// that must never serialize workers behind a stats lock.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "serve/cache.hpp"
+#include "support/table.hpp"
+
+namespace harmony::serve {
+
+class LatencyHistogram {
+ public:
+  void record(std::chrono::nanoseconds latency);
+
+  [[nodiscard]] std::uint64_t count() const;
+
+  /// q-th percentile (q in [0,1]) in microseconds, resolved to the upper
+  /// bound of the containing power-of-two bucket; 0 when empty.
+  [[nodiscard]] double percentile_us(double q) const;
+
+ private:
+  // Bucket b holds latencies with bit_width(ns) == b: [2^(b-1), 2^b).
+  // 64 buckets cover every representable nanoseconds value.
+  static constexpr std::size_t kBuckets = 64;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Point-in-time view of the service counters, ready for export.
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< includes cache hits, excludes rejects
+  std::uint64_t rejected = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t deadline_cut = 0;
+  std::uint64_t batches = 0;
+  double mean_batch = 0.0;
+  std::uint64_t queue_depth = 0;
+  CacheStats cache;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+class Metrics {
+ public:
+  void on_submit() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_reject() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void on_complete(std::chrono::nanoseconds latency, bool deadline_cut,
+                   bool error);
+  void on_batch(std::size_t size);
+
+  [[nodiscard]] MetricsSnapshot snapshot(std::uint64_t queue_depth,
+                                         const CacheStats& cache) const;
+
+ private:
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> deadline_cut_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  LatencyHistogram latency_;
+};
+
+/// One row per metric ("metric", "value") — print() for humans,
+/// print_json() for machines.
+[[nodiscard]] Table metrics_table(const MetricsSnapshot& snap);
+
+/// The table above rendered as a JSON string.
+[[nodiscard]] std::string metrics_json(const MetricsSnapshot& snap);
+
+}  // namespace harmony::serve

@@ -1,0 +1,116 @@
+// Bounded MPMC admission queue with backpressure.
+//
+// The serving layer's first line of defense: when producers outrun the
+// worker pool, try_push fails fast (the service turns that into a
+// kRejected response with a retry-after hint) instead of letting the
+// queue — and every queued request's latency — grow without bound.
+// Consumers drain in batches so the dispatcher can dedup identical
+// requests and amortize scheduler-session overhead across a whole batch.
+//
+// Plain mutex + condition variable on purpose: admission is not the hot
+// path (cache hits never reach the queue), and the lock makes the
+// close/drain protocol — close() wakes every popper, pop_batch returns
+// false only when closed *and* empty — easy to get right under TSan.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace harmony::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : cap_(capacity) {
+    HARMONY_REQUIRE(capacity > 0, "BoundedQueue: capacity must be positive");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking admit; false when full or closed (backpressure).
+  [[nodiscard]] bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || items_.size() >= cap_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking single pop; false when the queue is closed and drained.
+  [[nodiscard]] bool pop(T& out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Blocks for at least one item, then takes up to `max_items`,
+  /// lingering up to `linger` for stragglers to batch with (a single
+  /// wait round — enough to form batches under load without adding
+  /// `linger` of latency when traffic is sparse).  Appends to `out`;
+  /// returns false only when closed and drained.
+  [[nodiscard]] bool pop_batch(std::vector<T>& out, std::size_t max_items,
+                               std::chrono::microseconds linger) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    take(out, max_items);
+    if (out.size() < max_items && !closed_ &&
+        linger > std::chrono::microseconds::zero()) {
+      not_empty_.wait_for(lk, linger,
+                          [this] { return closed_ || !items_.empty(); });
+      take(out, max_items);
+    }
+    return true;
+  }
+
+  /// Wakes all blocked poppers; subsequent pushes fail.  Items already
+  /// admitted stay poppable (graceful drain).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+ private:
+  void take(std::vector<T>& out, std::size_t max_items) {
+    while (!items_.empty() && out.size() < max_items) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const std::size_t cap_;
+  bool closed_ = false;
+};
+
+}  // namespace harmony::serve

@@ -1,0 +1,196 @@
+#include "serve/request.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace harmony::serve {
+
+const char* to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kCostEval: return "cost_eval";
+    case RequestKind::kLegality: return "legality";
+    case RequestKind::kTune: return "tune";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Two SplitMix64-finalized accumulators fed in lockstep with different
+/// injection functions; order-sensitive, so field order is part of the
+/// canonical form (never reorder mixes without bumping kKeySchema).
+class Fingerprint {
+ public:
+  void mix(std::uint64_t v) {
+    a_ = finalize(a_ ^ v);
+    b_ = finalize(b_ + v + 0x9e3779b97f4a7c15ULL);
+  }
+  void mix(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(int v) { mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  void mix(bool v) { mix(static_cast<std::uint64_t>(v ? 1 : 2)); }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix(const std::string& s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    std::uint64_t word = 0;
+    int n = 0;
+    for (unsigned char ch : s) {
+      word = (word << 8) | ch;
+      if (++n == 8) {
+        mix(word);
+        word = 0;
+        n = 0;
+      }
+    }
+    if (n) mix(word);
+  }
+
+  [[nodiscard]] CacheKey key() const { return CacheKey{a_, b_}; }
+
+ private:
+  static std::uint64_t finalize(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t a_ = 0x243f6a8885a308d3ULL;  // pi, nothing up the sleeve
+  std::uint64_t b_ = 0x13198a2e03707344ULL;
+};
+
+// Bump when the mix order or field set below changes, so stale
+// serialized keys (if anyone persists them) can never alias.
+constexpr std::uint64_t kKeySchema = 1;
+
+void mix_point(Fingerprint& fp, const fm::Point& p) {
+  fp.mix(p.i);
+  fp.mix(p.j);
+  fp.mix(p.k);
+}
+
+/// Deterministic sample of `n` points: the same stride walk the
+/// autotuner's causality pre-check uses, plus the last point.
+std::vector<fm::Point> sample_points(const fm::IndexDomain& dom,
+                                     std::size_t n) {
+  std::vector<fm::Point> pts;
+  const std::int64_t size = dom.size();
+  const std::int64_t stride = std::max<std::int64_t>(
+      1, size / static_cast<std::int64_t>(std::max<std::size_t>(1, n)));
+  for (std::int64_t lin = 0; lin < size; lin += stride) {
+    pts.push_back(dom.delinearize(lin));
+  }
+  pts.push_back(dom.delinearize(size - 1));
+  return pts;
+}
+
+void mix_spec(Fingerprint& fp, const fm::FunctionSpec& spec,
+              std::size_t samples) {
+  fp.mix(static_cast<std::uint64_t>(spec.num_tensors()));
+  for (fm::TensorId t = 0; t < spec.num_tensors(); ++t) {
+    fp.mix(spec.name(t));
+    const fm::IndexDomain& dom = spec.domain(t);
+    fp.mix(dom.rank());
+    for (int d = 0; d < 3; ++d) fp.mix(dom.extent(d));
+    fp.mix(spec.is_input(t));
+    fp.mix(spec.is_output(t));
+    fp.mix(static_cast<std::uint64_t>(spec.bits(t)));
+    fp.mix(spec.cost(t).ops);
+    fp.mix(static_cast<std::uint64_t>(spec.cost(t).bits));
+    if (spec.is_input(t)) continue;
+    // Sampled dependence edges: the dep function is a black box, so the
+    // relation itself is what gets fingerprinted.
+    for (const fm::Point& p : sample_points(dom, samples)) {
+      mix_point(fp, p);
+      const auto deps = spec.deps(t, p);
+      fp.mix(static_cast<std::uint64_t>(deps.size()));
+      for (const fm::ValueRef& d : deps) {
+        fp.mix(static_cast<std::uint64_t>(d.tensor));
+        mix_point(fp, d.point);
+      }
+    }
+  }
+}
+
+void mix_machine(Fingerprint& fp, const fm::MachineConfig& m) {
+  fp.mix(m.geom.cols());
+  fp.mix(m.geom.rows());
+  fp.mix(m.geom.pitch().millimetres());
+  fp.mix(static_cast<std::uint64_t>(m.geom.topology()));
+  const noc::TechnologyModel& t = m.geom.tech();
+  fp.mix(t.add_energy_per_bit_fj);
+  fp.mix(t.add_delay.picoseconds());
+  fp.mix(t.wire_energy_per_bit_mm_fj);
+  fp.mix(t.wire_delay_per_mm.picoseconds());
+  fp.mix(t.sram_cell_energy_per_bit_fj);
+  fp.mix(t.sram_cell_delay.picoseconds());
+  fp.mix(t.offchip_multiplier);
+  fp.mix(t.offchip_latency.picoseconds());
+  fp.mix(t.instruction_overhead_factor);
+  fp.mix(t.die.mm2());
+  fp.mix(m.cycle.picoseconds());
+  fp.mix(m.pe_capacity_values);
+  fp.mix(m.link_bits_per_cycle);
+  fp.mix(m.local_access_pitch_fraction);
+}
+
+void mix_affine(Fingerprint& fp, const fm::AffineMap& a) {
+  fp.mix(a.ti); fp.mix(a.tj); fp.mix(a.tk); fp.mix(a.t0);
+  fp.mix(a.xi); fp.mix(a.xj); fp.mix(a.xk); fp.mix(a.x0);
+  fp.mix(a.yi); fp.mix(a.yj); fp.mix(a.yk); fp.mix(a.y0);
+  fp.mix(a.cols); fp.mix(a.rows);
+}
+
+void mix_verify(Fingerprint& fp, const fm::VerifyOptions& v) {
+  fp.mix(v.check_storage);
+  fp.mix(v.check_bandwidth);
+}
+
+void mix_search(Fingerprint& fp, const fm::SearchOptions& s) {
+  // Everything that shapes the candidate set and ranking; cancel and
+  // resume_from deliberately excluded (they shape *coverage of one call*,
+  // not the converged answer, and only exhausted results are cached).
+  fp.mix(static_cast<std::uint64_t>(s.space.time_coeffs.size()));
+  for (std::int64_t c : s.space.time_coeffs) fp.mix(c);
+  fp.mix(static_cast<std::uint64_t>(s.space.space_coeffs.size()));
+  for (std::int64_t c : s.space.space_coeffs) fp.mix(c);
+  fp.mix(s.space.search_y);
+  fp.mix(static_cast<std::uint64_t>(s.fom));
+  mix_verify(fp, s.verify);
+  fp.mix(static_cast<std::uint64_t>(s.quick_sample));
+  fp.mix(s.makespan_slack);
+  fp.mix(static_cast<std::uint64_t>(s.top_k));
+  fp.mix(s.keep_all_legal);
+}
+
+}  // namespace
+
+bool cacheable(const Request& req) { return req.spec != nullptr; }
+
+CacheKey make_cache_key(const Request& req, std::size_t sample_points_n) {
+  HARMONY_REQUIRE(req.spec != nullptr, "make_cache_key: null spec");
+  Fingerprint fp;
+  fp.mix(kKeySchema);
+  fp.mix(static_cast<std::uint64_t>(req.kind));
+  mix_spec(fp, *req.spec, sample_points_n);
+  mix_machine(fp, req.machine);
+  fp.mix(static_cast<std::uint64_t>(req.fom));
+  fp.mix(static_cast<std::uint64_t>(req.inputs.size()));
+  for (const InputPlacement& in : req.inputs) {
+    fp.mix(static_cast<std::uint64_t>(in.kind));
+    fp.mix(in.pe.x);
+    fp.mix(in.pe.y);
+  }
+  switch (req.kind) {
+    case RequestKind::kCostEval:
+      mix_affine(fp, req.map);
+      break;
+    case RequestKind::kLegality:
+      mix_affine(fp, req.map);
+      mix_verify(fp, req.verify);
+      break;
+    case RequestKind::kTune:
+      mix_search(fp, req.search);
+      break;
+  }
+  return fp.key();
+}
+
+}  // namespace harmony::serve

@@ -1,0 +1,142 @@
+// harmony::serve request/response vocabulary and canonical cache keys.
+//
+// Dally's §3 framing makes (function, mapping) cost a *pure* query: the
+// analytic evaluator prices a pair without executing it, and the answer
+// depends only on the spec, the mapping, the machine, and the figure of
+// merit.  Pure queries are memoizable, so the serving layer fronts the
+// expensive oracles (fm/cost.hpp, fm/legality.hpp, fm/search.hpp) with a
+// typed request/response interface plus a 128-bit canonical cache key.
+//
+// The key is a *fingerprint*, not a proof of semantic equality: spec
+// structure (domains, bit widths, op costs) is hashed exactly, and the
+// dependence relation — a black-box std::function — is hashed by
+// enumerating deps at a deterministic sample of domain points (the same
+// trick the autotuner's causality pre-check uses).  Two specs that agree
+// on every sampled edge but differ elsewhere would collide; callers that
+// synthesize adversarial spec families can raise `sample_points` up to
+// the domain size for an exact edge hash.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fm/cost.hpp"
+#include "fm/legality.hpp"
+#include "fm/machine.hpp"
+#include "fm/mapping.hpp"
+#include "fm/search.hpp"
+#include "fm/spec.hpp"
+#include "noc/mesh.hpp"
+
+namespace harmony::serve {
+
+enum class RequestKind : std::uint8_t {
+  kCostEval,  ///< price one (spec, AffineMap) pair: fm::evaluate_cost
+  kLegality,  ///< check one (spec, AffineMap) pair: fm::verify
+  kTune,      ///< autotune the mapping: fm::search_affine
+};
+
+[[nodiscard]] const char* to_string(RequestKind kind);
+
+/// Hashable subset of fm::InputHome (kDistributed carries an arbitrary
+/// closure and cannot be fingerprinted, so the service does not accept it).
+struct InputPlacement {
+  enum class Kind : std::uint8_t { kDram, kPe } kind = Kind::kDram;
+  noc::Coord pe{};
+
+  [[nodiscard]] static InputPlacement dram() { return {}; }
+  [[nodiscard]] static InputPlacement at(noc::Coord c) {
+    return InputPlacement{Kind::kPe, c};
+  }
+  [[nodiscard]] fm::InputHome to_home() const {
+    return kind == Kind::kDram ? fm::InputHome::dram()
+                               : fm::InputHome::at(pe);
+  }
+};
+
+struct Request {
+  RequestKind kind = RequestKind::kCostEval;
+  /// The function under query; shared so in-flight work keeps it alive
+  /// after the submitting thread moves on.  Must have exactly one
+  /// computed tensor (the AffineMap family maps a single tensor).
+  std::shared_ptr<const fm::FunctionSpec> spec;
+  /// Target machine; defaults to a 1x1 grid (callers always set this).
+  fm::MachineConfig machine = fm::make_machine(1, 1);
+  fm::FigureOfMerit fom = fm::FigureOfMerit::kEnergyDelay;
+  /// Input-tensor homes in spec->input_tensors() order; missing trailing
+  /// entries default to DRAM.
+  std::vector<InputPlacement> inputs;
+  /// kCostEval / kLegality: the candidate map on the computed tensor.
+  fm::AffineMap map;
+  /// kLegality: verifier options.
+  fm::VerifyOptions verify;
+  /// kTune: search options.  `search.cancel` is chained with the
+  /// service's deadline check; it and `search.resume_from` are excluded
+  /// from the cache key.
+  fm::SearchOptions search;
+  /// Per-request completion deadline; zero means "use the service
+  /// default" (which may itself be none).  A tune that reaches its
+  /// deadline answers with the autotuner's best-so-far frontier
+  /// (Response::deadline_cut) instead of failing.
+  std::chrono::nanoseconds deadline{0};
+};
+
+enum class Status : std::uint8_t {
+  kOk,        ///< executed (possibly deadline-cut for tunes)
+  kRejected,  ///< admission queue full or service shutting down; see
+              ///< Response::retry_after
+  kError,     ///< the oracle threw; see Response::error
+};
+
+struct Response {
+  Status status = Status::kOk;
+  RequestKind kind = RequestKind::kCostEval;
+  bool cache_hit = false;
+  /// Tune only: the deadline fired before the search space was exhausted;
+  /// `search.best` is the best legal mapping found so far.
+  bool deadline_cut = false;
+  fm::CostReport cost;          ///< kCostEval; also the best tune cost
+  fm::LegalityReport legality;  ///< kLegality
+  fm::SearchResult search;      ///< kTune
+  std::string error;            ///< kError
+  /// Submit-to-response time as observed by this waiter.
+  std::chrono::nanoseconds latency{0};
+  /// kRejected: suggested client backoff before retrying.
+  std::chrono::nanoseconds retry_after{0};
+
+  [[nodiscard]] bool ok() const { return status == Status::kOk; }
+};
+
+/// 128-bit cache key (two independently mixed 64-bit streams; the pair
+/// makes accidental collision odds negligible at serving cache sizes).
+struct CacheKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHash {
+  [[nodiscard]] std::size_t operator()(const CacheKey& k) const noexcept {
+    return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// True for requests whose responses are pure functions of the key and
+/// therefore memoizable.  All three kinds qualify; a deadline-cut tune
+/// result is nevertheless *stored* only when the search ran to
+/// exhaustion (service.cpp), so a short deadline can never poison the
+/// cache for a later, more patient caller.
+[[nodiscard]] bool cacheable(const Request& req);
+
+/// Canonical key over (kind, spec structure, sampled dependence edges,
+/// input placements, machine config, FoM, and the kind-specific payload:
+/// AffineMap coefficients, verify options, or search-space knobs).
+/// Stable across processes and runs — no pointer values, no iteration
+/// order dependence.
+[[nodiscard]] CacheKey make_cache_key(const Request& req,
+                                      std::size_t sample_points = 32);
+
+}  // namespace harmony::serve

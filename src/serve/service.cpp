@@ -1,0 +1,255 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <unordered_map>
+#include <utility>
+
+#include "sched/parallel_ops.hpp"
+
+namespace harmony::serve {
+
+namespace {
+
+/// Builds the full Mapping a request describes: the AffineMap on the
+/// single computed tensor plus the declared input homes (DRAM default).
+fm::Mapping materialize_mapping(const Request& req,
+                                const fm::AffineMap& map) {
+  const auto computed = req.spec->computed_tensors();
+  HARMONY_REQUIRE(computed.size() == 1,
+                  "serve: spec must have exactly one computed tensor");
+  fm::Mapping m;
+  m.set_computed(computed[0], map.place_fn(), map.time_fn());
+  const auto inputs = req.spec->input_tensors();
+  for (std::size_t idx = 0; idx < inputs.size(); ++idx) {
+    const InputPlacement placement =
+        idx < req.inputs.size() ? req.inputs[idx] : InputPlacement::dram();
+    m.set_input(inputs[idx], placement.to_home());
+  }
+  return m;
+}
+
+/// Input-home prototype for the autotuner (computed assignment unused).
+fm::Mapping input_proto(const Request& req) {
+  fm::Mapping m;
+  const auto inputs = req.spec->input_tensors();
+  for (std::size_t idx = 0; idx < inputs.size(); ++idx) {
+    const InputPlacement placement =
+        idx < req.inputs.size() ? req.inputs[idx] : InputPlacement::dram();
+    m.set_input(inputs[idx], placement.to_home());
+  }
+  return m;
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig cfg)
+    : cfg_(cfg),
+      cache_(std::max<std::size_t>(1, cfg.cache_capacity),
+             std::max<std::size_t>(1, cfg.cache_shards)),
+      queue_(std::max<std::size_t>(1, cfg.queue_capacity)),
+      scheduler_(std::max(1u, cfg.num_workers)) {
+  cfg_.num_workers = std::max(1u, cfg_.num_workers);
+  cfg_.max_batch = std::max<std::size_t>(1, cfg_.max_batch);
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+Service::~Service() { shutdown(); }
+
+void Service::shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  queue_.close();  // idempotent; wakes the dispatcher to drain
+  std::lock_guard<std::mutex> lk(shutdown_mu_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::future<Response> Service::submit(Request req) {
+  metrics_.on_submit();
+  const Clock::time_point now = Clock::now();
+  std::promise<Response> ready;
+  std::future<Response> fut = ready.get_future();
+
+  if (req.spec == nullptr) {
+    Response r;
+    r.status = Status::kError;
+    r.kind = req.kind;
+    r.error = "submit: null spec";
+    metrics_.on_complete(Clock::now() - now, false, true);
+    ready.set_value(std::move(r));
+    return fut;
+  }
+
+  auto p = std::make_unique<Pending>();
+  p->req = std::move(req);
+  p->enqueued = now;
+  p->use_cache = cacheable(p->req);
+  if (p->use_cache) {
+    p->key = make_cache_key(p->req, cfg_.key_sample_points);
+    // Fast path: answer memoized queries on the caller's thread, never
+    // touching the admission queue.
+    if (auto hit = cache_.get(p->key)) {
+      Response r = *hit;
+      r.cache_hit = true;
+      r.latency = Clock::now() - now;
+      metrics_.on_complete(r.latency, false, false);
+      ready.set_value(std::move(r));
+      return fut;
+    }
+  }
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    Response r;
+    r.status = Status::kRejected;
+    r.kind = p->req.kind;
+    r.error = "service shutting down";
+    r.retry_after = cfg_.retry_after;
+    metrics_.on_reject();
+    ready.set_value(std::move(r));
+    return fut;
+  }
+
+  const std::chrono::nanoseconds budget =
+      p->req.deadline.count() > 0 ? p->req.deadline : cfg_.default_deadline;
+  if (budget.count() > 0) {
+    p->has_deadline = true;
+    p->deadline = now + budget;
+  }
+
+  // Hand the caller the *real* promise's future before enqueueing.
+  fut = p->promise.get_future();
+  const RequestKind kind = p->req.kind;
+  if (!queue_.try_push(std::move(p))) {
+    Response r;
+    r.status = Status::kRejected;
+    r.kind = kind;
+    r.error = "admission queue full";
+    r.retry_after = cfg_.retry_after;
+    metrics_.on_reject();
+    std::promise<Response> rejected;
+    fut = rejected.get_future();
+    rejected.set_value(std::move(r));
+  }
+  return fut;
+}
+
+Response Service::call(Request req) { return submit(std::move(req)).get(); }
+
+MetricsSnapshot Service::metrics() const {
+  return metrics_.snapshot(queue_.size(), cache_.stats());
+}
+
+void Service::dispatch_loop() {
+  std::vector<std::unique_ptr<Pending>> batch;
+  while (true) {
+    batch.clear();
+    if (!queue_.pop_batch(batch, cfg_.max_batch, cfg_.batch_linger)) {
+      return;  // closed and drained
+    }
+    metrics_.on_batch(batch.size());
+
+    // Group duplicates: requests with equal cache keys execute once and
+    // share the answer.  Deadline-carrying tunes stay singleton groups —
+    // two waiters with different budgets deserve different frontiers.
+    std::vector<std::vector<std::unique_ptr<Pending>>> groups;
+    std::unordered_map<CacheKey, std::size_t, CacheKeyHash> by_key;
+    for (auto& p : batch) {
+      const bool dedupable =
+          p->use_cache &&
+          !(p->req.kind == RequestKind::kTune && p->has_deadline);
+      if (dedupable) {
+        if (const auto it = by_key.find(p->key); it != by_key.end()) {
+          groups[it->second].push_back(std::move(p));
+          continue;
+        }
+        by_key.emplace(p->key, groups.size());
+      }
+      groups.emplace_back();
+      groups.back().push_back(std::move(p));
+    }
+
+    scheduler_.run([&] {
+      sched::RealCtx ctx;
+      sched::parallel_for(ctx, 0, groups.size(), 1,
+                          [&](std::size_t g) { run_group(groups[g]); });
+    });
+  }
+}
+
+void Service::run_group(std::vector<std::unique_ptr<Pending>>& group) {
+  Pending& leader = *group.front();
+
+  // A sibling batch may have filled the cache since admission.
+  std::shared_ptr<const Response> cached;
+  if (leader.use_cache) cached = cache_.get(leader.key);
+
+  Response computed;
+  if (cached == nullptr) {
+    computed = execute(leader);
+    const bool store = leader.use_cache && computed.ok() &&
+                       (leader.req.kind != RequestKind::kTune ||
+                        computed.search.exhausted);
+    if (store) {
+      cache_.put(leader.key, std::make_shared<Response>(computed));
+    }
+  }
+
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    Response r = cached ? *cached : computed;
+    // Followers coalesced onto the leader count as hits: they were
+    // answered by sharing, not by running the oracle.
+    r.cache_hit = cached != nullptr || i > 0;
+    respond(*group[i], std::move(r));
+  }
+}
+
+Response Service::execute(const Pending& p) const {
+  const Request& req = p.req;
+  Response r;
+  r.kind = req.kind;
+  try {
+    switch (req.kind) {
+      case RequestKind::kCostEval: {
+        const fm::Mapping m = materialize_mapping(req, req.map);
+        r.cost = fm::evaluate_cost(*req.spec, m, req.machine);
+        break;
+      }
+      case RequestKind::kLegality: {
+        const fm::Mapping m = materialize_mapping(req, req.map);
+        r.legality = fm::verify(*req.spec, m, req.machine, req.verify);
+        break;
+      }
+      case RequestKind::kTune: {
+        fm::SearchOptions opts = req.search;
+        opts.fom = req.fom;
+        if (p.has_deadline) {
+          // Stop early enough that delivering the response beats the
+          // deadline; chain any caller-supplied cancel hook.
+          const Clock::time_point cutoff = p.deadline - cfg_.deadline_margin;
+          opts.cancel = [cutoff, user = req.search.cancel] {
+            return Clock::now() >= cutoff || (user && user());
+          };
+        }
+        r.search =
+            fm::search_affine(*req.spec, req.machine, input_proto(req), opts);
+        r.deadline_cut = p.has_deadline && !r.search.exhausted;
+        if (r.search.found) r.cost = r.search.best.cost;
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    r = Response{};
+    r.kind = req.kind;
+    r.status = Status::kError;
+    r.error = e.what();
+  }
+  return r;
+}
+
+void Service::respond(Pending& p, Response r) {
+  r.latency = Clock::now() - p.enqueued;
+  metrics_.on_complete(r.latency, r.deadline_cut,
+                       r.status == Status::kError);
+  p.promise.set_value(std::move(r));
+}
+
+}  // namespace harmony::serve

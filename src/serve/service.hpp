@@ -1,0 +1,121 @@
+// harmony::serve — concurrent mapping-tuning service (server core).
+//
+// Wraps the F&M oracles (cost evaluation, legality checking, mapping
+// autotuning) behind an embeddable request/response service:
+//
+//   submit() ── cache hit ──────────────────────────▶ ready future
+//        │
+//        └─ miss ─▶ BoundedQueue (backpressure: full ⇒ kRejected +
+//                   retry_after) ─▶ dispatcher thread drains a batch,
+//                   dedups identical cache keys, and fans the batch out
+//                   across a sched::Scheduler worker pool ─▶ promises
+//                   fulfilled, exhausted results memoized.
+//
+// Deadlines: every request may carry one.  A tune that reaches its
+// deadline is not failed — the autotuner's cancel hook (fm/search.hpp)
+// stops the enumeration and the response carries the best legal mapping
+// found so far (deadline_cut = true).  This is Dally's serial↔parallel
+// mapping range operationally: the frontier always holds *some* legal
+// point (the serial end is found almost immediately), and more budget
+// buys a better one.
+//
+// Shutdown is graceful: new submits are rejected, everything already
+// admitted is drained and answered, then workers stop.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+
+namespace harmony::serve {
+
+struct ServiceConfig {
+  /// Scheduler worker pool size (the dispatcher doubles as worker 0
+  /// while a batch is running).
+  unsigned num_workers = 4;
+  std::size_t queue_capacity = 1024;
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 8;
+  /// Requests drained per dispatch round; duplicates within a batch
+  /// execute once.
+  std::size_t max_batch = 32;
+  /// How long the dispatcher lingers for stragglers when a drained
+  /// batch is not yet full.
+  std::chrono::microseconds batch_linger{50};
+  /// Applied when Request::deadline is zero; zero here means no
+  /// deadline at all.
+  std::chrono::nanoseconds default_deadline{0};
+  /// Backoff hint attached to kRejected responses.
+  std::chrono::nanoseconds retry_after{std::chrono::milliseconds(1)};
+  /// A deadline-cut tune stops searching this far *before* the deadline
+  /// so the response is delivered strictly before it.
+  std::chrono::nanoseconds deadline_margin{std::chrono::microseconds(200)};
+  /// Dependence-edge sample size for cache keys (request.hpp).
+  std::size_t key_sample_points = 32;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig cfg = {});
+  ~Service();  // shutdown()
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Admits a request.  The future is ready immediately on a cache hit
+  /// or rejection; otherwise it completes when a worker answers.  Never
+  /// throws on bad requests — oracle preconditions surface as kError
+  /// responses.
+  [[nodiscard]] std::future<Response> submit(Request req);
+
+  /// submit() + wait.
+  [[nodiscard]] Response call(Request req);
+
+  /// Rejects new work, drains everything admitted, joins the
+  /// dispatcher.  Idempotent; called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] MetricsSnapshot metrics() const;
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    Request req;
+    CacheKey key;
+    bool use_cache = false;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;  ///< meaningful when has_deadline
+    bool has_deadline = false;
+    std::promise<Response> promise;
+  };
+
+  void dispatch_loop();
+  void run_group(std::vector<std::unique_ptr<Pending>>& group);
+  [[nodiscard]] Response execute(const Pending& p) const;
+  void respond(Pending& p, Response r);
+
+  ServiceConfig cfg_;
+  ResultCache cache_;
+  BoundedQueue<std::unique_ptr<Pending>> queue_;
+  sched::Scheduler scheduler_;
+  Metrics metrics_;
+  std::atomic<bool> stopping_{false};
+  std::mutex shutdown_mu_;  ///< serializes dispatcher join
+  std::thread dispatcher_;
+};
+
+}  // namespace harmony::serve

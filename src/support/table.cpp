@@ -118,4 +118,52 @@ void Table::print_csv(std::ostream& os) const {
   }
 }
 
+void Table::print_json(std::ostream& os) const {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char ch : s) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+            out += buf;
+          } else {
+            out += ch;
+          }
+      }
+    }
+    return out;
+  };
+  auto value = [&](const Cell& c) -> std::string {
+    if (const auto* s = std::get_if<std::string>(&c)) {
+      return '"' + escape(*s) + '"';
+    }
+    if (const auto* i = std::get_if<std::int64_t>(&c)) {
+      return std::to_string(*i);
+    }
+    const double d = std::get<double>(c);
+    if (!std::isfinite(d)) return "null";  // JSON has no inf/nan
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g", d);
+    return buf;
+  };
+  os << '[';
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r ? ",\n " : "\n ") << '{';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ", ";
+      os << '"' << escape(headers_[c]) << "\": " << value(rows_[r][c]);
+    }
+    os << '}';
+  }
+  os << (rows_.empty() ? "]" : "\n]");
+}
+
 }  // namespace harmony

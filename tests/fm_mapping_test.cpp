@@ -2,6 +2,9 @@
 // executing grid machine (src/fm: mapping, legality, cost, machine).
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 #include "algos/editdist.hpp"
 #include "algos/matmul.hpp"
 #include "algos/specs.hpp"
@@ -306,6 +309,86 @@ TEST_P(FoldedWavefront, VerifiesExecutesAndSlowsByTheFoldFactor) {
 
 INSTANTIATE_TEST_SUITE_P(Folds, FoldedWavefront, ::testing::Values(1, 2, 3,
                                                                    4, 7));
+
+TEST(Mapping, AffineMapWrapsNegativeOffsetsAndYAxis) {
+  // Negative coefficients and offsets on both grid axes: wrap() must
+  // return a canonical non-negative representative however far negative
+  // the raw affine form goes.
+  AffineMap m{.xi = -3, .x0 = -7, .yj = -2, .y0 = -1, .cols = 5, .rows = 4};
+  EXPECT_EQ(m.place(Point{0, 0}).x, 3);   // -7 mod 5
+  EXPECT_EQ(m.place(Point{4, 0}).x, 1);   // -19 mod 5
+  EXPECT_EQ(m.place(Point{10, 0}).x, 3);  // -37 mod 5
+  EXPECT_EQ(m.place(Point{0, 0}).y, 3);   // -1 mod 4
+  EXPECT_EQ(m.place(Point{0, 2}).y, 3);   // -5 mod 4
+  EXPECT_EQ(m.place(Point{0, 7}).y, 1);   // -15 mod 4
+  // Exact multiples of the modulus land on 0, not on cols/rows.
+  AffineMap exact{.xi = -1, .yi = -1, .cols = 4, .rows = 2};
+  EXPECT_EQ(exact.place(Point{8, 0}).x, 0);
+  EXPECT_EQ(exact.place(Point{8, 0}).y, 0);
+}
+
+TEST(Mapping, FoldColumnsNonDivisibleTakesCeilFactor) {
+  // 7 logical columns on 3 physical PEs: the fold factor must be
+  // ceil(7/3) = 3, and the up-to-3 logical PEs folded onto one physical
+  // PE must land in disjoint phases of the stretched cycle.
+  const PlaceFn place = [](const Point& p) {
+    return noc::Coord{static_cast<int>(p.i), 0};
+  };
+  const TimeFn time = [](const Point&) { return Cycle{5}; };
+  const FoldedMap folded = fold_columns(place, time, 7, 3);
+  EXPECT_EQ(folded.fold_factor, 3);
+  // All 7 logical columns were co-scheduled at cycle 5; after folding,
+  // each (physical PE, cycle) pair is used at most once.
+  std::set<std::pair<int, Cycle>> slots;
+  for (std::int64_t i = 0; i < 7; ++i) {
+    const noc::Coord c = folded.place(Point{i, 0});
+    EXPECT_LT(c.x, 3);
+    const Cycle t = folded.time(Point{i, 0});
+    EXPECT_GE(t, 15);  // 5 * fold_factor
+    EXPECT_LE(t, 17);  // + at most (factor - 1) phases
+    EXPECT_TRUE(slots.emplace(c.x, t).second)
+        << "logical column " << i << " collides";
+  }
+}
+
+TEST(Legality, FoldThatLengthensAWireFailsVerify) {
+  // Nearest-neighbour chain x(i) <- x(i-1), mapped one element per PE
+  // with a one-cycle systolic schedule: legal on the full-width array
+  // (neighbours are 1 hop / 1 cycle apart).  Folding 16 columns onto 8
+  // puts logical neighbours 7 and 8 on physical PEs 7 and 0 — a 7-hop
+  // wire — while the fold only stretches their time gap to 3 cycles, so
+  // the folded candidate must be *rejected* by the verifier: folding
+  // generates candidates, the verifier disposes (mapping.hpp).
+  const std::int64_t n = 16;
+  FunctionSpec spec;
+  const TensorId seed = spec.add_input("seed", IndexDomain(1));
+  const TensorId x = spec.add_computed(
+      "x", IndexDomain(n),
+      [seed](const Point& p) {
+        if (p.i == 0) return std::vector<ValueRef>{{seed, Point{0}}};
+        return std::vector<ValueRef>{{1, Point{p.i - 1}}};
+      },
+      [](const Point&, const std::vector<double>& v) { return v[0] + 1; });
+  spec.mark_output(x);
+
+  const PlaceFn place = [](const Point& p) {
+    return noc::Coord{static_cast<int>(p.i), 0};
+  };
+  const TimeFn time = [](const Point& p) { return Cycle{p.i}; };
+
+  Mapping full;
+  full.set_computed(x, place, time);
+  full.set_input(seed, InputHome::at({0, 0}));
+  ASSERT_TRUE(verify(spec, full, make_machine(16, 1)).ok);
+
+  const FoldedMap folded = fold_columns(place, time, 16, 8);
+  Mapping m;
+  m.set_computed(x, folded.place, folded.time);
+  m.set_input(seed, InputHome::at({0, 0}));
+  const LegalityReport rep = verify(spec, m, make_machine(8, 1));
+  EXPECT_FALSE(rep.ok);
+  EXPECT_GT(rep.causality_violations, 0u);
+}
 
 TEST(Mapping, FoldColumnsValidatesArguments) {
   EXPECT_THROW((void)fold_columns(nullptr, nullptr, 4, 2),

@@ -1,0 +1,461 @@
+// Unit tests for the harmony::serve subsystem: queue backpressure, cache
+// keys, LRU behaviour, request execution correctness, deadline-cut
+// tuning, resumable search, and metrics export.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "algos/editdist.hpp"
+#include "algos/specs.hpp"
+#include "fm/cost.hpp"
+#include "fm/search.hpp"
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+
+namespace harmony::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<const fm::FunctionSpec> shared_editdist(std::int64_t n) {
+  algos::SwScores s;
+  return std::make_shared<const fm::FunctionSpec>(
+      algos::editdist_spec(n, n, s));
+}
+
+Request editdist_cost_request(std::int64_t n, int pes) {
+  Request req;
+  req.kind = RequestKind::kCostEval;
+  req.spec = shared_editdist(n);
+  req.machine = fm::make_machine(pes, 1);
+  req.inputs = {InputPlacement::at({0, 0}), InputPlacement::at({0, 0})};
+  // The anti-diagonal wavefront: known-legal on a wide-enough array.
+  req.map = fm::AffineMap{.ti = 1, .tj = 1, .tk = 0, .t0 = 0,
+                          .xi = 1, .xj = 0, .xk = 0, .x0 = 0,
+                          .yi = 0, .yj = 0, .yk = 0, .y0 = 0,
+                          .cols = pes, .rows = 1};
+  return req;
+}
+
+fm::Mapping editdist_mapping(const Request& req) {
+  fm::Mapping m;
+  m.set_computed(2, req.map.place_fn(), req.map.time_fn());
+  m.set_input(0, fm::InputHome::at({0, 0}));
+  m.set_input(1, fm::InputHome::at({0, 0}));
+  return m;
+}
+
+// --- BoundedQueue ---
+
+TEST(BoundedQueue, BackpressureAndDrain) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: reject, don't block
+  EXPECT_EQ(q.size(), 2u);
+
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.try_push(3));  // space again
+
+  q.close();
+  EXPECT_FALSE(q.try_push(4));  // closed: no new work
+  // Admitted items stay poppable after close (graceful drain).
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 3);
+  EXPECT_FALSE(q.pop(v));  // closed and drained
+}
+
+TEST(BoundedQueue, PopBatchTakesUpToMax) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(i));
+  std::vector<int> batch;
+  ASSERT_TRUE(q.pop_batch(batch, 3, 0us));
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2}));
+  batch.clear();
+  ASSERT_TRUE(q.pop_batch(batch, 8, 0us));
+  EXPECT_EQ(batch, (std::vector<int>{3, 4}));
+  q.close();
+  batch.clear();
+  EXPECT_FALSE(q.pop_batch(batch, 8, 0us));
+}
+
+TEST(BoundedQueue, CloseWakesBlockedPopper) {
+  BoundedQueue<int> q(4);
+  std::thread popper([&] {
+    int v = 0;
+    EXPECT_FALSE(q.pop(v));
+  });
+  std::this_thread::sleep_for(10ms);
+  q.close();
+  popper.join();
+}
+
+// --- cache keys ---
+
+TEST(CacheKey, StableAcrossIndependentSpecBuilds) {
+  Request a = editdist_cost_request(8, 8);
+  Request b = editdist_cost_request(8, 8);
+  ASSERT_NE(a.spec.get(), b.spec.get());
+  EXPECT_EQ(make_cache_key(a), make_cache_key(b));
+}
+
+TEST(CacheKey, SensitiveToEveryComponent) {
+  const Request base = editdist_cost_request(8, 8);
+  const CacheKey k0 = make_cache_key(base);
+
+  Request diff = editdist_cost_request(9, 8);  // domain extent
+  EXPECT_NE(make_cache_key(diff), k0);
+
+  diff = editdist_cost_request(8, 4);  // machine geometry (and map.cols)
+  EXPECT_NE(make_cache_key(diff), k0);
+
+  diff = editdist_cost_request(8, 8);
+  diff.fom = fm::FigureOfMerit::kTime;  // figure of merit
+  EXPECT_NE(make_cache_key(diff), k0);
+
+  diff = editdist_cost_request(8, 8);
+  diff.map.tj = 2;  // affine coefficient
+  EXPECT_NE(make_cache_key(diff), k0);
+
+  diff = editdist_cost_request(8, 8);
+  diff.inputs[1] = InputPlacement::dram();  // input placement
+  EXPECT_NE(make_cache_key(diff), k0);
+
+  diff = editdist_cost_request(8, 8);
+  diff.kind = RequestKind::kLegality;  // request kind
+  EXPECT_NE(make_cache_key(diff), k0);
+}
+
+TEST(CacheKey, TuneKeyIgnoresCancelAndResume) {
+  Request a = editdist_cost_request(8, 8);
+  a.kind = RequestKind::kTune;
+  Request b = editdist_cost_request(8, 8);
+  b.kind = RequestKind::kTune;
+  b.search.cancel = [] { return false; };
+  b.search.resume_from = 17;
+  EXPECT_EQ(make_cache_key(a), make_cache_key(b));
+
+  b.search.space.time_coeffs.push_back(3);  // but the space matters
+  EXPECT_NE(make_cache_key(a), make_cache_key(b));
+}
+
+// --- ResultCache ---
+
+std::shared_ptr<const Response> dummy_response(double ops) {
+  auto r = std::make_shared<Response>();
+  r->cost.total_ops = ops;
+  return r;
+}
+
+TEST(ResultCache, LruEvictsOldestAndCountsStats) {
+  ResultCache cache(/*capacity=*/2, /*shards=*/1);
+  const CacheKey k1{1, 1}, k2{2, 2}, k3{3, 3};
+  cache.put(k1, dummy_response(1));
+  cache.put(k2, dummy_response(2));
+  ASSERT_NE(cache.get(k1), nullptr);  // k1 now MRU, k2 is LRU
+  cache.put(k3, dummy_response(3));   // evicts k2
+  EXPECT_EQ(cache.get(k2), nullptr);
+  ASSERT_NE(cache.get(k1), nullptr);
+  ASSERT_NE(cache.get(k3), nullptr);
+
+  const CacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 3u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.entries, 2u);
+  EXPECT_DOUBLE_EQ(st.hit_rate(), 0.75);
+}
+
+TEST(ResultCache, PutRefreshesExistingKey) {
+  ResultCache cache(4, 2);
+  const CacheKey k{7, 7};
+  cache.put(k, dummy_response(1));
+  cache.put(k, dummy_response(2));
+  const auto hit = cache.get(k);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->cost.total_ops, 2.0);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+// --- resumable search (fm layer) ---
+
+TEST(SearchResume, CutPlusResumeCoversTheWholeSpace) {
+  algos::SwScores s;
+  const auto spec = algos::editdist_spec(8, 8, s);
+  const fm::MachineConfig cfg = fm::make_machine(8, 1);
+  fm::Mapping proto;
+  proto.set_input(0, fm::InputHome::at({0, 0}));
+  proto.set_input(1, fm::InputHome::at({0, 0}));
+
+  const fm::SearchResult full = fm::search_affine(spec, cfg, proto);
+  ASSERT_TRUE(full.found);
+  ASSERT_TRUE(full.exhausted);
+
+  // Stop after 40 candidates, then resume from the recorded offset.
+  fm::SearchOptions opts;
+  std::uint64_t polled = 0;
+  opts.cancel = [&polled] { return ++polled > 40; };
+  const fm::SearchResult first = fm::search_affine(spec, cfg, proto, opts);
+  EXPECT_FALSE(first.exhausted);
+  EXPECT_LT(first.next_offset, full.next_offset);
+
+  fm::SearchOptions rest;
+  rest.resume_from = first.next_offset;
+  const fm::SearchResult second = fm::search_affine(spec, cfg, proto, rest);
+  EXPECT_TRUE(second.exhausted);
+  EXPECT_EQ(second.next_offset, full.next_offset);
+  EXPECT_EQ(first.enumerated + second.enumerated, full.enumerated);
+  EXPECT_EQ(first.legal + second.legal, full.legal);
+
+  // The better of the two windows is the uncut winner.
+  const double best_merit =
+      std::min(first.found ? first.best.merit
+                           : std::numeric_limits<double>::infinity(),
+               second.found ? second.best.merit
+                            : std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(best_merit, full.best.merit);
+}
+
+// --- Service ---
+
+TEST(Service, CostEvalMatchesDirectOracleAndCaches) {
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  Service svc(cfg);
+
+  const Request req = editdist_cost_request(8, 8);
+  const fm::CostReport direct =
+      fm::evaluate_cost(*req.spec, editdist_mapping(req), req.machine);
+
+  const Response r1 = svc.call(req);
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_EQ(r1.cost.makespan_cycles, direct.makespan_cycles);
+  EXPECT_DOUBLE_EQ(r1.cost.total_energy().femtojoules(),
+                   direct.total_energy().femtojoules());
+
+  const Response r2 = svc.call(req);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(r2.cost.makespan_cycles, direct.makespan_cycles);
+
+  const MetricsSnapshot snap = svc.metrics();
+  EXPECT_EQ(snap.submitted, 2u);
+  EXPECT_EQ(snap.completed, 2u);
+  EXPECT_GE(snap.cache.hits, 1u);
+}
+
+TEST(Service, LegalityMatchesDirectVerify) {
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  Service svc(cfg);
+
+  Request req = editdist_cost_request(8, 8);
+  req.kind = RequestKind::kLegality;
+  const Response r = svc.call(req);
+  ASSERT_TRUE(r.ok()) << r.error;
+  const fm::LegalityReport direct =
+      fm::verify(*req.spec, editdist_mapping(req), req.machine, req.verify);
+  EXPECT_EQ(r.legality.ok, direct.ok);
+  EXPECT_EQ(r.legality.total_violations(), direct.total_violations());
+
+  // An illegal map (everything at cycle 0 on one PE) must report so.
+  req.map = fm::AffineMap{.cols = 8, .rows = 1};
+  const Response bad = svc.call(req);
+  ASSERT_TRUE(bad.ok()) << bad.error;
+  EXPECT_FALSE(bad.legality.ok);
+  EXPECT_GT(bad.legality.total_violations(), 0u);
+}
+
+TEST(Service, TuneMatchesDirectSearch) {
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  Service svc(cfg);
+
+  Request req = editdist_cost_request(8, 8);
+  req.kind = RequestKind::kTune;
+  req.fom = fm::FigureOfMerit::kTime;
+
+  fm::Mapping proto;
+  proto.set_input(0, fm::InputHome::at({0, 0}));
+  proto.set_input(1, fm::InputHome::at({0, 0}));
+  fm::SearchOptions direct_opts = req.search;
+  direct_opts.fom = req.fom;
+  const fm::SearchResult direct =
+      fm::search_affine(*req.spec, req.machine, proto, direct_opts);
+  ASSERT_TRUE(direct.found);
+
+  const Response r = svc.call(req);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.search.found);
+  EXPECT_TRUE(r.search.exhausted);
+  EXPECT_FALSE(r.deadline_cut);
+  EXPECT_DOUBLE_EQ(r.search.best.merit, direct.best.merit);
+  EXPECT_EQ(r.cost.makespan_cycles, direct.best.cost.makespan_cycles);
+
+  // Exhausted tune results are memoized.
+  const Response again = svc.call(req);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_DOUBLE_EQ(again.search.best.merit, direct.best.merit);
+}
+
+TEST(Service, DeadlineCutTuneReturnsLegalMappingBeforeDeadline) {
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  cfg.deadline_margin = 20ms;
+  Service svc(cfg);
+
+  // A big search space (13 x 13 x 7 x 7 slots, each paying a
+  // full-domain verify) over a 24x24 domain: far more work than the
+  // deadline allows, so the cut must trigger.  Coefficient 1 leads both
+  // lists, so the legal wavefront (t=i+j, x=i) enumerates within the
+  // first few slots and the frontier is non-empty long before the
+  // cutoff.
+  Request req = editdist_cost_request(24, 24);
+  req.kind = RequestKind::kTune;
+  req.search.space.time_coeffs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 0};
+  req.search.space.space_coeffs = {1, 0, -1, 2, -2, 3, -3};
+  req.deadline = 150ms;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const Response r = svc.call(req);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.deadline_cut);
+  EXPECT_FALSE(r.search.exhausted);
+  EXPECT_LT(elapsed, req.deadline);  // answered strictly before the deadline
+  ASSERT_TRUE(r.search.found);       // ...with a usable frontier
+
+  // The best-so-far mapping must be genuinely legal.
+  fm::Mapping best;
+  best.set_computed(2, r.search.best.map.place_fn(),
+                    r.search.best.map.time_fn());
+  best.set_input(0, fm::InputHome::at({0, 0}));
+  best.set_input(1, fm::InputHome::at({0, 0}));
+  EXPECT_TRUE(fm::verify(*req.spec, best, req.machine).ok);
+
+  // Deadline-cut results are NOT cached: a rerun recomputes.
+  const Response again = svc.call(req);
+  EXPECT_FALSE(again.cache_hit);
+}
+
+TEST(Service, NullSpecYieldsErrorResponseNotThrow) {
+  Service svc({.num_workers = 1});
+  Request req;  // spec left null
+  const Response r = svc.call(std::move(req));
+  EXPECT_EQ(r.status, Status::kError);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Service, OracleExceptionSurfacesAsErrorResponse) {
+  Service svc({.num_workers = 1});
+  // Two computed tensors: search_affine's precondition fails.
+  auto spec = std::make_shared<fm::FunctionSpec>();
+  const auto dom = fm::IndexDomain(4);
+  spec->add_computed("a", dom, [](const fm::Point&) {
+    return std::vector<fm::ValueRef>{};
+  }, [](const fm::Point&, const std::vector<double>&) { return 0.0; });
+  spec->add_computed("b", dom, [](const fm::Point&) {
+    return std::vector<fm::ValueRef>{};
+  }, [](const fm::Point&, const std::vector<double>&) { return 0.0; });
+
+  Request req;
+  req.kind = RequestKind::kTune;
+  req.spec = spec;
+  req.machine = fm::make_machine(2, 1);
+  const Response r = svc.call(std::move(req));
+  EXPECT_EQ(r.status, Status::kError);
+  EXPECT_NE(r.error.find("computed"), std::string::npos);
+}
+
+TEST(Service, SubmitAfterShutdownIsRejectedWithRetryAfter) {
+  ServiceConfig cfg;
+  cfg.num_workers = 1;
+  Service svc(cfg);
+  svc.shutdown();
+  const Response r = svc.call(editdist_cost_request(6, 6));
+  EXPECT_EQ(r.status, Status::kRejected);
+  EXPECT_GT(r.retry_after.count(), 0);
+}
+
+TEST(Service, BatchedDuplicatesExecuteOnceAndAllWaitersAnswered) {
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  cfg.max_batch = 16;
+  cfg.batch_linger = 2ms;
+  Service svc(cfg);
+
+  const Request req = editdist_cost_request(10, 10);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 12; ++i) futs.push_back(svc.submit(req));
+  std::size_t hits = 0;
+  for (auto& f : futs) {
+    const Response r = f.get();
+    ASSERT_TRUE(r.ok()) << r.error;
+    hits += r.cache_hit ? 1 : 0;
+  }
+  // Whatever the batching raced to, the oracle ran at most a handful of
+  // times for 12 identical requests (dedup + memoization).
+  const CacheStats st = svc.cache_stats();
+  EXPECT_GE(hits + st.hits, 1u);
+  EXPECT_EQ(svc.metrics().completed, 12u);
+}
+
+// --- metrics export ---
+
+TEST(Metrics, HistogramPercentilesAreMonotonic) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(std::chrono::microseconds(i));
+  EXPECT_EQ(h.count(), 1000u);
+  const double p50 = h.percentile_us(0.50);
+  const double p95 = h.percentile_us(0.95);
+  const double p99 = h.percentile_us(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Power-of-two buckets: p50 of U[1,1000]us lands in (256,512]us.
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1024.0);
+}
+
+TEST(Metrics, JsonExportIsWellFormedAndComplete) {
+  Metrics m;
+  m.on_submit();
+  m.on_complete(1ms, false, false);
+  const MetricsSnapshot snap = m.snapshot(3, CacheStats{10, 2, 1, 5});
+  const std::string json = metrics_json(snap);
+  EXPECT_NE(json.find("\"metric\": \"submitted\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"cache_hit_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"p99_us\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  // Balanced braces: one object per row.
+  const auto count = [&](char c) {
+    return std::count(json.begin(), json.end(), c);
+  };
+  EXPECT_EQ(count('{'), count('}'));
+  EXPECT_EQ(count('{'), 16);
+}
+
+TEST(Metrics, TableJsonEscapesStrings) {
+  Table t({"metric", "value"});
+  t.add_row({std::string("we\"ird\nname"), std::int64_t{1}});
+  std::ostringstream os;
+  t.print_json(os);
+  EXPECT_NE(os.str().find("we\\\"ird\\nname"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harmony::serve
