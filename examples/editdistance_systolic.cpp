@@ -67,7 +67,8 @@ int main(int argc, char** argv) {
   const fm::LegalityReport rep = verify(spec, mapping, cfg, vo);
   std::cout << "legality: " << (rep.ok ? "ok" : "REJECTED") << "\n";
   if (!rep.ok) {
-    for (const auto& msg : rep.messages) std::cout << "  " << msg << "\n";
+    for (const auto& d : rep.diagnostics)
+      std::cout << "  [" << d.rule_id << "] " << d.message << "\n";
     return 1;
   }
 

@@ -1,0 +1,207 @@
+// harmony-lint: the mapping linter as a command-line tool.
+//
+// Loads a (FunctionSpec, Mapping, MachineConfig) triple from the
+// command line, runs analyze::lint_mapping, and prints the structured
+// diagnostics — as a table for humans or JSON (--json) for machines.
+// Exit status: 0 clean, 1 warnings only, 2 errors (illegal mapping).
+//
+//   harmony-lint --spec=editdist:64x64 --machine=8x1 --map=wavefront
+//   harmony-lint --spec=editdist:16x16 --machine=4x4 --map=serial --json
+//   harmony-lint --spec=conv:256,8 --machine=8x1 \
+//                --map=affine:0,1,8,1,0,0   # ti,tj,t0,xi,xj,x0
+//
+// Specs: editdist:NxM, stencil:n,steps, conv:n_out,k_taps.
+// Maps:  serial | wavefront (editdist only) | affine:ti,tj,t0,xi,xj,x0.
+// Knobs: --pe-capacity=N, --link-bits=B, --max-diagnostics=N.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algos/editdist.hpp"
+#include "algos/specs.hpp"
+#include "analyze/lint.hpp"
+#include "fm/machine.hpp"
+#include "fm/mapping.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using harmony::analyze::LintOptions;
+using harmony::analyze::LintReport;
+
+struct Args {
+  std::string spec = "editdist:32x32";
+  std::string machine = "4x1";
+  std::string map = "serial";
+  bool json = false;
+  std::optional<std::int64_t> pe_capacity;
+  std::optional<double> link_bits;
+  std::size_t max_diagnostics = 64;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--spec=editdist:NxM|stencil:n,steps|conv:n,k]\n"
+         "       [--machine=CxR] [--map=serial|wavefront|affine:ti,tj,t0,"
+         "xi,xj,x0]\n"
+         "       [--json] [--pe-capacity=N] [--link-bits=B]"
+         " [--max-diagnostics=N]\n";
+  std::exit(2);
+}
+
+/// Splits "a,b,c" (or "AxB") on any of ",x" into int64 fields.
+std::vector<std::int64_t> split_ints(const std::string& s) {
+  std::vector<std::int64_t> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t end = s.find_first_of(",x", pos);
+    if (end == std::string::npos) end = s.size();
+    out.push_back(std::stoll(s.substr(pos, end - pos)));
+    pos = end + 1;
+  }
+  return out;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--spec=", 0) == 0) {
+      a.spec = value("--spec=");
+    } else if (arg.rfind("--machine=", 0) == 0) {
+      a.machine = value("--machine=");
+    } else if (arg.rfind("--map=", 0) == 0) {
+      a.map = value("--map=");
+    } else if (arg == "--json") {
+      a.json = true;
+    } else if (arg.rfind("--pe-capacity=", 0) == 0) {
+      a.pe_capacity = std::stoll(value("--pe-capacity="));
+    } else if (arg.rfind("--link-bits=", 0) == 0) {
+      a.link_bits = std::stod(value("--link-bits="));
+    } else if (arg.rfind("--max-diagnostics=", 0) == 0) {
+      a.max_diagnostics =
+          static_cast<std::size_t>(std::stoll(value("--max-diagnostics=")));
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fm = harmony::fm;
+  namespace algos = harmony::algos;
+  namespace analyze = harmony::analyze;
+
+  const Args args = parse_args(argc, argv);
+
+  // ---- machine -------------------------------------------------------
+  const auto mdims = split_ints(args.machine);
+  if (mdims.size() != 2 || mdims[0] < 1 || mdims[1] < 1) usage(argv[0]);
+  fm::MachineConfig machine = fm::make_machine(static_cast<int>(mdims[0]),
+                                               static_cast<int>(mdims[1]));
+  if (args.pe_capacity) machine.pe_capacity_values = *args.pe_capacity;
+  if (args.link_bits) machine.link_bits_per_cycle = *args.link_bits;
+
+  // ---- spec ----------------------------------------------------------
+  const std::size_t colon = args.spec.find(':');
+  if (colon == std::string::npos) usage(argv[0]);
+  const std::string family = args.spec.substr(0, colon);
+  const auto dims = split_ints(args.spec.substr(colon + 1));
+
+  fm::FunctionSpec spec;
+  fm::TensorId computed = -1;
+  std::vector<fm::TensorId> inputs;
+  std::int64_t n_cols = 0;  // for the wavefront map
+  if (family == "editdist" && dims.size() == 2) {
+    fm::TensorId rt = -1, qt = -1, ht = -1;
+    spec = algos::editdist_spec(dims[0], dims[1], algos::SwScores{}, &rt,
+                                &qt, &ht);
+    computed = ht;
+    inputs = {rt, qt};
+    n_cols = dims[1];
+  } else if (family == "stencil" && dims.size() == 2) {
+    algos::StencilSpecIds ids;
+    spec = algos::stencil1d_spec(dims[0], dims[1], &ids);
+    computed = ids.u;
+    inputs = {ids.input};
+  } else if (family == "conv" && dims.size() == 2) {
+    algos::ConvSpecIds ids;
+    spec = algos::conv1d_spec(dims[0], dims[1], &ids);
+    computed = ids.y;
+    inputs = {ids.x, ids.w};
+  } else {
+    usage(argv[0]);
+  }
+
+  // ---- mapping -------------------------------------------------------
+  fm::Mapping mapping;
+  if (args.map == "serial") {
+    mapping = fm::serial_mapping(spec);
+  } else if (args.map == "wavefront") {
+    if (family != "editdist") {
+      std::cerr << "harmony-lint: --map=wavefront needs --spec=editdist\n";
+      return 2;
+    }
+    const fm::WavefrontMap wf =
+        fm::wavefront_map(n_cols, machine.geom.cols());
+    mapping.set_computed(computed, wf.place_fn(), wf.time_fn());
+    for (const fm::TensorId t : inputs) {
+      mapping.set_input(t, fm::InputHome::at({0, 0}));
+    }
+  } else if (args.map.rfind("affine:", 0) == 0) {
+    const auto c = split_ints(args.map.substr(7));
+    if (c.size() != 6) usage(argv[0]);
+    fm::AffineMap am;
+    am.ti = c[0];
+    am.tj = c[1];
+    am.t0 = c[2];
+    am.xi = c[3];
+    am.xj = c[4];
+    am.x0 = c[5];
+    am.cols = machine.geom.cols();
+    am.rows = machine.geom.rows();
+    mapping.set_computed(computed, am.place_fn(), am.time_fn());
+    for (const fm::TensorId t : inputs) {
+      mapping.set_input(t, fm::InputHome::dram());
+    }
+  } else {
+    usage(argv[0]);
+  }
+
+  // ---- lint ----------------------------------------------------------
+  LintOptions opts;
+  opts.max_diagnostics = args.max_diagnostics;
+  opts.verify.max_messages = args.max_diagnostics;
+  LintReport rep;
+  try {
+    rep = analyze::lint_mapping(spec, mapping, machine, opts);
+  } catch (const std::exception& e) {
+    std::cerr << "harmony-lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (args.json) {
+    std::cout << analyze::diagnostics_json(rep.diagnostics) << "\n";
+  } else {
+    std::cout << "harmony-lint: " << args.spec << " on " << args.machine
+              << " via " << args.map << " — "
+              << (rep.ok() ? "legal" : "ILLEGAL") << ", " << rep.errors
+              << " error(s), " << rep.warnings << " warning(s)";
+    if (rep.dropped > 0) std::cout << " (" << rep.dropped << " dropped)";
+    std::cout << "\n";
+    if (!rep.diagnostics.empty()) {
+      analyze::diagnostics_table(rep.diagnostics).print(std::cout);
+    }
+  }
+  return rep.errors > 0 ? 2 : (rep.warnings > 0 ? 1 : 0);
+}

@@ -43,7 +43,7 @@ int main() {
   // 4. Verify before running — causality, transit, storage, bandwidth.
   const fm::LegalityReport legality = verify(spec, mapping, machine);
   if (!legality.ok) {
-    std::cerr << "mapping rejected: " << legality.messages.front() << "\n";
+    std::cerr << "mapping rejected: " << legality.first_message() << "\n";
     return 1;
   }
   std::cout << "mapping verified (peak live values/PE: "

@@ -1,16 +1,28 @@
 #!/usr/bin/env bash
 # Full pre-merge gate:
 #
-#   1. tier-1 — plain build + the whole ctest suite (ROADMAP.md);
-#   2. ASan/UBSan build running the serve tests (the new concurrent
-#      subsystem is where lifetime bugs would live);
-#   3. TSan build running the serve stress test (many clients, tiny
+#   1. tier-1  — plain build + the whole ctest suite (ROADMAP.md);
+#   2. analyze — the static-analysis subsystem (race detector + linter,
+#      ctest -L analyze) plus a harmony-lint CLI smoke run;
+#   3. ASan/UBSan build running the serve + analyze tests (the
+#      concurrent subsystem and the shadow-memory detector are where
+#      lifetime bugs would live);
+#   4. TSan build running the serve stress test (many clients, tiny
 #      cache, shutdown racing live submitters).
 #
 # Usage:
-#   scripts/check.sh            # all three stages
-#   scripts/check.sh tier1      # just the plain build + tests
-#   scripts/check.sh asan|tsan  # just that sanitizer stage
+#   scripts/check.sh                    # all stages
+#   scripts/check.sh tier1              # just the plain build + tests
+#   scripts/check.sh analyze|asan|tsan  # just that stage
+#
+# Every stage runs as one &&-chain inside its function.  This matters:
+# `set -e` is suspended while a function runs as part of a condition
+# (`if run_x`, `run_x && ...`), so a bare multi-command function body
+# would keep going after a failing cmake/ctest and let a later passing
+# command mask the failure.  The &&-chain propagates the first nonzero
+# exit code regardless of errexit context, and the runner records each
+# stage's result instead of stopping at the first, so one broken
+# sanitizer stage cannot hide behind — or be hidden by — another.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -18,32 +30,63 @@ cd "$REPO_ROOT"
 STAGE="${1:-all}"
 
 run_tier1() {
-  echo "== tier-1: build + full test suite =="
-  cmake -B build -S .
-  cmake --build build -j
+  echo "== tier-1: build + full test suite ==" &&
+  cmake -B build -S . &&
+  cmake --build build -j &&
   ctest --test-dir build --output-on-failure -j
 }
 
+run_analyze() {
+  echo "== analyze: race detector + mapping linter ==" &&
+  cmake -B build -S . &&
+  cmake --build build -j --target analyze_race_test analyze_lint_test \
+    harmony_lint &&
+  ctest --test-dir build --output-on-failure -L analyze &&
+  ./build/examples/harmony-lint --spec=editdist:16x16 --machine=4x1 \
+    --map=wavefront
+}
+
 run_asan() {
-  echo "== ASan/UBSan: serve tests =="
-  cmake -B build-asan -S . -DHARMONY_ASAN=ON
-  cmake --build build-asan -j --target serve_test serve_stress_test
-  ctest --test-dir build-asan --output-on-failure -R "serve"
+  echo "== ASan/UBSan: serve + analyze tests ==" &&
+  cmake -B build-asan -S . -DHARMONY_ASAN=ON &&
+  cmake --build build-asan -j --target serve_test serve_stress_test \
+    analyze_race_test analyze_lint_test &&
+  ctest --test-dir build-asan --output-on-failure -R "serve|analyze"
 }
 
 run_tsan() {
-  echo "== TSan: serve stress test =="
-  cmake -B build-tsan -S . -DHARMONY_TSAN=ON
-  cmake --build build-tsan -j --target serve_stress_test
+  echo "== TSan: serve stress test ==" &&
+  cmake -B build-tsan -S . -DHARMONY_TSAN=ON &&
+  cmake --build build-tsan -j --target serve_stress_test &&
   ctest --test-dir build-tsan --output-on-failure -R "serve_stress"
 }
 
+run_stage() {
+  # Runs one stage, recording rather than aborting on failure so every
+  # requested stage reports.  The `if` guard keeps errexit from killing
+  # the whole script on the first broken stage.
+  local stage="$1"
+  if "run_${stage}"; then
+    echo "check.sh: stage ${stage} passed"
+  else
+    local rc=$?
+    echo "check.sh: stage ${stage} FAILED (exit ${rc})" >&2
+    FAILED+=("${stage}")
+  fi
+}
+
+declare -a FAILED=()
 case "$STAGE" in
-  all)   run_tier1; run_asan; run_tsan ;;
-  tier1) run_tier1 ;;
-  asan)  run_asan ;;
-  tsan)  run_tsan ;;
-  *)     echo "usage: $0 [all|tier1|asan|tsan]" >&2; exit 2 ;;
+  all)     for s in tier1 analyze asan tsan; do run_stage "$s"; done ;;
+  tier1)   run_stage tier1 ;;
+  analyze) run_stage analyze ;;
+  asan)    run_stage asan ;;
+  tsan)    run_stage tsan ;;
+  *)       echo "usage: $0 [all|tier1|analyze|asan|tsan]" >&2; exit 2 ;;
 esac
 
+if [ "${#FAILED[@]}" -ne 0 ]; then
+  echo "check.sh: FAILED stages: ${FAILED[*]}" >&2
+  exit 1
+fi
 echo "check.sh: $STAGE passed"

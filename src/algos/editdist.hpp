@@ -18,11 +18,13 @@
 //     fm/mapping.hpp, executed on the grid machine (E2).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "fm/spec.hpp"
+#include "sched/parallel_ops.hpp"
 
 namespace harmony::algos {
 
@@ -56,5 +58,51 @@ struct SwScores {
 
 /// Encodes a string as the double-valued input tensor the spec expects.
 [[nodiscard]] std::vector<double> encode_string(const std::string& s);
+
+/// The wavefront as a fork-join program: anti-diagonals run serially,
+/// cells within one anti-diagonal in parallel (every dependence of
+/// diagonal d lies on d-1 or d-2, so the parallel_for is race-free —
+/// a claim the determinacy-race detector checks via the reader/writer
+/// annotations).  Must produce the identical matrix to
+/// smith_waterman_serial.
+template <typename Ctx>
+std::vector<double> smith_waterman_forkjoin(Ctx& ctx, const std::string& r,
+                                            const std::string& q,
+                                            const SwScores& s,
+                                            std::size_t grain = 8) {
+  const std::size_t n = r.size();
+  const std::size_t m = q.size();
+  std::vector<double> h(n * m, 0.0);
+  if (n == 0 || m == 0) return h;
+  for (std::size_t d = 0; d + 1 <= n + m - 1; ++d) {
+    const std::size_t i_lo = d >= m ? d - m + 1 : 0;
+    const std::size_t i_hi = std::min(d, n - 1);
+    sched::parallel_for(ctx, i_lo, i_hi + 1, grain, [&](std::size_t i) {
+      ctx.work(4);  // compare + 3 adds + 4-way max, as in editdist_spec
+      const std::size_t j = d - i;
+      sched::reader(ctx, r.data(), i);
+      sched::reader(ctx, q.data(), j);
+      double diag = 0.0;
+      double up = 0.0;
+      double left = 0.0;
+      if (i > 0 && j > 0) {
+        sched::reader(ctx, h.data(), (i - 1) * m + (j - 1));
+        diag = h[(i - 1) * m + (j - 1)];
+      }
+      if (i > 0) {
+        sched::reader(ctx, h.data(), (i - 1) * m + j);
+        up = h[(i - 1) * m + j];
+      }
+      if (j > 0) {
+        sched::reader(ctx, h.data(), i * m + (j - 1));
+        left = h[i * m + (j - 1)];
+      }
+      const double sub = r[i] == q[j] ? s.match : s.mismatch;
+      sched::writer(ctx, h.data(), i * m + j);
+      h[i * m + j] = std::max({0.0, diag + sub, up - s.gap, left - s.gap});
+    });
+  }
+  return h;
+}
 
 }  // namespace harmony::algos

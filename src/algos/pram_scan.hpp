@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "pram/pram.hpp"
+#include "sched/parallel_ops.hpp"
 
 namespace harmony::algos {
 
@@ -27,5 +28,64 @@ struct PramScanResult {
 /// Input length is padded to the next power of two internally.
 [[nodiscard]] PramScanResult scan_pram(const std::vector<std::int64_t>& in,
                                        std::size_t num_procs);
+
+/// The same upsweep/downsweep rounds expressed as fork-join over the
+/// generic Ctx (sched/parallel_ops.hpp): in-place exclusive scan on a
+/// power-of-two-padded tree buffer, returning the grand total.  The
+/// reader/writer annotations let the determinacy-race detector
+/// (analyze/race.hpp) certify the EREW access discipline the PRAM
+/// simulator enforces dynamically.
+template <typename Ctx>
+std::int64_t scan_upsweep_downsweep(Ctx& ctx, std::vector<std::int64_t>& data,
+                                    std::size_t grain = 64) {
+  const std::size_t n0 = data.size();
+  if (n0 == 0) return 0;
+  std::size_t n = 1;
+  while (n < n0) n *= 2;
+  std::vector<std::int64_t> tree(n, 0);
+  sched::parallel_for(ctx, 0, n0, grain, [&](std::size_t i) {
+    ctx.work(1);
+    sched::reader(ctx, data.data(), i);
+    sched::writer(ctx, tree.data(), i);
+    tree[i] = data[i];
+  });
+  // Upsweep: pairwise partial sums, one level per stride.
+  for (std::size_t stride = 1; stride < n; stride *= 2) {
+    sched::parallel_for(ctx, 0, n / (2 * stride), grain, [&](std::size_t k) {
+      ctx.work(1);
+      const std::size_t base = k * 2 * stride;
+      sched::reader(ctx, tree.data(), base + stride - 1);
+      sched::reader(ctx, tree.data(), base + 2 * stride - 1);
+      sched::writer(ctx, tree.data(), base + 2 * stride - 1);
+      tree[base + 2 * stride - 1] += tree[base + stride - 1];
+    });
+  }
+  // Clear the root (serial strand between the sweeps, like PRAM round
+  // `levels`), then downsweep.
+  const std::int64_t total = tree[n - 1];
+  tree[n - 1] = 0;
+  for (std::size_t stride = n / 2; stride >= 1; stride /= 2) {
+    sched::parallel_for(ctx, 0, n / (2 * stride), grain, [&](std::size_t k) {
+      ctx.work(2);
+      const std::size_t base = k * 2 * stride;
+      sched::reader(ctx, tree.data(), base + stride - 1);
+      sched::reader(ctx, tree.data(), base + 2 * stride - 1);
+      sched::writer(ctx, tree.data(), base + stride - 1);
+      sched::writer(ctx, tree.data(), base + 2 * stride - 1);
+      const std::int64_t left = tree[base + stride - 1];
+      const std::int64_t root = tree[base + 2 * stride - 1];
+      tree[base + stride - 1] = root;
+      tree[base + 2 * stride - 1] = left + root;
+    });
+    if (stride == 1) break;
+  }
+  sched::parallel_for(ctx, 0, n0, grain, [&](std::size_t i) {
+    ctx.work(1);
+    sched::reader(ctx, tree.data(), i);
+    sched::writer(ctx, data.data(), i);
+    data[i] = tree[i];
+  });
+  return total;
+}
 
 }  // namespace harmony::algos

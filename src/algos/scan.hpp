@@ -51,6 +51,8 @@ T exclusive_scan(Ctx& ctx, std::vector<T>& data, std::size_t grain = 1024) {
   const std::size_t n = data.size();
   if (n == 0) return T{};
   if (n <= grain) {
+    sched::reader(ctx, data.data(), 0, n);
+    sched::writer(ctx, data.data(), 0, n);
     T acc{};
     for (std::size_t i = 0; i < n; ++i) {
       ctx.work(1);
@@ -65,6 +67,8 @@ T exclusive_scan(Ctx& ctx, std::vector<T>& data, std::size_t grain = 1024) {
   std::vector<T> sums(half + (n % 2));
   sched::parallel_for(ctx, 0, half, grain, [&](std::size_t i) {
     ctx.work(1);
+    sched::reader(ctx, data.data(), 2 * i, 2);
+    sched::writer(ctx, sums.data(), i);
     sums[i] = data[2 * i] + data[2 * i + 1];
   });
   if (n % 2) sums[half] = data[n - 1];
@@ -73,6 +77,9 @@ T exclusive_scan(Ctx& ctx, std::vector<T>& data, std::size_t grain = 1024) {
   // Expand.
   sched::parallel_for(ctx, 0, half, grain, [&](std::size_t i) {
     ctx.work(2);
+    sched::reader(ctx, sums.data(), i);
+    sched::reader(ctx, data.data(), 2 * i);
+    sched::writer(ctx, data.data(), 2 * i, 2);
     const T left = data[2 * i];
     data[2 * i] = sums[i];
     data[2 * i + 1] = sums[i] + left;

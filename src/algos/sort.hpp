@@ -92,6 +92,9 @@ void merge_par(Ctx& ctx, const std::vector<T>& src, std::vector<T>& dst,
   const std::size_t an = a_hi - a_lo;
   const std::size_t bn = b_hi - b_lo;
   if (an + bn <= grain) {
+    sched::reader(ctx, src.data(), a_lo, an);
+    sched::reader(ctx, src.data(), b_lo, bn);
+    sched::writer(ctx, dst.data(), out, an + bn);
     std::size_t a = a_lo;
     std::size_t b = b_lo;
     std::size_t o = out;
@@ -110,6 +113,8 @@ void merge_par(Ctx& ctx, const std::vector<T>& src, std::vector<T>& dst,
     return;
   }
   const std::size_t a_mid = a_lo + an / 2;
+  sched::reader(ctx, src.data(), a_mid);
+  sched::reader(ctx, src.data(), b_lo, bn);  // the binary search probes
   const auto b_mid = static_cast<std::size_t>(
       std::lower_bound(src.begin() + static_cast<std::ptrdiff_t>(b_lo),
                        src.begin() + static_cast<std::ptrdiff_t>(b_hi),
@@ -130,6 +135,8 @@ template <typename Ctx, typename T>
 void merge_sort_par_rec(Ctx& ctx, std::vector<T>& data, std::vector<T>& tmp,
                         std::size_t lo, std::size_t hi, std::size_t grain) {
   if (hi - lo <= grain) {
+    sched::reader(ctx, data.data(), lo, hi - lo);
+    sched::writer(ctx, data.data(), lo, hi - lo);
     for (std::size_t i = lo; i < hi; ++i) ctx.work(1);  // comparison cost
     std::sort(data.begin() + static_cast<std::ptrdiff_t>(lo),
               data.begin() + static_cast<std::ptrdiff_t>(hi));
@@ -141,6 +148,8 @@ void merge_sort_par_rec(Ctx& ctx, std::vector<T>& data, std::vector<T>& tmp,
   merge_par(ctx, data, tmp, lo, mid, mid, hi, lo, grain);
   sched::parallel_for(ctx, lo, hi, grain, [&](std::size_t i) {
     ctx.work(1);
+    sched::reader(ctx, tmp.data(), i);
+    sched::writer(ctx, data.data(), i);
     data[i] = tmp[i];
   });
 }

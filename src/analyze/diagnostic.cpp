@@ -1,0 +1,27 @@
+#include "analyze/diagnostic.hpp"
+
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace harmony::analyze {
+
+Table diagnostics_table(const std::vector<Diagnostic>& diags) {
+  Table t({"rule", "severity", "op", "pe", "cycle", "message", "hint"});
+  for (const Diagnostic& d : diags) {
+    t.add_row({d.rule_id, std::string(to_string(d.severity)), d.location.op,
+               static_cast<std::int64_t>(d.location.pe),
+               d.location.cycle == Location::kNoCycle ? std::int64_t{-1}
+                                                      : d.location.cycle,
+               d.message, d.hint});
+  }
+  return t;
+}
+
+std::string diagnostics_json(const std::vector<Diagnostic>& diags) {
+  std::ostringstream os;
+  diagnostics_table(diags).print_json(os);
+  return os.str();
+}
+
+}  // namespace harmony::analyze

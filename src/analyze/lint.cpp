@@ -1,0 +1,100 @@
+#include "analyze/lint.hpp"
+
+#include <sstream>
+#include <string>
+
+#include "fm/recompute.hpp"
+#include "noc/mesh.hpp"
+
+namespace harmony::analyze {
+
+LintReport lint_mapping(const fm::FunctionSpec& spec,
+                        const fm::Mapping& mapping,
+                        const fm::MachineConfig& machine,
+                        const LintOptions& opts) {
+  LintReport rep;
+  DiagnosticSink sink(opts.max_diagnostics);
+
+  // ---- errors: the legality checker, forwarded verbatim --------------
+  rep.legality = fm::verify(spec, mapping, machine, opts.verify);
+  for (const Diagnostic& d : rep.legality.diagnostics) sink.add(d);
+
+  // ---- FM101: idle-PE imbalance --------------------------------------
+  rep.total_pes = machine.geom.num_nodes();
+  {
+    std::vector<char> busy(static_cast<std::size_t>(rep.total_pes), 0);
+    for (fm::TensorId t : spec.computed_tensors()) {
+      spec.domain(t).for_each([&](const fm::Point& p) {
+        busy[machine.geom.index(mapping.place(t, p))] = 1;
+      });
+    }
+    for (char b : busy) rep.busy_pes += b;
+    const std::int64_t idle = rep.total_pes - rep.busy_pes;
+    const double idle_frac =
+        static_cast<double>(idle) / static_cast<double>(rep.total_pes);
+    if (rep.total_pes > 1 && idle_frac >= opts.idle_pe_warn_fraction) {
+      std::ostringstream os;
+      os << idle << " of " << rep.total_pes
+         << " PEs never compute an element (" << rep.busy_pes << " busy)";
+      sink.add("FM101", Location{}, os.str());
+    }
+  }
+
+  // ---- FM102: storage high-water (legal, but close to the cap) -------
+  if (opts.verify.check_storage && rep.legality.storage_violations == 0 &&
+      rep.legality.peak_live_values >=
+          static_cast<std::int64_t>(opts.storage_highwater_fraction *
+                                    static_cast<double>(
+                                        machine.pe_capacity_values))) {
+    std::ostringstream os;
+    os << "peak live values " << rep.legality.peak_live_values << " on PE "
+       << rep.legality.peak_live_pe << " is at "
+       << static_cast<int>(100.0 *
+                           static_cast<double>(rep.legality.peak_live_values) /
+                           static_cast<double>(machine.pe_capacity_values))
+       << "% of capacity " << machine.pe_capacity_values;
+    sink.add("FM102",
+             Location{"", rep.legality.peak_live_pe, Location::kNoCycle},
+             os.str());
+  }
+
+  // ---- FM103: bandwidth hotspot (legal, but close to the cap) --------
+  if (opts.verify.check_bandwidth && rep.legality.bandwidth_violations == 0 &&
+      rep.legality.peak_link >= 0 &&
+      rep.legality.peak_link_bits_per_cycle >=
+          opts.bandwidth_hotspot_fraction * machine.link_bits_per_cycle) {
+    std::ostringstream os;
+    os << "directed link " << rep.legality.peak_link << " averages "
+       << rep.legality.peak_link_bits_per_cycle << " bits/cycle, "
+       << static_cast<int>(100.0 * rep.legality.peak_link_bits_per_cycle /
+                           machine.link_bits_per_cycle)
+       << "% of capacity " << machine.link_bits_per_cycle;
+    sink.add("FM103",
+             Location{"link " + std::to_string(rep.legality.peak_link),
+                      static_cast<std::int32_t>(rep.legality.peak_link / 4),
+                      Location::kNoCycle},
+             os.str());
+  }
+
+  // ---- FM104: values shipped when recompute is cheaper ---------------
+  {
+    const fm::RecomputeReport rc = fm::recompute_report(spec, mapping, machine);
+    if (rc.profitable_edges > 0 &&
+        rc.savings_fraction() >= opts.recompute_savings_fraction) {
+      std::ostringstream os;
+      os << rc.profitable_edges << " of " << rc.remote_edges
+         << " remote operand edges are cheaper to recompute than to ship ("
+         << static_cast<int>(100.0 * rc.savings_fraction())
+         << "% of movement energy recoverable)";
+      sink.add("FM104", Location{}, os.str());
+    }
+  }
+
+  rep.diagnostics = sink.diagnostics();
+  rep.errors = sink.errors();
+  rep.warnings = sink.warnings();
+  rep.dropped = sink.dropped();
+  return rep;
+}
+
+}  // namespace harmony::analyze

@@ -1,0 +1,183 @@
+#include "analyze/race.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace harmony::analyze {
+
+RaceCtx::RaceCtx(RaceOptions opts)
+    : ws_(opts.workspan), sink_(opts.max_diagnostics) {
+  // Root computation: procedure 0, S-bag = {0}, empty P-bag.
+  paths_.push_back(PathNode{kNone, 0, -1});
+  frames_.push_back(Frame{dsu_make(), 0, 0, kNone});
+  ws_.set_observer(this);
+}
+
+RaceCtx::~RaceCtx() { ws_.set_observer(nullptr); }
+
+// ---------------------------------------------------------------------
+// SP-bags transitions.  fork2(f, g) behaves as "spawn f; spawn g; sync":
+//   branch begin — child C starts with S_C = {C}, P_C = {};
+//   branch end   — returning to parent F: P_F ∪= S_C ∪ P_C;
+//   join (sync)  — S_F ∪= P_F; P_F = {}.
+// An access races with a shadowed one iff the shadowed procedure's bag
+// is a P-bag.
+// ---------------------------------------------------------------------
+
+void RaceCtx::on_fork() { fork_stack_.push_back(fork_seq_++); }
+
+void RaceCtx::on_branch_begin(int which) {
+  HARMONY_ASSERT(!fork_stack_.empty());
+  const std::uint32_t proc = dsu_make();
+  const auto node = static_cast<std::uint32_t>(paths_.size());
+  paths_.push_back(PathNode{frames_.back().path, fork_stack_.back(),
+                            static_cast<std::int8_t>(which)});
+  frames_.push_back(Frame{proc, node, proc, kNone});
+}
+
+void RaceCtx::on_branch_end(int /*which*/) {
+  HARMONY_ASSERT(frames_.size() >= 2);
+  const Frame child = frames_.back();
+  frames_.pop_back();
+  Frame& parent = frames_.back();
+  std::uint32_t merged = child.s_root;
+  if (child.p_root != kNone) merged = dsu_union(merged, child.p_root);
+  parent.p_root =
+      parent.p_root == kNone ? merged : dsu_union(parent.p_root, merged);
+  is_p_bag_[dsu_find(parent.p_root)] = true;
+}
+
+void RaceCtx::on_join() {
+  HARMONY_ASSERT(!fork_stack_.empty());
+  fork_stack_.pop_back();
+  Frame& frame = frames_.back();
+  if (frame.p_root != kNone) {
+    frame.s_root = dsu_union(frame.s_root, frame.p_root);
+    is_p_bag_[dsu_find(frame.s_root)] = false;
+    frame.p_root = kNone;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Union-find.
+// ---------------------------------------------------------------------
+
+std::uint32_t RaceCtx::dsu_make() {
+  const auto id = static_cast<std::uint32_t>(dsu_parent_.size());
+  dsu_parent_.push_back(id);
+  dsu_rank_.push_back(0);
+  is_p_bag_.push_back(false);  // a fresh singleton is its owner's S-bag
+  return id;
+}
+
+std::uint32_t RaceCtx::dsu_find(std::uint32_t x) {
+  while (dsu_parent_[x] != x) {
+    dsu_parent_[x] = dsu_parent_[dsu_parent_[x]];  // path halving
+    x = dsu_parent_[x];
+  }
+  return x;
+}
+
+std::uint32_t RaceCtx::dsu_union(std::uint32_t a, std::uint32_t b) {
+  a = dsu_find(a);
+  b = dsu_find(b);
+  if (a == b) return a;
+  if (dsu_rank_[a] < dsu_rank_[b]) std::swap(a, b);
+  dsu_parent_[b] = a;
+  if (dsu_rank_[a] == dsu_rank_[b]) ++dsu_rank_[a];
+  return a;
+}
+
+bool RaceCtx::in_p_bag(std::uint32_t proc) {
+  return is_p_bag_[dsu_find(proc)];
+}
+
+// ---------------------------------------------------------------------
+// Shadow accesses.
+// ---------------------------------------------------------------------
+
+void RaceCtx::track_region(std::string name, std::uintptr_t base,
+                           std::size_t elem_size, std::size_t count) {
+  regions_.push_back(
+      Region{base, base + elem_size * count, elem_size, std::move(name)});
+}
+
+void RaceCtx::access(std::uintptr_t base, std::size_t elem_size,
+                     std::size_t index, std::size_t count, bool is_write) {
+  for (std::size_t k = 0; k < count; ++k) {
+    access_one(base + (index + k) * elem_size, is_write);
+  }
+}
+
+void RaceCtx::access_one(std::uintptr_t addr, bool is_write) {
+  const Frame& frame = frames_.back();
+  Shadow& s = shadow_[addr];
+  if (is_write) {
+    // SP-bags write rule: racy against a logically parallel reader or
+    // writer; the reader race dominates (it is the one SP-bags keeps).
+    if (s.reader.proc != kNone && in_p_bag(s.reader.proc)) {
+      report(addr, s, s.reader, /*cur_is_write=*/true);
+    } else if (s.writer.proc != kNone && in_p_bag(s.writer.proc)) {
+      report(addr, s, s.writer, /*cur_is_write=*/true);
+    }
+    s.writer = Access{frame.proc, frame.path, true};
+  } else {
+    if (s.writer.proc != kNone && in_p_bag(s.writer.proc)) {
+      report(addr, s, s.writer, /*cur_is_write=*/false);
+    }
+    // Keep the reader whose bag is serial: it subsumes parallel ones for
+    // future write checks.
+    if (s.reader.proc == kNone || !in_p_bag(s.reader.proc)) {
+      s.reader = Access{frame.proc, frame.path, false};
+    }
+  }
+}
+
+void RaceCtx::report(std::uintptr_t addr, Shadow& shadow, const Access& prev,
+                     bool cur_is_write) {
+  if (shadow.reported) return;  // one diagnostic per racy location
+  shadow.reported = true;
+  const bool write_write = prev.is_write && cur_is_write;
+  const char* rule = write_write ? "RACE001" : "RACE002";
+  std::ostringstream os;
+  os << "determinacy race on " << name_of(addr) << ": "
+     << (prev.is_write ? "write" : "read") << " at "
+     << path_string(prev.path) << " is logically parallel with "
+     << (cur_is_write ? "write" : "read") << " at "
+     << path_string(frames_.back().path);
+  Location loc;
+  loc.op = name_of(addr);
+  sink_.add(rule, std::move(loc), os.str());
+}
+
+std::string RaceCtx::path_string(std::uint32_t path) const {
+  // Walk to the root collecting "f<seq>.<L|R>" labels, then reverse.
+  std::vector<std::string> parts;
+  for (std::uint32_t at = path; at != kNone; at = paths_[at].parent) {
+    const PathNode& node = paths_[at];
+    if (node.branch < 0) break;  // root
+    parts.push_back("f" + std::to_string(node.fork_seq) +
+                    (node.branch == 0 ? ".L" : ".R"));
+  }
+  std::string out = "main";
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    out += "/" + *it;
+  }
+  return out;
+}
+
+std::string RaceCtx::name_of(std::uintptr_t addr) const {
+  // Newest registration wins so re-tracked regions shadow stale ones.
+  for (auto it = regions_.rbegin(); it != regions_.rend(); ++it) {
+    if (addr >= it->begin && addr < it->end) {
+      return it->name + "[" +
+             std::to_string((addr - it->begin) / it->elem_size) + "]";
+    }
+  }
+  std::ostringstream os;
+  os << "0x" << std::hex << addr;
+  return os.str();
+}
+
+}  // namespace harmony::analyze

@@ -1,0 +1,175 @@
+// On-the-fly determinacy-race detection for the fork-join layer.
+//
+// Blelloch's work-depth model (paper §2) assumes race-free series-
+// parallel programs; RaceCtx makes that assumption checkable.  It is a
+// drop-in fork-join context (the same `work`/`fork2` concept as RealCtx
+// and WorkSpanCtx, sched/parallel_ops.hpp) that executes the algorithm
+// serially, records the series-parallel tree through WorkSpanCtx's
+// instrumentation hooks, and runs the SP-bags algorithm (Feng &
+// Leiserson, "Efficient Detection of Determinacy Races in Cilk
+// Programs") on the side:
+//
+//   * every fork2 branch is a procedure; each procedure owns an S-bag
+//     (descendants that logically precede the current strand) and a
+//     P-bag (descendants logically parallel to it), maintained with a
+//     union-find structure;
+//   * kernels declare their memory accesses with reader()/writer()
+//     annotations (no-ops under the other contexts via sched::reader /
+//     sched::writer); each annotated location shadows its last writer
+//     and a surviving reader;
+//   * an access races with a shadowed one iff the shadowed access's
+//     procedure sits in a P-bag — reported as a RACE001 (write-write) or
+//     RACE002 (read-write) diagnostic carrying the fork-tree path of
+//     *both* accesses ("main/f0.L/f2.R").
+//
+// One serial run flags a determinacy race iff the program has one for
+// this input, and a clean run certifies determinacy for this input.
+// Because shadow state is keyed by address, only annotate memory that
+// outlives the parallel region it is shared across (a buffer freed and
+// reallocated mid-run could alias a stale shadow entry).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analyze/diagnostic.hpp"
+#include "sched/workspan.hpp"
+
+namespace harmony::analyze {
+
+struct RaceOptions {
+  /// Diagnostic records kept (counters keep counting past the cap).
+  std::size_t max_diagnostics = 32;
+  /// Forwarded to the underlying work-span analyzer.
+  sched::WorkSpanCtx::Options workspan;
+};
+
+class RaceCtx final : public sched::ForkJoinObserver {
+ public:
+  explicit RaceCtx(RaceOptions opts = {});
+  ~RaceCtx() override;
+
+  RaceCtx(const RaceCtx&) = delete;
+  RaceCtx& operator=(const RaceCtx&) = delete;
+
+  static constexpr bool is_simulation = true;
+
+  /// Charges `ops` units of sequential work on the current strand.
+  void work(double ops) { ws_.work(ops); }
+
+  /// Parallel composition; executes both closures serially while the
+  /// WorkSpanCtx hooks drive the SP-bags state machine.
+  template <typename F, typename G>
+  void fork2(F&& f, G&& g) {
+    ws_.fork2(std::forward<F>(f), std::forward<G>(g));
+  }
+
+  /// Names a memory region so race reports read "h[17]" instead of a
+  /// raw address.  Optional; overlapping registrations keep the newest.
+  template <typename T>
+  void track(std::string name, const T* base, std::size_t count) {
+    track_region(std::move(name), reinterpret_cast<std::uintptr_t>(base),
+                 sizeof(T), count);
+  }
+
+  /// Declares that the current strand reads `count` elements starting at
+  /// `base[index]`.
+  template <typename T>
+  void reader(const T* base, std::size_t index, std::size_t count = 1) {
+    access(reinterpret_cast<std::uintptr_t>(base), sizeof(T), index, count,
+           /*is_write=*/false);
+  }
+
+  /// Declares that the current strand writes `count` elements starting
+  /// at `base[index]`.
+  template <typename T>
+  void writer(const T* base, std::size_t index, std::size_t count = 1) {
+    access(reinterpret_cast<std::uintptr_t>(base), sizeof(T), index, count,
+           /*is_write=*/true);
+  }
+
+  [[nodiscard]] const DiagnosticSink& diagnostics() const { return sink_; }
+  /// Racy locations found (each location is reported at most once).
+  [[nodiscard]] std::uint64_t race_count() const { return sink_.errors(); }
+  [[nodiscard]] bool clean() const { return sink_.errors() == 0; }
+
+  /// The underlying work-span analyzer — W, D, and greedy_time come for
+  /// free with the race check.
+  [[nodiscard]] const sched::WorkSpanCtx& workspan() const { return ws_; }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  /// One fork2 branch in flight (plus the root computation at bottom).
+  struct Frame {
+    std::uint32_t proc;    ///< this procedure's union-find element
+    std::uint32_t path;    ///< index into paths_
+    std::uint32_t s_root;  ///< root of the S-bag set
+    std::uint32_t p_root;  ///< root of the P-bag set, kNone when empty
+  };
+
+  /// Fork-tree path node: branch `branch` of fork #`fork_seq`.
+  struct PathNode {
+    std::uint32_t parent;
+    std::uint64_t fork_seq;
+    std::int8_t branch;  ///< 0 = left, 1 = right, -1 = root
+  };
+
+  struct Access {
+    std::uint32_t proc = kNone;
+    std::uint32_t path = 0;
+    bool is_write = false;
+  };
+
+  struct Shadow {
+    Access writer;
+    Access reader;
+    bool reported = false;
+  };
+
+  struct Region {
+    std::uintptr_t begin;
+    std::uintptr_t end;
+    std::size_t elem_size;
+    std::string name;
+  };
+
+  // ForkJoinObserver — the SP-bags transitions.
+  void on_fork() override;
+  void on_branch_begin(int which) override;
+  void on_branch_end(int which) override;
+  void on_join() override;
+
+  void track_region(std::string name, std::uintptr_t base,
+                    std::size_t elem_size, std::size_t count);
+  void access(std::uintptr_t base, std::size_t elem_size, std::size_t index,
+              std::size_t count, bool is_write);
+  void access_one(std::uintptr_t addr, bool is_write);
+  void report(std::uintptr_t addr, Shadow& shadow, const Access& prev,
+              bool cur_is_write);
+
+  [[nodiscard]] std::uint32_t dsu_make();
+  [[nodiscard]] std::uint32_t dsu_find(std::uint32_t x);
+  [[nodiscard]] std::uint32_t dsu_union(std::uint32_t a, std::uint32_t b);
+  [[nodiscard]] bool in_p_bag(std::uint32_t proc);
+
+  [[nodiscard]] std::string path_string(std::uint32_t path) const;
+  [[nodiscard]] std::string name_of(std::uintptr_t addr) const;
+
+  sched::WorkSpanCtx ws_;
+  DiagnosticSink sink_;
+  std::vector<std::uint32_t> dsu_parent_;
+  std::vector<std::uint8_t> dsu_rank_;
+  std::vector<bool> is_p_bag_;  ///< bag kind, valid at set roots
+  std::vector<Frame> frames_;   ///< stack; frames_[0] = root computation
+  std::vector<std::uint64_t> fork_stack_;  ///< fork seq of open fork2s
+  std::vector<PathNode> paths_;
+  std::unordered_map<std::uintptr_t, Shadow> shadow_;
+  std::vector<Region> regions_;
+  std::uint64_t fork_seq_ = 0;
+};
+
+}  // namespace harmony::analyze

@@ -2,15 +2,29 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string>
 #include <unordered_set>
 
 namespace harmony::fm {
 
 namespace {
 
-void add_message(LegalityReport& rep, const VerifyOptions& opts,
-                 const std::string& msg) {
-  if (rep.messages.size() < opts.max_messages) rep.messages.push_back(msg);
+using analyze::Diagnostic;
+using analyze::Location;
+
+void add_diag(LegalityReport& rep, const VerifyOptions& opts,
+              const char* rule_id, Location loc, const std::string& msg) {
+  if (rep.diagnostics.size() < opts.max_messages) {
+    rep.diagnostics.push_back(
+        analyze::make_diagnostic(rule_id, std::move(loc), msg));
+  }
+}
+
+std::string element_name(const FunctionSpec& spec, TensorId t,
+                         const Point& p) {
+  std::ostringstream os;
+  os << spec.name(t) << p;
+  return os.str();
 }
 
 }  // namespace
@@ -69,11 +83,14 @@ LegalityReport verify(const FunctionSpec& spec, const Mapping& mapping,
     dom.for_each([&](const Point& p) {
       const Cycle when = mapping.time(t, p);
       const noc::Coord here = mapping.place(t, p);
+      const auto here_pe = static_cast<std::int32_t>(machine.geom.index(here));
       if (when < 0) {
         ++rep.causality_violations;
         std::ostringstream os;
-        os << spec.name(t) << p << " scheduled at negative cycle " << when;
-        add_message(rep, opts, os.str());
+        os << element_name(spec, t, p) << " scheduled at negative cycle "
+           << when;
+        add_diag(rep, opts, "FM001",
+                 Location{element_name(spec, t, p), here_pe, when}, os.str());
         return;
       }
       makespan = std::max(makespan, when + 1);
@@ -88,10 +105,12 @@ LegalityReport verify(const FunctionSpec& spec, const Mapping& mapping,
         if (when < need) {
           ++rep.causality_violations;
           std::ostringstream os;
-          os << spec.name(t) << p << " at cycle " << when
-             << " consumes " << spec.name(d.tensor) << d.point
+          os << element_name(spec, t, p) << " at cycle " << when
+             << " consumes " << element_name(spec, d.tensor, d.point)
              << " which arrives at cycle " << need;
-          add_message(rep, opts, os.str());
+          add_diag(rep, opts, "FM001",
+                   Location{element_name(spec, t, p), here_pe, when},
+                   os.str());
         }
         if (spec.is_input(d.tensor)) {
           const InputHome& home = mapping.input_home(d.tensor);
@@ -110,12 +129,12 @@ LegalityReport verify(const FunctionSpec& spec, const Mapping& mapping,
   for (std::size_t i = 1; i < slots.size(); ++i) {
     if (slots[i] == slots[i - 1]) {
       ++rep.exclusivity_violations;
-      if (rep.exclusivity_violations <= opts.max_messages) {
-        std::ostringstream os;
-        os << "two elements share PE " << (slots[i] >> 40) << " at cycle "
-           << (slots[i] & ((std::uint64_t{1} << 40) - 1));
-        add_message(rep, opts, os.str());
-      }
+      const auto pe = static_cast<std::int32_t>(slots[i] >> 40);
+      const auto cycle = static_cast<Cycle>(
+          slots[i] & ((std::uint64_t{1} << 40) - 1));
+      std::ostringstream os;
+      os << "two elements share PE " << pe << " at cycle " << cycle;
+      add_diag(rep, opts, "FM002", Location{"", pe, cycle}, os.str());
     }
   }
 
@@ -183,14 +202,17 @@ LegalityReport verify(const FunctionSpec& spec, const Mapping& mapping,
         flagged_this_pe = false;
       }
       live += e.delta;
-      rep.peak_live_values = std::max(rep.peak_live_values, live);
+      if (live > rep.peak_live_values) {
+        rep.peak_live_values = live;
+        rep.peak_live_pe = e.pe;
+      }
       if (live > machine.pe_capacity_values && !flagged_this_pe) {
         ++rep.storage_violations;
         flagged_this_pe = true;
         std::ostringstream os;
         os << "PE " << e.pe << " holds " << live << " live values at cycle "
            << e.cycle << " (capacity " << machine.pe_capacity_values << ")";
-        add_message(rep, opts, os.str());
+        add_diag(rep, opts, "FM003", Location{"", e.pe, e.cycle}, os.str());
       }
     }
   }
@@ -200,15 +222,21 @@ LegalityReport verify(const FunctionSpec& spec, const Mapping& mapping,
     for (std::size_t l = 0; l < link_bits.size(); ++l) {
       const double rate = static_cast<double>(link_bits[l]) /
                           static_cast<double>(makespan);
-      rep.peak_link_bits_per_cycle =
-          std::max(rep.peak_link_bits_per_cycle, rate);
+      if (rate > rep.peak_link_bits_per_cycle) {
+        rep.peak_link_bits_per_cycle = rate;
+        rep.peak_link = static_cast<std::int64_t>(l);
+      }
       if (rate > machine.link_bits_per_cycle) {
         ++rep.bandwidth_violations;
         std::ostringstream os;
         os << "directed link " << l << " carries " << rate
            << " bits/cycle on average (capacity "
            << machine.link_bits_per_cycle << ")";
-        add_message(rep, opts, os.str());
+        add_diag(rep, opts, "FM004",
+                 Location{"link " + std::to_string(l),
+                          static_cast<std::int32_t>(l / 4),
+                          analyze::Location::kNoCycle},
+                 os.str());
       }
     }
   }

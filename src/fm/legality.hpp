@@ -18,9 +18,9 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
+#include "analyze/diagnostic.hpp"
 #include "fm/machine.hpp"
 #include "fm/mapping.hpp"
 #include "fm/spec.hpp"
@@ -30,7 +30,7 @@ namespace harmony::fm {
 struct VerifyOptions {
   bool check_storage = true;
   bool check_bandwidth = true;
-  /// Stop collecting violation messages after this many (counts continue).
+  /// Stop collecting diagnostic records after this many (counts continue).
   std::size_t max_messages = 8;
 };
 
@@ -40,15 +40,27 @@ struct LegalityReport {
   std::uint64_t exclusivity_violations = 0;
   std::uint64_t storage_violations = 0;
   std::uint64_t bandwidth_violations = 0;
-  /// Peak live values over all PEs (filled when storage is checked).
+  /// Peak live values over all PEs (filled when storage is checked),
+  /// and the PE where the peak occurs (-1 if storage was not checked).
   std::int64_t peak_live_values = 0;
-  /// Peak average bits/cycle over all directed links (when checked).
+  std::int32_t peak_live_pe = -1;
+  /// Peak average bits/cycle over all directed links (when checked),
+  /// and the directed-link index where it occurs (-1 if not checked).
   double peak_link_bits_per_cycle = 0.0;
-  std::vector<std::string> messages;
+  std::int64_t peak_link = -1;
+  /// Typed violation records (rules FM001–FM004, analyze/diagnostic.hpp),
+  /// capped at VerifyOptions::max_messages; the counters above keep
+  /// counting past the cap.
+  std::vector<analyze::Diagnostic> diagnostics;
 
   [[nodiscard]] std::uint64_t total_violations() const {
     return causality_violations + exclusivity_violations +
            storage_violations + bandwidth_violations;
+  }
+
+  /// First diagnostic message, or "" — handy for error/assert output.
+  [[nodiscard]] std::string first_message() const {
+    return diagnostics.empty() ? std::string{} : diagnostics.front().message;
   }
 };
 

@@ -33,8 +33,8 @@ ProgramResult run_program(const std::vector<ProgramStage>& stages,
     if (!rep.ok) {
       throw SimulationError("run_program: stage " + stage.name +
                             " has an illegal mapping: " +
-                            (rep.messages.empty() ? "(no detail)"
-                                                  : rep.messages[0]));
+                            (rep.diagnostics.empty() ? "(no detail)"
+                                                     : rep.first_message()));
     }
     ExecutionResult exec = gm.run(*stage.spec, *stage.mapping, carried);
     res.total_cycles += exec.makespan_cycles;

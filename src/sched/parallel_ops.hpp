@@ -34,6 +34,27 @@ struct RealCtx {
   }
 };
 
+/// Shadow-access annotations for the determinacy-race detector
+/// (analyze/race.hpp).  A kernel declares "this strand reads/writes
+/// base[index..index+count)"; under a context that implements
+/// reader/writer (analyze::RaceCtx) the access feeds the SP-bags race
+/// check, under every other context the call compiles away.
+template <typename Ctx, typename T>
+inline void reader(Ctx& ctx, const T* base, std::size_t index,
+                   std::size_t count = 1) {
+  if constexpr (requires { ctx.reader(base, index, count); }) {
+    ctx.reader(base, index, count);
+  }
+}
+
+template <typename Ctx, typename T>
+inline void writer(Ctx& ctx, const T* base, std::size_t index,
+                   std::size_t count = 1) {
+  if constexpr (requires { ctx.writer(base, index, count); }) {
+    ctx.writer(base, index, count);
+  }
+}
+
 /// Runs the loop body over [lo, hi) with binary fork-join splitting;
 /// ranges of at most `grain` iterations run serially.
 template <typename Ctx, typename Body>

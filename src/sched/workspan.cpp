@@ -18,6 +18,7 @@ std::size_t WorkSpanCtx::new_node(Node::Kind k) {
 void WorkSpanCtx::work(double ops) {
   HARMONY_REQUIRE(ops >= 0.0, "WorkSpanCtx::work: negative cost");
   if (ops == 0.0) return;
+  if (observer_ != nullptr) observer_->on_work(ops);
   Node& series = nodes_[series_stack_.back()];
   // Merge into a preceding leaf: consecutive sequential work is one strand.
   if (!series.children.empty() &&
@@ -35,23 +36,31 @@ std::size_t WorkSpanCtx::begin_fork() {
   ++fork_count_;
   const std::size_t par = new_node(Node::Kind::kPar);
   nodes_[series_stack_.back()].children.push_back(par);
+  if (observer_ != nullptr) observer_->on_fork();
   return par;
 }
 
 void WorkSpanCtx::begin_branch(std::size_t par) {
+  const int which = static_cast<int>(nodes_[par].children.size());
   const std::size_t branch = new_node(Node::Kind::kSeries);
   nodes_[par].children.push_back(branch);
   series_stack_.push_back(branch);
+  if (observer_ != nullptr) observer_->on_branch_begin(which);
 }
 
 void WorkSpanCtx::end_branch(std::size_t par) {
   HARMONY_ASSERT(!series_stack_.empty());
   HARMONY_ASSERT(nodes_[par].kind == Node::Kind::kPar);
   series_stack_.pop_back();
+  if (observer_ != nullptr) {
+    observer_->on_branch_end(
+        static_cast<int>(nodes_[par].children.size()) - 1);
+  }
 }
 
 void WorkSpanCtx::end_fork(std::size_t par) {
   HARMONY_ASSERT(nodes_[par].children.size() == 2);
+  if (observer_ != nullptr) observer_->on_join();
 }
 
 double WorkSpanCtx::node_work(std::size_t id) const {

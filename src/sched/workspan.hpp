@@ -25,6 +25,26 @@
 
 namespace harmony::sched {
 
+/// Instrumentation hooks: an observer registered on a WorkSpanCtx sees
+/// the series-parallel structure exactly as it is recorded — fork2 fires
+/// on_fork, then on_branch_begin/on_branch_end around each branch, then
+/// on_join.  The determinacy-race detector (analyze/race.hpp) drives its
+/// SP-bags bookkeeping from these callbacks.
+class ForkJoinObserver {
+ public:
+  virtual ~ForkJoinObserver() = default;
+  /// Sequential work charged on the current strand.
+  virtual void on_work(double /*ops*/) {}
+  /// A fork2 is about to open (before either branch runs).
+  virtual void on_fork() {}
+  /// Branch `which` (0 = left, 1 = right) starts executing.
+  virtual void on_branch_begin(int /*which*/) {}
+  /// Branch `which` finished executing.
+  virtual void on_branch_end(int /*which*/) {}
+  /// Both branches joined; execution continues on the parent strand.
+  virtual void on_join() {}
+};
+
 class WorkSpanCtx {
  public:
   struct Options {
@@ -71,6 +91,10 @@ class WorkSpanCtx {
   /// Parallelism W/D (the "maximum useful processor count").
   [[nodiscard]] double parallelism() const;
 
+  /// Registers (or, with nullptr, detaches) the fork-join observer.  At
+  /// most one observer; it must outlive every fork2/work call.
+  void set_observer(ForkJoinObserver* obs) { observer_ = obs; }
+
  private:
   // Series-parallel tree.  SERIES children alternate leaves and PAR nodes;
   // consecutive sequential work is merged into one leaf strand.
@@ -90,6 +114,7 @@ class WorkSpanCtx {
   double node_span(std::size_t id) const;
 
   Options opts_;
+  ForkJoinObserver* observer_ = nullptr;
   std::vector<Node> nodes_;
   std::vector<std::size_t> series_stack_;  // innermost active SERIES node
   std::size_t root_;

@@ -63,6 +63,17 @@ void Metrics::on_batch(std::size_t size) {
   batched_requests_.fetch_add(size, std::memory_order_relaxed);
 }
 
+void Metrics::on_diagnostics(
+    const std::vector<analyze::Diagnostic>& diags) {
+  for (const analyze::Diagnostic& d : diags) {
+    const int idx = analyze::rule_index(d.rule_id);
+    if (idx >= 0) {
+      diag_by_rule_[static_cast<std::size_t>(idx)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+}
+
 MetricsSnapshot Metrics::snapshot(std::uint64_t queue_depth,
                                   const CacheStats& cache) const {
   MetricsSnapshot s;
@@ -82,6 +93,9 @@ MetricsSnapshot Metrics::snapshot(std::uint64_t queue_depth,
   s.p50_us = latency_.percentile_us(0.50);
   s.p95_us = latency_.percentile_us(0.95);
   s.p99_us = latency_.percentile_us(0.99);
+  for (std::size_t i = 0; i < analyze::kRuleCount; ++i) {
+    s.diagnostics_by_rule[i] = diag_by_rule_[i].load(std::memory_order_relaxed);
+  }
   return s;
 }
 
@@ -107,6 +121,12 @@ Table metrics_table(const MetricsSnapshot& snap) {
   t.add_row({"p50_us", snap.p50_us});
   t.add_row({"p95_us", snap.p95_us});
   t.add_row({"p99_us", snap.p99_us});
+  t.add_row({"diagnostics", u(snap.diagnostics_total())});
+  for (std::size_t i = 0; i < analyze::kRuleCount; ++i) {
+    if (snap.diagnostics_by_rule[i] == 0) continue;
+    t.add_row({std::string("diag.") + analyze::kRules[i].id,
+               u(snap.diagnostics_by_rule[i])});
+  }
   return t;
 }
 

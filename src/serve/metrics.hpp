@@ -17,7 +17,9 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "analyze/diagnostic.hpp"
 #include "serve/cache.hpp"
 #include "support/table.hpp"
 
@@ -54,6 +56,15 @@ struct MetricsSnapshot {
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
+  /// Diagnostics emitted by oracle runs, indexed like analyze::kRules
+  /// (cache hits replay stored diagnostics and are not re-counted).
+  std::array<std::uint64_t, analyze::kRuleCount> diagnostics_by_rule{};
+
+  [[nodiscard]] std::uint64_t diagnostics_total() const {
+    std::uint64_t n = 0;
+    for (const std::uint64_t c : diagnostics_by_rule) n += c;
+    return n;
+  }
 };
 
 class Metrics {
@@ -63,6 +74,8 @@ class Metrics {
   void on_complete(std::chrono::nanoseconds latency, bool deadline_cut,
                    bool error);
   void on_batch(std::size_t size);
+  /// Tallies a response's diagnostics by rule ID (unknown IDs ignored).
+  void on_diagnostics(const std::vector<analyze::Diagnostic>& diags);
 
   [[nodiscard]] MetricsSnapshot snapshot(std::uint64_t queue_depth,
                                          const CacheStats& cache) const;
@@ -75,6 +88,7 @@ class Metrics {
   std::atomic<std::uint64_t> deadline_cut_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};
+  std::array<std::atomic<std::uint64_t>, analyze::kRuleCount> diag_by_rule_{};
   LatencyHistogram latency_;
 };
 

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/diagnostic.hpp"
 #include "fm/cost.hpp"
 #include "fm/legality.hpp"
 #include "fm/machine.hpp"
@@ -101,6 +102,9 @@ struct Response {
   fm::CostReport cost;          ///< kCostEval; also the best tune cost
   fm::LegalityReport legality;  ///< kLegality
   fm::SearchResult search;      ///< kTune
+  /// kTune: mapping-linter diagnostics (analyze::lint_mapping) for the
+  /// best mapping found — warnings a merit number alone would hide.
+  std::vector<analyze::Diagnostic> lint;
   std::string error;            ///< kError
   /// Submit-to-response time as observed by this waiter.
   std::chrono::nanoseconds latency{0};

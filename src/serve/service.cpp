@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "analyze/lint.hpp"
 #include "sched/parallel_ops.hpp"
 
 namespace harmony::serve {
@@ -185,6 +186,10 @@ void Service::run_group(std::vector<std::unique_ptr<Pending>>& group) {
   Response computed;
   if (cached == nullptr) {
     computed = execute(leader);
+    // Count diagnostics once per oracle run (cache hits replay, they
+    // don't re-diagnose).
+    metrics_.on_diagnostics(computed.legality.diagnostics);
+    metrics_.on_diagnostics(computed.lint);
     const bool store = leader.use_cache && computed.ok() &&
                        (leader.req.kind != RequestKind::kTune ||
                         computed.search.exhausted);
@@ -232,7 +237,14 @@ Response Service::execute(const Pending& p) const {
         r.search =
             fm::search_affine(*req.spec, req.machine, input_proto(req), opts);
         r.deadline_cut = p.has_deadline && !r.search.exhausted;
-        if (r.search.found) r.cost = r.search.best.cost;
+        if (r.search.found) {
+          r.cost = r.search.best.cost;
+          // Lint the winner: a mapping can win the merit race and still
+          // carry smells (idle PEs, hot links) the caller should see.
+          const fm::Mapping best = materialize_mapping(req, r.search.best.map);
+          r.lint = analyze::lint_mapping(*req.spec, best, req.machine)
+                       .diagnostics;
+        }
         break;
       }
     }

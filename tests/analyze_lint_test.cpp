@@ -1,0 +1,244 @@
+// Mapping linter (analyze/lint.hpp) and the structured-diagnostic core
+// (analyze/diagnostic.hpp): stable rule IDs, severities, and the
+// warning-tier rules over known-illegal and known-smelly mappings.
+#include "analyze/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algos/editdist.hpp"
+#include "analyze/diagnostic.hpp"
+#include "fm/machine.hpp"
+#include "fm/mapping.hpp"
+#include "fm/spec.hpp"
+#include "support/table.hpp"
+
+namespace harmony::analyze {
+namespace {
+
+using fm::IndexDomain;
+using fm::InputHome;
+using fm::Mapping;
+using fm::OpCost;
+using fm::Point;
+using fm::TensorId;
+using fm::ValueRef;
+
+// --- registry stability -------------------------------------------------
+
+TEST(DiagnosticRegistry, RuleIdsAndSeveritiesAreStable) {
+  // These IDs are public contract: serving metrics export them, tests
+  // assert them, harmony-lint prints them.  Append rules; never renumber.
+  EXPECT_EQ(find_rule("FM001")->severity, Severity::kError);
+  EXPECT_EQ(find_rule("FM002")->severity, Severity::kError);
+  EXPECT_EQ(find_rule("FM003")->severity, Severity::kError);
+  EXPECT_EQ(find_rule("FM004")->severity, Severity::kError);
+  EXPECT_EQ(find_rule("FM101")->severity, Severity::kWarning);
+  EXPECT_EQ(find_rule("FM102")->severity, Severity::kWarning);
+  EXPECT_EQ(find_rule("FM103")->severity, Severity::kWarning);
+  EXPECT_EQ(find_rule("FM104")->severity, Severity::kWarning);
+  EXPECT_EQ(find_rule("RACE001")->severity, Severity::kError);
+  EXPECT_EQ(find_rule("RACE002")->severity, Severity::kError);
+  EXPECT_EQ(find_rule("FM999"), nullptr);
+  EXPECT_EQ(rule_index("FM001"), 0);
+  EXPECT_EQ(std::string(find_rule("FM101")->title), "fm-idle-pes");
+  for (const RuleInfo& r : kRules) {
+    EXPECT_NE(std::string(r.hint), "") << r.id;
+  }
+}
+
+TEST(DiagnosticSinkTest, CountsPastCapacityAndTracksPerRule) {
+  DiagnosticSink sink(2);
+  for (int i = 0; i < 5; ++i) sink.add("FM002", Location{}, "dup slot");
+  sink.add("FM101", Location{}, "idle");
+  EXPECT_EQ(sink.diagnostics().size(), 2u);  // capacity-bounded storage
+  EXPECT_EQ(sink.errors(), 5u);              // counters keep counting
+  EXPECT_EQ(sink.warnings(), 1u);
+  EXPECT_EQ(sink.dropped(), 4u);
+  EXPECT_EQ(sink.count("FM002"), 5u);
+  EXPECT_EQ(sink.count("FM101"), 1u);
+  EXPECT_FALSE(sink.ok());
+}
+
+// --- linting an illegal mapping -----------------------------------------
+
+TEST(Lint, IllegalMappingYieldsErrorDiagnosticsWithStableIds) {
+  fm::TensorId rt = -1, qt = -1, ht = -1;
+  const auto spec =
+      algos::editdist_spec(6, 6, algos::SwScores{}, &rt, &qt, &ht);
+  const fm::MachineConfig machine = fm::make_machine(2, 2);
+  // Everything at PE (0,0), cycle 0: violates causality (operands can't
+  // have arrived) and exclusivity (36 elements share one slot).
+  fm::AffineMap am;
+  am.cols = 2;
+  am.rows = 2;
+  Mapping m;
+  m.set_computed(ht, am.place_fn(), am.time_fn());
+  m.set_input(rt, InputHome::at({0, 0}));
+  m.set_input(qt, InputHome::at({0, 0}));
+
+  LintOptions opts;
+  opts.verify.max_messages = 256;  // keep every record: FM002 comes after
+  opts.max_diagnostics = 256;      // the FM001 flood in emission order
+  const LintReport rep = lint_mapping(spec, m, machine, opts);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_GT(rep.errors, 0u);
+  EXPECT_GT(rep.count("FM001"), 0u);
+  EXPECT_GT(rep.count("FM002"), 0u);
+  for (const Diagnostic& d : rep.diagnostics) {
+    if (d.rule_id == "FM001" || d.rule_id == "FM002") {
+      EXPECT_EQ(d.severity, Severity::kError);
+      EXPECT_NE(d.hint, "");
+    }
+  }
+  // Location carries the space-time coordinates of the first violation.
+  EXPECT_EQ(rep.diagnostics.front().location.pe, 0);
+}
+
+// --- linting legal-but-smelly mappings ----------------------------------
+
+TEST(Lint, SerialMappingOnParallelMachineWarnsIdlePes) {
+  const auto spec = algos::editdist_spec(8, 8, algos::SwScores{});
+  const fm::MachineConfig machine = fm::make_machine(4, 1);
+  const Mapping m = fm::serial_mapping(spec);
+
+  const LintReport rep = lint_mapping(spec, m, machine);
+  EXPECT_TRUE(rep.ok()) << rep.legality.first_message();
+  EXPECT_EQ(rep.errors, 0u);
+  EXPECT_EQ(rep.count("FM101"), 1u);
+  EXPECT_EQ(rep.busy_pes, 1);
+  EXPECT_EQ(rep.total_pes, 4);
+  for (const Diagnostic& d : rep.diagnostics) {
+    EXPECT_EQ(d.severity, Severity::kWarning) << d.rule_id;
+  }
+}
+
+TEST(Lint, StorageHighWaterWarnsBeforeViolating) {
+  const auto spec = algos::editdist_spec(8, 8, algos::SwScores{});
+  fm::MachineConfig machine = fm::make_machine(1, 1);
+  const Mapping m = fm::serial_mapping(spec);
+
+  // Pass 1 at default capacity measures the peak; pass 2 shrinks the
+  // capacity so the peak sits at 80% — above the 75% warning threshold,
+  // below the 100% violation line.
+  const LintReport probe = lint_mapping(spec, m, machine);
+  const std::int64_t peak = probe.legality.peak_live_values;
+  ASSERT_GT(peak, 0);
+  EXPECT_EQ(probe.count("FM102"), 0u);  // 2^20 capacity: nowhere near
+
+  machine.pe_capacity_values = static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(peak) / 0.8));
+  const LintReport rep = lint_mapping(spec, m, machine);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.legality.storage_violations, 0u);
+  EXPECT_EQ(rep.count("FM102"), 1u);
+  // The warning points at the PE where the high-water mark occurs.
+  for (const Diagnostic& d : rep.diagnostics) {
+    if (d.rule_id == "FM102") {
+      EXPECT_EQ(d.location.pe, rep.legality.peak_live_pe);
+    }
+  }
+}
+
+TEST(Lint, BandwidthHotspotWarnsBeforeViolating) {
+  fm::TensorId rt = -1, qt = -1, ht = -1;
+  const auto spec =
+      algos::editdist_spec(12, 12, algos::SwScores{}, &rt, &qt, &ht);
+  fm::MachineConfig machine = fm::make_machine(4, 1);
+  const fm::WavefrontMap wf = fm::wavefront_map(12, 4);
+  Mapping m;
+  m.set_computed(ht, wf.place_fn(), wf.time_fn());
+  m.set_input(rt, InputHome::at({0, 0}));
+  m.set_input(qt, InputHome::at({0, 0}));
+
+  const LintReport probe = lint_mapping(spec, m, machine);
+  ASSERT_TRUE(probe.ok()) << probe.legality.first_message();
+  const double peak = probe.legality.peak_link_bits_per_cycle;
+  ASSERT_GT(peak, 0.0);
+
+  // Lower the link capacity so the measured peak lands at 80% of it.
+  machine.link_bits_per_cycle = peak / 0.8;
+  const LintReport rep = lint_mapping(spec, m, machine);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.legality.bandwidth_violations, 0u);
+  EXPECT_EQ(rep.count("FM103"), 1u);
+}
+
+TEST(Lint, RecomputeOpportunityWarns) {
+  // The fan-out chain from the recompute tests: s lives on PE 0, every
+  // b(i) consumes s(i) remotely, and s's operands are all inputs — so
+  // recompute at the consumer beats the wire by a wide margin.
+  fm::FunctionSpec spec;
+  const std::int64_t n = 16;
+  const TensorId a = spec.add_input("a", IndexDomain(n), 32);
+  const TensorId s = spec.add_computed(
+      "s", IndexDomain(n),
+      [a](const Point& p) {
+        return std::vector<ValueRef>{{a, p}};
+      },
+      [](const Point&, const std::vector<double>& v) { return 2.0 * v[0]; },
+      OpCost{.ops = 1.0, .bits = 32});
+  const TensorId b = spec.add_computed(
+      "b", IndexDomain(n),
+      [s](const Point& p) {
+        return std::vector<ValueRef>{{s, p}};
+      },
+      [](const Point&, const std::vector<double>& v) { return v[0] + 1.0; },
+      OpCost{.ops = 1.0, .bits = 32});
+  spec.mark_output(b);
+
+  const fm::MachineConfig cfg = fm::make_machine(16, 1);
+  Mapping m;
+  m.set_computed(s, [](const Point&) { return noc::Coord{0, 0}; },
+                 [](const Point& p) { return fm::Cycle{p.i + 16}; });
+  m.set_computed(
+      b,
+      [](const Point& p) {
+        return noc::Coord{static_cast<int>(p.i), 0};
+      },
+      [](const Point& p) { return fm::Cycle{p.i + 64}; });
+  m.set_input(a, InputHome::distributed([](const Point& p) {
+                return noc::Coord{static_cast<int>(p.i), 0};
+              }));
+
+  const LintReport rep = lint_mapping(spec, m, cfg);
+  EXPECT_TRUE(rep.ok()) << rep.legality.first_message();
+  EXPECT_EQ(rep.count("FM104"), 1u);
+}
+
+// --- rendering ----------------------------------------------------------
+
+TEST(Lint, JsonExportCarriesRuleIdsAndSeverities) {
+  const auto spec = algos::editdist_spec(8, 8, algos::SwScores{});
+  const fm::MachineConfig machine = fm::make_machine(4, 1);
+  const LintReport rep =
+      lint_mapping(spec, fm::serial_mapping(spec), machine);
+  ASSERT_FALSE(rep.diagnostics.empty());
+
+  const std::string json = diagnostics_json(rep.diagnostics);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"rule\": \"FM101\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\": \"warning\""), std::string::npos);
+  EXPECT_NE(json.find("\"hint\""), std::string::npos);
+}
+
+TEST(Lint, TableRendersOneRowPerDiagnostic) {
+  std::vector<Diagnostic> diags;
+  diags.push_back(make_diagnostic("FM002", Location{"H(1,1)", 3, 17},
+                                  "two elements share PE 3 at cycle 17"));
+  diags.push_back(make_diagnostic("RACE001", Location{"h[5]"},
+                                  "determinacy race on h[5]"));
+  std::ostringstream os;
+  diagnostics_table(diags).print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("FM002"), std::string::npos);
+  EXPECT_NE(text.find("RACE001"), std::string::npos);
+  EXPECT_NE(text.find("error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harmony::analyze

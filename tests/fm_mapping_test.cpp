@@ -63,7 +63,7 @@ TEST(Legality, SerialMappingIsLegal) {
   const MachineConfig machine = make_machine(4, 1);
   const LegalityReport rep =
       verify(fx.spec, serial_mapping(fx.spec), machine);
-  EXPECT_TRUE(rep.ok) << (rep.messages.empty() ? "" : rep.messages[0]);
+  EXPECT_TRUE(rep.ok) << rep.first_message();
   EXPECT_EQ(rep.total_violations(), 0u);
 }
 
@@ -74,7 +74,7 @@ TEST(Legality, WavefrontMappingIsLegal) {
     const LegalityReport rep =
         verify(fx.spec, fx.wavefront(pes), machine);
     EXPECT_TRUE(rep.ok) << "P=" << pes << ": "
-                        << (rep.messages.empty() ? "" : rep.messages[0]);
+                        << rep.first_message();
   }
 }
 
@@ -250,7 +250,7 @@ TEST(Machine, Systolic2DMatmulOnSquareGrid) {
   }
 
   const LegalityReport rep = verify(spec, m, cfg);
-  ASSERT_TRUE(rep.ok) << (rep.messages.empty() ? "" : rep.messages[0]);
+  ASSERT_TRUE(rep.ok) << rep.first_message();
 
   Rng rng(5);
   std::vector<double> a(static_cast<std::size_t>(n * n));
@@ -291,7 +291,7 @@ TEST_P(FoldedWavefront, VerifiesExecutesAndSlowsByTheFoldFactor) {
   const MachineConfig cfg = make_machine(physical, 1);
   const LegalityReport rep = verify(fx.spec, m, cfg);
   ASSERT_TRUE(rep.ok) << "P=" << physical << ": "
-                      << (rep.messages.empty() ? "" : rep.messages[0]);
+                      << rep.first_message();
 
   const auto res = GridMachine(cfg).run(
       fx.spec, m,
@@ -413,7 +413,7 @@ TEST(Machine, ConvWeightStationaryExecutesCorrectly) {
   auto build = algos::conv1d_weight_stationary(n_out, k);
   const MachineConfig cfg = make_machine(static_cast<int>(k), 1);
   const LegalityReport rep = verify(build.spec, build.mapping, cfg);
-  ASSERT_TRUE(rep.ok) << (rep.messages.empty() ? "" : rep.messages[0]);
+  ASSERT_TRUE(rep.ok) << rep.first_message();
 
   std::vector<double> x(static_cast<std::size_t>(n_out + k - 1));
   std::vector<double> w(static_cast<std::size_t>(k));

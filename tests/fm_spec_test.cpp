@@ -236,7 +236,7 @@ TEST(Stencil2dSpec, SystolicTilePlacementExecutes) {
                                   static_cast<int>(p.i)};
               }));
   const fm::LegalityReport rep = verify(spec, m, cfg);
-  ASSERT_TRUE(rep.ok) << (rep.messages.empty() ? "" : rep.messages[0]);
+  ASSERT_TRUE(rep.ok) << rep.first_message();
 
   Rng rng(13);
   std::vector<double> u0(static_cast<std::size_t>(rows * cols));

@@ -26,7 +26,7 @@ TEST(DefaultMapper, ProducesLegalMappingForEditDistance) {
   const MachineConfig cfg = make_machine(4, 2);
   const Mapping m = default_mapping(spec, cfg);
   const LegalityReport rep = verify(spec, m, cfg);
-  EXPECT_TRUE(rep.ok) << (rep.messages.empty() ? "" : rep.messages[0]);
+  EXPECT_TRUE(rep.ok) << rep.first_message();
 }
 
 TEST(DefaultMapper, ExecutesToCorrectValues) {
@@ -384,6 +384,102 @@ TEST(Lower, SerialMappingUsesOnePe) {
   const HardwareSpec hw = lower(spec, serial_mapping(spec), cfg);
   EXPECT_EQ(hw.active_pes(), 1u);
   EXPECT_EQ(hw.pes[0].ops, 25u);
+}
+
+// --- verify edge cases --------------------------------------------------
+
+TEST(VerifyEdgeCases, MaxMessagesTruncatesRecordsButNotCounters) {
+  // All-at-origin mapping: every one of the 36 elements collides, so the
+  // violation counters must race past a tiny diagnostic cap.
+  TensorId rt;
+  TensorId qt;
+  TensorId ht;
+  const auto spec =
+      algos::editdist_spec(6, 6, algos::SwScores{}, &rt, &qt, &ht);
+  const MachineConfig cfg = make_machine(2, 2);
+  AffineMap am;
+  am.cols = 2;
+  am.rows = 2;
+  Mapping m;
+  m.set_computed(ht, am.place_fn(), am.time_fn());
+  m.set_input(rt, InputHome::at({0, 0}));
+  m.set_input(qt, InputHome::at({0, 0}));
+
+  VerifyOptions opts;
+  opts.max_messages = 3;
+  const LegalityReport rep = verify(spec, m, cfg, opts);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.diagnostics.size(), 3u);
+  EXPECT_GT(rep.total_violations(), 3u);
+  EXPECT_EQ(rep.exclusivity_violations, 35u);  // 36 elements, one slot
+
+  // max_messages = 0 keeps counting with no records at all.
+  opts.max_messages = 0;
+  const LegalityReport none = verify(spec, m, cfg, opts);
+  EXPECT_TRUE(none.diagnostics.empty());
+  EXPECT_EQ(none.total_violations(), rep.total_violations());
+}
+
+TEST(VerifyEdgeCases, StorageAndBandwidthTogglesSkipTheirChecks) {
+  // A 1-value PE capacity and a starved link make both optional checks
+  // fire; toggling each off must silence exactly that family.
+  TensorId rt;
+  TensorId qt;
+  TensorId ht;
+  const auto spec =
+      algos::editdist_spec(8, 8, algos::SwScores{}, &rt, &qt, &ht);
+  MachineConfig cfg = make_machine(4, 1);
+  cfg.pe_capacity_values = 1;
+  cfg.link_bits_per_cycle = 0.5;
+  const WavefrontMap wf = wavefront_map(8, 4);
+  Mapping m;
+  m.set_computed(ht, wf.place_fn(), wf.time_fn());
+  m.set_input(rt, InputHome::at({0, 0}));
+  m.set_input(qt, InputHome::at({0, 0}));
+
+  const LegalityReport both = verify(spec, m, cfg);
+  EXPECT_GT(both.storage_violations, 0u);
+  EXPECT_GT(both.bandwidth_violations, 0u);
+
+  VerifyOptions no_storage;
+  no_storage.check_storage = false;
+  const LegalityReport ns = verify(spec, m, cfg, no_storage);
+  EXPECT_EQ(ns.storage_violations, 0u);
+  EXPECT_EQ(ns.peak_live_values, 0);
+  EXPECT_EQ(ns.peak_live_pe, -1);
+  EXPECT_GT(ns.bandwidth_violations, 0u);
+
+  VerifyOptions no_bandwidth;
+  no_bandwidth.check_bandwidth = false;
+  const LegalityReport nb = verify(spec, m, cfg, no_bandwidth);
+  EXPECT_EQ(nb.bandwidth_violations, 0u);
+  EXPECT_DOUBLE_EQ(nb.peak_link_bits_per_cycle, 0.0);
+  EXPECT_EQ(nb.peak_link, -1);
+  EXPECT_GT(nb.storage_violations, 0u);
+
+  VerifyOptions neither;
+  neither.check_storage = false;
+  neither.check_bandwidth = false;
+  const LegalityReport off = verify(spec, m, cfg, neither);
+  EXPECT_TRUE(off.ok);  // causality and exclusivity still hold
+}
+
+TEST(VerifyEdgeCases, IncompleteMappingThrowsInvalidArgument) {
+  TensorId rt;
+  TensorId qt;
+  TensorId ht;
+  const auto spec =
+      algos::editdist_spec(4, 4, algos::SwScores{}, &rt, &qt, &ht);
+  const MachineConfig cfg = make_machine(2, 1);
+
+  const Mapping empty;
+  EXPECT_THROW((void)verify(spec, empty, cfg), InvalidArgument);
+
+  // Computed tensor mapped but inputs homeless: still incomplete.
+  Mapping partial;
+  partial.set_computed(ht, [](const Point&) { return noc::Coord{0, 0}; },
+                       [](const Point& p) { return Cycle{p.i * 4 + p.j}; });
+  EXPECT_THROW((void)verify(spec, partial, cfg), InvalidArgument);
 }
 
 }  // namespace

@@ -47,7 +47,7 @@ TEST(Integration, EditDistanceSpecToVerifyToExecuteToLower) {
 
   // 1. Verify (the Martonosi discipline: no unverified mapping runs).
   const fm::LegalityReport rep = fm::verify(spec, m, cfg);
-  ASSERT_TRUE(rep.ok) << (rep.messages.empty() ? "" : rep.messages[0]);
+  ASSERT_TRUE(rep.ok) << rep.first_message();
 
   // 2. Execute and validate against the host reference.
   const auto res = fm::GridMachine(cfg).run(
@@ -211,7 +211,7 @@ TEST(Integration, SearchThenFoldThenExecuteThenLower) {
   // 3. Verify on the narrow machine and execute.
   const fm::MachineConfig narrow = fm::make_machine(4, 1);
   const fm::LegalityReport rep = fm::verify(spec, m, narrow);
-  ASSERT_TRUE(rep.ok) << (rep.messages.empty() ? "" : rep.messages[0]);
+  ASSERT_TRUE(rep.ok) << rep.first_message();
   const std::string r = "ACGTTGCAACGT";
   const std::string q = "TGCAACGTACGT";
   const auto res = fm::GridMachine(narrow).run(

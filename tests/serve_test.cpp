@@ -439,6 +439,7 @@ TEST(Metrics, JsonExportIsWellFormedAndComplete) {
   EXPECT_NE(json.find("\"metric\": \"submitted\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"cache_hit_rate\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"p99_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"diagnostics\""), std::string::npos);
   EXPECT_EQ(json.front(), '[');
   EXPECT_EQ(json.back(), ']');
   // Balanced braces: one object per row.
@@ -446,7 +447,7 @@ TEST(Metrics, JsonExportIsWellFormedAndComplete) {
     return std::count(json.begin(), json.end(), c);
   };
   EXPECT_EQ(count('{'), count('}'));
-  EXPECT_EQ(count('{'), 16);
+  EXPECT_EQ(count('{'), 17);
 }
 
 TEST(Metrics, TableJsonEscapesStrings) {
