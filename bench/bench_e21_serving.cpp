@@ -227,6 +227,36 @@ int main() {
                "would scrape):\n"
             << serve::metrics_json(closed.snap) << "\n";
 
+  // A tune request rides the same service: the search forks its
+  // enumeration grains into the service's worker pool (bounded by
+  // max_tune_workers), and the tune-metrics rows record how many lanes
+  // each tune actually used and what stealing it induced.
+  {
+    serve::ServiceConfig cfg;
+    cfg.num_workers = 8;
+    cfg.max_tune_workers = 4;
+    serve::Service svc(cfg);
+    algos::SwScores s;
+    serve::Request req;
+    req.kind = serve::RequestKind::kTune;
+    req.spec = std::make_shared<const fm::FunctionSpec>(
+        algos::editdist_spec(12, 12, s));
+    req.machine = fm::make_machine(12, 1);
+    req.inputs = {serve::InputPlacement::at({0, 0}),
+                  serve::InputPlacement::at({0, 0})};
+    req.fom = fm::FigureOfMerit::kTime;
+    req.tune_workers = 4;
+    const serve::Response r = svc.call(req);
+    const serve::MetricsSnapshot snap = svc.metrics();
+    std::cout << "\nparallel tune through the service: ok=" << r.ok()
+              << " workers_used=" << r.search.workers_used
+              << " (cap " << cfg.max_tune_workers << ")"
+              << " tunes=" << snap.tunes
+              << " mean_tune_workers=" << snap.mean_tune_workers
+              << " tune_steals=" << snap.tune_steals << "\n";
+    svc.shutdown();
+  }
+
   const double closed_rps =
       static_cast<double>(closed.requests) / closed.elapsed_s;
   std::cout << "\nShape check: closed loop sustains "

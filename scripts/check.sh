@@ -7,8 +7,9 @@
 #   3. ASan/UBSan build running the serve + analyze tests (the
 #      concurrent subsystem and the shadow-memory detector are where
 #      lifetime bugs would live);
-#   4. TSan build running the serve stress test (many clients, tiny
-#      cache, shutdown racing live submitters).
+#   4. TSan build running the tier1 + serve + analyze labels — the whole
+#      correctness suite (parallel search parity, scheduler wakeup,
+#      batching, cache) plus the stress test under ThreadSanitizer.
 #
 # Usage:
 #   scripts/check.sh                    # all stages
@@ -55,10 +56,10 @@ run_asan() {
 }
 
 run_tsan() {
-  echo "== TSan: serve stress test ==" &&
+  echo "== TSan: tier1 + serve + analyze labels ==" &&
   cmake -B build-tsan -S . -DHARMONY_TSAN=ON &&
-  cmake --build build-tsan -j --target serve_stress_test &&
-  ctest --test-dir build-tsan --output-on-failure -R "serve_stress"
+  cmake --build build-tsan -j --target harmony_tests &&
+  ctest --test-dir build-tsan --output-on-failure -L "tier1|serve|analyze"
 }
 
 run_stage() {

@@ -46,6 +46,200 @@ Mapping make_candidate(const FunctionSpec& spec, TensorId target,
   return m;
 }
 
+/// One surviving (ti, tj, tk) time triple with its normalized offset.
+/// Triples whose makespan blows the slack bound are dropped *before*
+/// slot numbering, exactly as the original loop nest `continue`d before
+/// entering the space loops — so slot numbers are dense and identical.
+struct TimeBlock {
+  std::int64_t ti;
+  std::int64_t tj;
+  std::int64_t tk;
+  std::int64_t t0;
+};
+
+/// The enumeration flattened to a slot-indexed space: slot s maps to
+/// (blocks[s / space_size], space coefficients decoded from
+/// s % space_size, innermost yk fastest).  This is the same candidate
+/// order as the original nine-deep loop nest, which is what lets
+/// cancel / resume_from / parallel grains all agree on slot numbers.
+struct EnumPlan {
+  std::vector<TimeBlock> blocks;
+  std::vector<std::int64_t> xi;
+  std::vector<std::int64_t> xj;
+  std::vector<std::int64_t> xk;
+  std::vector<std::int64_t> yi;
+  std::vector<std::int64_t> yj;
+  std::vector<std::int64_t> yk;
+  std::uint64_t space_size = 0;
+  std::uint64_t total = 0;
+};
+
+EnumPlan build_plan(const IndexDomain& dom, const MachineConfig& machine,
+                    const SearchOptions& opts, double makespan_bound) {
+  const bool use_j = dom.rank() >= 2;
+  const bool use_k = dom.rank() >= 3;
+  const std::vector<std::int64_t> zero{0};
+  const auto& tc = opts.space.time_coeffs;
+  const auto& sc = opts.space.space_coeffs;
+  const auto& tcj = use_j ? tc : zero;
+  const auto& tck = use_k ? tc : zero;
+  const auto& scy = opts.space.search_y && machine.geom.rows() > 1 ? sc
+                                                                   : zero;
+
+  EnumPlan plan;
+  for (std::int64_t ti : tc) {
+    for (std::int64_t tj : tcj) {
+      for (std::int64_t tk : tck) {
+        // Normalize the offset so the schedule starts at cycle 0.
+        const Range tr = affine_range(dom, ti, tj, tk, 0);
+        if (static_cast<double>(tr.hi - tr.lo + 1) > makespan_bound) {
+          continue;  // hopelessly stretched; contributes no slots
+        }
+        plan.blocks.push_back(TimeBlock{ti, tj, tk, -tr.lo});
+      }
+    }
+  }
+  plan.xi = sc;
+  plan.xj = use_j ? sc : zero;
+  plan.xk = use_k ? sc : zero;
+  plan.yi = scy;
+  plan.yj = use_j ? scy : zero;
+  plan.yk = use_k ? scy : zero;
+  plan.space_size = static_cast<std::uint64_t>(
+      plan.xi.size() * plan.xj.size() * plan.xk.size() * plan.yi.size() *
+      plan.yj.size() * plan.yk.size());
+  plan.total = plan.blocks.size() * plan.space_size;
+  return plan;
+}
+
+/// Evaluates one enumeration slot through the three gates into a tally.
+/// Read-only over the spec/machine/plan — lanes share one Evaluator and
+/// each writes only its own SearchTally.
+struct Evaluator {
+  const FunctionSpec& spec;
+  TensorId target;
+  const IndexDomain& dom;
+  const MachineConfig& machine;
+  const Mapping& input_proto;
+  const SearchOptions& opts;
+  const std::vector<Point>& sample;
+  const EnumPlan& plan;
+
+  void operator()(std::uint64_t slot, SearchTally& tally) const {
+    const TimeBlock& tb = plan.blocks[slot / plan.space_size];
+    std::uint64_t rem = slot % plan.space_size;
+    const auto peel = [&rem](const std::vector<std::int64_t>& coeffs) {
+      const std::uint64_t n = coeffs.size();
+      const std::int64_t c = coeffs[rem % n];
+      rem /= n;
+      return c;
+    };
+    // Innermost loop varies fastest: peel in reverse nesting order.
+    const std::int64_t yk = peel(plan.yk);
+    const std::int64_t yj = peel(plan.yj);
+    const std::int64_t yi = peel(plan.yi);
+    const std::int64_t xk = peel(plan.xk);
+    const std::int64_t xj = peel(plan.xj);
+    const std::int64_t xi = peel(plan.xi);
+
+    ++tally.enumerated;
+    AffineMap map{.ti = tb.ti, .tj = tb.tj, .tk = tb.tk, .t0 = tb.t0,
+                  .xi = xi, .xj = xj, .xk = xk, .x0 = 0,
+                  .yi = yi, .yj = yj, .yk = yk, .y0 = 0,
+                  .cols = machine.geom.cols(),
+                  .rows = machine.geom.rows()};
+
+    // Gate 1: sampled causality.
+    bool plausible = true;
+    for (const Point& p : sample) {
+      const Cycle when = map.time(p);
+      for (const ValueRef& d : spec.deps(target, p)) {
+        if (spec.is_input(d.tensor)) continue;
+        const noc::Coord here = map.place(p);
+        const noc::Coord there = map.place(d.point);
+        const Cycle need =
+            map.time(d.point) +
+            std::max<Cycle>(1, machine.transit_cycles(there, here));
+        if (when < need) {
+          plausible = false;
+          break;
+        }
+      }
+      if (!plausible) break;
+    }
+    if (!plausible) {
+      ++tally.quick_rejected;
+      return;
+    }
+
+    // Input-arrival normalization: computed-dep legality is
+    // shift-invariant, input arrival is not — slide the whole schedule
+    // so every element starts no earlier than its input operands can
+    // reach it.
+    {
+      Cycle deficit = 0;
+      dom.for_each([&](const Point& p) {
+        const Cycle when = map.time(p);
+        const noc::Coord here = map.place(p);
+        for (const ValueRef& d : spec.deps(target, p)) {
+          if (!spec.is_input(d.tensor)) continue;
+          const InputHome& home = input_proto.input_home(d.tensor);
+          const Cycle need =
+              home.kind == InputHome::Kind::kDram
+                  ? machine.dram_cycles(here)
+                  : machine.transit_cycles(home.home_of(d.point), here);
+          deficit = std::max(deficit, need - when);
+        }
+      });
+      map.t0 += deficit;
+    }
+
+    // Gate 2: full legality.
+    const Mapping candidate = make_candidate(spec, target, map, input_proto);
+    const LegalityReport rep = verify(spec, candidate, machine, opts.verify);
+    if (!rep.ok) {
+      ++tally.verify_rejected;
+      return;
+    }
+    ++tally.legal;
+
+    // Gate 3: cost + ranking.
+    const CostReport cost = evaluate_cost(spec, candidate, machine);
+    const Candidate cand{map, cost, merit_value(cost, opts.fom), slot};
+    if (opts.keep_all_legal) {
+      tally.all_legal.push_back(cand);
+    }
+    tally_insert(tally, cand, opts.top_k);
+  }
+};
+
+/// Deterministic reduction of the per-lane tallies: counter sums, best
+/// by (merit, slot), top re-ranked and truncated, all_legal restored to
+/// enumeration order.  Lane count never changes the outcome.
+void merge_tallies(std::vector<SearchTally>& tallies, std::size_t top_k,
+                   SearchResult& out) {
+  for (SearchTally& t : tallies) {
+    out.enumerated += t.enumerated;
+    out.quick_rejected += t.quick_rejected;
+    out.verify_rejected += t.verify_rejected;
+    out.legal += t.legal;
+    if (t.found && (!out.found || candidate_precedes(t.best, out.best))) {
+      out.best = t.best;
+      out.found = true;
+    }
+    out.top.insert(out.top.end(), t.top.begin(), t.top.end());
+    out.all_legal.insert(out.all_legal.end(),
+                         std::make_move_iterator(t.all_legal.begin()),
+                         std::make_move_iterator(t.all_legal.end()));
+  }
+  std::sort(out.top.begin(), out.top.end(), candidate_precedes);
+  if (out.top.size() > top_k) out.top.resize(top_k);
+  std::sort(out.all_legal.begin(), out.all_legal.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.slot < b.slot;
+            });
+}
+
 }  // namespace
 
 SearchResult search_affine(const FunctionSpec& spec,
@@ -58,8 +252,6 @@ SearchResult search_affine(const FunctionSpec& spec,
                   "tensor");
   const TensorId target = computed[0];
   const IndexDomain& dom = spec.domain(target);
-  const bool use_j = dom.rank() >= 2;
-  const bool use_k = dom.rank() >= 3;
 
   // Sample points for the quick causality gate (deterministic stride).
   std::vector<Point> sample;
@@ -78,149 +270,80 @@ SearchResult search_affine(const FunctionSpec& spec,
   const double serial_size = static_cast<double>(dom.size());
   const double makespan_bound = serial_size * opts.makespan_slack + 1.0;
 
+  const EnumPlan plan = build_plan(dom, machine, opts, makespan_bound);
+  const std::uint64_t total = plan.total;
+  const std::uint64_t begin = std::min(opts.resume_from, total);
+  const Evaluator evaluate{spec,        target, dom,  machine,
+                           input_proto, opts,   sample, plan};
+
   SearchResult result;
-  double best_merit = std::numeric_limits<double>::infinity();
 
-  // Deterministic enumeration-slot counter: the serve layer resumes a
-  // cut-short search by replaying the same loop nest and skipping the
-  // first `resume_from` slots.
-  std::uint64_t slot = 0;
-  const auto stop_requested = [&opts] {
-    return opts.cancel && opts.cancel();
-  };
+  unsigned lanes = 1;
+  if (opts.scheduler != nullptr && begin < total) {
+    lanes = opts.scheduler->num_workers();
+    if (opts.num_workers != 0) lanes = std::min(lanes, opts.num_workers);
+  }
 
-  const std::vector<std::int64_t> zero{0};
-  const auto& tc = opts.space.time_coeffs;
-  const auto& sc = opts.space.space_coeffs;
-  const auto& tcj = use_j ? tc : zero;
-  const auto& tck = use_k ? tc : zero;
-  const auto& scj = use_j ? sc : zero;
-  const auto& sck = use_k ? sc : zero;
-  const auto& scy = opts.space.search_y && machine.geom.rows() > 1 ? sc
-                                                                   : zero;
-  const auto& scyj = use_j ? scy : zero;
-  const auto& scyk = use_k ? scy : zero;
-
-  for (std::int64_t ti : tc) {
-    for (std::int64_t tj : tcj) {
-      for (std::int64_t tk : tck) {
-        // Normalize the offset so the schedule starts at cycle 0.
-        const Range tr = affine_range(dom, ti, tj, tk, 0);
-        const std::int64_t t0 = -tr.lo;
-        if (static_cast<double>(tr.hi - tr.lo + 1) > makespan_bound) {
-          continue;  // hopelessly stretched; skip before inner loops
-        }
-        for (std::int64_t xi : sc) {
-          for (std::int64_t xj : scj) {
-            for (std::int64_t xk : sck) {
-              for (std::int64_t yi : scy) {
-                for (std::int64_t yj : scyj) {
-                  for (std::int64_t yk : scyk) {
-                    if (slot++ < opts.resume_from) continue;
-                    if (stop_requested()) {
-                      result.exhausted = false;
-                      result.next_offset = slot - 1;
-                      return result;
-                    }
-                    ++result.enumerated;
-                    AffineMap map{.ti = ti, .tj = tj, .tk = tk, .t0 = t0,
-                                  .xi = xi, .xj = xj, .xk = xk, .x0 = 0,
-                                  .yi = yi, .yj = yj, .yk = yk, .y0 = 0,
-                                  .cols = machine.geom.cols(),
-                                  .rows = machine.geom.rows()};
-
-                    // Gate 1: sampled causality.
-                    bool plausible = true;
-                    for (const Point& p : sample) {
-                      const Cycle when = map.time(p);
-                      for (const ValueRef& d : spec.deps(target, p)) {
-                        if (spec.is_input(d.tensor)) continue;
-                        const noc::Coord here = map.place(p);
-                        const noc::Coord there = map.place(d.point);
-                        const Cycle need =
-                            map.time(d.point) +
-                            std::max<Cycle>(
-                                1, machine.transit_cycles(there, here));
-                        if (when < need) {
-                          plausible = false;
-                          break;
-                        }
-                      }
-                      if (!plausible) break;
-                    }
-                    if (!plausible) {
-                      ++result.quick_rejected;
-                      continue;
-                    }
-
-                    // Input-arrival normalization: computed-dep legality
-                    // is shift-invariant, input arrival is not — slide
-                    // the whole schedule so every element starts no
-                    // earlier than its input operands can reach it.
-                    {
-                      Cycle deficit = 0;
-                      dom.for_each([&](const Point& p) {
-                        const Cycle when = map.time(p);
-                        const noc::Coord here = map.place(p);
-                        for (const ValueRef& d : spec.deps(target, p)) {
-                          if (!spec.is_input(d.tensor)) continue;
-                          const InputHome& home =
-                              input_proto.input_home(d.tensor);
-                          const Cycle need =
-                              home.kind == InputHome::Kind::kDram
-                                  ? machine.dram_cycles(here)
-                                  : machine.transit_cycles(
-                                        home.home_of(d.point), here);
-                          deficit = std::max(deficit, need - when);
-                        }
-                      });
-                      map.t0 += deficit;
-                    }
-
-                    // Gate 2: full legality.
-                    const Mapping candidate =
-                        make_candidate(spec, target, map, input_proto);
-                    const LegalityReport rep =
-                        verify(spec, candidate, machine, opts.verify);
-                    if (!rep.ok) {
-                      ++result.verify_rejected;
-                      continue;
-                    }
-                    ++result.legal;
-
-                    // Gate 3: cost + ranking.
-                    const CostReport cost =
-                        evaluate_cost(spec, candidate, machine);
-                    if (opts.keep_all_legal) {
-                      result.all_legal.push_back(
-                          Candidate{map, cost,
-                                    merit_value(cost, opts.fom)});
-                    }
-                    const double merit = merit_value(cost, opts.fom);
-                    Candidate cand{map, cost, merit};
-                    result.top.push_back(cand);
-                    std::sort(result.top.begin(), result.top.end(),
-                              [](const Candidate& a, const Candidate& b) {
-                                return a.merit < b.merit;
-                              });
-                    if (result.top.size() > opts.top_k) {
-                      result.top.resize(opts.top_k);
-                    }
-                    if (merit < best_merit) {
-                      best_merit = merit;
-                      result.best = cand;
-                      result.found = true;
-                    }
-                  }
-                }
-              }
-            }
-          }
-        }
+  if (lanes <= 1) {
+    // Serial backend: one tally, cancel polled per slot.
+    std::vector<SearchTally> tally(1);
+    for (std::uint64_t s = begin; s < total; ++s) {
+      if (opts.cancel && opts.cancel()) {
+        result.exhausted = false;
+        result.next_offset = s;
+        merge_tallies(tally, opts.top_k, result);
+        return result;
       }
+      evaluate(s, tally[0]);
+    }
+    result.next_offset = total;
+    merge_tallies(tally, opts.top_k, result);
+    return result;
+  }
+
+  // Parallel backend: grains over [begin, total), cancel polled per
+  // grain, completion tracked so next_offset is the lowest unprocessed
+  // slot even when grains finish out of order.
+  const std::uint64_t range = total - begin;
+  const std::uint64_t grain_slots =
+      opts.grain != 0
+          ? opts.grain
+          : std::max<std::uint64_t>(1, range / (std::uint64_t{lanes} * 8));
+  const std::uint64_t num_grains = (range + grain_slots - 1) / grain_slots;
+  lanes = static_cast<unsigned>(
+      std::min<std::uint64_t>(lanes, num_grains));
+
+  std::vector<SearchTally> tallies(lanes);
+  std::vector<std::uint8_t> processed(num_grains, 0);
+  sched::RealCtx ctx;
+  const auto kernel = [&] {
+    search_lanes(ctx, lanes, begin, total, grain_slots, opts.cancel,
+                 tallies.data(), processed.data(),
+                 [&](std::uint64_t s, SearchTally& t) { evaluate(s, t); });
+  };
+  if (sched::Scheduler::in_parallel_context()) {
+    // Already inside a scheduler session (e.g. the serve dispatcher's
+    // batch loop): fork into it instead of opening a nested run().
+    kernel();
+  } else {
+    opts.scheduler->run(kernel);
+  }
+
+  result.workers_used = lanes;
+  merge_tallies(tallies, opts.top_k, result);
+  std::uint64_t first_unprocessed = num_grains;
+  for (std::uint64_t g = 0; g < num_grains; ++g) {
+    if (processed[g] == 0) {
+      first_unprocessed = g;
+      break;
     }
   }
-  result.next_offset = slot;
+  if (first_unprocessed == num_grains) {
+    result.next_offset = total;
+  } else {
+    result.exhausted = false;
+    result.next_offset = begin + first_unprocessed * grain_slots;
+  }
   return result;
 }
 

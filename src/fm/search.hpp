@@ -15,8 +15,16 @@
 //   3. cost evaluation and ranking by the requested figure of merit.
 // Benches E8 uses this to show the wavefront emerging from search rather
 // than being hand-planted.
+//
+// The enumeration is slot-numbered: every candidate owns a deterministic
+// 64-bit slot, so the space can be cut (cancel), resumed (resume_from),
+// and partitioned across workers (SearchOptions::scheduler) while the
+// ranked result stays bit-identical to a serial run — ties in merit break
+// on the slot, never on arrival order.  See DESIGN.md §10.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -26,6 +34,7 @@
 #include "fm/machine.hpp"
 #include "fm/mapping.hpp"
 #include "fm/spec.hpp"
+#include "sched/parallel_ops.hpp"
 
 namespace harmony::fm {
 
@@ -49,26 +58,54 @@ struct SearchOptions {
   std::size_t top_k = 5;
   /// Also retain every legal candidate (for pareto_front()).
   bool keep_all_legal = false;
-  /// Cooperative cancellation: polled once per enumerated candidate.
-  /// When it returns true the search stops immediately and the result
-  /// carries the best-so-far frontier with `exhausted == false` — this is
-  /// how a serving deadline (serve/service.hpp) cuts tuning short yet
-  /// still answers with a legal mapping.  Null means run to exhaustion.
+  /// Cooperative cancellation.  The serial backend polls once per
+  /// enumerated candidate; the parallel backend polls once per grain
+  /// (so cancellation latency is bounded by one grain of evaluation).
+  /// When it returns true the search stops and the result carries the
+  /// best-so-far frontier with `exhausted == false` — this is how a
+  /// serving deadline (serve/service.hpp) cuts tuning short yet still
+  /// answers with a legal mapping.  Null means run to exhaustion.
+  /// Under the parallel backend the callable is invoked concurrently
+  /// from several workers and must be thread-safe.
   std::function<bool()> cancel;
   /// Skip this many enumeration slots before doing any work; pass a
   /// previous SearchResult::next_offset to resume a cut-short search
   /// where it stopped.  The enumeration order is deterministic, so
-  /// (resume_from = r).top ∪ (first run).top covers exactly the same
-  /// candidates as one uncut run.  Counters in the result describe only
-  /// the slots processed by this call.
+  /// (resume_from = r).top ∪ (first run).top covers every candidate of
+  /// one uncut run (the parallel backend may evaluate some slots in
+  /// both calls — see SearchResult::next_offset).  Counters in the
+  /// result describe only the slots processed by this call.
   std::uint64_t resume_from = 0;
+  /// Non-null: evaluate enumeration grains in parallel on this
+  /// scheduler.  The ranked outcome (top, best, all_legal, counters) is
+  /// identical to the serial backend on the same options.  When the
+  /// calling thread is already a scheduler worker the grains fork into
+  /// the surrounding session; otherwise scheduler->run() opens one.
+  sched::Scheduler* scheduler = nullptr;
+  /// Fork-join lanes to spread grains over; 0 means one lane per
+  /// scheduler worker.  Always clamped to scheduler->num_workers().
+  unsigned num_workers = 0;
+  /// Enumeration slots per grain (the unit of work distribution and of
+  /// cancel polling); 0 picks ~8 grains per lane.
+  std::uint64_t grain = 0;
 };
 
 struct Candidate {
   AffineMap map;
   CostReport cost;
   double merit = 0.0;
+  /// Deterministic enumeration slot; total order with merit (below).
+  std::uint64_t slot = 0;
 };
+
+/// The search's strict ranking: merit first, enumeration slot as the
+/// tie-break.  Using the slot — not arrival order — is what makes the
+/// parallel merge reproduce the serial top-k byte for byte.
+[[nodiscard]] inline bool candidate_precedes(const Candidate& a,
+                                             const Candidate& b) {
+  if (a.merit != b.merit) return a.merit < b.merit;
+  return a.slot < b.slot;
+}
 
 struct SearchResult {
   bool found = false;
@@ -83,10 +120,114 @@ struct SearchResult {
   /// False when SearchOptions::cancel stopped the search before the whole
   /// space was covered.
   bool exhausted = true;
-  /// Enumeration slot at which to resume (== the slot after the last one
-  /// processed); feed back via SearchOptions::resume_from.
+  /// Enumeration slot at which to resume; feed back via
+  /// SearchOptions::resume_from.  Serial backend: the slot after the
+  /// last one processed.  Parallel backend: the lowest slot of any
+  /// unprocessed grain — grains complete out of order, so slots above
+  /// this may already have been evaluated and will be evaluated again
+  /// on resume (harmless: evaluation is deterministic and ranking
+  /// deduplicates by merit/slot).
   std::uint64_t next_offset = 0;
+  /// Fork-join lanes the search actually spread over (1 == serial).
+  unsigned workers_used = 1;
 };
+
+/// Per-lane accumulator for the parallel search.  Each lane owns one
+/// tally; the merge in search_affine() reduces them deterministically.
+struct SearchTally {
+  std::uint64_t enumerated = 0;
+  std::uint64_t quick_rejected = 0;
+  std::uint64_t verify_rejected = 0;
+  std::uint64_t legal = 0;
+  bool found = false;
+  Candidate best;
+  /// Max-heap under candidate_precedes: the *worst* kept candidate sits
+  /// at front(), ready to be displaced.
+  std::vector<Candidate> top;
+  std::vector<Candidate> all_legal;
+};
+
+/// Inserts `c` into the tally: tracks best/found unconditionally (so
+/// top_k == 0 still reports a winner) and keeps the k best candidates in
+/// the bounded heap.
+inline void tally_insert(SearchTally& tally, const Candidate& c,
+                         std::size_t top_k) {
+  if (!tally.found || candidate_precedes(c, tally.best)) {
+    tally.best = c;
+    tally.found = true;
+  }
+  if (top_k == 0) return;
+  if (tally.top.size() < top_k) {
+    tally.top.push_back(c);
+    std::push_heap(tally.top.begin(), tally.top.end(), candidate_precedes);
+  } else if (candidate_precedes(c, tally.top.front())) {
+    std::pop_heap(tally.top.begin(), tally.top.end(), candidate_precedes);
+    tally.top.back() = c;
+    std::push_heap(tally.top.begin(), tally.top.end(), candidate_precedes);
+  }
+}
+
+/// The parallel enumeration kernel, generic over the fork-join context
+/// so analyze::RaceCtx can replay it under the SP-bags determinacy-race
+/// detector (tests/analyze_race_test.cpp certifies it clean).
+///
+/// Spreads the slot range [begin, end) over `lanes` fork-join lanes in
+/// grains of `grain_slots` slots.  Lane L writes only tallies[L]; a
+/// grain is claimed by exactly one lane and its completion recorded in
+/// processed[g] — the only shared state is the atomic grain ticket and
+/// the sticky cancel flag.  `eval_slot(slot, tally)` evaluates one
+/// candidate into the lane's tally.
+///
+/// Under a simulation context (Ctx::is_simulation, e.g. RaceCtx) grains
+/// are dealt round-robin instead of by ticket so every lane does work
+/// even when fork2 executes serially — same footprint, deterministic
+/// replay.  `cancel` is polled once per grain; a cancelled run leaves
+/// the remaining grains' processed[] flags zero.
+template <typename Ctx, typename EvalSlot>
+void search_lanes(Ctx& ctx, unsigned lanes, std::uint64_t begin,
+                  std::uint64_t end, std::uint64_t grain_slots,
+                  const std::function<bool()>& cancel, SearchTally* tallies,
+                  std::uint8_t* processed, EvalSlot&& eval_slot) {
+  if (begin >= end || lanes == 0 || grain_slots == 0) return;
+  const std::uint64_t num_grains =
+      (end - begin + grain_slots - 1) / grain_slots;
+  std::atomic<std::uint64_t> ticket{0};
+  std::atomic<bool> cancelled{false};
+  sched::parallel_for(
+      ctx, 0, lanes, 1, [&](std::size_t lane) {
+        sched::writer(ctx, tallies, lane);
+        SearchTally& tally = tallies[lane];
+        const auto run_grain = [&](std::uint64_t g) {
+          // Sticky-flag fast path first so one worker observing cancel
+          // stops the whole fleet without every lane re-invoking the
+          // (possibly expensive) user callable.
+          if (cancelled.load(std::memory_order_relaxed)) return false;
+          if (cancel && cancel()) {
+            cancelled.store(true, std::memory_order_relaxed);
+            return false;
+          }
+          const std::uint64_t lo = begin + g * grain_slots;
+          const std::uint64_t hi = std::min(end, lo + grain_slots);
+          for (std::uint64_t s = lo; s < hi; ++s) eval_slot(s, tally);
+          sched::writer(ctx, processed, g);
+          processed[g] = 1;
+          return true;
+        };
+        if constexpr (Ctx::is_simulation) {
+          // Deterministic round-robin deal: under serial fork2 replay a
+          // shared ticket would hand every grain to the first lane.
+          for (std::uint64_t g = lane; g < num_grains; g += lanes) {
+            if (!run_grain(g)) break;
+          }
+        } else {
+          for (;;) {
+            const std::uint64_t g =
+                ticket.fetch_add(1, std::memory_order_relaxed);
+            if (g >= num_grains || !run_grain(g)) break;
+          }
+        }
+      });
+}
 
 /// The (makespan, energy) Pareto-optimal subset of `candidates` — the
 /// paper's "execution time, energy per op, ... or some combination" made

@@ -27,6 +27,12 @@ Scheduler::Scheduler(unsigned num_workers) {
 
 Scheduler::~Scheduler() {
   shutdown_.store(true, std::memory_order_release);
+  {
+    // Empty critical section: a worker past its predicate check but not
+    // yet blocked holds sleep_mutex_, so this serializes the notify
+    // after it actually waits.
+    std::lock_guard<std::mutex> lk(sleep_mutex_);
+  }
   sleep_cv_.notify_all();
   for (auto& t : threads_) t.join();
 }
@@ -35,15 +41,31 @@ void Scheduler::begin_session() {
   session_mutex_.lock();
   HARMONY_ASSERT_MSG(current_worker() == nullptr,
                      "Scheduler::run: nested run() is not supported");
-  active_.store(true, std::memory_order_release);
   current_worker_slot() = workers_[0].get();
-  sleep_cv_.notify_all();  // wake helpers
 }
 
 void Scheduler::end_session() {
-  active_.store(false, std::memory_order_release);
   current_worker_slot() = nullptr;
   session_mutex_.unlock();
+}
+
+void Scheduler::on_job_pushed() {
+  // seq_cst pairs with the fetch_add in worker_loop: either this load
+  // sees the sleeper (and we notify under the mutex), or the sleeper's
+  // increment came later and its wait predicate re-checks the deques —
+  // both orders deliver the job; there is no interleaving that loses it.
+  if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
+  {
+    std::lock_guard<std::mutex> lk(sleep_mutex_);
+  }
+  sleep_cv_.notify_one();
+}
+
+bool Scheduler::have_pending_work() const {
+  for (const auto& w : workers_) {
+    if (w->deque.size_approx() > 0) return true;
+  }
+  return false;
 }
 
 bool Scheduler::help(Worker& self) {
@@ -72,7 +94,7 @@ void Scheduler::worker_loop(unsigned index) {
   current_worker_slot() = &self;
   unsigned failures = 0;
   while (!shutdown_.load(std::memory_order_acquire)) {
-    if (active_.load(std::memory_order_acquire) && help(self)) {
+    if (help(self)) {
       failures = 0;
       continue;
     }
@@ -80,12 +102,21 @@ void Scheduler::worker_loop(unsigned index) {
     if (failures < 64) {
       std::this_thread::yield();
     } else {
-      // Nothing to do: park until a session starts or shutdown.
+      // Nothing to do: park until a job is pushed or shutdown.  The
+      // wait predicate re-checks deque emptiness *under sleep_mutex_*:
+      // a push that raced our failed steal sweep is either seen here
+      // (never block on a non-empty system) or happened after our
+      // sleepers_ increment, in which case on_job_pushed() observes the
+      // sleeper and notifies through the same mutex — the lost-wakeup
+      // window between "sweep failed" and "blocked" is closed.  The
+      // timeout is a belt-and-braces backstop only.
       std::unique_lock<std::mutex> lk(sleep_mutex_);
-      sleep_cv_.wait_for(lk, std::chrono::milliseconds(1), [this] {
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      sleep_cv_.wait_for(lk, std::chrono::milliseconds(2), [this] {
         return shutdown_.load(std::memory_order_acquire) ||
-               active_.load(std::memory_order_acquire);
+               have_pending_work();
       });
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
       failures = 0;
     }
   }

@@ -91,6 +91,7 @@ class Scheduler {
     }
     ClosureJob<std::remove_reference_t<G>> gj(&g);
     w->deque.push(&gj);
+    w->scheduler->on_job_pushed();
     f();
     // After f() returns, every job pushed during f() has been consumed,
     // so the bottom of the deque is gj unless a thief took it (thieves
@@ -139,11 +140,18 @@ class Scheduler {
   /// Attempts to execute one job (own deque, then random steals).
   /// Returns true if a job was executed.
   bool help(Worker& self);
+  /// Wakes a parked worker if any are asleep.  Called by fork2 after
+  /// every push: pairing the sleepers_ check with an (empty) critical
+  /// section on sleep_mutex_ closes the lost-wakeup window against the
+  /// deque-emptiness re-check in worker_loop's wait predicate.
+  void on_job_pushed();
+  /// True if any worker deque is (approximately) non-empty.
+  [[nodiscard]] bool have_pending_work() const;
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
   std::atomic<bool> shutdown_{false};
-  std::atomic<bool> active_{false};  // a run() session is in progress
+  std::atomic<unsigned> sleepers_{0};  // workers parked on sleep_cv_
   std::atomic<std::uint64_t> steals_{0};
   std::mutex session_mutex_;
   std::mutex sleep_mutex_;

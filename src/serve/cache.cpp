@@ -4,13 +4,20 @@
 
 namespace harmony::serve {
 
-ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
   HARMONY_REQUIRE(capacity > 0, "ResultCache: capacity must be positive");
   shards = std::clamp<std::size_t>(shards, 1, capacity);
-  per_shard_cap_ = (capacity + shards - 1) / shards;
+  // Distribute the budget exactly: base entries per shard, with the
+  // remainder handed out one each to the leading shards, so the caps
+  // sum to `capacity` (neither truncated nor over-provisioned).
+  const std::size_t base = capacity / shards;
+  const std::size_t extra = capacity % shards;
   shards_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>());
+    auto sh = std::make_unique<Shard>();
+    sh->cap = base + (s < extra ? 1 : 0);
+    shards_.push_back(std::move(sh));
   }
 }
 
@@ -37,7 +44,7 @@ void ResultCache::put(const CacheKey& key,
     sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
     return;
   }
-  if (sh.lru.size() >= per_shard_cap_) {
+  if (sh.lru.size() >= sh.cap) {
     sh.index.erase(sh.lru.back().first);
     sh.lru.pop_back();
     ++sh.evictions;

@@ -40,8 +40,11 @@ struct CacheStats {
 
 class ResultCache {
  public:
-  /// `capacity` is the total entry budget, split evenly across
-  /// `shards` (each shard holds at least one entry).
+  /// `capacity` is the total entry budget, split across `shards` with
+  /// the remainder distributed one entry each to the first
+  /// `capacity % shards` shards — the shard caps always sum to exactly
+  /// `capacity` (shard count is clamped so each holds at least one
+  /// entry).
   explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
 
   /// Hit: bumps the entry to most-recently-used and returns it.
@@ -56,9 +59,8 @@ class ResultCache {
 
   void clear();
 
-  [[nodiscard]] std::size_t capacity() const {
-    return per_shard_cap_ * shards_.size();
-  }
+  /// The total entry budget as requested at construction.
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
   struct Shard {
@@ -70,6 +72,8 @@ class ResultCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// This shard's slice of the total budget.
+    std::size_t cap = 0;
   };
 
   Shard& shard_for(const CacheKey& key) {
@@ -77,7 +81,7 @@ class ResultCache {
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::size_t per_shard_cap_;
+  std::size_t capacity_;
 };
 
 }  // namespace harmony::serve

@@ -39,8 +39,14 @@ double LatencyHistogram::percentile_us(double q) const {
   for (std::size_t b = 0; b < kBuckets; ++b) {
     seen += snap[b];
     if (seen >= rank) {
-      const std::uint64_t upper_ns = b == 0 ? 1 : (1ULL << b);
-      return static_cast<double>(upper_ns) / 1000.0;
+      // Bucket midpoint: bucket 0 is exactly 0 ns; bucket b >= 1 spans
+      // [2^(b-1), 2^b), midpoint 1.5 * 2^(b-1).  See percentile_us doc
+      // for the resulting [0.75x, 1.5x] single-observation bound.
+      if (b == 0) return 0.0;
+      const double mid_ns = (static_cast<double>(1ULL << (b - 1)) +
+                             static_cast<double>(1ULL << b)) /
+                            2.0;
+      return mid_ns / 1000.0;
     }
   }
   return static_cast<double>(1ULL << (kBuckets - 1)) / 1000.0;
@@ -61,6 +67,12 @@ void Metrics::on_complete(std::chrono::nanoseconds latency,
 void Metrics::on_batch(std::size_t size) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_requests_.fetch_add(size, std::memory_order_relaxed);
+}
+
+void Metrics::on_tune(unsigned workers_used, std::uint64_t steals) {
+  tunes_.fetch_add(1, std::memory_order_relaxed);
+  tune_workers_.fetch_add(workers_used, std::memory_order_relaxed);
+  tune_steals_.fetch_add(steals, std::memory_order_relaxed);
 }
 
 void Metrics::on_diagnostics(
@@ -93,6 +105,12 @@ MetricsSnapshot Metrics::snapshot(std::uint64_t queue_depth,
   s.p50_us = latency_.percentile_us(0.50);
   s.p95_us = latency_.percentile_us(0.95);
   s.p99_us = latency_.percentile_us(0.99);
+  s.tunes = tunes_.load(std::memory_order_relaxed);
+  const std::uint64_t lanes = tune_workers_.load(std::memory_order_relaxed);
+  s.mean_tune_workers = s.tunes ? static_cast<double>(lanes) /
+                                      static_cast<double>(s.tunes)
+                                : 0.0;
+  s.tune_steals = tune_steals_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < analyze::kRuleCount; ++i) {
     s.diagnostics_by_rule[i] = diag_by_rule_[i].load(std::memory_order_relaxed);
   }
@@ -121,6 +139,9 @@ Table metrics_table(const MetricsSnapshot& snap) {
   t.add_row({"p50_us", snap.p50_us});
   t.add_row({"p95_us", snap.p95_us});
   t.add_row({"p99_us", snap.p99_us});
+  t.add_row({"tunes", u(snap.tunes)});
+  t.add_row({"mean_tune_workers", snap.mean_tune_workers});
+  t.add_row({"tune_steals", u(snap.tune_steals)});
   t.add_row({"diagnostics", u(snap.diagnostics_total())});
   for (std::size_t i = 0; i < analyze::kRuleCount; ++i) {
     if (snap.diagnostics_by_rule[i] == 0) continue;

@@ -31,8 +31,12 @@ class LatencyHistogram {
 
   [[nodiscard]] std::uint64_t count() const;
 
-  /// q-th percentile (q in [0,1]) in microseconds, resolved to the upper
-  /// bound of the containing power-of-two bucket; 0 when empty.
+  /// q-th percentile (q in [0,1]) in microseconds, resolved to the
+  /// *midpoint* of the containing power-of-two bucket; 0 when empty.
+  /// Midpoint resolution bounds the error for any single observation to
+  /// [0.75x, 1.5x] of the true latency — the upper bucket edge used
+  /// previously overreported a lone sample by up to 2x (a 1000 ns
+  /// observation read back as p50 = 1.024 us instead of 0.768 us).
   [[nodiscard]] double percentile_us(double q) const;
 
  private:
@@ -56,6 +60,13 @@ struct MetricsSnapshot {
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
+  /// Oracle-run tunes (cache hits replay stored results and don't count).
+  std::uint64_t tunes = 0;
+  /// Mean fork-join lanes per tune (1.0 == every tune ran serial).
+  double mean_tune_workers = 0.0;
+  /// Scheduler steals observed across tunes — approximate when tunes
+  /// overlap in one batch session, but a faithful saturation signal.
+  std::uint64_t tune_steals = 0;
   /// Diagnostics emitted by oracle runs, indexed like analyze::kRules
   /// (cache hits replay stored diagnostics and are not re-counted).
   std::array<std::uint64_t, analyze::kRuleCount> diagnostics_by_rule{};
@@ -74,6 +85,10 @@ class Metrics {
   void on_complete(std::chrono::nanoseconds latency, bool deadline_cut,
                    bool error);
   void on_batch(std::size_t size);
+  /// Records one oracle tune: the fork-join lanes it actually spread
+  /// over (SearchResult::workers_used) and the scheduler steals
+  /// attributed to it.
+  void on_tune(unsigned workers_used, std::uint64_t steals);
   /// Tallies a response's diagnostics by rule ID (unknown IDs ignored).
   void on_diagnostics(const std::vector<analyze::Diagnostic>& diags);
 
@@ -88,6 +103,9 @@ class Metrics {
   std::atomic<std::uint64_t> deadline_cut_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::uint64_t> tunes_{0};
+  std::atomic<std::uint64_t> tune_workers_{0};
+  std::atomic<std::uint64_t> tune_steals_{0};
   std::array<std::atomic<std::uint64_t>, analyze::kRuleCount> diag_by_rule_{};
   LatencyHistogram latency_;
 };

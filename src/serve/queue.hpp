@@ -57,21 +57,30 @@ class BoundedQueue {
   }
 
   /// Blocks for at least one item, then takes up to `max_items`,
-  /// lingering up to `linger` for stragglers to batch with (a single
-  /// wait round — enough to form batches under load without adding
-  /// `linger` of latency when traffic is sparse).  Appends to `out`;
-  /// returns false only when closed and drained.
+  /// lingering for stragglers to batch with.  The linger budget is a
+  /// deadline fixed when the first item is taken — straggler rounds
+  /// wait only the *remaining* time, so total added latency is bounded
+  /// by `linger` no matter how many stragglers trickle in (a per-round
+  /// `wait_for(linger)` would restart the budget on every arrival and
+  /// let a slow trickle stretch the batch indefinitely).  Appends to
+  /// `out`; returns false only when closed and drained.
   [[nodiscard]] bool pop_batch(std::vector<T>& out, std::size_t max_items,
                                std::chrono::microseconds linger) {
     std::unique_lock<std::mutex> lk(mu_);
     not_empty_.wait(lk, [this] { return closed_ || !items_.empty(); });
     if (items_.empty()) return false;
     take(out, max_items);
-    if (out.size() < max_items && !closed_ &&
-        linger > std::chrono::microseconds::zero()) {
-      not_empty_.wait_for(lk, linger,
-                          [this] { return closed_ || !items_.empty(); });
-      take(out, max_items);
+    if (linger > std::chrono::microseconds::zero()) {
+      const auto deadline = std::chrono::steady_clock::now() + linger;
+      while (out.size() < max_items && !closed_ &&
+             std::chrono::steady_clock::now() < deadline) {
+        if (!not_empty_.wait_until(lk, deadline, [this] {
+              return closed_ || !items_.empty();
+            })) {
+          break;  // deadline expired with nothing new
+        }
+        take(out, max_items);
+      }
     }
     return true;
   }

@@ -147,6 +147,9 @@ void mix_search(Fingerprint& fp, const fm::SearchOptions& s) {
   // Everything that shapes the candidate set and ranking; cancel and
   // resume_from deliberately excluded (they shape *coverage of one call*,
   // not the converged answer, and only exhausted results are cached).
+  // The parallel-backend knobs (scheduler, num_workers, grain) and
+  // Request::tune_workers are excluded for the same reason: the lane
+  // merge is deterministic, so worker count never changes the answer.
   fp.mix(static_cast<std::uint64_t>(s.space.time_coeffs.size()));
   for (std::int64_t c : s.space.time_coeffs) fp.mix(c);
   fp.mix(static_cast<std::uint64_t>(s.space.space_coeffs.size()));

@@ -75,9 +75,17 @@ struct Request {
   /// kLegality: verifier options.
   fm::VerifyOptions verify;
   /// kTune: search options.  `search.cancel` is chained with the
-  /// service's deadline check; it and `search.resume_from` are excluded
-  /// from the cache key.
+  /// service's deadline check; it, `search.resume_from`, and the
+  /// parallel-backend knobs (`search.scheduler` / `num_workers` /
+  /// `grain` are overridden by the service anyway) are excluded from
+  /// the cache key.
   fm::SearchOptions search;
+  /// kTune: fork-join lanes this tune may spread over on the service's
+  /// shared scheduler.  0 means "up to the service cap"
+  /// (ServiceConfig::max_tune_workers); nonzero is clamped to that cap.
+  /// Excluded from the cache key — the parallel merge is deterministic,
+  /// so lane count never changes the answer.
+  unsigned tune_workers = 0;
   /// Per-request completion deadline; zero means "use the service
   /// default" (which may itself be none).  A tune that reaches its
   /// deadline answers with the autotuner's best-so-far frontier

@@ -207,7 +207,7 @@ void Service::run_group(std::vector<std::unique_ptr<Pending>>& group) {
   }
 }
 
-Response Service::execute(const Pending& p) const {
+Response Service::execute(const Pending& p) {
   const Request& req = p.req;
   Response r;
   r.kind = req.kind;
@@ -226,7 +226,22 @@ Response Service::execute(const Pending& p) const {
       case RequestKind::kTune: {
         fm::SearchOptions opts = req.search;
         opts.fom = req.fom;
+        // Fork enumeration grains into the service's shared pool.  We
+        // are already inside the dispatcher's batch session, so the
+        // search forks inline rather than opening a nested run(); the
+        // per-request lane ask is clamped by the service-level cap.
+        opts.scheduler = &scheduler_;
+        const unsigned cap = cfg_.max_tune_workers == 0
+                                 ? cfg_.num_workers
+                                 : cfg_.max_tune_workers;
+        opts.num_workers =
+            req.tune_workers == 0 ? cap : std::min(req.tune_workers, cap);
         if (p.has_deadline) {
+          // The parallel backend polls cancel once per grain, so a
+          // deadline tune runs single-slot grains: the overshoot past
+          // the cutoff is bounded by the candidates already in flight
+          // (at most one per lane) instead of a whole auto-sized grain.
+          if (opts.grain == 0) opts.grain = 1;
           // Stop early enough that delivering the response beats the
           // deadline; chain any caller-supplied cancel hook.
           const Clock::time_point cutoff = p.deadline - cfg_.deadline_margin;
@@ -234,8 +249,14 @@ Response Service::execute(const Pending& p) const {
             return Clock::now() >= cutoff || (user && user());
           };
         }
+        // Steal-count delta around the search: approximate when tunes
+        // overlap in one batch (steals interleave), but cheap and a
+        // faithful saturation signal in aggregate.
+        const std::uint64_t steals_before = scheduler_.steal_count();
         r.search =
             fm::search_affine(*req.spec, req.machine, input_proto(req), opts);
+        metrics_.on_tune(r.search.workers_used,
+                         scheduler_.steal_count() - steals_before);
         r.deadline_cut = p.has_deadline && !r.search.exhausted;
         if (r.search.found) {
           r.cost = r.search.best.cost;

@@ -42,8 +42,13 @@ namespace harmony::serve {
 
 struct ServiceConfig {
   /// Scheduler worker pool size (the dispatcher doubles as worker 0
-  /// while a batch is running).
+  /// while a batch is running).  Tunes fork their enumeration grains
+  /// into this same pool, so batch-level and search-level parallelism
+  /// share one set of deques.
   unsigned num_workers = 4;
+  /// Service-level cap on fork-join lanes a single tune may claim
+  /// (Request::tune_workers is clamped to this).  0 means num_workers.
+  unsigned max_tune_workers = 0;
   std::size_t queue_capacity = 1024;
   std::size_t cache_capacity = 4096;
   std::size_t cache_shards = 8;
@@ -105,7 +110,7 @@ class Service {
 
   void dispatch_loop();
   void run_group(std::vector<std::unique_ptr<Pending>>& group);
-  [[nodiscard]] Response execute(const Pending& p) const;
+  [[nodiscard]] Response execute(const Pending& p);
   void respond(Pending& p, Response r);
 
   ServiceConfig cfg_;

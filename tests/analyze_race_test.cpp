@@ -17,6 +17,7 @@
 #include "algos/pram_scan.hpp"
 #include "algos/scan.hpp"
 #include "algos/sort.hpp"
+#include "fm/search.hpp"
 #include "sched/parallel_ops.hpp"
 
 namespace harmony::analyze {
@@ -162,6 +163,78 @@ TEST(RaceDetector, SmithWatermanWavefrontIsCleanAndMatchesSerial) {
   EXPECT_TRUE(ctx.clean()) << ctx.diagnostics().diagnostics()[0].message;
   // The work-span analyzer rides along for free.
   EXPECT_GT(ctx.workspan().total_work(), 0.0);
+}
+
+TEST(RaceDetector, ParallelSearchLaneKernelCertifiedClean) {
+  // The parallel mapping-search kernel (fm::search_lanes) replayed under
+  // the determinacy-race detector: lanes share only the grain ticket and
+  // the sticky cancel flag; every annotated write (per-lane tally,
+  // per-grain processed flag, per-slot output) must land on a disjoint
+  // index.  This is the certification the parallel search backend ships
+  // with — if someone introduces sharing, this test names the location.
+  constexpr unsigned kLanes = 4;
+  constexpr std::uint64_t kBegin = 8;
+  constexpr std::uint64_t kEnd = 72;
+  constexpr std::uint64_t kGrain = 4;
+  const std::uint64_t num_grains = (kEnd - kBegin + kGrain - 1) / kGrain;
+
+  RaceCtx ctx;
+  std::vector<fm::SearchTally> tallies(kLanes);
+  std::vector<std::uint8_t> processed(num_grains, 0);
+  std::vector<std::uint32_t> evals(kEnd, 0);
+  ctx.track("tallies", tallies.data(), tallies.size());
+  ctx.track("processed", processed.data(), processed.size());
+  ctx.track("evals", evals.data(), evals.size());
+
+  fm::search_lanes(
+      ctx, kLanes, kBegin, kEnd, kGrain, /*cancel=*/{}, tallies.data(),
+      processed.data(), [&](std::uint64_t slot, fm::SearchTally& tally) {
+        sched::writer(ctx, evals.data(), slot);
+        evals[slot] += 1;
+        ++tally.enumerated;
+      });
+
+  EXPECT_TRUE(ctx.clean())
+      << diagnostics_json(ctx.diagnostics().diagnostics());
+  EXPECT_EQ(ctx.race_count(), 0u);
+  for (std::uint64_t g = 0; g < num_grains; ++g) {
+    EXPECT_EQ(processed[g], 1u) << "grain " << g;
+  }
+  // Every slot in [begin, end) evaluated exactly once, none below begin.
+  for (std::uint64_t s = 0; s < kEnd; ++s) {
+    EXPECT_EQ(evals[s], s < kBegin ? 0u : 1u) << "slot " << s;
+  }
+  // The simulation deal is round-robin, so with more grains than lanes
+  // every lane contributed; their counters partition the range.
+  std::uint64_t enumerated = 0;
+  for (const fm::SearchTally& t : tallies) {
+    EXPECT_GT(t.enumerated, 0u);
+    enumerated += t.enumerated;
+  }
+  EXPECT_EQ(enumerated, kEnd - kBegin);
+}
+
+TEST(RaceDetector, ParallelSearchSharedAccumulatorIsFlagged) {
+  // Negative control for the certification above: an eval_slot that
+  // folds into one shared cell races across lanes, and the detector
+  // must say so (write-write on the tracked region).
+  RaceCtx ctx;
+  std::vector<fm::SearchTally> tallies(2);
+  std::vector<std::uint8_t> processed(4, 0);
+  std::vector<double> shared(1, 0.0);
+  ctx.track("shared", shared.data(), shared.size());
+
+  fm::search_lanes(
+      ctx, 2u, std::uint64_t{0}, std::uint64_t{16}, std::uint64_t{4},
+      /*cancel=*/{}, tallies.data(), processed.data(),
+      [&](std::uint64_t slot, fm::SearchTally&) {
+        sched::writer(ctx, shared.data(), 0);
+        shared[0] += static_cast<double>(slot);
+      });
+
+  EXPECT_FALSE(ctx.clean());
+  EXPECT_GE(ctx.race_count(), 1u);
+  EXPECT_GE(ctx.diagnostics().count("RACE001"), 1u);
 }
 
 TEST(RaceDetector, AnnotationsCompileAwayOnOtherContexts) {

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "sched/parallel_ops.hpp"
 #include "sched/scheduler.hpp"
@@ -68,6 +70,31 @@ TEST(SchedulerRobustness, DeepUnbalancedRecursion) {
   };
   sched.run([&] { chain(2000); });
   EXPECT_EQ(sum.load(), 2000);
+}
+
+TEST(SchedulerRobustness, ColdPoolWakesOnForkRepeatedly) {
+  // Regression for the idle-loop lost-wakeup window: a worker whose
+  // steal sweep failed could block on sleep_cv_ and miss a notify
+  // issued in between, leaving a forked child unserved until a timeout.
+  // Force the all-asleep state over and over: let every helper park,
+  // then fork a burst and require it to complete.  With the fix (wait
+  // predicate re-checks deque emptiness under sleep_mutex_ + fork2
+  // notifies when sleepers are registered) each round finishes without
+  // relying on the timeout backstop; under TSan this also certifies the
+  // sleepers_/deque handshake race-free.
+  Scheduler sched(4);
+  RealCtx ctx;
+  for (int round = 0; round < 40; ++round) {
+    // Cold the pool: 64 failed sweeps + parking happens within a few
+    // ms of idleness.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::atomic<int> count{0};
+    sched.run([&] {
+      parallel_for(ctx, 0, 256, 4,
+                   [&](std::size_t) { count.fetch_add(1); });
+    });
+    ASSERT_EQ(count.load(), 256) << "round " << round;
+  }
 }
 
 TEST(SchedulerRobustness, DefaultSchedulerSingleton) {

@@ -25,6 +25,23 @@ namespace {
 
 using namespace std::chrono_literals;
 
+// Deadline-cut latency is bounded by one in-flight candidate per lane,
+// and TSan slows each candidate's full-domain verify by an order of
+// magnitude — so wall-clock tests scale their budgets, keeping the
+// guarantee under test (cut + respond within the margin) the same on a
+// slower clock.
+#if defined(__SANITIZE_THREAD__)
+constexpr int kTimeScale = 4;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr int kTimeScale = 4;
+#else
+constexpr int kTimeScale = 1;
+#endif
+#else
+constexpr int kTimeScale = 1;
+#endif
+
 std::shared_ptr<const fm::FunctionSpec> shared_editdist(std::int64_t n) {
   algos::SwScores s;
   return std::make_shared<const fm::FunctionSpec>(
@@ -89,6 +106,43 @@ TEST(BoundedQueue, PopBatchTakesUpToMax) {
   q.close();
   batch.clear();
   EXPECT_FALSE(q.pop_batch(batch, 8, 0us));
+}
+
+TEST(BoundedQueue, PopBatchLingerIsADeadlineNotPerArrivalBudget) {
+  // Regression: pop_batch used to restart the full linger budget on the
+  // wait after the first take.  With a straggler trickle slower than
+  // the batch fills, a restarting budget keeps the popper lingering
+  // round after round; a deadline fixed on entry returns as soon as the
+  // budget elapses.  Feed one item immediately, then a straggler every
+  // 25ms: a 150ms linger must return in ~150ms with only the stragglers
+  // that arrived inside the window, not wait for the batch to fill.
+  BoundedQueue<int> q(64);
+  ASSERT_TRUE(q.try_push(0));
+
+  std::vector<int> batch;
+  std::chrono::steady_clock::duration elapsed{};
+  std::thread popper([&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    ASSERT_TRUE(q.pop_batch(batch, /*max_items=*/16, /*linger=*/150ms));
+    elapsed = std::chrono::steady_clock::now() - t0;
+  });
+  std::thread feeder([&] {
+    for (int i = 1; i <= 20; ++i) {
+      std::this_thread::sleep_for(25ms);
+      if (!q.try_push(i)) break;  // queue closed by test end
+    }
+  });
+  popper.join();
+  // Latency is bounded by the linger deadline (plus scheduling slack),
+  // even though stragglers keep arriving past it.
+  EXPECT_LT(elapsed, 400ms);
+  // It genuinely lingered: more than the first item + first straggler
+  // (a single-wait-round implementation returns with 2)...
+  EXPECT_GE(batch.size(), 3u);
+  // ...but stopped at the deadline instead of collecting all 16.
+  EXPECT_LT(batch.size(), 16u);
+  q.close();
+  feeder.join();
 }
 
 TEST(BoundedQueue, CloseWakesBlockedPopper) {
@@ -176,6 +230,34 @@ TEST(ResultCache, LruEvictsOldestAndCountsStats) {
   EXPECT_EQ(st.evictions, 1u);
   EXPECT_EQ(st.entries, 2u);
   EXPECT_DOUBLE_EQ(st.hit_rate(), 0.75);
+}
+
+TEST(ResultCache, CapacityRemainderIsDistributedAcrossShards) {
+  // Regression: capacity 10 over 8 shards used to round (truncating
+  // dropped entries; the later ceil over-provisioned to 16 and
+  // capacity() reported the inflated number).  The budget must be
+  // honored exactly: shard caps sum to the requested total.
+  ResultCache cache(/*capacity=*/10, /*shards=*/8);
+  EXPECT_EQ(cache.capacity(), 10u);
+
+  // Shard = key.hi % 8.  Offer 3 entries to every shard: the two
+  // remainder-carrying shards keep 2 each, the rest keep 1 — exactly 10
+  // resident entries and 14 evictions.
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      cache.put(CacheKey{s, i}, dummy_response(static_cast<double>(i)));
+    }
+  }
+  const CacheStats st = cache.stats();
+  EXPECT_EQ(st.entries, 10u);
+  EXPECT_EQ(st.evictions, 14u);
+
+  // One-shard degenerate case: the whole budget lands in shard 0.
+  ResultCache single(/*capacity=*/3, /*shards=*/1);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    single.put(CacheKey{0, i}, dummy_response(static_cast<double>(i)));
+  }
+  EXPECT_EQ(single.stats().entries, 3u);
 }
 
 TEST(ResultCache, PutRefreshesExistingKey) {
@@ -311,10 +393,49 @@ TEST(Service, TuneMatchesDirectSearch) {
   EXPECT_DOUBLE_EQ(again.search.best.merit, direct.best.merit);
 }
 
+TEST(Service, ParallelTuneMatchesSerialAndRecordsWorkerMetrics) {
+  ServiceConfig cfg;
+  cfg.num_workers = 4;
+  cfg.max_tune_workers = 4;
+  Service svc(cfg);
+
+  Request req = editdist_cost_request(10, 10);
+  req.kind = RequestKind::kTune;
+  req.fom = fm::FigureOfMerit::kTime;
+  req.tune_workers = 3;  // per-request ask, below the service cap
+
+  fm::Mapping proto;
+  proto.set_input(0, fm::InputHome::at({0, 0}));
+  proto.set_input(1, fm::InputHome::at({0, 0}));
+  fm::SearchOptions serial = req.search;
+  serial.fom = req.fom;  // scheduler left null: serial reference
+  const fm::SearchResult direct =
+      fm::search_affine(*req.spec, req.machine, proto, serial);
+  ASSERT_TRUE(direct.found);
+
+  const Response r = svc.call(req);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.search.found);
+  EXPECT_TRUE(r.search.exhausted);
+  // The parallel tune reproduces the serial answer exactly, including
+  // the winner's enumeration slot.
+  EXPECT_DOUBLE_EQ(r.search.best.merit, direct.best.merit);
+  EXPECT_EQ(r.search.best.slot, direct.best.slot);
+  EXPECT_EQ(r.search.enumerated, direct.enumerated);
+  EXPECT_EQ(r.search.legal, direct.legal);
+  // The lane count respected the per-request ask.
+  EXPECT_GE(r.search.workers_used, 1u);
+  EXPECT_LE(r.search.workers_used, 3u);
+
+  const MetricsSnapshot snap = svc.metrics();
+  EXPECT_GE(snap.tunes, 1u);
+  EXPECT_GE(snap.mean_tune_workers, 1.0);
+}
+
 TEST(Service, DeadlineCutTuneReturnsLegalMappingBeforeDeadline) {
   ServiceConfig cfg;
   cfg.num_workers = 2;
-  cfg.deadline_margin = 20ms;
+  cfg.deadline_margin = 20ms * kTimeScale;
   Service svc(cfg);
 
   // A big search space (13 x 13 x 7 x 7 slots, each paying a
@@ -327,7 +448,7 @@ TEST(Service, DeadlineCutTuneReturnsLegalMappingBeforeDeadline) {
   req.kind = RequestKind::kTune;
   req.search.space.time_coeffs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 0};
   req.search.space.space_coeffs = {1, 0, -1, 2, -2, 3, -3};
-  req.deadline = 150ms;
+  req.deadline = 150ms * kTimeScale;
 
   const auto t0 = std::chrono::steady_clock::now();
   const Response r = svc.call(req);
@@ -430,6 +551,31 @@ TEST(Metrics, HistogramPercentilesAreMonotonic) {
   EXPECT_LE(p50, 1024.0);
 }
 
+TEST(Metrics, HistogramEdgeCasesEmptyAndSingleSample) {
+  // Empty histogram: every percentile is 0.
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.percentile_us(0.50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile_us(0.99), 0.0);
+
+  // Regression: a single 1000ns observation lands in bucket [512, 1024)
+  // and used to read back as the upper edge (1.024us — a 2x skew for a
+  // value near the bucket floor).  The midpoint bounds any single
+  // observation to [0.75x, 1.5x] of truth: 768ns here.
+  LatencyHistogram one;
+  one.record(std::chrono::nanoseconds(1000));
+  EXPECT_EQ(one.count(), 1u);
+  const double mid = 768.0 / 1000.0;
+  EXPECT_DOUBLE_EQ(one.percentile_us(0.0), mid);
+  EXPECT_DOUBLE_EQ(one.percentile_us(0.50), mid);
+  EXPECT_DOUBLE_EQ(one.percentile_us(1.0), mid);
+
+  // A zero-latency sample sits in the dedicated 0ns bucket.
+  LatencyHistogram zero;
+  zero.record(std::chrono::nanoseconds(0));
+  EXPECT_DOUBLE_EQ(zero.percentile_us(0.50), 0.0);
+}
+
 TEST(Metrics, JsonExportIsWellFormedAndComplete) {
   Metrics m;
   m.on_submit();
@@ -439,6 +585,9 @@ TEST(Metrics, JsonExportIsWellFormedAndComplete) {
   EXPECT_NE(json.find("\"metric\": \"submitted\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"cache_hit_rate\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"p99_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"tunes\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"mean_tune_workers\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"tune_steals\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"diagnostics\""), std::string::npos);
   EXPECT_EQ(json.front(), '[');
   EXPECT_EQ(json.back(), ']');
@@ -447,7 +596,17 @@ TEST(Metrics, JsonExportIsWellFormedAndComplete) {
     return std::count(json.begin(), json.end(), c);
   };
   EXPECT_EQ(count('{'), count('}'));
-  EXPECT_EQ(count('{'), 17);
+  EXPECT_EQ(count('{'), 20);
+}
+
+TEST(Metrics, OnTuneAggregatesWorkersAndSteals) {
+  Metrics m;
+  m.on_tune(/*workers_used=*/4, /*steals=*/10);
+  m.on_tune(/*workers_used=*/2, /*steals=*/3);
+  const MetricsSnapshot snap = m.snapshot(0, CacheStats{});
+  EXPECT_EQ(snap.tunes, 2u);
+  EXPECT_DOUBLE_EQ(snap.mean_tune_workers, 3.0);
+  EXPECT_EQ(snap.tune_steals, 13u);
 }
 
 TEST(Metrics, TableJsonEscapesStrings) {
