@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <future>
 #include <iostream>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -31,6 +33,8 @@
 #include "serve/service.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 using namespace harmony;
 using namespace std::chrono_literals;
@@ -200,9 +204,18 @@ RunStats open_loop(const Population& pop, const Zipf& zipf,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "E21: serving the mapping oracles — cache + batching under "
                "Zipf traffic\n\n";
+
+  // --trace out.json records request lifecycles (admit → queue_wait →
+  // batch → cache_probe → cost_eval/tune → reply, stitched by request
+  // id) across every Service this run stands up.  Each Service is
+  // destroyed inside its own scope, so all traced threads are joined
+  // before the capture at the bottom of main.
+  const std::string trace_path = trace::trace_flag(argc, argv);
+  std::optional<trace::TraceSession> session;
+  if (!trace_path.empty()) session.emplace();
 
   const Population pop;
   const Zipf zipf(Population::kDistinct, 1.1);
@@ -255,6 +268,16 @@ int main() {
               << " mean_tune_workers=" << snap.mean_tune_workers
               << " tune_steals=" << snap.tune_steals << "\n";
     svc.shutdown();
+  }
+
+  if (session) {
+    session->stop();
+    const trace::Capture cap = session->capture();
+    trace::write_chrome_json_file(trace_path, cap);
+    std::cout << '\n';
+    trace::summary_table(trace::summarize(cap)).print(std::cout);
+    std::cout << "trace: " << cap.events.size() << " events -> " << trace_path
+              << " (open in ui.perfetto.dev)\n";
   }
 
   const double closed_rps =

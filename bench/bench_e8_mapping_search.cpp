@@ -12,7 +12,9 @@
 // while never losing on the chosen merit.
 #include <chrono>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <string>
 #include <thread>
 
 #include "algos/editdist.hpp"
@@ -24,6 +26,8 @@
 #include "fm/search.hpp"
 #include "sched/scheduler.hpp"
 #include "support/table.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 using namespace harmony;
 
@@ -50,8 +54,15 @@ const char* fom_name(fm::FigureOfMerit f) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "E8: autotuning space-time mappings per figure of merit\n\n";
+
+  // --trace out.json captures the E8.c parallel section: per-grain
+  // search spans over the worker pool, plus run/steal/sleep scheduler
+  // spans.  When absent, every event site is one relaxed atomic load.
+  const std::string trace_path = trace::trace_flag(argc, argv);
+  std::optional<trace::TraceSession> session;
+  if (!trace_path.empty()) session.emplace();
 
   Table t({"kernel", "merit", "best_map", "enumerated", "legal", "cycles",
            "energy_nJ", "cycles_vs_serial", "cycles_vs_default"});
@@ -199,12 +210,27 @@ int main() {
                   std::string(identical ? "yes" : "NO")});
     }
     sc.print(std::cout);
+    if (session) {
+      // Scope note: `pool` is still alive here, so stop() only — the
+      // capture happens after the pool's destructor joins its workers.
+      session->stop();
+    }
     std::cout << (all_identical
                       ? "\nAll lane counts returned the serial result "
                         "bit-for-bit; speedup tracks the host's real "
                         "parallelism (a 1-core host honestly reports ~1x).\n"
                       : "\nERROR: a parallel run diverged from serial.\n");
     if (!all_identical) return 1;
+  }
+
+  if (session) {
+    session->stop();  // idempotent; E8.c's pool is destroyed by now
+    const trace::Capture cap = session->capture();
+    trace::write_chrome_json_file(trace_path, cap);
+    std::cout << '\n';
+    trace::summary_table(trace::summarize(cap)).print(std::cout);
+    std::cout << "trace: " << cap.events.size() << " events -> " << trace_path
+              << " (open in ui.perfetto.dev)\n";
   }
 
   std::cout << "\nShape check: on the time merit the DP kernel's winner "

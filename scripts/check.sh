@@ -4,12 +4,14 @@
 #   1. tier-1  — plain build + the whole ctest suite (ROADMAP.md);
 #   2. analyze — the static-analysis subsystem (race detector + linter,
 #      ctest -L analyze) plus a harmony-lint CLI smoke run;
-#   3. ASan/UBSan build running the serve + analyze tests (the
+#   3. ASan/UBSan build running the serve + analyze + support tests (the
 #      concurrent subsystem and the shadow-memory detector are where
-#      lifetime bugs would live);
-#   4. TSan build running the tier1 + serve + analyze labels — the whole
-#      correctness suite (parallel search parity, scheduler wakeup,
-#      batching, cache) plus the stress test under ThreadSanitizer.
+#      lifetime bugs would live; support_test exercises the Rng
+#      full-domain ranges whose old arithmetic was signed-overflow UB);
+#   4. TSan build running the tier1 + serve + analyze + trace labels —
+#      the whole correctness suite (parallel search parity, scheduler
+#      wakeup, batching, cache, concurrent trace-ring writes) plus the
+#      stress test under ThreadSanitizer.
 #
 # Usage:
 #   scripts/check.sh                    # all stages
@@ -48,18 +50,19 @@ run_analyze() {
 }
 
 run_asan() {
-  echo "== ASan/UBSan: serve + analyze tests ==" &&
+  echo "== ASan/UBSan: serve + analyze + support tests ==" &&
   cmake -B build-asan -S . -DHARMONY_ASAN=ON &&
   cmake --build build-asan -j --target serve_test serve_stress_test \
-    analyze_race_test analyze_lint_test &&
-  ctest --test-dir build-asan --output-on-failure -R "serve|analyze"
+    analyze_race_test analyze_lint_test support_test &&
+  ctest --test-dir build-asan --output-on-failure -R "serve|analyze|support"
 }
 
 run_tsan() {
-  echo "== TSan: tier1 + serve + analyze labels ==" &&
+  echo "== TSan: tier1 + serve + analyze + trace labels ==" &&
   cmake -B build-tsan -S . -DHARMONY_TSAN=ON &&
   cmake --build build-tsan -j --target harmony_tests &&
-  ctest --test-dir build-tsan --output-on-failure -L "tier1|serve|analyze"
+  ctest --test-dir build-tsan --output-on-failure \
+    -L "tier1|serve|analyze|trace"
 }
 
 run_stage() {

@@ -252,6 +252,7 @@ SearchResult search_affine(const FunctionSpec& spec,
                   "tensor");
   const TensorId target = computed[0];
   const IndexDomain& dom = spec.domain(target);
+  trace::Span search_span("fm", "search_affine", 0, opts.resume_from);
 
   // Sample points for the quick causality gate (deterministic stride).
   std::vector<Point> sample;

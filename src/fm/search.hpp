@@ -35,6 +35,7 @@
 #include "fm/mapping.hpp"
 #include "fm/spec.hpp"
 #include "sched/parallel_ops.hpp"
+#include "trace/trace.hpp"
 
 namespace harmony::fm {
 
@@ -208,7 +209,13 @@ void search_lanes(Ctx& ctx, unsigned lanes, std::uint64_t begin,
           }
           const std::uint64_t lo = begin + g * grain_slots;
           const std::uint64_t hi = std::min(end, lo + grain_slots);
-          for (std::uint64_t s = lo; s < hi; ++s) eval_slot(s, tally);
+          {
+            // One span per grain: id = lane, args = the slot range, so a
+            // timeline shows which lane evaluated which slice of the
+            // enumeration (and where a deadline cut landed).
+            trace::Span span("fm", "grain", lane, lo, hi);
+            for (std::uint64_t s = lo; s < hi; ++s) eval_slot(s, tally);
+          }
           sched::writer(ctx, processed, g);
           processed[g] = 1;
           return true;

@@ -108,6 +108,11 @@ class MeshNetwork {
   /// `link_bits_per_ps`: link bandwidth.  Default 0.064 bits/ps = 64 Gb/s.
   explicit MeshNetwork(GridGeometry geom, double link_bits_per_ps = 0.064);
 
+  /// Directed link direction out of a node (4 links per node).  Public
+  /// so link-level accounting (link_bits below) is testable: direction
+  /// decoding bugs show up as traffic attributed to the wrong link.
+  enum Dir : int { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
+
   struct Delivery {
     Time arrival = Time::zero();
     Energy energy = Energy::zero();
@@ -127,12 +132,15 @@ class MeshNetwork {
   [[nodiscard]] Time drain_time() const;
   /// Maximum bits carried by any single directed link (hot-spot metric).
   [[nodiscard]] std::uint64_t max_link_bits() const;
+  /// Bits carried so far by the directed link leaving `from` toward `d`.
+  [[nodiscard]] std::uint64_t link_bits(Coord from, Dir d) const {
+    return link_bits_[link_id(from, d)];
+  }
 
   [[nodiscard]] const GridGeometry& geometry() const { return geom_; }
 
  private:
   // Directed link id: 4 per node (E,W,N,S).
-  enum Dir : int { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
   [[nodiscard]] std::size_t link_id(Coord from, Dir d) const {
     return geom_.index(from) * 4 + static_cast<std::size_t>(d);
   }

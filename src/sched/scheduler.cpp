@@ -1,6 +1,9 @@
 #include "sched/scheduler.hpp"
 
 #include <chrono>
+#include <string>
+
+#include "trace/trace.hpp"
 
 namespace harmony::sched {
 
@@ -71,6 +74,7 @@ bool Scheduler::have_pending_work() const {
 bool Scheduler::help(Worker& self) {
   // Own work first (depth-first execution preserves locality).
   if (Job* j = self.deque.pop()) {
+    trace::Span span("sched", "run", 0, self.index);
     j->run();
     return true;
   }
@@ -82,6 +86,7 @@ bool Scheduler::help(Worker& self) {
     if (&victim == &self) continue;
     if (Job* j = victim.deque.steal()) {
       steals_.fetch_add(1, std::memory_order_relaxed);
+      trace::Span span("sched", "steal", 0, self.index, victim.index);
       j->run();
       return true;
     }
@@ -92,6 +97,7 @@ bool Scheduler::help(Worker& self) {
 void Scheduler::worker_loop(unsigned index) {
   Worker& self = *workers_[index];
   current_worker_slot() = &self;
+  trace::set_thread_name("sched-w" + std::to_string(index));
   unsigned failures = 0;
   while (!shutdown_.load(std::memory_order_acquire)) {
     if (help(self)) {
@@ -110,6 +116,7 @@ void Scheduler::worker_loop(unsigned index) {
       // sleeper and notifies through the same mutex — the lost-wakeup
       // window between "sweep failed" and "blocked" is closed.  The
       // timeout is a belt-and-braces backstop only.
+      trace::Span span("sched", "sleep", 0, self.index);
       std::unique_lock<std::mutex> lk(sleep_mutex_);
       sleepers_.fetch_add(1, std::memory_order_seq_cst);
       sleep_cv_.wait_for(lk, std::chrono::milliseconds(2), [this] {

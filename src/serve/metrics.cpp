@@ -2,9 +2,29 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <sstream>
 
+#include "trace/trace.hpp"
+
 namespace harmony::serve {
+
+namespace {
+
+/// Midpoint of histogram bucket `b` in microseconds.  Bucket 0 is
+/// exactly 0 ns; bucket b >= 1 spans [2^(b-1), 2^b), midpoint
+/// 1.5 * 2^(b-1).  See percentile_us doc for the resulting
+/// [0.75x, 1.5x] single-observation bound.
+double bucket_midpoint_us(std::size_t b) {
+  if (b == 0) return 0.0;
+  const double mid_ns =
+      (std::ldexp(1.0, static_cast<int>(b) - 1) +
+       std::ldexp(1.0, static_cast<int>(b))) /
+      2.0;
+  return mid_ns / 1000.0;
+}
+
+}  // namespace
 
 void LatencyHistogram::record(std::chrono::nanoseconds latency) {
   const auto ns = static_cast<std::uint64_t>(
@@ -38,18 +58,13 @@ double LatencyHistogram::percentile_us(double q) const {
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
     seen += snap[b];
-    if (seen >= rank) {
-      // Bucket midpoint: bucket 0 is exactly 0 ns; bucket b >= 1 spans
-      // [2^(b-1), 2^b), midpoint 1.5 * 2^(b-1).  See percentile_us doc
-      // for the resulting [0.75x, 1.5x] single-observation bound.
-      if (b == 0) return 0.0;
-      const double mid_ns = (static_cast<double>(1ULL << (b - 1)) +
-                             static_cast<double>(1ULL << b)) /
-                            2.0;
-      return mid_ns / 1000.0;
-    }
+    if (seen >= rank) return bucket_midpoint_us(b);
   }
-  return static_cast<double>(1ULL << (kBuckets - 1)) / 1000.0;
+  // Unreachable via the public API (rank <= total, so the loop always
+  // hits), kept as defense in depth.  Must use the same midpoint
+  // convention as the loop — the upper-edge value returned previously
+  // broke the documented [0.75x, 1.5x] bound for top-bucket samples.
+  return bucket_midpoint_us(kBuckets - 1);
 }
 
 void Metrics::on_complete(std::chrono::nanoseconds latency,
@@ -111,6 +126,7 @@ MetricsSnapshot Metrics::snapshot(std::uint64_t queue_depth,
                                       static_cast<double>(s.tunes)
                                 : 0.0;
   s.tune_steals = tune_steals_.load(std::memory_order_relaxed);
+  s.trace_dropped = trace::dropped_total();
   for (std::size_t i = 0; i < analyze::kRuleCount; ++i) {
     s.diagnostics_by_rule[i] = diag_by_rule_[i].load(std::memory_order_relaxed);
   }
@@ -142,6 +158,7 @@ Table metrics_table(const MetricsSnapshot& snap) {
   t.add_row({"tunes", u(snap.tunes)});
   t.add_row({"mean_tune_workers", snap.mean_tune_workers});
   t.add_row({"tune_steals", u(snap.tune_steals)});
+  t.add_row({"trace_dropped", u(snap.trace_dropped)});
   t.add_row({"diagnostics", u(snap.diagnostics_total())});
   for (std::size_t i = 0; i < analyze::kRuleCount; ++i) {
     if (snap.diagnostics_by_rule[i] == 0) continue;

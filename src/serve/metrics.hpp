@@ -67,6 +67,9 @@ struct MetricsSnapshot {
   /// Scheduler steals observed across tunes — approximate when tunes
   /// overlap in one batch session, but a faithful saturation signal.
   std::uint64_t tune_steals = 0;
+  /// Trace events lost to ring-buffer wrap in the current (or last)
+  /// trace session (harmony::trace); 0 when tracing never ran.
+  std::uint64_t trace_dropped = 0;
   /// Diagnostics emitted by oracle runs, indexed like analyze::kRules
   /// (cache hits replay stored diagnostics and are not re-counted).
   std::array<std::uint64_t, analyze::kRuleCount> diagnostics_by_rule{};

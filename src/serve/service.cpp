@@ -7,6 +7,7 @@
 
 #include "analyze/lint.hpp"
 #include "sched/parallel_ops.hpp"
+#include "trace/trace.hpp"
 
 namespace harmony::serve {
 
@@ -66,6 +67,10 @@ void Service::shutdown() {
 
 std::future<Response> Service::submit(Request req) {
   metrics_.on_submit();
+  const std::uint64_t rid = next_rid_.fetch_add(1, std::memory_order_relaxed);
+  // Covers admission on the caller's thread: validation, the cache fast
+  // path (arg0 = 1 on a hit), and the queue push.
+  trace::Span admit_span("serve", "admit", rid);
   const Clock::time_point now = Clock::now();
   std::promise<Response> ready;
   std::future<Response> fut = ready.get_future();
@@ -89,6 +94,7 @@ std::future<Response> Service::submit(Request req) {
     // Fast path: answer memoized queries on the caller's thread, never
     // touching the admission queue.
     if (auto hit = cache_.get(p->key)) {
+      admit_span.set_args(1, 0);
       Response r = *hit;
       r.cache_hit = true;
       r.latency = Clock::now() - now;
@@ -118,6 +124,8 @@ std::future<Response> Service::submit(Request req) {
 
   // Hand the caller the *real* promise's future before enqueueing.
   fut = p->promise.get_future();
+  p->rid = rid;
+  if (trace::enabled()) p->enqueue_ns = trace::now_ns();
   const RequestKind kind = p->req.kind;
   if (!queue_.try_push(std::move(p))) {
     Response r;
@@ -140,6 +148,7 @@ MetricsSnapshot Service::metrics() const {
 }
 
 void Service::dispatch_loop() {
+  trace::set_thread_name("serve-dispatch");
   std::vector<std::unique_ptr<Pending>> batch;
   while (true) {
     batch.clear();
@@ -147,6 +156,18 @@ void Service::dispatch_loop() {
       return;  // closed and drained
     }
     metrics_.on_batch(batch.size());
+    if (trace::enabled()) {
+      // Close each request's queue-wait interval (opened at admission)
+      // and sample the depth left behind after this drain.
+      const std::uint64_t drained_ns = trace::now_ns();
+      for (const auto& p : batch) {
+        if (p->enqueue_ns != 0) {
+          trace::emit_span("serve", "queue_wait", p->enqueue_ns, drained_ns,
+                           p->rid);
+        }
+      }
+      trace::emit_counter("serve", "queue_depth", queue_.size());
+    }
 
     // Group duplicates: requests with equal cache keys execute once and
     // share the answer.  Deadline-carrying tunes stay singleton groups —
@@ -168,6 +189,7 @@ void Service::dispatch_loop() {
       groups.back().push_back(std::move(p));
     }
 
+    trace::Span batch_span("serve", "batch", 0, batch.size(), groups.size());
     scheduler_.run([&] {
       sched::RealCtx ctx;
       sched::parallel_for(ctx, 0, groups.size(), 1,
@@ -181,7 +203,11 @@ void Service::run_group(std::vector<std::unique_ptr<Pending>>& group) {
 
   // A sibling batch may have filled the cache since admission.
   std::shared_ptr<const Response> cached;
-  if (leader.use_cache) cached = cache_.get(leader.key);
+  if (leader.use_cache) {
+    trace::Span probe_span("serve", "cache_probe", leader.rid);
+    cached = cache_.get(leader.key);
+    probe_span.set_args(cached != nullptr, 0);
+  }
 
   Response computed;
   if (cached == nullptr) {
@@ -209,6 +235,9 @@ void Service::run_group(std::vector<std::unique_ptr<Pending>>& group) {
 
 Response Service::execute(const Pending& p) {
   const Request& req = p.req;
+  // Named after the oracle ("cost_eval" / "legality" / "tune"): the
+  // timeline shows what kind of work each request cost.
+  trace::Span exec_span("serve", to_string(req.kind), p.rid);
   Response r;
   r.kind = req.kind;
   try {
@@ -279,6 +308,7 @@ Response Service::execute(const Pending& p) {
 }
 
 void Service::respond(Pending& p, Response r) {
+  trace::Span reply_span("serve", "reply", p.rid);
   r.latency = Clock::now() - p.enqueued;
   metrics_.on_complete(r.latency, r.deadline_cut,
                        r.status == Status::kError);

@@ -105,6 +105,12 @@ class Service {
     Clock::time_point enqueued;
     Clock::time_point deadline;  ///< meaningful when has_deadline
     bool has_deadline = false;
+    /// Request id stitching this request's trace spans together
+    /// (admit → queue_wait → cache_probe → execute → reply).
+    std::uint64_t rid = 0;
+    /// trace::now_ns() at admission when tracing; 0 otherwise.  The
+    /// queue-wait span begins here and ends on the dispatcher.
+    std::uint64_t enqueue_ns = 0;
     std::promise<Response> promise;
   };
 
@@ -118,6 +124,7 @@ class Service {
   BoundedQueue<std::unique_ptr<Pending>> queue_;
   sched::Scheduler scheduler_;
   Metrics metrics_;
+  std::atomic<std::uint64_t> next_rid_{1};
   std::atomic<bool> stopping_{false};
   std::mutex shutdown_mu_;  ///< serializes dispatcher join
   std::thread dispatcher_;

@@ -71,9 +71,16 @@ class Rng {
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
     HARMONY_REQUIRE(lo <= hi, "Rng::next_int: empty range");
-    const auto width = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(width == 0 ? next_u64()
-                                                     : next_below(width));
+    // All arithmetic in uint64_t: `hi - lo` overflows int64_t whenever
+    // the range spans more than half the domain, and `lo + offset` does
+    // so on the full-range path — both signed-overflow UB.  Unsigned
+    // wraparound is defined and, with the int64_t round trip being
+    // value-preserving mod 2^64 (C++20 two's complement), lands on
+    // exactly the intended value.
+    const std::uint64_t width =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    const std::uint64_t offset = width == 0 ? next_u64() : next_below(width);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + offset);
   }
 
   /// Uniform double in [0, 1).

@@ -1,0 +1,191 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace harmony::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// One thread's ring.  The owning thread is the only writer; readers
+/// (capture, dropped_total) either hold the registry mutex and read the
+/// atomic count (always safe) or additionally read the ring contents
+/// (safe only under the documented quiescence contract).
+struct ThreadLog {
+  std::vector<Event> ring;  ///< capacity fixed for a session; empty = off
+  std::atomic<std::uint64_t> count{0};  ///< events ever pushed this session
+  std::uint32_t tid = 0;
+  std::string name;
+};
+
+struct Registry {
+  std::mutex mu;
+  // unique_ptr so ThreadLog addresses survive vector growth — the
+  // owning thread keeps a raw pointer in thread_local storage.  Logs
+  // are never removed: a thread may die while its ring still holds
+  // events a later capture wants.
+  std::vector<std::unique_ptr<ThreadLog>> logs;
+  std::uint32_t next_tid = 1;
+  std::size_t ring_capacity = 0;  ///< 0 = no session has run yet
+  bool session_active = false;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+thread_local ThreadLog* tls_log = nullptr;
+
+ThreadLog& my_log() {
+  if (tls_log == nullptr) {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    auto log = std::make_unique<ThreadLog>();
+    log->tid = reg.next_tid++;
+    log->ring.resize(reg.ring_capacity);
+    tls_log = log.get();
+    reg.logs.push_back(std::move(log));
+  }
+  return *tls_log;
+}
+
+void push(const Event& e) {
+  ThreadLog& log = my_log();
+  if (log.ring.empty()) return;  // registered before any session sized it
+  const std::uint64_t c = log.count.load(std::memory_order_relaxed);
+  Event& slot = log.ring[c % log.ring.size()];
+  slot = e;
+  slot.tid = log.tid;
+  // Release so a capture that reads `count` after quiescence also sees
+  // the slot contents written above.
+  log.count.store(c + 1, std::memory_order_release);
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void emit_span(const char* cat, const char* name, std::uint64_t begin_ns,
+               std::uint64_t end_ns, std::uint64_t id, std::uint64_t arg0,
+               std::uint64_t arg1) {
+  if (!enabled()) return;
+  Event e;
+  e.cat = cat;
+  e.name = name;
+  e.begin_ns = begin_ns;
+  e.end_ns = end_ns;
+  e.id = id;
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+  e.kind = EventKind::kSpan;
+  push(e);
+}
+
+void emit_counter(const char* cat, const char* name, std::uint64_t value) {
+  if (!enabled()) return;
+  Event e;
+  e.cat = cat;
+  e.name = name;
+  e.begin_ns = now_ns();
+  e.end_ns = e.begin_ns;
+  e.arg0 = value;
+  e.kind = EventKind::kCounter;
+  push(e);
+}
+
+void set_thread_name(std::string name) {
+  ThreadLog& log = my_log();
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  log.name = std::move(name);
+}
+
+std::uint64_t dropped_total() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  std::uint64_t dropped = 0;
+  for (const auto& log : reg.logs) {
+    const std::uint64_t c = log->count.load(std::memory_order_acquire);
+    const std::uint64_t cap = log->ring.size();
+    if (cap != 0 && c > cap) dropped += c - cap;
+  }
+  return dropped;
+}
+
+TraceSession::TraceSession(std::size_t events_per_thread) {
+  HARMONY_REQUIRE(events_per_thread > 0,
+                  "TraceSession: events_per_thread must be positive");
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  HARMONY_REQUIRE(!reg.session_active,
+                  "TraceSession: another session is already active");
+  reg.session_active = true;
+  reg.ring_capacity = events_per_thread;
+  for (auto& log : reg.logs) {
+    log->ring.assign(events_per_thread, Event{});
+    log->count.store(0, std::memory_order_relaxed);
+  }
+  detail::g_enabled.store(true, std::memory_order_seq_cst);
+}
+
+TraceSession::~TraceSession() {
+  stop();
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  reg.session_active = false;
+}
+
+void TraceSession::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  detail::g_enabled.store(false, std::memory_order_seq_cst);
+}
+
+Capture TraceSession::capture() const {
+  HARMONY_REQUIRE(stopped_ && !enabled(),
+                  "TraceSession::capture requires stop() first");
+  Capture cap;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  for (const auto& log : reg.logs) {
+    const std::uint64_t count = log->count.load(std::memory_order_acquire);
+    const std::uint64_t ring_cap = log->ring.size();
+    if (ring_cap == 0) continue;
+    const std::uint64_t kept = std::min<std::uint64_t>(count, ring_cap);
+    const std::uint64_t dropped = count - kept;
+    CapturedThread t;
+    t.tid = log->tid;
+    t.name = log->name;
+    t.events = kept;
+    t.dropped = dropped;
+    cap.threads.push_back(std::move(t));
+    cap.dropped += dropped;
+    // Oldest surviving event is at index count - kept (mod capacity).
+    for (std::uint64_t i = 0; i < kept; ++i) {
+      cap.events.push_back(log->ring[(count - kept + i) % ring_cap]);
+    }
+  }
+  std::sort(cap.events.begin(), cap.events.end(),
+            [](const Event& a, const Event& b) {
+              return a.begin_ns != b.begin_ns ? a.begin_ns < b.begin_ns
+                                              : a.tid < b.tid;
+            });
+  return cap;
+}
+
+}  // namespace harmony::trace

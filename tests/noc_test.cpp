@@ -231,5 +231,169 @@ TEST(Mesh, RejectsOffGridEndpoints) {
   EXPECT_THROW(net.send({0, 0}, {5, 0}, 8, Time::zero()), InvalidArgument);
 }
 
+// --- Direction-decoding regressions ---------------------------------
+// The old decoder compared coordinates modularly: on 1-column grids the
+// east test was vacuously true (y-hops charged to east links), on
+// 2-column / 2-row grids the +1 and -1 tests were both true (west
+// decoded as east, south as north).  These pin the fix.
+
+TEST(LinkDecodeRegression, SingleColumnYTrafficUsesNorthSouthLinks) {
+  GridGeometry g(1, 4, Length::millimetres(1.0));
+  MeshNetwork net(g, 1.0);
+  const auto up = net.send({0, 0}, {0, 3}, 100, Time::zero());
+  const auto down = net.send({0, 3}, {0, 0}, 100, Time::zero());
+  // Opposing traffic rides disjoint directed links, so neither message
+  // waits.  Pre-fix, both directions were charged to each node's east
+  // link and the second message serialized behind the first at the two
+  // shared interior nodes.
+  EXPECT_DOUBLE_EQ(up.arrival.picoseconds(), 3.0 * (100.0 + 800.0));
+  EXPECT_DOUBLE_EQ(down.arrival.picoseconds(), up.arrival.picoseconds());
+  // Attribution: every hop on the correct link, nothing on east/west.
+  for (int y = 0; y < 3; ++y) {
+    EXPECT_EQ(net.link_bits({0, y}, MeshNetwork::kNorth), 100u) << y;
+    EXPECT_EQ(net.link_bits({0, y + 1}, MeshNetwork::kSouth), 100u) << y;
+  }
+  for (int y = 0; y < 4; ++y) {
+    EXPECT_EQ(net.link_bits({0, y}, MeshNetwork::kEast), 0u) << y;
+    EXPECT_EQ(net.link_bits({0, y}, MeshNetwork::kWest), 0u) << y;
+  }
+}
+
+TEST(LinkDecodeRegression, TwoColumnWestHopUsesWestLink) {
+  for (const Topology topo : {Topology::kMesh, Topology::kTorus}) {
+    GridGeometry g(2, 2, Length::millimetres(1.0), TechnologyModel::n5(),
+                   topo);
+    MeshNetwork net(g, 1.0);
+    net.send({1, 0}, {0, 0}, 64, Time::zero());
+    // Pre-fix, (x=1 -> x=0) satisfied the east test on a 2-column grid
+    // ((1+1)%2 == 0) and was charged to node (1,0)'s east link.
+    EXPECT_EQ(net.link_bits({1, 0}, MeshNetwork::kWest), 64u);
+    EXPECT_EQ(net.link_bits({1, 0}, MeshNetwork::kEast), 0u);
+  }
+}
+
+TEST(LinkDecodeRegression, TwoRowSouthHopUsesSouthLink) {
+  GridGeometry g(2, 2, Length::millimetres(1.0));
+  MeshNetwork net(g, 1.0);
+  net.send({0, 1}, {0, 0}, 64, Time::zero());
+  // Pre-fix, (y=1 -> y=0) satisfied the north test ((1+1)%2 == 0).
+  EXPECT_EQ(net.link_bits({0, 1}, MeshNetwork::kSouth), 64u);
+  EXPECT_EQ(net.link_bits({0, 1}, MeshNetwork::kNorth), 0u);
+}
+
+TEST(LinkDecodeRegression, TorusWrapHopsChargeTheWrapLink) {
+  GridGeometry g(1, 4, Length::millimetres(1.0), TechnologyModel::n5(),
+                 Topology::kTorus);
+  MeshNetwork net(g, 1.0);
+  // y = 3 -> y = 0 wraps north off the top edge (one hop).
+  const auto d = net.send({0, 3}, {0, 0}, 64, Time::zero());
+  EXPECT_EQ(d.hops, 1);
+  EXPECT_EQ(net.link_bits({0, 3}, MeshNetwork::kNorth), 64u);
+  EXPECT_EQ(net.link_bits({0, 3}, MeshNetwork::kEast), 0u);
+  // y = 0 -> y = 3 wraps south off the bottom edge.
+  net.send({0, 0}, {0, 3}, 32, Time::zero());
+  EXPECT_EQ(net.link_bits({0, 0}, MeshNetwork::kSouth), 32u);
+}
+
+// --- axis_delta tie regression --------------------------------------
+
+TEST(Torus, HalfwayTiesRouteTheIncreasingWayFromBothEnds) {
+  // Extent 4, delta +/-2: both ways around are 2 hops.  The documented
+  // rule is "ties go the increasing way"; pre-fix the decreasing
+  // operand order returned the decreasing route, so a->b and b->a used
+  // different physical links.
+  GridGeometry torus(4, 1, Length::millimetres(0.2),
+                     TechnologyModel::n5(), Topology::kTorus);
+  EXPECT_EQ(torus.hops({0, 0}, {2, 0}), 2);
+  EXPECT_EQ(torus.hops({2, 0}, {0, 0}), 2);
+  // 0 -> 2: increasing, via x = 1.
+  EXPECT_EQ(torus.next_hop({0, 0}, {2, 0}), (Coord{1, 0}));
+  // 2 -> 0: still increasing (via x = 3 and the wrap), not back via 1.
+  EXPECT_EQ(torus.next_hop({2, 0}, {0, 0}), (Coord{3, 0}));
+  // Same rule on the y axis.
+  GridGeometry tall(1, 4, Length::millimetres(0.2),
+                    TechnologyModel::n5(), Topology::kTorus);
+  EXPECT_EQ(tall.next_hop({0, 2}, {0, 0}), (Coord{0, 3}));
+}
+
+// --- Degenerate grids -----------------------------------------------
+
+TEST(DegenerateGrid, SingleNodeGridIsClosedUnderEverything) {
+  for (const Topology topo : {Topology::kMesh, Topology::kTorus}) {
+    GridGeometry g(1, 1, Length::millimetres(0.5), TechnologyModel::n5(),
+                   topo);
+    EXPECT_EQ(g.num_nodes(), 1);
+    EXPECT_EQ(g.hops({0, 0}, {0, 0}), 0);
+    EXPECT_EQ(g.diameter_hops(), 0);
+    MeshNetwork net(g, 1.0);
+    const auto d = net.send({0, 0}, {0, 0}, 128, Time::picoseconds(5.0));
+    EXPECT_EQ(d.hops, 0);
+    EXPECT_DOUBLE_EQ(d.arrival.picoseconds(), 5.0);  // self-send is free
+    EXPECT_DOUBLE_EQ(net.drain_time().picoseconds(), 0.0);
+    EXPECT_EQ(net.max_link_bits(), 0u);
+  }
+}
+
+TEST(DegenerateGrid, OneColumnMeshAndTorusGeometry) {
+  GridGeometry mesh(1, 5, Length::millimetres(0.5));
+  EXPECT_EQ(mesh.diameter_hops(), 4);
+  GridGeometry torus(1, 4, Length::millimetres(0.5), TechnologyModel::n5(),
+                     Topology::kTorus);
+  EXPECT_EQ(torus.diameter_hops(), 2);
+  // next_hop walks agree with hops() on every pair of both grids.
+  for (const GridGeometry* g : {&mesh, &torus}) {
+    for (int s = 0; s < g->num_nodes(); ++s) {
+      for (int d = 0; d < g->num_nodes(); ++d) {
+        Coord at = g->coord(static_cast<std::size_t>(s));
+        const Coord dst = g->coord(static_cast<std::size_t>(d));
+        int steps = 0;
+        while (!(at == dst)) {
+          at = g->next_hop(at, dst);
+          ++steps;
+          ASSERT_LE(steps, g->num_nodes());
+        }
+        ASSERT_EQ(steps, g->hops(g->coord(static_cast<std::size_t>(s)), dst));
+      }
+    }
+  }
+}
+
+TEST(DegenerateGrid, OneColumnNetworkDrainAndHotSpot) {
+  GridGeometry g(1, 4, Length::millimetres(1.0));
+  MeshNetwork net(g, 1.0);
+  const auto d = net.send({0, 0}, {0, 3}, 100, Time::zero());
+  EXPECT_EQ(d.hops, 3);
+  // Three distinct links each carried the message once.
+  EXPECT_EQ(net.max_link_bits(), 100u);
+  EXPECT_DOUBLE_EQ(net.drain_time().picoseconds(),
+                   d.arrival.picoseconds());
+  EXPECT_EQ(net.total_bit_hops(), 300u);
+}
+
+TEST(DegenerateGrid, TwoByTwoTorusBehavesLikeAMesh) {
+  // With both extents 2, every wrap link duplicates a neighbour link;
+  // the router treats extent <= 2 as mesh-like, so hops and routes
+  // match the 2x2 mesh exactly.
+  GridGeometry torus(2, 2, Length::millimetres(0.5), TechnologyModel::n5(),
+                     Topology::kTorus);
+  GridGeometry mesh(2, 2, Length::millimetres(0.5));
+  EXPECT_EQ(torus.diameter_hops(), 2);
+  for (int s = 0; s < 4; ++s) {
+    for (int d = 0; d < 4; ++d) {
+      const Coord a = torus.coord(static_cast<std::size_t>(s));
+      const Coord b = torus.coord(static_cast<std::size_t>(d));
+      EXPECT_EQ(torus.hops(a, b), mesh.hops(a, b));
+      if (!(a == b)) EXPECT_EQ(torus.next_hop(a, b), mesh.next_hop(a, b));
+    }
+  }
+  // X resolves before Y (dimension order).
+  EXPECT_EQ(torus.next_hop({0, 0}, {1, 1}), (Coord{1, 0}));
+  MeshNetwork net(torus, 1.0);
+  const auto d = net.send({0, 0}, {1, 1}, 64, Time::zero());
+  EXPECT_EQ(d.hops, 2);
+  EXPECT_DOUBLE_EQ(net.drain_time().picoseconds(), d.arrival.picoseconds());
+  EXPECT_EQ(net.max_link_bits(), 64u);
+}
+
 }  // namespace
 }  // namespace harmony::noc

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <memory>
 #include <sstream>
@@ -574,6 +575,17 @@ TEST(Metrics, HistogramEdgeCasesEmptyAndSingleSample) {
   LatencyHistogram zero;
   zero.record(std::chrono::nanoseconds(0));
   EXPECT_DOUBLE_EQ(zero.percentile_us(0.50), 0.0);
+
+  // The top bucket must follow the same midpoint convention — its old
+  // overflow fallback returned the bucket's *upper edge* (2^63 ns),
+  // breaking the [0.75x, 1.5x] bound every other bucket honours.  The
+  // largest representable latency lands in bucket 63 = [2^62, 2^63).
+  LatencyHistogram top;
+  top.record(std::chrono::nanoseconds::max());
+  const double top_mid_us =
+      (std::ldexp(1.0, 62) + std::ldexp(1.0, 63)) / 2.0 / 1000.0;
+  EXPECT_DOUBLE_EQ(top.percentile_us(0.50), top_mid_us);
+  EXPECT_DOUBLE_EQ(top.percentile_us(1.0), top_mid_us);
 }
 
 TEST(Metrics, JsonExportIsWellFormedAndComplete) {
@@ -589,6 +601,7 @@ TEST(Metrics, JsonExportIsWellFormedAndComplete) {
   EXPECT_NE(json.find("\"metric\": \"mean_tune_workers\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"tune_steals\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"diagnostics\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"trace_dropped\""), std::string::npos);
   EXPECT_EQ(json.front(), '[');
   EXPECT_EQ(json.back(), ']');
   // Balanced braces: one object per row.
@@ -596,7 +609,7 @@ TEST(Metrics, JsonExportIsWellFormedAndComplete) {
     return std::count(json.begin(), json.end(), c);
   };
   EXPECT_EQ(count('{'), count('}'));
-  EXPECT_EQ(count('{'), 20);
+  EXPECT_EQ(count('{'), 21);
 }
 
 TEST(Metrics, OnTuneAggregatesWorkersAndSteals) {

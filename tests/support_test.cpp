@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -114,6 +115,63 @@ TEST(Rng, RejectsEmptyRanges) {
   Rng rng(1);
   EXPECT_THROW(rng.next_below(0), InvalidArgument);
   EXPECT_THROW(rng.next_int(3, 2), InvalidArgument);
+}
+
+// Regression for signed-overflow UB in next_int: `hi - lo` overflowed
+// whenever the range spanned more than half the int64 domain, and
+// `lo + offset` overflowed on the full-range path.  These ranges are
+// exactly the ones the old arithmetic tripped on; the check.sh UBSan
+// leg runs this test, so any reintroduced overflow fails loudly.
+TEST(Rng, NextIntFullDomainIsDefinedAndMixesSigns) {
+  Rng rng(17);
+  bool saw_neg = false;
+  bool saw_pos = false;
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t v = rng.next_int(
+        std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max());
+    saw_neg = saw_neg || v < 0;
+    saw_pos = saw_pos || v > 0;
+  }
+  // 200 uniform draws land on both signs with probability ~1 - 2^-199.
+  EXPECT_TRUE(saw_neg);
+  EXPECT_TRUE(saw_pos);
+}
+
+TEST(Rng, NextIntHalfDomainRangesStayInBounds) {
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  Rng rng(19);
+  for (int i = 0; i < 200; ++i) {
+    // Width kMax - kMin' > int64 max: the subtraction itself was the UB.
+    EXPECT_LE(rng.next_int(kMin, 0), 0);
+    EXPECT_GE(rng.next_int(-1, kMax), -1);
+    const std::int64_t v = rng.next_int(kMin + 1, kMax - 1);
+    EXPECT_GT(v, kMin);
+    EXPECT_LT(v, kMax);
+  }
+}
+
+TEST(Rng, NextIntSingleValueRangesAtTheExtremes) {
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  Rng rng(23);
+  EXPECT_EQ(rng.next_int(kMin, kMin), kMin);
+  EXPECT_EQ(rng.next_int(kMax, kMax), kMax);
+  EXPECT_EQ(rng.next_int(-7, -7), -7);
+}
+
+TEST(Rng, NextIntStreamUnchangedByUnsignedReformulation) {
+  // The unsigned rewrite must be value-identical to the old behaviour on
+  // ranges the old code handled without UB: same seed, same draws.
+  Rng a(29);
+  Rng b(29);
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t lo = -50 + i;
+    ASSERT_EQ(a.next_int(lo, lo + 100),
+              static_cast<std::int64_t>(
+                  static_cast<std::uint64_t>(lo) + b.next_below(101)));
+  }
 }
 
 TEST(Stats, MeanVarianceMinMax) {
