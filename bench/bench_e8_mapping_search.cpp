@@ -60,7 +60,13 @@ int main(int argc, char** argv) {
   // --trace out.json captures the E8.c parallel section: per-grain
   // search spans over the worker pool, plus run/steal/sleep scheduler
   // spans.  When absent, every event site is one relaxed atomic load.
+  // --json renders the E8.c scaling table as a JSON array instead of
+  // ASCII, for scripts that track the parallel-search speedup.
   const std::string trace_path = trace::trace_flag(argc, argv);
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json = true;
+  }
   std::optional<trace::TraceSession> session;
   if (!trace_path.empty()) session.emplace();
 
@@ -209,7 +215,12 @@ int main(int argc, char** argv) {
                   par_ms > 0 ? serial_ms / par_ms : 0.0,
                   std::string(identical ? "yes" : "NO")});
     }
-    sc.print(std::cout);
+    if (json) {
+      sc.print_json(std::cout);
+      std::cout << '\n';
+    } else {
+      sc.print(std::cout);
+    }
     if (session) {
       // Scope note: `pool` is still alive here, so stop() only — the
       // capture happens after the pool's destructor joins its workers.

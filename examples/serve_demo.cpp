@@ -81,7 +81,8 @@ int main(int argc, char** argv) {
               << r.legality.peak_link_bits_per_cycle << " bits/cycle)\n";
 
     // 3. Tune with a deadline.  The search space below is far larger than
-    //    50 ms of enumeration, so the deadline fires mid-search and the
+    //    50 ms of enumeration — even through the compiled fast path
+    //    (DESIGN.md §12) — so the deadline fires mid-search and the
     //    response carries the best-so-far frontier (deadline_cut) — more
     //    budget buys a better mapping, less buys a legal one sooner.  The
     //    winner stretches time enough to fit the PE-0 link budget the
@@ -91,8 +92,9 @@ int main(int argc, char** argv) {
     serve::Request tune = base;
     tune.kind = serve::RequestKind::kTune;
     tune.fom = fm::FigureOfMerit::kTime;
-    tune.search.space.time_coeffs = {1, 2, 3, 4, 5, 6, 7, 0};
-    tune.search.space.space_coeffs = {1, 0, -1, 2, -2, 3, -3};
+    tune.search.space.time_coeffs = {1, 2, 3, 4, 5, 6, 7, 8,
+                                     9, 10, 11, 12, 0};
+    tune.search.space.space_coeffs = {1, 0, -1, 2, -2, 3, -3, 4, -4};
     tune.deadline = 50ms;
     r = svc.call(tune);
     if (r.ok() && r.search.found) {

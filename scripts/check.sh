@@ -8,15 +8,20 @@
 #      concurrent subsystem and the shadow-memory detector are where
 #      lifetime bugs would live; support_test exercises the Rng
 #      full-domain ranges whose old arithmetic was signed-overflow UB);
-#   4. TSan build running the tier1 + serve + analyze + trace labels —
-#      the whole correctness suite (parallel search parity, scheduler
-#      wakeup, batching, cache, concurrent trace-ring writes) plus the
-#      stress test under ThreadSanitizer.
+#   4. TSan build running the tier1 + serve + analyze + trace +
+#      fm_search labels — the whole correctness suite (parallel search
+#      parity, compiled-evaluation parity, scheduler wakeup, batching,
+#      cache, concurrent trace-ring writes) plus the stress test under
+#      ThreadSanitizer;
+#   5. perf    — a smoke run of the compiled-evaluation benchmark
+#      (bench_e22, ctest -L perf): fails if the fast path's reports
+#      diverge from the legacy oracles or a parallel search diverges
+#      from serial.
 #
 # Usage:
-#   scripts/check.sh                    # all stages
-#   scripts/check.sh tier1              # just the plain build + tests
-#   scripts/check.sh analyze|asan|tsan  # just that stage
+#   scripts/check.sh                         # all stages
+#   scripts/check.sh tier1                   # just the plain build + tests
+#   scripts/check.sh analyze|asan|tsan|perf  # just that stage
 #
 # Every stage runs as one &&-chain inside its function.  This matters:
 # `set -e` is suspended while a function runs as part of a condition
@@ -58,11 +63,18 @@ run_asan() {
 }
 
 run_tsan() {
-  echo "== TSan: tier1 + serve + analyze + trace labels ==" &&
+  echo "== TSan: tier1 + serve + analyze + trace + fm_search labels ==" &&
   cmake -B build-tsan -S . -DHARMONY_TSAN=ON &&
   cmake --build build-tsan -j --target harmony_tests &&
   ctest --test-dir build-tsan --output-on-failure \
-    -L "tier1|serve|analyze|trace"
+    -L "tier1|serve|analyze|trace|fm_search"
+}
+
+run_perf() {
+  echo "== perf: compiled-evaluation benchmark smoke ==" &&
+  cmake -B build -S . &&
+  cmake --build build -j --target bench_e22_cost_eval &&
+  ctest --test-dir build --output-on-failure -L perf
 }
 
 run_stage() {
@@ -81,12 +93,13 @@ run_stage() {
 
 declare -a FAILED=()
 case "$STAGE" in
-  all)     for s in tier1 analyze asan tsan; do run_stage "$s"; done ;;
+  all)     for s in tier1 analyze asan tsan perf; do run_stage "$s"; done ;;
   tier1)   run_stage tier1 ;;
   analyze) run_stage analyze ;;
   asan)    run_stage asan ;;
   tsan)    run_stage tsan ;;
-  *)       echo "usage: $0 [all|tier1|analyze|asan|tsan]" >&2; exit 2 ;;
+  perf)    run_stage perf ;;
+  *)       echo "usage: $0 [all|tier1|analyze|asan|tsan|perf]" >&2; exit 2 ;;
 esac
 
 if [ "${#FAILED[@]}" -ne 0 ]; then

@@ -1,0 +1,563 @@
+#include "fm/compiled.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "support/error.hpp"
+#include "trace/trace.hpp"
+
+namespace harmony::fm {
+
+Cycle CompiledSpec::makespan_cycles_of(const AffineMap& map) const {
+  // The schedule is affine over a dense box, so its maximum sits at a
+  // corner; the legacy evaluator's per-point running max (seeded at 0)
+  // computes the same integers, just num_points times slower.
+  const std::int64_t is[2] = {0, domain.extent(0) - 1};
+  const std::int64_t js[2] = {0, domain.extent(1) - 1};
+  const std::int64_t ks[2] = {0, domain.extent(2) - 1};
+  Cycle m = 0;
+  for (std::int64_t i : is) {
+    for (std::int64_t j : js) {
+      for (std::int64_t k : ks) {
+        m = std::max(m, map.time(Point{i, j, k}) + 1);
+      }
+    }
+  }
+  return m;
+}
+
+std::shared_ptr<const CompiledSpec> compile_spec(const FunctionSpec& spec,
+                                                 const MachineConfig& machine,
+                                                 const Mapping& input_proto) {
+  const auto computed = spec.computed_tensors();
+  HARMONY_REQUIRE(computed.size() == 1,
+                  "compile_spec: spec must have exactly one computed tensor");
+  auto cs = std::make_shared<CompiledSpec>();
+  const noc::GridGeometry& geom = machine.geom;
+  const noc::TechnologyModel& tech = geom.tech();
+
+  cs->target = computed[0];
+  cs->domain = spec.domain(cs->target);
+  cs->target_is_output = spec.is_output(cs->target);
+  cs->bits = spec.bits(cs->target);
+  cs->ops = spec.cost(cs->target).ops;
+  cs->num_points = cs->domain.size();
+  trace::Span span("fm", "compile", 0,
+                   static_cast<std::uint64_t>(cs->num_points),
+                   static_cast<std::uint64_t>(geom.num_nodes()));
+
+  cs->tensor_names.reserve(static_cast<std::size_t>(spec.num_tensors()));
+  for (TensorId t = 0; t < spec.num_tensors(); ++t) {
+    cs->tensor_names.push_back(spec.name(t));
+  }
+
+  cs->cols = geom.cols();
+  cs->rows = geom.rows();
+  cs->num_pes = static_cast<std::size_t>(geom.num_nodes());
+  cs->cycle = machine.cycle;
+  cs->pe_capacity_values = machine.pe_capacity_values;
+  cs->link_bits_per_cycle = machine.link_bits_per_cycle;
+
+  const Length local_reach =
+      geom.pitch() * machine.local_access_pitch_fraction;
+  cs->sram_access = tech.sram_access_energy(cs->bits, local_reach);
+
+  // Candidate-invariant sums, folded by the exact addition loop the
+  // legacy evaluator runs (one += per point) so the doubles match bit
+  // for bit.
+  const Energy op_e = tech.op_energy(cs->bits) * cs->ops;
+  for (std::int64_t n = 0; n < cs->num_points; ++n) {
+    cs->compute_energy_total += op_e;
+    cs->total_ops_total += cs->ops;
+  }
+
+  // Geometry tables: every pure query the per-candidate loops make,
+  // asked once.  Table lookups return the identical doubles a direct
+  // call would.
+  const std::size_t P = cs->num_pes;
+  cs->transfer_energy.resize(P * P, Energy::zero());
+  cs->hop_count.resize(P * P, 0);
+  cs->transit.resize(P * P, 0);
+  cs->dram_energy.resize(P, Energy::zero());
+  cs->dram_cycles.resize(P, 0);
+  cs->route_offsets.assign(P * P + 1, 0);
+  for (std::size_t from = 0; from < P; ++from) {
+    const noc::Coord a = geom.coord(from);
+    cs->dram_energy[from] = geom.dram_access_energy(cs->bits, a);
+    cs->dram_cycles[from] = machine.dram_cycles(a);
+    for (std::size_t to = 0; to < P; ++to) {
+      const noc::Coord b = geom.coord(to);
+      const std::size_t e = from * P + to;
+      cs->transfer_energy[e] = geom.transfer_energy(cs->bits, a, b);
+      cs->hop_count[e] = geom.hops(a, b);
+      cs->transit[e] = machine.transit_cycles(a, b);
+      // Dimension-ordered route as directed-link ids, the same walk the
+      // legacy bandwidth checker does per candidate (legality.cpp).
+      if (!(a == b)) {
+        noc::Coord at = a;
+        while (!(at == b)) {
+          const noc::Coord next = geom.next_hop(at, b);
+          int dir;
+          if (next.x == (at.x + 1) % geom.cols()) {
+            dir = 0;  // E
+          } else if (next.x != at.x) {
+            dir = 1;  // W
+          } else if (next.y == (at.y + 1) % geom.rows()) {
+            dir = 2;  // N
+          } else {
+            dir = 3;  // S
+          }
+          cs->route_links.push_back(static_cast<std::uint32_t>(
+              geom.index(at) * 4 + static_cast<std::size_t>(dir)));
+          at = next;
+        }
+      }
+      cs->route_offsets[e + 1] =
+          static_cast<std::uint32_t>(cs->route_links.size());
+    }
+  }
+
+  // Flatten the dependence relation: one spec.deps() call per point for
+  // the whole search, instead of three per candidate per point.  Input
+  // values get dense ordinals so the per-candidate delivered table is an
+  // array, immune to the packed-key overflow the legacy set had.
+  std::unordered_map<std::int64_t, std::uint32_t> input_ords;
+  cs->dep_offsets.reserve(static_cast<std::size_t>(cs->num_points) + 1);
+  cs->dep_offsets.push_back(0);
+  cs->domain.for_each([&](const Point& p) {
+    for (const ValueRef& d : spec.deps(cs->target, p)) {
+      CompiledDep cd;
+      cd.tensor = d.tensor;
+      cd.i = d.point.i;
+      cd.j = d.point.j;
+      cd.k = d.point.k;
+      if (spec.is_input(d.tensor)) {
+        cs->has_input_deps = true;
+        cd.input_ord =
+            input_ords
+                .try_emplace(spec.value_index(d),
+                             static_cast<std::uint32_t>(input_ords.size()))
+                .first->second;
+        const InputHome& home = input_proto.input_home(d.tensor);
+        if (home.kind == InputHome::Kind::kDram) {
+          cd.kind = CompiledDep::kInputDram;
+        } else {
+          cd.kind = CompiledDep::kInputPe;
+          cd.home_pe =
+              static_cast<std::int32_t>(geom.index(home.home_of(d.point)));
+        }
+      } else {
+        cd.kind = CompiledDep::kComputed;
+        cd.dep_lin = cs->domain.linearize(d.point);
+      }
+      cs->deps.push_back(cd);
+    }
+    cs->dep_offsets.push_back(static_cast<std::uint64_t>(cs->deps.size()));
+  });
+  cs->num_input_values = static_cast<std::uint32_t>(input_ords.size());
+  return cs;
+}
+
+CostReport evaluate_cost(const CompiledSpec& cs, const AffineMap& map,
+                         EvalContext& ctx) {
+  ctx.begin_candidate();
+  CostReport rep;
+  rep.makespan_cycles = cs.makespan_cycles_of(map);
+  rep.compute_energy = cs.compute_energy_total;
+  rep.total_ops = cs.total_ops_total;
+
+  const std::size_t P = cs.num_pes;
+  const auto bits = static_cast<std::uint64_t>(cs.bits);
+  std::int64_t lin = 0;
+  cs.domain.for_each([&](const Point& p) {
+    const std::uint64_t lo = cs.dep_offsets[static_cast<std::size_t>(lin)];
+    const std::uint64_t hi =
+        cs.dep_offsets[static_cast<std::size_t>(lin) + 1];
+    ++lin;
+    if (lo == hi) return;
+    const std::size_t here = cs.pe_index(map.place(p));
+    for (std::uint64_t o = lo; o < hi; ++o) {
+      const CompiledDep& d = cs.deps[o];
+      // Branch order mirrors cost.cpp exactly: repeat-use short-circuit
+      // first for inputs (which also stamps the delivery), then DRAM /
+      // local-home / remote-home.
+      if (d.kind == CompiledDep::kComputed) {
+        const std::size_t there = cs.pe_index(map.place(d.point()));
+        if (there == here) {
+          rep.local_access_energy += cs.sram_access;
+        } else {
+          rep.onchip_movement_energy += cs.transfer_energy[there * P + here];
+          ++rep.messages;
+          rep.bit_hops +=
+              bits * static_cast<std::uint64_t>(cs.hop_count[there * P + here]);
+        }
+      } else if (!ctx.first_delivery(d.input_ord, here)) {
+        rep.local_access_energy += cs.sram_access;
+      } else if (d.kind == CompiledDep::kInputDram) {
+        rep.dram_energy += cs.dram_energy[here];
+      } else if (static_cast<std::size_t>(d.home_pe) == here) {
+        rep.local_access_energy += cs.sram_access;
+      } else {
+        const auto from = static_cast<std::size_t>(d.home_pe);
+        rep.onchip_movement_energy += cs.transfer_energy[from * P + here];
+        ++rep.messages;
+        rep.bit_hops +=
+            bits * static_cast<std::uint64_t>(cs.hop_count[from * P + here]);
+      }
+    }
+  });
+  rep.makespan = cs.cycle * static_cast<double>(rep.makespan_cycles);
+  return rep;
+}
+
+LegalityReport verify(const CompiledSpec& cs, const AffineMap& map,
+                      EvalContext& ctx, const VerifyOptions& opts) {
+  ctx.begin_candidate();
+  LegalityReport rep;
+  const std::size_t P = cs.num_pes;
+  const auto bits = static_cast<std::uint64_t>(cs.bits);
+
+  const auto element = [&](TensorId t, const Point& p) {
+    std::ostringstream os;
+    os << cs.tensor_names[static_cast<std::size_t>(t)] << p;
+    return os.str();
+  };
+  const auto add_diag = [&](const char* rule_id, analyze::Location loc,
+                            const std::string& msg) {
+    if (rep.diagnostics.size() < opts.max_messages) {
+      rep.diagnostics.push_back(
+          analyze::make_diagnostic(rule_id, std::move(loc), msg));
+    }
+  };
+  const auto record_route = [&](std::size_t src, std::size_t dst) {
+    if (!opts.check_bandwidth || src == dst) return;
+    const std::size_t r = src * P + dst;
+    for (std::uint32_t o = cs.route_offsets[r]; o < cs.route_offsets[r + 1];
+         ++o) {
+      ctx.link_bits[cs.route_links[o]] += bits;
+    }
+  };
+
+  // ---- 1. causality & transit, plus per-edge link traffic ------------
+  // ---- 2. exclusivity: collect (pe, cycle) of every element ----------
+  ctx.slots.clear();
+  ctx.link_bits.assign(opts.check_bandwidth ? P * 4 : 0, 0);
+  Cycle makespan = 0;
+
+  std::int64_t lin = 0;
+  cs.domain.for_each([&](const Point& p) {
+    const std::uint64_t lo = cs.dep_offsets[static_cast<std::size_t>(lin)];
+    const std::uint64_t hi =
+        cs.dep_offsets[static_cast<std::size_t>(lin) + 1];
+    ++lin;
+    const Cycle when = map.time(p);
+    const std::size_t here = cs.pe_index(map.place(p));
+    const auto here_pe = static_cast<std::int32_t>(here);
+    if (when < 0) {
+      ++rep.causality_violations;
+      std::ostringstream os;
+      os << element(cs.target, p) << " scheduled at negative cycle " << when;
+      add_diag("FM001", analyze::Location{element(cs.target, p), here_pe, when},
+               os.str());
+      return;
+    }
+    makespan = std::max(makespan, when + 1);
+    HARMONY_REQUIRE(when < (Cycle{1} << 40),
+                    "verify: schedule exceeds 2^40 cycles");
+    ctx.slots.push_back((static_cast<std::uint64_t>(here) << 40) |
+                        static_cast<std::uint64_t>(when));
+
+    for (std::uint64_t o = lo; o < hi; ++o) {
+      const CompiledDep& d = cs.deps[o];
+      if (d.kind == CompiledDep::kComputed) {
+        const Point dp = d.point();
+        const std::size_t there = cs.pe_index(map.place(dp));
+        const Cycle need =
+            map.time(dp) + std::max<Cycle>(1, cs.transit[there * P + here]);
+        if (when < need) {
+          ++rep.causality_violations;
+          std::ostringstream os;
+          os << element(cs.target, p) << " at cycle " << when << " consumes "
+             << element(d.tensor, dp) << " which arrives at cycle " << need;
+          add_diag("FM001",
+                   analyze::Location{element(cs.target, p), here_pe, when},
+                   os.str());
+        }
+        record_route(there, here);
+      } else {
+        const Cycle need =
+            d.kind == CompiledDep::kInputDram
+                ? cs.dram_cycles[here]
+                : cs.transit[static_cast<std::size_t>(d.home_pe) * P + here];
+        if (when < need) {
+          ++rep.causality_violations;
+          std::ostringstream os;
+          os << element(cs.target, p) << " at cycle " << when << " consumes "
+             << element(d.tensor, d.point()) << " which arrives at cycle "
+             << need;
+          add_diag("FM001",
+                   analyze::Location{element(cs.target, p), here_pe, when},
+                   os.str());
+        }
+        // Mirror of the cost model's input-residency rule: an input
+        // value is routed to a consumer PE once (DRAM homes excluded,
+        // as in legality.cpp).
+        if (d.kind == CompiledDep::kInputPe &&
+            ctx.first_delivery(d.input_ord, here)) {
+          record_route(static_cast<std::size_t>(d.home_pe), here);
+        }
+      }
+    }
+  });
+
+  std::sort(ctx.slots.begin(), ctx.slots.end());
+  for (std::size_t i = 1; i < ctx.slots.size(); ++i) {
+    if (ctx.slots[i] == ctx.slots[i - 1]) {
+      ++rep.exclusivity_violations;
+      const auto pe = static_cast<std::int32_t>(ctx.slots[i] >> 40);
+      const auto cycle = static_cast<Cycle>(
+          ctx.slots[i] & ((std::uint64_t{1} << 40) - 1));
+      std::ostringstream os;
+      os << "two elements share PE " << pe << " at cycle " << cycle;
+      add_diag("FM002", analyze::Location{"", pe, cycle}, os.str());
+    }
+  }
+
+  // ---- 3. storage: peak live values per PE ---------------------------
+  if (opts.check_storage) {
+    // Same def/last-use sweep as legality.cpp, restricted to the target
+    // tensor's value range (the only computed values; inputs live
+    // off-ledger there too, via the def_time < 0 skip).
+    const auto total = static_cast<std::size_t>(cs.num_points);
+    ctx.def_time.resize(total);
+    ctx.last_use.assign(total, -1);
+    ctx.owner_pe.resize(total);
+
+    std::int64_t slin = 0;
+    cs.domain.for_each([&](const Point& p) {
+      const auto vi = static_cast<std::size_t>(slin);
+      const std::uint64_t lo = cs.dep_offsets[vi];
+      const std::uint64_t hi = cs.dep_offsets[vi + 1];
+      ++slin;
+      ctx.def_time[vi] = map.time(p);
+      ctx.last_use[vi] = std::max(ctx.last_use[vi], ctx.def_time[vi]);
+      ctx.owner_pe[vi] = static_cast<std::int32_t>(cs.pe_index(map.place(p)));
+      for (std::uint64_t o = lo; o < hi; ++o) {
+        const CompiledDep& d = cs.deps[o];
+        if (d.kind != CompiledDep::kComputed) continue;  // off-ledger
+        const auto di = static_cast<std::size_t>(d.dep_lin);
+        ctx.last_use[di] = std::max(ctx.last_use[di], map.time(p));
+      }
+    });
+    // Outputs stay live until the end of the computation.
+    if (cs.target_is_output) {
+      for (std::size_t v = 0; v < total; ++v) ctx.last_use[v] = makespan;
+    }
+
+    ctx.events.clear();
+    ctx.events.reserve(total * 2);
+    for (std::size_t v = 0; v < total; ++v) {
+      if (ctx.def_time[v] < 0) continue;  // negative-time element
+      ctx.events.push_back({ctx.owner_pe[v], ctx.def_time[v], +1});
+      ctx.events.push_back({ctx.owner_pe[v], ctx.last_use[v] + 1, -1});
+    }
+    std::sort(ctx.events.begin(), ctx.events.end(),
+              [](const EvalContext::StorageEvent& a,
+                 const EvalContext::StorageEvent& b) {
+                if (a.pe != b.pe) return a.pe < b.pe;
+                if (a.cycle != b.cycle) return a.cycle < b.cycle;
+                return a.delta < b.delta;  // frees before allocs at a tick
+              });
+    std::int64_t live = 0;
+    std::int32_t cur_pe = -1;
+    bool flagged_this_pe = false;
+    for (const EvalContext::StorageEvent& e : ctx.events) {
+      if (e.pe != cur_pe) {
+        cur_pe = e.pe;
+        live = 0;
+        flagged_this_pe = false;
+      }
+      live += e.delta;
+      if (live > rep.peak_live_values) {
+        rep.peak_live_values = live;
+        rep.peak_live_pe = e.pe;
+      }
+      if (live > cs.pe_capacity_values && !flagged_this_pe) {
+        ++rep.storage_violations;
+        flagged_this_pe = true;
+        std::ostringstream os;
+        os << "PE " << e.pe << " holds " << live << " live values at cycle "
+           << e.cycle << " (capacity " << cs.pe_capacity_values << ")";
+        add_diag("FM003", analyze::Location{"", e.pe, e.cycle}, os.str());
+      }
+    }
+  }
+
+  // ---- 4. bandwidth: average bits/cycle per directed link ------------
+  if (opts.check_bandwidth && makespan > 0) {
+    for (std::size_t l = 0; l < ctx.link_bits.size(); ++l) {
+      const double rate = static_cast<double>(ctx.link_bits[l]) /
+                          static_cast<double>(makespan);
+      if (rate > rep.peak_link_bits_per_cycle) {
+        rep.peak_link_bits_per_cycle = rate;
+        rep.peak_link = static_cast<std::int64_t>(l);
+      }
+      if (rate > cs.link_bits_per_cycle) {
+        ++rep.bandwidth_violations;
+        std::ostringstream os;
+        os << "directed link " << l << " carries " << rate
+           << " bits/cycle on average (capacity " << cs.link_bits_per_cycle
+           << ")";
+        add_diag("FM004",
+                 analyze::Location{"link " + std::to_string(l),
+                                   static_cast<std::int32_t>(l / 4),
+                                   analyze::Location::kNoCycle},
+                 os.str());
+      }
+    }
+  }
+
+  rep.ok = rep.total_violations() == 0;
+  return rep;
+}
+
+bool verify_ok(const CompiledSpec& cs, const AffineMap& map,
+               EvalContext& ctx, const VerifyOptions& opts) {
+  ctx.begin_candidate();
+  const std::size_t P = cs.num_pes;
+  const auto bits = static_cast<std::uint64_t>(cs.bits);
+
+  const auto record_route = [&](std::size_t src, std::size_t dst) {
+    if (!opts.check_bandwidth || src == dst) return;
+    const std::size_t r = src * P + dst;
+    for (std::uint32_t o = cs.route_offsets[r]; o < cs.route_offsets[r + 1];
+         ++o) {
+      ctx.link_bits[cs.route_links[o]] += bits;
+    }
+  };
+
+  // ---- 1. causality (first violation exits); collects the slots and
+  // link traffic the later checks consume, exactly as verify() does ----
+  ctx.slots.clear();
+  ctx.link_bits.assign(opts.check_bandwidth ? P * 4 : 0, 0);
+  Cycle makespan = 0;
+
+  const std::int64_t ni = cs.domain.extent(0);
+  const std::int64_t nj = cs.domain.extent(1);
+  const std::int64_t nk = cs.domain.extent(2);
+  std::size_t lin = 0;
+  for (std::int64_t i = 0; i < ni; ++i) {
+    for (std::int64_t j = 0; j < nj; ++j) {
+      for (std::int64_t k = 0; k < nk; ++k) {
+        const Point p{i, j, k};
+        const std::uint64_t lo = cs.dep_offsets[lin];
+        const std::uint64_t hi = cs.dep_offsets[lin + 1];
+        ++lin;
+        const Cycle when = map.time(p);
+        if (when < 0) return false;
+        makespan = std::max(makespan, when + 1);
+        HARMONY_REQUIRE(when < (Cycle{1} << 40),
+                        "verify: schedule exceeds 2^40 cycles");
+        const std::size_t here = cs.pe_index(map.place(p));
+        ctx.slots.push_back((static_cast<std::uint64_t>(here) << 40) |
+                            static_cast<std::uint64_t>(when));
+        for (std::uint64_t o = lo; o < hi; ++o) {
+          const CompiledDep& d = cs.deps[o];
+          if (d.kind == CompiledDep::kComputed) {
+            const Point dp = d.point();
+            const std::size_t there = cs.pe_index(map.place(dp));
+            const Cycle need = map.time(dp) +
+                std::max<Cycle>(1, cs.transit[there * P + here]);
+            if (when < need) return false;
+            record_route(there, here);
+          } else {
+            const Cycle need =
+                d.kind == CompiledDep::kInputDram
+                    ? cs.dram_cycles[here]
+                    : cs.transit[static_cast<std::size_t>(d.home_pe) * P +
+                                 here];
+            if (when < need) return false;
+            if (d.kind == CompiledDep::kInputPe &&
+                ctx.first_delivery(d.input_ord, here)) {
+              record_route(static_cast<std::size_t>(d.home_pe), here);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // ---- 2. exclusivity ------------------------------------------------
+  std::sort(ctx.slots.begin(), ctx.slots.end());
+  for (std::size_t i = 1; i < ctx.slots.size(); ++i) {
+    if (ctx.slots[i] == ctx.slots[i - 1]) return false;
+  }
+
+  // ---- 3. storage ----------------------------------------------------
+  if (opts.check_storage) {
+    const auto total = static_cast<std::size_t>(cs.num_points);
+    ctx.def_time.resize(total);
+    ctx.last_use.assign(total, -1);
+    ctx.owner_pe.resize(total);
+
+    std::int64_t slin = 0;
+    cs.domain.for_each([&](const Point& p) {
+      const auto vi = static_cast<std::size_t>(slin);
+      const std::uint64_t lo = cs.dep_offsets[vi];
+      const std::uint64_t hi = cs.dep_offsets[vi + 1];
+      ++slin;
+      ctx.def_time[vi] = map.time(p);
+      ctx.last_use[vi] = std::max(ctx.last_use[vi], ctx.def_time[vi]);
+      ctx.owner_pe[vi] =
+          static_cast<std::int32_t>(cs.pe_index(map.place(p)));
+      for (std::uint64_t o = lo; o < hi; ++o) {
+        const CompiledDep& d = cs.deps[o];
+        if (d.kind != CompiledDep::kComputed) continue;
+        const auto di = static_cast<std::size_t>(d.dep_lin);
+        ctx.last_use[di] = std::max(ctx.last_use[di], map.time(p));
+      }
+    });
+    if (cs.target_is_output) {
+      for (std::size_t v = 0; v < total; ++v) ctx.last_use[v] = makespan;
+    }
+
+    ctx.events.clear();
+    ctx.events.reserve(total * 2);
+    for (std::size_t v = 0; v < total; ++v) {
+      ctx.events.push_back({ctx.owner_pe[v], ctx.def_time[v], +1});
+      ctx.events.push_back({ctx.owner_pe[v], ctx.last_use[v] + 1, -1});
+    }
+    std::sort(ctx.events.begin(), ctx.events.end(),
+              [](const EvalContext::StorageEvent& a,
+                 const EvalContext::StorageEvent& b) {
+                if (a.pe != b.pe) return a.pe < b.pe;
+                if (a.cycle != b.cycle) return a.cycle < b.cycle;
+                return a.delta < b.delta;
+              });
+    std::int64_t live = 0;
+    std::int32_t cur_pe = -1;
+    for (const EvalContext::StorageEvent& e : ctx.events) {
+      if (e.pe != cur_pe) {
+        cur_pe = e.pe;
+        live = 0;
+      }
+      live += e.delta;
+      if (live > cs.pe_capacity_values) return false;
+    }
+  }
+
+  // ---- 4. bandwidth --------------------------------------------------
+  if (opts.check_bandwidth && makespan > 0) {
+    for (const std::uint64_t lb : ctx.link_bits) {
+      if (static_cast<double>(lb) / static_cast<double>(makespan) >
+          cs.link_bits_per_cycle) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace harmony::fm

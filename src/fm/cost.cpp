@@ -1,7 +1,8 @@
 #include "fm/cost.hpp"
 
 #include <algorithm>
-#include <unordered_set>
+
+#include "fm/delivered.hpp"
 
 namespace harmony::fm {
 
@@ -27,13 +28,11 @@ CostReport evaluate_cost(const FunctionSpec& spec, const Mapping& mapping,
   // Input values reside at a PE from first delivery to last use (the
   // mapping's "elements reside from definition to last use"), so each
   // (input value, consumer PE) transfer is paid once; repeat uses are
-  // local SRAM reads.
-  std::unordered_set<std::uint64_t> delivered;
-  const auto num_pes = static_cast<std::uint64_t>(machine.geom.num_nodes());
+  // local SRAM reads.  Tracked pair-exact (fm/delivered.hpp) — a packed
+  // value*num_pes+pe key overflows uint64 on large specs.
+  DeliveredSet delivered;
   auto first_delivery = [&](const ValueRef& d, std::size_t pe) {
-    const auto key =
-        static_cast<std::uint64_t>(spec.value_index(d)) * num_pes + pe;
-    return delivered.insert(key).second;
+    return delivered.first_delivery(spec.value_index(d), pe);
   };
 
   for (TensorId t : spec.computed_tensors()) {

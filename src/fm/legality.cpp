@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <sstream>
 #include <string>
-#include <unordered_set>
+
+#include "fm/delivered.hpp"
 
 namespace harmony::fm {
 
@@ -46,13 +47,11 @@ LegalityReport verify(const FunctionSpec& spec, const Mapping& mapping,
   std::vector<std::uint64_t> link_bits(opts.check_bandwidth ? num_links : 0,
                                        0);
   // Mirror of the cost model's input-residency rule: an input value is
-  // routed to a consumer PE once, then read locally.
-  std::unordered_set<std::uint64_t> delivered;
-  const auto num_pes = static_cast<std::uint64_t>(machine.geom.num_nodes());
+  // routed to a consumer PE once, then read locally.  Pair-exact
+  // tracking (fm/delivered.hpp) — the old packed key overflowed.
+  DeliveredSet delivered;
   auto first_delivery = [&](const ValueRef& d, std::size_t pe) {
-    const auto key =
-        static_cast<std::uint64_t>(spec.value_index(d)) * num_pes + pe;
-    return delivered.insert(key).second;
+    return delivered.first_delivery(spec.value_index(d), pe);
   };
   auto record_route = [&](noc::Coord src, noc::Coord dst,
                           std::uint64_t bits) {

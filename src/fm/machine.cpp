@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
+#include "fm/delivered.hpp"
 #include "support/error.hpp"
 
 namespace harmony::fm {
@@ -117,12 +117,9 @@ ExecutionResult GridMachine::run(
   // Input values reside at a PE once delivered (see cost.cpp); repeat
   // uses are local accesses.  Must mirror evaluate_cost exactly — tests
   // pin the two ledgers together.
-  std::unordered_set<std::uint64_t> delivered;
-  const auto num_pes = static_cast<std::uint64_t>(cfg_.geom.num_nodes());
+  DeliveredSet delivered;
   auto first_delivery = [&](const ValueRef& d, std::size_t pe) {
-    const auto key =
-        static_cast<std::uint64_t>(spec.value_index(d)) * num_pes + pe;
-    return delivered.insert(key).second;
+    return delivered.first_delivery(spec.value_index(d), pe);
   };
 
   std::vector<double> dep_values;

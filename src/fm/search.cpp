@@ -34,18 +34,6 @@ Range affine_range(const IndexDomain& dom, std::int64_t ci, std::int64_t cj,
   return r;
 }
 
-/// Builds the full candidate mapping: the searched map on the computed
-/// tensor plus the caller's input homes.
-Mapping make_candidate(const FunctionSpec& spec, TensorId target,
-                       const AffineMap& map, const Mapping& input_proto) {
-  Mapping m;
-  m.set_computed(target, map.place_fn(), map.time_fn());
-  for (TensorId t : spec.input_tensors()) {
-    m.set_input(t, input_proto.input_home(t));
-  }
-  return m;
-}
-
 /// One surviving (ti, tj, tk) time triple with its normalized offset.
 /// Triples whose makespan blows the slack bound are dropped *before*
 /// slot numbering, exactly as the original loop nest `continue`d before
@@ -113,19 +101,19 @@ EnumPlan build_plan(const IndexDomain& dom, const MachineConfig& machine,
 }
 
 /// Evaluates one enumeration slot through the three gates into a tally.
-/// Read-only over the spec/machine/plan — lanes share one Evaluator and
-/// each writes only its own SearchTally.
+/// Every gate runs on the CompiledSpec's flat arrays — no Mapping object,
+/// no spec callback, no geometry query per candidate.  Read-only over the
+/// compiled spec and plan, so lanes share one Evaluator; each lane owns
+/// the EvalContext it passes in along with its SearchTally.
 struct Evaluator {
-  const FunctionSpec& spec;
-  TensorId target;
-  const IndexDomain& dom;
-  const MachineConfig& machine;
-  const Mapping& input_proto;
+  const CompiledSpec& cs;
   const SearchOptions& opts;
-  const std::vector<Point>& sample;
+  const std::vector<Point>& sample_pts;
+  const std::vector<std::int64_t>& sample_lins;
   const EnumPlan& plan;
 
-  void operator()(std::uint64_t slot, SearchTally& tally) const {
+  void operator()(std::uint64_t slot, SearchTally& tally,
+                  EvalContext& ctx) const {
     const TimeBlock& tb = plan.blocks[slot / plan.space_size];
     std::uint64_t rem = slot % plan.space_size;
     const auto peel = [&rem](const std::vector<std::int64_t>& coeffs) {
@@ -146,65 +134,69 @@ struct Evaluator {
     AffineMap map{.ti = tb.ti, .tj = tb.tj, .tk = tb.tk, .t0 = tb.t0,
                   .xi = xi, .xj = xj, .xk = xk, .x0 = 0,
                   .yi = yi, .yj = yj, .yk = yk, .y0 = 0,
-                  .cols = machine.geom.cols(),
-                  .rows = machine.geom.rows()};
+                  .cols = cs.cols, .rows = cs.rows};
 
-    // Gate 1: sampled causality.
-    bool plausible = true;
-    for (const Point& p : sample) {
+    // Gate 1: sampled causality over the compiled dependence lists.
+    const std::size_t P = cs.num_pes;
+    for (std::size_t idx = 0; idx < sample_pts.size(); ++idx) {
+      const Point& p = sample_pts[idx];
       const Cycle when = map.time(p);
-      for (const ValueRef& d : spec.deps(target, p)) {
-        if (spec.is_input(d.tensor)) continue;
-        const noc::Coord here = map.place(p);
-        const noc::Coord there = map.place(d.point);
+      const auto lin = static_cast<std::size_t>(sample_lins[idx]);
+      for (std::uint64_t o = cs.dep_offsets[lin];
+           o < cs.dep_offsets[lin + 1]; ++o) {
+        const CompiledDep& d = cs.deps[o];
+        if (d.kind != CompiledDep::kComputed) continue;
+        const std::size_t here = cs.pe_index(map.place(p));
+        const Point dp = d.point();
+        const std::size_t there = cs.pe_index(map.place(dp));
         const Cycle need =
-            map.time(d.point) +
-            std::max<Cycle>(1, machine.transit_cycles(there, here));
+            map.time(dp) + std::max<Cycle>(1, cs.transit[there * P + here]);
         if (when < need) {
-          plausible = false;
-          break;
+          ++tally.quick_rejected;
+          return;
         }
       }
-      if (!plausible) break;
-    }
-    if (!plausible) {
-      ++tally.quick_rejected;
-      return;
     }
 
     // Input-arrival normalization: computed-dep legality is
     // shift-invariant, input arrival is not — slide the whole schedule
     // so every element starts no earlier than its input operands can
     // reach it.
-    {
+    if (cs.has_input_deps) {
       Cycle deficit = 0;
-      dom.for_each([&](const Point& p) {
+      std::int64_t lin = 0;
+      cs.domain.for_each([&](const Point& p) {
+        const auto v = static_cast<std::size_t>(lin++);
+        const std::uint64_t lo = cs.dep_offsets[v];
+        const std::uint64_t hi = cs.dep_offsets[v + 1];
+        if (lo == hi) return;
         const Cycle when = map.time(p);
-        const noc::Coord here = map.place(p);
-        for (const ValueRef& d : spec.deps(target, p)) {
-          if (!spec.is_input(d.tensor)) continue;
-          const InputHome& home = input_proto.input_home(d.tensor);
+        const std::size_t here = cs.pe_index(map.place(p));
+        for (std::uint64_t o = lo; o < hi; ++o) {
+          const CompiledDep& d = cs.deps[o];
+          if (d.kind == CompiledDep::kComputed) continue;
           const Cycle need =
-              home.kind == InputHome::Kind::kDram
-                  ? machine.dram_cycles(here)
-                  : machine.transit_cycles(home.home_of(d.point), here);
+              d.kind == CompiledDep::kInputDram
+                  ? cs.dram_cycles[here]
+                  : cs.transit[static_cast<std::size_t>(d.home_pe) * P +
+                               here];
           deficit = std::max(deficit, need - when);
         }
       });
       map.t0 += deficit;
     }
 
-    // Gate 2: full legality.
-    const Mapping candidate = make_candidate(spec, target, map, input_proto);
-    const LegalityReport rep = verify(spec, candidate, machine, opts.verify);
-    if (!rep.ok) {
+    // Gate 2: full legality on the compiled arrays.  The report-free
+    // checker short-circuits at the first violation — rejection is the
+    // common case and the search never read the report it used to get.
+    if (!verify_ok(cs, map, ctx, opts.verify)) {
       ++tally.verify_rejected;
       return;
     }
     ++tally.legal;
 
     // Gate 3: cost + ranking.
-    const CostReport cost = evaluate_cost(spec, candidate, machine);
+    const CostReport cost = evaluate_cost(cs, map, ctx);
     const Candidate cand{map, cost, merit_value(cost, opts.fom), slot};
     if (opts.keep_all_legal) {
       tally.all_legal.push_back(cand);
@@ -254,8 +246,15 @@ SearchResult search_affine(const FunctionSpec& spec,
   const IndexDomain& dom = spec.domain(target);
   trace::Span search_span("fm", "search_affine", 0, opts.resume_from);
 
+  // Compile the triple once per search (flat dependence + geometry
+  // tables, see fm/compiled.hpp) unless the caller shares a precompiled
+  // spec.  All lanes read it; each lane owns its own EvalContext scratch.
+  std::shared_ptr<const CompiledSpec> cs = opts.compiled;
+  if (cs == nullptr) cs = compile_spec(spec, machine, input_proto);
+
   // Sample points for the quick causality gate (deterministic stride).
-  std::vector<Point> sample;
+  std::vector<Point> sample_pts;
+  std::vector<std::int64_t> sample_lins;
   {
     const std::int64_t n = dom.size();
     const std::int64_t stride =
@@ -263,9 +262,11 @@ SearchResult search_affine(const FunctionSpec& spec,
                                           std::max<std::size_t>(
                                               1, opts.quick_sample)));
     for (std::int64_t lin = 0; lin < n; lin += stride) {
-      sample.push_back(dom.delinearize(lin));
+      sample_pts.push_back(dom.delinearize(lin));
+      sample_lins.push_back(lin);
     }
-    sample.push_back(dom.delinearize(n - 1));
+    sample_pts.push_back(dom.delinearize(n - 1));
+    sample_lins.push_back(n - 1);
   }
 
   const double serial_size = static_cast<double>(dom.size());
@@ -274,8 +275,7 @@ SearchResult search_affine(const FunctionSpec& spec,
   const EnumPlan plan = build_plan(dom, machine, opts, makespan_bound);
   const std::uint64_t total = plan.total;
   const std::uint64_t begin = std::min(opts.resume_from, total);
-  const Evaluator evaluate{spec,        target, dom,  machine,
-                           input_proto, opts,   sample, plan};
+  const Evaluator evaluate{*cs, opts, sample_pts, sample_lins, plan};
 
   SearchResult result;
 
@@ -286,8 +286,9 @@ SearchResult search_affine(const FunctionSpec& spec,
   }
 
   if (lanes <= 1) {
-    // Serial backend: one tally, cancel polled per slot.
+    // Serial backend: one tally, one context, cancel polled per slot.
     std::vector<SearchTally> tally(1);
+    EvalContext ctx(*cs);
     for (std::uint64_t s = begin; s < total; ++s) {
       if (opts.cancel && opts.cancel()) {
         result.exhausted = false;
@@ -295,7 +296,7 @@ SearchResult search_affine(const FunctionSpec& spec,
         merge_tallies(tally, opts.top_k, result);
         return result;
       }
-      evaluate(s, tally[0]);
+      evaluate(s, tally[0], ctx);
     }
     result.next_offset = total;
     merge_tallies(tally, opts.top_k, result);
@@ -315,12 +316,21 @@ SearchResult search_affine(const FunctionSpec& spec,
       std::min<std::uint64_t>(lanes, num_grains));
 
   std::vector<SearchTally> tallies(lanes);
+  // One EvalContext per lane, recovered from the tally's address: lane L
+  // writes only tallies[L], so &t - tallies.data() is its lane index.
+  std::vector<EvalContext> eval_ctxs;
+  eval_ctxs.reserve(lanes);
+  for (unsigned l = 0; l < lanes; ++l) eval_ctxs.emplace_back(*cs);
   std::vector<std::uint8_t> processed(num_grains, 0);
   sched::RealCtx ctx;
   const auto kernel = [&] {
     search_lanes(ctx, lanes, begin, total, grain_slots, opts.cancel,
                  tallies.data(), processed.data(),
-                 [&](std::uint64_t s, SearchTally& t) { evaluate(s, t); });
+                 [&](std::uint64_t s, SearchTally& t) {
+                   evaluate(s, t,
+                            eval_ctxs[static_cast<std::size_t>(
+                                &t - tallies.data())]);
+                 });
   };
   if (sched::Scheduler::in_parallel_context()) {
     // Already inside a scheduler session (e.g. the serve dispatcher's

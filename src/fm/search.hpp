@@ -27,8 +27,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "fm/compiled.hpp"
 #include "fm/cost.hpp"
 #include "fm/legality.hpp"
 #include "fm/machine.hpp"
@@ -89,6 +91,14 @@ struct SearchOptions {
   /// Enumeration slots per grain (the unit of work distribution and of
   /// cancel polling); 0 picks ~8 grains per lane.
   std::uint64_t grain = 0;
+  /// Optional pre-compiled evaluation tables.  Null (the default) makes
+  /// search_affine() compile the (spec, machine, input_proto) triple on
+  /// entry; a caller that tunes the same triple repeatedly (the serving
+  /// layer's CompiledSpec cache) passes its own to skip the compile.
+  /// Must have been built by compile_spec() from the *same* triple — the
+  /// search trusts it and never re-checks.  Purely an accelerator: it
+  /// cannot change any result, so serve's cache keys exclude it.
+  std::shared_ptr<const CompiledSpec> compiled;
 };
 
 struct Candidate {

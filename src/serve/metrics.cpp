@@ -126,6 +126,8 @@ MetricsSnapshot Metrics::snapshot(std::uint64_t queue_depth,
                                       static_cast<double>(s.tunes)
                                 : 0.0;
   s.tune_steals = tune_steals_.load(std::memory_order_relaxed);
+  s.compile_hits = compile_hits_.load(std::memory_order_relaxed);
+  s.compile_misses = compile_misses_.load(std::memory_order_relaxed);
   s.trace_dropped = trace::dropped_total();
   for (std::size_t i = 0; i < analyze::kRuleCount; ++i) {
     s.diagnostics_by_rule[i] = diag_by_rule_[i].load(std::memory_order_relaxed);
@@ -158,6 +160,8 @@ Table metrics_table(const MetricsSnapshot& snap) {
   t.add_row({"tunes", u(snap.tunes)});
   t.add_row({"mean_tune_workers", snap.mean_tune_workers});
   t.add_row({"tune_steals", u(snap.tune_steals)});
+  t.add_row({"compile_hits", u(snap.compile_hits)});
+  t.add_row({"compile_misses", u(snap.compile_misses)});
   t.add_row({"trace_dropped", u(snap.trace_dropped)});
   t.add_row({"diagnostics", u(snap.diagnostics_total())});
   for (std::size_t i = 0; i < analyze::kRuleCount; ++i) {

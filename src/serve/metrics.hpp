@@ -67,6 +67,10 @@ struct MetricsSnapshot {
   /// Scheduler steals observed across tunes — approximate when tunes
   /// overlap in one batch session, but a faithful saturation signal.
   std::uint64_t tune_steals = 0;
+  /// CompiledSpec cache traffic: a hit means a tune reused another
+  /// request's flat evaluation tables and skipped fm::compile_spec.
+  std::uint64_t compile_hits = 0;
+  std::uint64_t compile_misses = 0;
   /// Trace events lost to ring-buffer wrap in the current (or last)
   /// trace session (harmony::trace); 0 when tracing never ran.
   std::uint64_t trace_dropped = 0;
@@ -92,6 +96,11 @@ class Metrics {
   /// over (SearchResult::workers_used) and the scheduler steals
   /// attributed to it.
   void on_tune(unsigned workers_used, std::uint64_t steals);
+  /// Records one CompiledSpec cache probe.
+  void on_compile(bool hit) {
+    (hit ? compile_hits_ : compile_misses_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
   /// Tallies a response's diagnostics by rule ID (unknown IDs ignored).
   void on_diagnostics(const std::vector<analyze::Diagnostic>& diags);
 
@@ -109,6 +118,8 @@ class Metrics {
   std::atomic<std::uint64_t> tunes_{0};
   std::atomic<std::uint64_t> tune_workers_{0};
   std::atomic<std::uint64_t> tune_steals_{0};
+  std::atomic<std::uint64_t> compile_hits_{0};
+  std::atomic<std::uint64_t> compile_misses_{0};
   std::array<std::atomic<std::uint64_t>, analyze::kRuleCount> diag_by_rule_{};
   LatencyHistogram latency_;
 };

@@ -196,4 +196,22 @@ CacheKey make_cache_key(const Request& req, std::size_t sample_points_n) {
   return fp.key();
 }
 
+CacheKey make_compile_key(const Request& req, std::size_t sample_points_n) {
+  HARMONY_REQUIRE(req.spec != nullptr, "make_compile_key: null spec");
+  Fingerprint fp;
+  fp.mix(kKeySchema);
+  // Domain-separation tag: result keys mix RequestKind (0..2) here, so a
+  // compile key can never collide with any result key.
+  fp.mix(std::uint64_t{0xc04111edULL});
+  mix_spec(fp, *req.spec, sample_points_n);
+  mix_machine(fp, req.machine);
+  fp.mix(static_cast<std::uint64_t>(req.inputs.size()));
+  for (const InputPlacement& in : req.inputs) {
+    fp.mix(static_cast<std::uint64_t>(in.kind));
+    fp.mix(in.pe.x);
+    fp.mix(in.pe.y);
+  }
+  return fp.key();
+}
+
 }  // namespace harmony::serve

@@ -151,4 +151,12 @@ struct CacheKeyHash {
 [[nodiscard]] CacheKey make_cache_key(const Request& req,
                                       std::size_t sample_points = 32);
 
+/// Key over only what fm::compile_spec consumes: spec structure, sampled
+/// dependence edges, machine config, and input placements.  Deliberately
+/// coarser than make_cache_key — two tunes that differ in FoM or search
+/// knobs share one CompiledSpec, so the service's compile cache can hand
+/// both the same flat tables.  Tagged so it can never alias a result key.
+[[nodiscard]] CacheKey make_compile_key(const Request& req,
+                                        std::size_t sample_points = 32);
+
 }  // namespace harmony::serve

@@ -255,6 +255,10 @@ Response Service::execute(const Pending& p) {
       case RequestKind::kTune: {
         fm::SearchOptions opts = req.search;
         opts.fom = req.fom;
+        // Reuse (or build) the flat evaluation tables for this
+        // (spec, machine, inputs) triple — the search then skips its
+        // own per-call compile.
+        opts.compiled = compiled_for(req);
         // Fork enumeration grains into the service's shared pool.  We
         // are already inside the dispatcher's batch session, so the
         // search forks inline rather than opening a nested run(); the
@@ -305,6 +309,41 @@ Response Service::execute(const Pending& p) {
     r.error = e.what();
   }
   return r;
+}
+
+std::shared_ptr<const fm::CompiledSpec> Service::compiled_for(
+    const Request& req) {
+  if (cfg_.compile_cache_capacity == 0) {
+    metrics_.on_compile(false);
+    return fm::compile_spec(*req.spec, req.machine, input_proto(req));
+  }
+  const CacheKey key = make_compile_key(req, cfg_.key_sample_points);
+  {
+    std::lock_guard<std::mutex> lk(compile_mu_);
+    if (const auto it = compile_cache_.find(key);
+        it != compile_cache_.end()) {
+      compile_lru_.splice(compile_lru_.begin(), compile_lru_,
+                          it->second.lru);
+      metrics_.on_compile(true);
+      return it->second.compiled;
+    }
+  }
+  // Compile outside the lock: concurrent misses on the same key may
+  // both compile (identical results — the spec triple is the same), and
+  // the second insert below simply finds the entry already present.
+  metrics_.on_compile(false);
+  auto compiled = fm::compile_spec(*req.spec, req.machine, input_proto(req));
+  std::lock_guard<std::mutex> lk(compile_mu_);
+  if (const auto it = compile_cache_.find(key); it != compile_cache_.end()) {
+    return it->second.compiled;
+  }
+  compile_lru_.push_front(key);
+  compile_cache_.emplace(key, CompiledEntry{compiled, compile_lru_.begin()});
+  while (compile_cache_.size() > cfg_.compile_cache_capacity) {
+    compile_cache_.erase(compile_lru_.back());
+    compile_lru_.pop_back();
+  }
+  return compiled;
 }
 
 void Service::respond(Pending& p, Response r) {

@@ -27,9 +27,11 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "sched/scheduler.hpp"
@@ -68,6 +70,11 @@ struct ServiceConfig {
   std::chrono::nanoseconds deadline_margin{std::chrono::microseconds(200)};
   /// Dependence-edge sample size for cache keys (request.hpp).
   std::size_t key_sample_points = 32;
+  /// CompiledSpec entries kept for tunes (LRU, keyed by
+  /// make_compile_key).  Two tunes that differ only in FoM or search
+  /// knobs share one set of flat evaluation tables; 0 disables the
+  /// cache and compiles per tune.
+  std::size_t compile_cache_capacity = 128;
 };
 
 class Service {
@@ -118,6 +125,17 @@ class Service {
   void run_group(std::vector<std::unique_ptr<Pending>>& group);
   [[nodiscard]] Response execute(const Pending& p);
   void respond(Pending& p, Response r);
+  /// CompiledSpec for a tune request, via the LRU compile cache (may
+  /// compile — propagates oracle preconditions as exceptions, which
+  /// execute() converts to kError).
+  [[nodiscard]] std::shared_ptr<const fm::CompiledSpec> compiled_for(
+      const Request& req);
+
+  /// One compile-cache entry: the compiled tables plus the LRU hook.
+  struct CompiledEntry {
+    std::shared_ptr<const fm::CompiledSpec> compiled;
+    std::list<CacheKey>::iterator lru;
+  };
 
   ServiceConfig cfg_;
   ResultCache cache_;
@@ -128,6 +146,12 @@ class Service {
   std::atomic<bool> stopping_{false};
   std::mutex shutdown_mu_;  ///< serializes dispatcher join
   std::thread dispatcher_;
+  /// LRU cache of CompiledSpecs shared across tunes (front = freshest).
+  /// Guarded by its own mutex: probes are cheap, and compiles happen
+  /// *outside* the lock so one slow compile never stalls the pool.
+  std::mutex compile_mu_;
+  std::list<CacheKey> compile_lru_;
+  std::unordered_map<CacheKey, CompiledEntry, CacheKeyHash> compile_cache_;
 };
 
 }  // namespace harmony::serve

@@ -1,0 +1,377 @@
+// Compiled candidate evaluation (fm/compiled.hpp): bit-exact parity of
+// the flat fast path against the legacy FunctionSpec oracles and the
+// executing GridMachine ledger, the delivered-set key-packing overflow
+// regression, EvalContext reuse, and precompiled parallel search parity.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "algos/editdist.hpp"
+#include "algos/specs.hpp"
+#include "fm/compiled.hpp"
+#include "fm/idioms.hpp"
+#include "fm/search.hpp"
+#include "sched/scheduler.hpp"
+
+namespace harmony::fm {
+namespace {
+
+/// Field-for-field CostReport equality — exact, not approximate: the
+/// compiled path promises the identical floating-point addition
+/// sequence, so EXPECT_EQ on the doubles is the contract.
+void expect_cost_identical(const CostReport& a, const CostReport& b) {
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  EXPECT_EQ(a.makespan.picoseconds(), b.makespan.picoseconds());
+  EXPECT_EQ(a.compute_energy.femtojoules(), b.compute_energy.femtojoules());
+  EXPECT_EQ(a.onchip_movement_energy.femtojoules(),
+            b.onchip_movement_energy.femtojoules());
+  EXPECT_EQ(a.local_access_energy.femtojoules(),
+            b.local_access_energy.femtojoules());
+  EXPECT_EQ(a.dram_energy.femtojoules(), b.dram_energy.femtojoules());
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bit_hops, b.bit_hops);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+}
+
+/// Full LegalityReport equality including diagnostics text and order.
+void expect_legality_identical(const LegalityReport& a,
+                               const LegalityReport& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.causality_violations, b.causality_violations);
+  EXPECT_EQ(a.exclusivity_violations, b.exclusivity_violations);
+  EXPECT_EQ(a.storage_violations, b.storage_violations);
+  EXPECT_EQ(a.bandwidth_violations, b.bandwidth_violations);
+  EXPECT_EQ(a.peak_live_values, b.peak_live_values);
+  EXPECT_EQ(a.peak_live_pe, b.peak_live_pe);
+  EXPECT_EQ(a.peak_link_bits_per_cycle, b.peak_link_bits_per_cycle);
+  EXPECT_EQ(a.peak_link, b.peak_link);
+  ASSERT_EQ(a.diagnostics.size(), b.diagnostics.size());
+  for (std::size_t i = 0; i < a.diagnostics.size(); ++i) {
+    EXPECT_EQ(a.diagnostics[i].rule_id, b.diagnostics[i].rule_id)
+        << "diag[" << i << "]";
+    EXPECT_EQ(a.diagnostics[i].message, b.diagnostics[i].message)
+        << "diag[" << i << "]";
+    EXPECT_EQ(a.diagnostics[i].location.op, b.diagnostics[i].location.op)
+        << "diag[" << i << "]";
+    EXPECT_EQ(a.diagnostics[i].location.pe, b.diagnostics[i].location.pe)
+        << "diag[" << i << "]";
+    EXPECT_EQ(a.diagnostics[i].location.cycle,
+              b.diagnostics[i].location.cycle)
+        << "diag[" << i << "]";
+  }
+}
+
+/// The full Mapping a (compiled-spec, AffineMap) pair describes, for
+/// feeding the legacy oracles and the grid machine.
+Mapping materialize(const FunctionSpec& spec, TensorId target,
+                    const AffineMap& map, const Mapping& input_proto) {
+  Mapping m;
+  m.set_computed(target, map.place_fn(), map.time_fn());
+  for (TensorId t : spec.input_tensors()) {
+    m.set_input(t, input_proto.input_home(t));
+  }
+  return m;
+}
+
+/// A multi-input spec whose single schedule exercises all four input
+/// dependence branches of the cost model at once:
+///   - a is DRAM-homed; its values are re-read from different PEs and
+///     re-read again from the same PE (DRAM access + repeat-use SRAM hit)
+///   - b lives on PE (1,0); it is read from its home PE (local home),
+///     from other PEs (remote home transfer), and repeatedly (SRAM hit)
+///   - y(i) reads y(i-1) (cross-PE computed transfer) and y(i-4)
+///     (same-PE computed local access under the x = i mod 4 placement).
+struct FourBranch {
+  FunctionSpec spec;
+  TensorId a = -1, b = -1, y = -1;
+};
+
+FourBranch four_branch_spec() {
+  FourBranch f;
+  f.a = f.spec.add_input("a", IndexDomain(2));
+  f.b = f.spec.add_input("b", IndexDomain(1));
+  auto self = std::make_shared<TensorId>(-1);
+  f.y = f.spec.add_computed(
+      "y", IndexDomain(8),
+      [a = f.a, b = f.b, self](const Point& p) {
+        std::vector<ValueRef> d;
+        d.push_back({a, Point{p.i % 2, 0, 0}});
+        d.push_back({b, Point{0, 0, 0}});
+        if (p.i >= 1) d.push_back({*self, Point{p.i - 1, 0, 0}});
+        if (p.i >= 4) d.push_back({*self, Point{p.i - 4, 0, 0}});
+        return d;
+      },
+      [](const Point&, const std::vector<double>& v) {
+        double s = 0.0;
+        for (const double x : v) s += x;
+        return s;
+      });
+  *self = f.y;
+  f.spec.mark_output(f.y);
+  return f;
+}
+
+/// Input homes for the four-branch spec: a from DRAM, b on PE (1,0).
+Mapping four_branch_proto(const FourBranch& f) {
+  Mapping proto;
+  proto.set_input(f.a, InputHome::dram());
+  proto.set_input(f.b, InputHome::at({1, 0}));
+  return proto;
+}
+
+/// A legal schedule for the four-branch spec on `cfg`: PE x = i mod 4,
+/// time strides generously past every transit/DRAM latency.
+AffineMap four_branch_map(const MachineConfig& cfg) {
+  Cycle worst = 1;
+  for (int x0 = 0; x0 < cfg.geom.cols(); ++x0) {
+    const noc::Coord c{x0, 0};
+    worst = std::max(worst, cfg.dram_cycles(c));
+    for (int x1 = 0; x1 < cfg.geom.cols(); ++x1) {
+      worst = std::max(worst, cfg.transit_cycles({x1, 0}, c));
+    }
+  }
+  return AffineMap{.ti = worst + 1, .t0 = worst + 1, .xi = 1,
+                   .cols = cfg.geom.cols(), .rows = cfg.geom.rows()};
+}
+
+TEST(CompiledCost, FourBranchSpecMatchesLegacyAndMachineLedger) {
+  const FourBranch f = four_branch_spec();
+  const MachineConfig cfg = make_machine(4, 1);
+  const Mapping proto = four_branch_proto(f);
+  const AffineMap amap = four_branch_map(cfg);
+  const Mapping mapping = materialize(f.spec, f.y, amap, proto);
+
+  // Sanity: the schedule is legal, and every branch is actually hit.
+  const LegalityReport legal = verify(f.spec, mapping, cfg);
+  ASSERT_TRUE(legal.ok) << legal.first_message();
+
+  const CostReport legacy = evaluate_cost(f.spec, mapping, cfg);
+  EXPECT_GT(legacy.dram_energy.femtojoules(), 0.0);       // a via DRAM
+  EXPECT_GT(legacy.local_access_energy.femtojoules(), 0.0);  // SRAM hits
+  EXPECT_GT(legacy.onchip_movement_energy.femtojoules(), 0.0);  // transfers
+  EXPECT_GT(legacy.messages, 0u);
+
+  const auto cs = compile_spec(f.spec, cfg, proto);
+  EvalContext ctx(*cs);
+  const CostReport compiled = evaluate_cost(*cs, amap, ctx);
+  expect_cost_identical(compiled, legacy);
+
+  const LegalityReport compiled_legal = verify(*cs, amap, ctx);
+  expect_legality_identical(compiled_legal, legal);
+
+  // The executing machine's ledger agrees field for field: the slots
+  // run in ascending time order, which under this schedule is domain
+  // order, so even the floating-point sums match exactly.
+  const std::vector<double> a_data{3.0, 5.0};
+  const std::vector<double> b_data{7.0};
+  const auto res = GridMachine(cfg).run(f.spec, mapping, {a_data, b_data});
+  EXPECT_EQ(res.makespan_cycles, legacy.makespan_cycles);
+  EXPECT_EQ(res.compute_energy.femtojoules(),
+            legacy.compute_energy.femtojoules());
+  EXPECT_EQ(res.local_access_energy.femtojoules(),
+            legacy.local_access_energy.femtojoules());
+  EXPECT_EQ(res.dram_energy.femtojoules(), legacy.dram_energy.femtojoules());
+  EXPECT_EQ(res.onchip_movement_energy.femtojoules(),
+            legacy.onchip_movement_energy.femtojoules());
+  EXPECT_EQ(res.messages, legacy.messages);
+  EXPECT_EQ(res.bit_hops, legacy.bit_hops);
+  EXPECT_EQ(res.outputs[0],
+            f.spec.evaluate_reference({a_data, b_data})[0]);
+}
+
+TEST(CompiledCost, DeliveredKeyPackingOverflowRegression) {
+  // A packed `value_index * num_pes + pe` key wraps uint64 once
+  // value_index reaches 2^62 on a 4-PE machine: big(1) at PE 0 packed to
+  // 4, and big(2^62 + 1) at PE 0 packed to (2^64 + 4) mod 2^64 = 4.  The
+  // old tracking then mistook the second DRAM read for a repeat use of
+  // the first value.  Pair-exact tracking must charge DRAM twice.
+  const std::int64_t kBig = (std::int64_t{1} << 62) + 2;
+  FunctionSpec spec;
+  const TensorId big = spec.add_input("big", IndexDomain(kBig));
+  spec.add_computed(
+      "y", IndexDomain(2),
+      [big](const Point& p) {
+        std::vector<ValueRef> d;
+        d.push_back({big, Point{p.i == 0 ? std::int64_t{1}
+                                         : (std::int64_t{1} << 62) + 1,
+                                0, 0}});
+        return d;
+      },
+      [](const Point&, const std::vector<double>& v) { return v[0]; });
+
+  const MachineConfig cfg = make_machine(2, 2);
+  ASSERT_EQ(cfg.geom.num_nodes(), 4u);
+  Mapping proto;
+  proto.set_input(big, InputHome::dram());
+  const AffineMap amap{.ti = 1, .cols = 2, .rows = 2};  // both at PE 0
+  const Mapping mapping = materialize(spec, /*target=*/1, amap, proto);
+
+  const CostReport legacy = evaluate_cost(spec, mapping, cfg);
+  const Energy one_access = cfg.geom.dram_access_energy(32, {0, 0});
+  EXPECT_EQ(legacy.dram_energy.femtojoules(),
+            (one_access + one_access).femtojoules());
+  EXPECT_EQ(legacy.local_access_energy.femtojoules(), 0.0);
+
+  const auto cs = compile_spec(spec, cfg, proto);
+  EvalContext ctx(*cs);
+  expect_cost_identical(evaluate_cost(*cs, amap, ctx), legacy);
+}
+
+TEST(CompiledVerify, ViolatingSchedulesReportIdenticallyToLegacy) {
+  const FourBranch f = four_branch_spec();
+  const MachineConfig cfg = make_machine(4, 1);
+  const Mapping proto = four_branch_proto(f);
+  const auto cs = compile_spec(f.spec, cfg, proto);
+  EvalContext ctx(*cs);
+
+  // Everything on PE 0 at cycle 0: exclusivity pile-up plus causality
+  // violations (inputs can't arrive by cycle 0, computed deps need a
+  // cycle of transit).
+  const AffineMap collide{.cols = 4, .rows = 1};
+  // Time marches backwards: the negative-cycle early-return path.
+  const AffineMap negative{.ti = -1, .xi = 1, .cols = 4, .rows = 1};
+
+  for (const AffineMap& amap : {collide, negative}) {
+    const Mapping mapping = materialize(f.spec, f.y, amap, proto);
+    const LegalityReport legacy = verify(f.spec, mapping, cfg);
+    EXPECT_FALSE(legacy.ok);
+    expect_legality_identical(verify(*cs, amap, ctx), legacy);
+  }
+}
+
+TEST(CompiledCost, EvalContextReuseAcrossCandidatesIsClean) {
+  const FourBranch f = four_branch_spec();
+  const MachineConfig cfg = make_machine(4, 1);
+  const Mapping proto = four_branch_proto(f);
+  const auto cs = compile_spec(f.spec, cfg, proto);
+  const AffineMap good = four_branch_map(cfg);
+  AffineMap other = good;
+  other.xi = 2;  // different placement -> different delivered pattern
+
+  // One context reused across candidates (the search's usage pattern):
+  // evaluating `other` in between must not leak delivered state into the
+  // re-evaluation of `good`.
+  EvalContext ctx(*cs);
+  const CostReport first = evaluate_cost(*cs, good, ctx);
+  (void)evaluate_cost(*cs, other, ctx);
+  (void)verify(*cs, other, ctx);
+  expect_cost_identical(evaluate_cost(*cs, good, ctx), first);
+  expect_legality_identical(verify(*cs, good, ctx),
+                            verify(f.spec, materialize(f.spec, f.y, good,
+                                                       proto), cfg));
+}
+
+TEST(CompiledLegality, VerifyOkAgreesWithFullVerifyAcrossTheFamily) {
+  // The report-free short-circuit gate the search runs must agree with
+  // the full verifier's ok bit on every candidate — legal, causality-
+  // violating, colliding, and negative-time alike.  Sweep the whole
+  // affine coefficient family the search enumerates.
+  algos::SwScores s;
+  const FunctionSpec spec = algos::editdist_spec(6, 6, s);
+  const MachineConfig cfg = make_machine(6, 1);
+  Mapping proto;
+  for (TensorId in : spec.input_tensors()) {
+    proto.set_input(in, InputHome::distributed(
+                            block_distribution(spec.domain(in),
+                                               cfg.geom).place));
+  }
+  const auto cs = compile_spec(spec, cfg, proto);
+  const TensorId target = spec.computed_tensors()[0];
+  EvalContext ctx(*cs);
+  int checked = 0, legal = 0;
+  for (std::int64_t ti : {-1, 0, 1, 2}) {
+    for (std::int64_t tj : {0, 1, 2}) {
+      for (std::int64_t xi : {-1, 0, 1}) {
+        for (std::int64_t xj : {-1, 0, 1}) {
+          for (std::int64_t t0 : {0, 12}) {
+            const AffineMap map{.ti = ti, .tj = tj, .t0 = t0, .xi = xi,
+                                .xj = xj, .cols = 6, .rows = 1};
+            const bool full =
+                verify(spec, materialize(spec, target, map, proto), cfg).ok;
+            EXPECT_EQ(verify_ok(*cs, map, ctx), full)
+                << "ti=" << ti << " tj=" << tj << " xi=" << xi
+                << " xj=" << xj << " t0=" << t0;
+            ++checked;
+            legal += full ? 1 : 0;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(checked, 216);
+  EXPECT_GT(legal, 0);  // the sweep must exercise the accepting path too
+}
+
+TEST(CompiledSearch, WinnersMatchLegacyOraclesExactly) {
+  // Search-driven parity: every candidate the compiled inner loop ranks
+  // must carry the exact CostReport the legacy oracle computes for the
+  // materialized mapping — and the legacy verifier must agree it's legal.
+  algos::SwScores s;
+  const FunctionSpec spec = algos::editdist_spec(8, 8, s);
+  const MachineConfig cfg = make_machine(8, 1);
+  Mapping proto;
+  for (TensorId in : spec.input_tensors()) {
+    proto.set_input(in, InputHome::distributed(
+                            block_distribution(spec.domain(in),
+                                               cfg.geom).place));
+  }
+  SearchOptions opts;
+  opts.keep_all_legal = true;
+  const SearchResult r = search_affine(spec, cfg, proto, opts);
+  ASSERT_TRUE(r.found);
+  ASSERT_FALSE(r.all_legal.empty());
+  const TensorId target = spec.computed_tensors()[0];
+  for (const Candidate& c : r.all_legal) {
+    const Mapping m = materialize(spec, target, c.map, proto);
+    EXPECT_TRUE(verify(spec, m, cfg).ok) << "slot " << c.slot;
+    expect_cost_identical(c.cost, evaluate_cost(spec, m, cfg));
+  }
+}
+
+TEST(CompiledSearch, PrecompiledSharedAcrossParallelLanesMatchesSerial) {
+  // One CompiledSpec shared read-only by every lane (the serving layer's
+  // usage): the parallel top-k must stay byte-identical to serial.
+  algos::SwScores s;
+  const FunctionSpec spec = algos::editdist_spec(8, 8, s);
+  const MachineConfig cfg = make_machine(8, 1);
+  Mapping proto;
+  for (TensorId in : spec.input_tensors()) {
+    proto.set_input(in, InputHome::distributed(
+                            block_distribution(spec.domain(in),
+                                               cfg.geom).place));
+  }
+  SearchOptions opts;
+  opts.keep_all_legal = true;
+  opts.compiled = compile_spec(spec, cfg, proto);
+
+  const SearchResult serial = search_affine(spec, cfg, proto, opts);
+  ASSERT_TRUE(serial.found);
+
+  sched::Scheduler pool(4);
+  SearchOptions par = opts;
+  par.scheduler = &pool;
+  const SearchResult parallel = search_affine(spec, cfg, proto, par);
+
+  EXPECT_EQ(parallel.found, serial.found);
+  EXPECT_EQ(parallel.enumerated, serial.enumerated);
+  EXPECT_EQ(parallel.quick_rejected, serial.quick_rejected);
+  EXPECT_EQ(parallel.verify_rejected, serial.verify_rejected);
+  EXPECT_EQ(parallel.legal, serial.legal);
+  ASSERT_EQ(parallel.top.size(), serial.top.size());
+  for (std::size_t i = 0; i < serial.top.size(); ++i) {
+    EXPECT_EQ(parallel.top[i].slot, serial.top[i].slot) << "top[" << i << "]";
+    EXPECT_EQ(parallel.top[i].merit, serial.top[i].merit)
+        << "top[" << i << "]";
+    expect_cost_identical(parallel.top[i].cost, serial.top[i].cost);
+  }
+  ASSERT_EQ(parallel.all_legal.size(), serial.all_legal.size());
+  for (std::size_t i = 0; i < serial.all_legal.size(); ++i) {
+    EXPECT_EQ(parallel.all_legal[i].slot, serial.all_legal[i].slot);
+    EXPECT_EQ(parallel.all_legal[i].merit, serial.all_legal[i].merit);
+  }
+}
+
+}  // namespace
+}  // namespace harmony::fm

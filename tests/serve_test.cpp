@@ -27,15 +27,19 @@ namespace {
 using namespace std::chrono_literals;
 
 // Deadline-cut latency is bounded by one in-flight candidate per lane,
-// and TSan slows each candidate's full-domain verify by an order of
-// magnitude — so wall-clock tests scale their budgets, keeping the
-// guarantee under test (cut + respond within the margin) the same on a
-// slower clock.
+// and sanitizers slow each candidate's full-domain verify — TSan by an
+// order of magnitude, ASan by a small factor — so wall-clock tests
+// scale their budgets, keeping the guarantee under test (cut + respond
+// within the margin) the same on a slower clock.
 #if defined(__SANITIZE_THREAD__)
 constexpr int kTimeScale = 4;
+#elif defined(__SANITIZE_ADDRESS__)
+constexpr int kTimeScale = 2;
 #elif defined(__has_feature)
 #if __has_feature(thread_sanitizer)
 constexpr int kTimeScale = 4;
+#elif __has_feature(address_sanitizer)
+constexpr int kTimeScale = 2;
 #else
 constexpr int kTimeScale = 1;
 #endif
@@ -158,6 +162,25 @@ TEST(BoundedQueue, CloseWakesBlockedPopper) {
 }
 
 // --- cache keys ---
+
+TEST(CacheKey, CompileKeyCoarserThanResultKeyAndDomainSeparated) {
+  Request a = editdist_cost_request(8, 8);
+  a.kind = RequestKind::kTune;
+  a.fom = fm::FigureOfMerit::kTime;
+  Request b = a;
+  b.fom = fm::FigureOfMerit::kEnergy;
+  b.search.top_k = 9;
+  EXPECT_NE(make_cache_key(a), make_cache_key(b));      // results differ
+  EXPECT_EQ(make_compile_key(a), make_compile_key(b));  // tables shared
+  EXPECT_NE(make_compile_key(a), make_cache_key(a));    // tag separation
+
+  Request c = a;
+  c.machine = fm::make_machine(4, 1);
+  EXPECT_NE(make_compile_key(c), make_compile_key(a));
+  Request d = a;
+  d.inputs = {InputPlacement::dram(), InputPlacement::at({0, 0})};
+  EXPECT_NE(make_compile_key(d), make_compile_key(a));
+}
 
 TEST(CacheKey, StableAcrossIndependentSpecBuilds) {
   Request a = editdist_cost_request(8, 8);
@@ -394,6 +417,28 @@ TEST(Service, TuneMatchesDirectSearch) {
   EXPECT_DOUBLE_EQ(again.search.best.merit, direct.best.merit);
 }
 
+TEST(Service, CompileCacheSharesTablesAcrossTunes) {
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  Service svc(cfg);
+
+  Request req = editdist_cost_request(8, 8);
+  req.kind = RequestKind::kTune;
+  req.fom = fm::FigureOfMerit::kTime;
+  const Response r1 = svc.call(req);
+  ASSERT_TRUE(r1.ok()) << r1.error;
+
+  Request req2 = req;
+  req2.fom = fm::FigureOfMerit::kEnergy;  // new result key, same triple
+  const Response r2 = svc.call(req2);
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_FALSE(r2.cache_hit);  // the *result* cache missed...
+
+  const MetricsSnapshot snap = svc.metrics();
+  EXPECT_EQ(snap.compile_misses, 1u);  // ...but the compiled tables hit
+  EXPECT_EQ(snap.compile_hits, 1u);
+}
+
 TEST(Service, ParallelTuneMatchesSerialAndRecordsWorkerMetrics) {
   ServiceConfig cfg;
   cfg.num_workers = 4;
@@ -436,19 +481,25 @@ TEST(Service, ParallelTuneMatchesSerialAndRecordsWorkerMetrics) {
 TEST(Service, DeadlineCutTuneReturnsLegalMappingBeforeDeadline) {
   ServiceConfig cfg;
   cfg.num_workers = 2;
-  cfg.deadline_margin = 20ms * kTimeScale;
+  // The margin must absorb the candidates already in flight when the
+  // cutoff fires plus the winner's verify/lint pass on the 64x64 domain
+  // -- both ~10x dearer under a sanitizer, hence the generous slice.
+  cfg.deadline_margin = 60ms * kTimeScale;
   Service svc(cfg);
 
-  // A big search space (13 x 13 x 7 x 7 slots, each paying a
-  // full-domain verify) over a 24x24 domain: far more work than the
-  // deadline allows, so the cut must trigger.  Coefficient 1 leads both
-  // lists, so the legal wavefront (t=i+j, x=i) enumerates within the
-  // first few slots and the frontier is non-empty long before the
-  // cutoff.
-  Request req = editdist_cost_request(24, 24);
+  // A big search space (13 x 13 x 9 x 9 slots, each paying a
+  // full-domain legality sweep) over a 64x64 domain: far more work than
+  // the deadline allows even through the compiled fast path, so the cut
+  // must trigger.  With both strings homed on PE (0,0) the pure
+  // wavefront (t=i+j) blows the home link's bandwidth budget; the
+  // time-stretched t=i+8j fits, and coefficient 8 rides second in the
+  // list so that legal mapping enumerates within the first few slots
+  // and the frontier is non-empty long before the cutoff -- even under
+  // a sanitizer's ~10x slowdown.
+  Request req = editdist_cost_request(64, 64);
   req.kind = RequestKind::kTune;
-  req.search.space.time_coeffs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 0};
-  req.search.space.space_coeffs = {1, 0, -1, 2, -2, 3, -3};
+  req.search.space.time_coeffs = {1, 8, 2, 3, 4, 5, 6, 7, 9, 10, 11, 12, 0};
+  req.search.space.space_coeffs = {1, 0, -1, 2, -2, 3, -3, 4, -4};
   req.deadline = 150ms * kTimeScale;
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -600,6 +651,8 @@ TEST(Metrics, JsonExportIsWellFormedAndComplete) {
   EXPECT_NE(json.find("\"metric\": \"tunes\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"mean_tune_workers\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"tune_steals\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"compile_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"compile_misses\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"diagnostics\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"trace_dropped\""), std::string::npos);
   EXPECT_EQ(json.front(), '[');
@@ -609,7 +662,7 @@ TEST(Metrics, JsonExportIsWellFormedAndComplete) {
     return std::count(json.begin(), json.end(), c);
   };
   EXPECT_EQ(count('{'), count('}'));
-  EXPECT_EQ(count('{'), 21);
+  EXPECT_EQ(count('{'), 23);
 }
 
 TEST(Metrics, OnTuneAggregatesWorkersAndSteals) {
