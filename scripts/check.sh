@@ -9,14 +9,16 @@
 #      lifetime bugs would live; support_test exercises the Rng
 #      full-domain ranges whose old arithmetic was signed-overflow UB);
 #   4. TSan build running the tier1 + serve + analyze + trace +
-#      fm_search labels — the whole correctness suite (parallel search
-#      parity, compiled-evaluation parity, scheduler wakeup, batching,
-#      cache, concurrent trace-ring writes) plus the stress test under
-#      ThreadSanitizer;
-#   5. perf    — a smoke run of the compiled-evaluation benchmark
-#      (bench_e22, ctest -L perf): fails if the fast path's reports
-#      diverge from the legacy oracles or a parallel search diverges
-#      from serial.
+#      fm_search + fm_strategy labels — the whole correctness suite
+#      (parallel search parity, compiled-evaluation parity, delta-eval
+#      parity, multi-chain anneal/beam worker-count identity, scheduler
+#      wakeup, batching, cache, concurrent trace-ring writes) plus the
+#      stress test under ThreadSanitizer;
+#   5. perf    — smoke runs of the compiled-evaluation and stochastic-
+#      search benchmarks (bench_e22 + bench_e23, ctest -L perf): fails
+#      if the fast path's reports diverge from the legacy oracles, a
+#      parallel search diverges from serial, the anneal misses the
+#      affine optimum, or the delta-eval speedup contract breaks.
 #
 # Usage:
 #   scripts/check.sh                         # all stages
@@ -63,17 +65,18 @@ run_asan() {
 }
 
 run_tsan() {
-  echo "== TSan: tier1 + serve + analyze + trace + fm_search labels ==" &&
+  echo "== TSan: tier1 + serve + analyze + trace + fm_search +" \
+       "fm_strategy labels ==" &&
   cmake -B build-tsan -S . -DHARMONY_TSAN=ON &&
   cmake --build build-tsan -j --target harmony_tests &&
   ctest --test-dir build-tsan --output-on-failure \
-    -L "tier1|serve|analyze|trace|fm_search"
+    -L "tier1|serve|analyze|trace|fm_search|fm_strategy"
 }
 
 run_perf() {
-  echo "== perf: compiled-evaluation benchmark smoke ==" &&
+  echo "== perf: compiled-evaluation + stochastic-search bench smoke ==" &&
   cmake -B build -S . &&
-  cmake --build build -j --target bench_e22_cost_eval &&
+  cmake --build build -j --target bench_e22_cost_eval bench_e23_anneal &&
   ctest --test-dir build --output-on-failure -L perf
 }
 

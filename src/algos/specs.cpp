@@ -265,6 +265,65 @@ ConvWsBuild conv1d_weight_stationary(std::int64_t n_out,
   return build;
 }
 
+namespace {
+
+/// SplitMix64 finalizer over a combined (seed, op, slot) key.  The
+/// dependence closure below must be a pure function of the point, so
+/// its "randomness" is this hash, identical on every deps() call.
+std::uint64_t dag_hash(std::uint64_t seed, std::uint64_t i,
+                       std::uint64_t slot) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (i * 64 + slot + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+fm::FunctionSpec irregular_dag_spec(std::int64_t n, int max_fanin,
+                                    std::uint64_t seed, bool output,
+                                    IrregularDagSpecIds* ids) {
+  HARMONY_REQUIRE(n >= 1 && max_fanin >= 1, "irregular_dag_spec: bad shape");
+  fm::FunctionSpec spec;
+  const std::int64_t n_in = std::max<std::int64_t>(1, n / 4);
+  const fm::TensorId a = spec.add_input("a", fm::IndexDomain(n_in), 32);
+  const fm::TensorId y = spec.add_computed(
+      "y", fm::IndexDomain(n),
+      [a, n_in, max_fanin, seed](const fm::Point& p) {
+        const fm::TensorId self = a + 1;
+        const std::uint64_t i = static_cast<std::uint64_t>(p.i);
+        std::vector<fm::ValueRef> deps;
+        deps.push_back(
+            {a, fm::Point{static_cast<std::int64_t>(dag_hash(seed, i, 0) %
+                                                    static_cast<std::uint64_t>(
+                                                        n_in))}});
+        if (p.i > 0) {
+          const int fanin = 1 + static_cast<int>(
+                                    dag_hash(seed, i, 1) %
+                                    static_cast<std::uint64_t>(max_fanin));
+          const std::uint64_t window =
+              std::min<std::uint64_t>(16, static_cast<std::uint64_t>(p.i));
+          for (int s = 0; s < fanin; ++s) {
+            const std::int64_t d = 1 + static_cast<std::int64_t>(
+                dag_hash(seed, i, static_cast<std::uint64_t>(s) + 2) % window);
+            deps.push_back({self, fm::Point{p.i - d}});
+          }
+        }
+        return deps;
+      },
+      [](const fm::Point&, const std::vector<double>& v) {
+        double s = 1.0;
+        for (const double x : v) s += x;
+        return s;
+      });
+  if (output) spec.mark_output(y);
+  if (ids != nullptr) {
+    ids->a = a;
+    ids->y = y;
+  }
+  return spec;
+}
+
 std::pair<fm::PlaceFn, fm::TimeFn> conv_output_stationary_map(
     std::int64_t k_taps, int cols) {
   HARMONY_REQUIRE(k_taps >= 1 && cols >= 1,

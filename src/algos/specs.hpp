@@ -77,6 +77,23 @@ struct ConvWsBuild {
 [[nodiscard]] ConvWsBuild conv1d_weight_stationary(std::int64_t n_out,
                                                    std::int64_t k_taps);
 
+/// Irregular DAG kernel for the non-affine mapping space (E23): y over
+/// IndexDomain(n) where y(i) reads a hash-derived set of up to
+/// `max_fanin` earlier elements y(i - d), d in [1, 16], plus one element
+/// of the input a.  The dependence relation is a pure function of the
+/// point (SplitMix64 of (seed, i, slot)), so it is deterministic and
+/// re-derivable on every deps() call, but it is *not* expressible by any
+/// affine schedule — exactly the space search_table() exists for.
+/// `output` controls whether y is marked as a program output (changes
+/// the storage-legality model: outputs live to the makespan).
+struct IrregularDagSpecIds {
+  fm::TensorId a = -1;
+  fm::TensorId y = -1;
+};
+[[nodiscard]] fm::FunctionSpec irregular_dag_spec(
+    std::int64_t n, int max_fanin, std::uint64_t seed, bool output = true,
+    IrregularDagSpecIds* ids = nullptr);
+
 /// Output-stationary mapping for the *plain* conv1d_spec: PE (i mod
 /// cols, 0) owns output i and runs its own k-loop in place; x and w are
 /// re-fetched from their home every use (the movement the WS pipeline

@@ -90,6 +90,11 @@ inline constexpr RuleInfo kRules[] = {
      "consume values sooner, spread placement, or raise pe_capacity_values"},
     {"FM004", Severity::kError, "fm-bandwidth",
      "re-place producers nearer their consumers or stretch the schedule"},
+    // Search option validation (fm/search.cpp, fm/strategy) — degenerate
+    // option values that would silently search nothing.
+    {"FM005", Severity::kError, "fm-search-options",
+     "fix the degenerate search option (0 means \"none\", not \"auto\"; "
+     "use kAutoGrain for automatic grain sizing)"},
     // Mapping lint warnings (analyze/lint.cpp) — legal but smelly.
     {"FM101", Severity::kWarning, "fm-idle-pes",
      "spread the space map (nonzero space coefficients) so idle PEs do "

@@ -97,4 +97,11 @@ LintReport lint_mapping(const fm::FunctionSpec& spec,
   return rep;
 }
 
+LintReport lint_mapping(const fm::FunctionSpec& spec,
+                        const fm::TableMap& table,
+                        const fm::MachineConfig& machine,
+                        const LintOptions& opts) {
+  return lint_mapping(spec, fm::to_mapping(spec, table), machine, opts);
+}
+
 }  // namespace harmony::analyze

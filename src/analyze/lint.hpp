@@ -23,6 +23,7 @@
 #include "fm/machine.hpp"
 #include "fm/mapping.hpp"
 #include "fm/spec.hpp"
+#include "fm/strategy/table_map.hpp"
 
 namespace harmony::analyze {
 
@@ -70,6 +71,15 @@ struct LintReport {
 
 [[nodiscard]] LintReport lint_mapping(const fm::FunctionSpec& spec,
                                       const fm::Mapping& mapping,
+                                      const fm::MachineConfig& machine,
+                                      const LintOptions& opts = {});
+
+/// Lints a per-op placement table (fm/strategy/table_map.hpp) by
+/// lowering it through fm::to_mapping — every rule (FM001–FM104) sees
+/// exactly the mapping the table denotes, so a table-mapped winner gets
+/// the same smell report an affine one would.
+[[nodiscard]] LintReport lint_mapping(const fm::FunctionSpec& spec,
+                                      const fm::TableMap& table,
                                       const fm::MachineConfig& machine,
                                       const LintOptions& opts = {});
 

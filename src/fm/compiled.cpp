@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "fm/strategy/table_map.hpp"
 #include "support/error.hpp"
 #include "trace/trace.hpp"
 
@@ -160,11 +161,61 @@ std::shared_ptr<const CompiledSpec> compile_spec(const FunctionSpec& spec,
   return cs;
 }
 
-CostReport evaluate_cost(const CompiledSpec& cs, const AffineMap& map,
-                         EvalContext& ctx) {
+namespace {
+
+// The per-candidate oracles are written once against a *map view* —
+// time/place per linearized target point plus the input-value home —
+// and instantiated for the AffineMap (closed-form, ignores lin) and the
+// TableMap (array lookup, ignores the point).  The template bodies are
+// the previous AffineMap-only implementations verbatim, so the
+// bit-identical-to-legacy pin carries over to both instantiations.
+struct AffineView {
+  const CompiledSpec& cs;
+  const AffineMap& map;
+  [[nodiscard]] Cycle time(std::size_t, const Point& p) const {
+    return map.time(p);
+  }
+  [[nodiscard]] std::size_t pe(std::size_t, const Point& p) const {
+    return cs.pe_index(map.place(p));
+  }
+  [[nodiscard]] std::int32_t home(const CompiledDep& d) const {
+    return d.home_pe;
+  }
+  [[nodiscard]] Cycle makespan_cycles() const {
+    return cs.makespan_cycles_of(map);
+  }
+};
+
+struct TableView {
+  const CompiledSpec& cs;
+  const TableMap& tm;
+  [[nodiscard]] Cycle time(std::size_t lin, const Point&) const {
+    return tm.cycle[lin];
+  }
+  [[nodiscard]] std::size_t pe(std::size_t lin, const Point&) const {
+    return static_cast<std::size_t>(tm.pe[lin]);
+  }
+  [[nodiscard]] std::int32_t home(const CompiledDep& d) const {
+    return tm.input_home[d.input_ord];
+  }
+  [[nodiscard]] Cycle makespan_cycles() const { return tm.makespan_cycles(); }
+};
+
+TableView table_view(const CompiledSpec& cs, const TableMap& tm) {
+  HARMONY_REQUIRE(
+      static_cast<std::int64_t>(tm.pe.size()) == cs.num_points &&
+          static_cast<std::int64_t>(tm.cycle.size()) == cs.num_points &&
+          tm.input_home.size() == cs.num_input_values,
+      "compiled: TableMap does not match the compiled spec's shape");
+  return TableView{cs, tm};
+}
+
+template <typename View>
+CostReport evaluate_cost_impl(const CompiledSpec& cs, const View& view,
+                              EvalContext& ctx) {
   ctx.begin_candidate();
   CostReport rep;
-  rep.makespan_cycles = cs.makespan_cycles_of(map);
+  rep.makespan_cycles = view.makespan_cycles();
   rep.compute_energy = cs.compute_energy_total;
   rep.total_ops = cs.total_ops_total;
 
@@ -172,19 +223,20 @@ CostReport evaluate_cost(const CompiledSpec& cs, const AffineMap& map,
   const auto bits = static_cast<std::uint64_t>(cs.bits);
   std::int64_t lin = 0;
   cs.domain.for_each([&](const Point& p) {
-    const std::uint64_t lo = cs.dep_offsets[static_cast<std::size_t>(lin)];
-    const std::uint64_t hi =
-        cs.dep_offsets[static_cast<std::size_t>(lin) + 1];
+    const auto v = static_cast<std::size_t>(lin);
+    const std::uint64_t lo = cs.dep_offsets[v];
+    const std::uint64_t hi = cs.dep_offsets[v + 1];
     ++lin;
     if (lo == hi) return;
-    const std::size_t here = cs.pe_index(map.place(p));
+    const std::size_t here = view.pe(v, p);
     for (std::uint64_t o = lo; o < hi; ++o) {
       const CompiledDep& d = cs.deps[o];
       // Branch order mirrors cost.cpp exactly: repeat-use short-circuit
       // first for inputs (which also stamps the delivery), then DRAM /
       // local-home / remote-home.
       if (d.kind == CompiledDep::kComputed) {
-        const std::size_t there = cs.pe_index(map.place(d.point()));
+        const std::size_t there =
+            view.pe(static_cast<std::size_t>(d.dep_lin), d.point());
         if (there == here) {
           rep.local_access_energy += cs.sram_access;
         } else {
@@ -197,10 +249,10 @@ CostReport evaluate_cost(const CompiledSpec& cs, const AffineMap& map,
         rep.local_access_energy += cs.sram_access;
       } else if (d.kind == CompiledDep::kInputDram) {
         rep.dram_energy += cs.dram_energy[here];
-      } else if (static_cast<std::size_t>(d.home_pe) == here) {
+      } else if (static_cast<std::size_t>(view.home(d)) == here) {
         rep.local_access_energy += cs.sram_access;
       } else {
-        const auto from = static_cast<std::size_t>(d.home_pe);
+        const auto from = static_cast<std::size_t>(view.home(d));
         rep.onchip_movement_energy += cs.transfer_energy[from * P + here];
         ++rep.messages;
         rep.bit_hops +=
@@ -212,8 +264,9 @@ CostReport evaluate_cost(const CompiledSpec& cs, const AffineMap& map,
   return rep;
 }
 
-LegalityReport verify(const CompiledSpec& cs, const AffineMap& map,
-                      EvalContext& ctx, const VerifyOptions& opts) {
+template <typename View>
+LegalityReport verify_impl(const CompiledSpec& cs, const View& view,
+                           EvalContext& ctx, const VerifyOptions& opts) {
   ctx.begin_candidate();
   LegalityReport rep;
   const std::size_t P = cs.num_pes;
@@ -248,12 +301,12 @@ LegalityReport verify(const CompiledSpec& cs, const AffineMap& map,
 
   std::int64_t lin = 0;
   cs.domain.for_each([&](const Point& p) {
-    const std::uint64_t lo = cs.dep_offsets[static_cast<std::size_t>(lin)];
-    const std::uint64_t hi =
-        cs.dep_offsets[static_cast<std::size_t>(lin) + 1];
+    const auto v = static_cast<std::size_t>(lin);
+    const std::uint64_t lo = cs.dep_offsets[v];
+    const std::uint64_t hi = cs.dep_offsets[v + 1];
     ++lin;
-    const Cycle when = map.time(p);
-    const std::size_t here = cs.pe_index(map.place(p));
+    const Cycle when = view.time(v, p);
+    const std::size_t here = view.pe(v, p);
     const auto here_pe = static_cast<std::int32_t>(here);
     if (when < 0) {
       ++rep.causality_violations;
@@ -273,9 +326,10 @@ LegalityReport verify(const CompiledSpec& cs, const AffineMap& map,
       const CompiledDep& d = cs.deps[o];
       if (d.kind == CompiledDep::kComputed) {
         const Point dp = d.point();
-        const std::size_t there = cs.pe_index(map.place(dp));
-        const Cycle need =
-            map.time(dp) + std::max<Cycle>(1, cs.transit[there * P + here]);
+        const auto dl = static_cast<std::size_t>(d.dep_lin);
+        const std::size_t there = view.pe(dl, dp);
+        const Cycle need = view.time(dl, dp) +
+                           std::max<Cycle>(1, cs.transit[there * P + here]);
         if (when < need) {
           ++rep.causality_violations;
           std::ostringstream os;
@@ -290,7 +344,8 @@ LegalityReport verify(const CompiledSpec& cs, const AffineMap& map,
         const Cycle need =
             d.kind == CompiledDep::kInputDram
                 ? cs.dram_cycles[here]
-                : cs.transit[static_cast<std::size_t>(d.home_pe) * P + here];
+                : cs.transit[static_cast<std::size_t>(view.home(d)) * P +
+                             here];
         if (when < need) {
           ++rep.causality_violations;
           std::ostringstream os;
@@ -306,7 +361,7 @@ LegalityReport verify(const CompiledSpec& cs, const AffineMap& map,
         // as in legality.cpp).
         if (d.kind == CompiledDep::kInputPe &&
             ctx.first_delivery(d.input_ord, here)) {
-          record_route(static_cast<std::size_t>(d.home_pe), here);
+          record_route(static_cast<std::size_t>(view.home(d)), here);
         }
       }
     }
@@ -341,14 +396,14 @@ LegalityReport verify(const CompiledSpec& cs, const AffineMap& map,
       const std::uint64_t lo = cs.dep_offsets[vi];
       const std::uint64_t hi = cs.dep_offsets[vi + 1];
       ++slin;
-      ctx.def_time[vi] = map.time(p);
+      ctx.def_time[vi] = view.time(vi, p);
       ctx.last_use[vi] = std::max(ctx.last_use[vi], ctx.def_time[vi]);
-      ctx.owner_pe[vi] = static_cast<std::int32_t>(cs.pe_index(map.place(p)));
+      ctx.owner_pe[vi] = static_cast<std::int32_t>(view.pe(vi, p));
       for (std::uint64_t o = lo; o < hi; ++o) {
         const CompiledDep& d = cs.deps[o];
         if (d.kind != CompiledDep::kComputed) continue;  // off-ledger
         const auto di = static_cast<std::size_t>(d.dep_lin);
-        ctx.last_use[di] = std::max(ctx.last_use[di], map.time(p));
+        ctx.last_use[di] = std::max(ctx.last_use[di], ctx.def_time[vi]);
       }
     });
     // Outputs stay live until the end of the computation.
@@ -423,8 +478,9 @@ LegalityReport verify(const CompiledSpec& cs, const AffineMap& map,
   return rep;
 }
 
-bool verify_ok(const CompiledSpec& cs, const AffineMap& map,
-               EvalContext& ctx, const VerifyOptions& opts) {
+template <typename View>
+bool verify_ok_impl(const CompiledSpec& cs, const View& view,
+                    EvalContext& ctx, const VerifyOptions& opts) {
   ctx.begin_candidate();
   const std::size_t P = cs.num_pes;
   const auto bits = static_cast<std::uint64_t>(cs.bits);
@@ -454,21 +510,23 @@ bool verify_ok(const CompiledSpec& cs, const AffineMap& map,
         const Point p{i, j, k};
         const std::uint64_t lo = cs.dep_offsets[lin];
         const std::uint64_t hi = cs.dep_offsets[lin + 1];
+        const std::size_t v = lin;
         ++lin;
-        const Cycle when = map.time(p);
+        const Cycle when = view.time(v, p);
         if (when < 0) return false;
         makespan = std::max(makespan, when + 1);
         HARMONY_REQUIRE(when < (Cycle{1} << 40),
                         "verify: schedule exceeds 2^40 cycles");
-        const std::size_t here = cs.pe_index(map.place(p));
+        const std::size_t here = view.pe(v, p);
         ctx.slots.push_back((static_cast<std::uint64_t>(here) << 40) |
                             static_cast<std::uint64_t>(when));
         for (std::uint64_t o = lo; o < hi; ++o) {
           const CompiledDep& d = cs.deps[o];
           if (d.kind == CompiledDep::kComputed) {
             const Point dp = d.point();
-            const std::size_t there = cs.pe_index(map.place(dp));
-            const Cycle need = map.time(dp) +
+            const auto dl = static_cast<std::size_t>(d.dep_lin);
+            const std::size_t there = view.pe(dl, dp);
+            const Cycle need = view.time(dl, dp) +
                 std::max<Cycle>(1, cs.transit[there * P + here]);
             if (when < need) return false;
             record_route(there, here);
@@ -476,12 +534,12 @@ bool verify_ok(const CompiledSpec& cs, const AffineMap& map,
             const Cycle need =
                 d.kind == CompiledDep::kInputDram
                     ? cs.dram_cycles[here]
-                    : cs.transit[static_cast<std::size_t>(d.home_pe) * P +
+                    : cs.transit[static_cast<std::size_t>(view.home(d)) * P +
                                  here];
             if (when < need) return false;
             if (d.kind == CompiledDep::kInputPe &&
                 ctx.first_delivery(d.input_ord, here)) {
-              record_route(static_cast<std::size_t>(d.home_pe), here);
+              record_route(static_cast<std::size_t>(view.home(d)), here);
             }
           }
         }
@@ -508,15 +566,14 @@ bool verify_ok(const CompiledSpec& cs, const AffineMap& map,
       const std::uint64_t lo = cs.dep_offsets[vi];
       const std::uint64_t hi = cs.dep_offsets[vi + 1];
       ++slin;
-      ctx.def_time[vi] = map.time(p);
+      ctx.def_time[vi] = view.time(vi, p);
       ctx.last_use[vi] = std::max(ctx.last_use[vi], ctx.def_time[vi]);
-      ctx.owner_pe[vi] =
-          static_cast<std::int32_t>(cs.pe_index(map.place(p)));
+      ctx.owner_pe[vi] = static_cast<std::int32_t>(view.pe(vi, p));
       for (std::uint64_t o = lo; o < hi; ++o) {
         const CompiledDep& d = cs.deps[o];
         if (d.kind != CompiledDep::kComputed) continue;
         const auto di = static_cast<std::size_t>(d.dep_lin);
-        ctx.last_use[di] = std::max(ctx.last_use[di], map.time(p));
+        ctx.last_use[di] = std::max(ctx.last_use[di], ctx.def_time[vi]);
       }
     });
     if (cs.target_is_output) {
@@ -558,6 +615,38 @@ bool verify_ok(const CompiledSpec& cs, const AffineMap& map,
     }
   }
   return true;
+}
+
+}  // namespace
+
+CostReport evaluate_cost(const CompiledSpec& cs, const AffineMap& map,
+                         EvalContext& ctx) {
+  return evaluate_cost_impl(cs, AffineView{cs, map}, ctx);
+}
+
+LegalityReport verify(const CompiledSpec& cs, const AffineMap& map,
+                      EvalContext& ctx, const VerifyOptions& opts) {
+  return verify_impl(cs, AffineView{cs, map}, ctx, opts);
+}
+
+bool verify_ok(const CompiledSpec& cs, const AffineMap& map,
+               EvalContext& ctx, const VerifyOptions& opts) {
+  return verify_ok_impl(cs, AffineView{cs, map}, ctx, opts);
+}
+
+CostReport evaluate_cost(const CompiledSpec& cs, const TableMap& tm,
+                         EvalContext& ctx) {
+  return evaluate_cost_impl(cs, table_view(cs, tm), ctx);
+}
+
+LegalityReport verify(const CompiledSpec& cs, const TableMap& tm,
+                      EvalContext& ctx, const VerifyOptions& opts) {
+  return verify_impl(cs, table_view(cs, tm), ctx, opts);
+}
+
+bool verify_ok(const CompiledSpec& cs, const TableMap& tm,
+               EvalContext& ctx, const VerifyOptions& opts) {
+  return verify_ok_impl(cs, table_view(cs, tm), ctx, opts);
 }
 
 }  // namespace harmony::fm

@@ -208,4 +208,26 @@ class EvalContext {
                              EvalContext& ctx,
                              const VerifyOptions& opts = {});
 
+// --- TableMap (per-op) overloads --------------------------------------
+// The same oracles over a per-op placement table (strategy/table_map.hpp)
+// instead of an affine form.  Same dependence visit order, same branch
+// order, same floating-point addition sequence — bit-identical to the
+// legacy path on the lowered to_mapping(spec, tm) mapping, exactly as
+// the AffineMap overloads are pinned to theirs.  The table's per-value
+// input homes override the compiled home_pe (a move may re-home a
+// PE-resident value); DRAM/PE kinds never change.  The table must match
+// the compiled spec: num_points ops, num_input_values homes.
+struct TableMap;
+
+[[nodiscard]] CostReport evaluate_cost(const CompiledSpec& cs,
+                                       const TableMap& tm, EvalContext& ctx);
+
+[[nodiscard]] LegalityReport verify(const CompiledSpec& cs,
+                                    const TableMap& tm, EvalContext& ctx,
+                                    const VerifyOptions& opts = {});
+
+[[nodiscard]] bool verify_ok(const CompiledSpec& cs, const TableMap& tm,
+                             EvalContext& ctx,
+                             const VerifyOptions& opts = {});
+
 }  // namespace harmony::fm

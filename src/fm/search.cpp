@@ -234,10 +234,34 @@ void merge_tallies(std::vector<SearchTally>& tallies, std::size_t top_k,
 
 }  // namespace
 
+std::vector<analyze::Diagnostic> validate_search_options(
+    const SearchOptions& opts) {
+  std::vector<analyze::Diagnostic> diags;
+  const auto flag = [&](const char* what) {
+    diags.push_back(analyze::make_diagnostic(
+        "FM005", analyze::Location{},
+        std::string("fm::search_affine: ") + what));
+  };
+  if (opts.top_k == 0) {
+    flag("top_k must be positive (0 would rank nothing)");
+  }
+  if (opts.quick_sample == 0) {
+    flag("quick_sample must be positive (0 would sample no points)");
+  }
+  if (opts.grain == 0) {
+    flag("grain must be positive (use kAutoGrain for automatic sizing)");
+  }
+  return diags;
+}
+
 SearchResult search_affine(const FunctionSpec& spec,
                            const MachineConfig& machine,
                            const Mapping& input_proto,
                            const SearchOptions& opts) {
+  {
+    const auto diags = validate_search_options(opts);
+    if (!diags.empty()) throw InvalidArgument(diags.front().message);
+  }
   const auto computed = spec.computed_tensors();
   HARMONY_REQUIRE(computed.size() == 1,
                   "search_affine: spec must have exactly one computed "
@@ -257,10 +281,8 @@ SearchResult search_affine(const FunctionSpec& spec,
   std::vector<std::int64_t> sample_lins;
   {
     const std::int64_t n = dom.size();
-    const std::int64_t stride =
-        std::max<std::int64_t>(1, n / static_cast<std::int64_t>(
-                                          std::max<std::size_t>(
-                                              1, opts.quick_sample)));
+    const std::int64_t stride = std::max<std::int64_t>(
+        1, n / static_cast<std::int64_t>(opts.quick_sample));
     for (std::int64_t lin = 0; lin < n; lin += stride) {
       sample_pts.push_back(dom.delinearize(lin));
       sample_lins.push_back(lin);
@@ -308,7 +330,7 @@ SearchResult search_affine(const FunctionSpec& spec,
   // slot even when grains finish out of order.
   const std::uint64_t range = total - begin;
   const std::uint64_t grain_slots =
-      opts.grain != 0
+      opts.grain != kAutoGrain
           ? opts.grain
           : std::max<std::uint64_t>(1, range / (std::uint64_t{lanes} * 8));
   const std::uint64_t num_grains = (range + grain_slots - 1) / grain_slots;

@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "analyze/diagnostic.hpp"
 #include "fm/compiled.hpp"
 #include "fm/cost.hpp"
 #include "fm/legality.hpp"
@@ -40,6 +41,11 @@
 #include "trace/trace.hpp"
 
 namespace harmony::fm {
+
+/// SearchOptions::grain sentinel: pick ~8 grains per lane automatically.
+/// (0 is *not* auto — a zero grain would enumerate nothing and is
+/// rejected by validate_search_options as FM005.)
+inline constexpr std::uint64_t kAutoGrain = ~std::uint64_t{0};
 
 struct SearchSpace {
   std::vector<std::int64_t> time_coeffs{0, 1, 2};
@@ -89,8 +95,9 @@ struct SearchOptions {
   /// scheduler worker.  Always clamped to scheduler->num_workers().
   unsigned num_workers = 0;
   /// Enumeration slots per grain (the unit of work distribution and of
-  /// cancel polling); 0 picks ~8 grains per lane.
-  std::uint64_t grain = 0;
+  /// cancel polling); kAutoGrain picks ~8 grains per lane.  Zero is a
+  /// degenerate value (FM005).
+  std::uint64_t grain = kAutoGrain;
   /// Optional pre-compiled evaluation tables.  Null (the default) makes
   /// search_affine() compile the (spec, machine, input_proto) triple on
   /// entry; a caller that tunes the same triple repeatedly (the serving
@@ -252,6 +259,13 @@ void search_lanes(Ctx& ctx, unsigned lanes, std::uint64_t begin,
 /// Sorted by ascending makespan.
 [[nodiscard]] std::vector<Candidate> pareto_front(
     const std::vector<Candidate>& candidates);
+
+/// FM005 records for every degenerate SearchOptions value (top_k == 0,
+/// quick_sample == 0, grain == 0 — each would silently search nothing
+/// or stall the enumeration); empty means valid.  search_affine()
+/// throws InvalidArgument with the first message.
+[[nodiscard]] std::vector<analyze::Diagnostic> validate_search_options(
+    const SearchOptions& opts);
 
 /// Searches mappings for `spec`, which must have exactly one computed
 /// tensor.  `input_proto` supplies the homes of all input tensors (its

@@ -1,0 +1,134 @@
+// Stochastic mapping search over non-affine spaces (fm::strategy).
+//
+// search_affine() enumerates the AffineMap family exhaustively — the
+// right tool when the space is a few thousand coefficient tuples.  The
+// TableMap space (per-op placement) is (P * cycles)^n: no enumeration
+// survives it, but it contains every schedule the affine family cannot
+// express (irregular DAGs, mixed serial/parallel phases, per-value input
+// homes).  search_table() explores it with mutation moves scored by the
+// delta evaluator (strategy/delta.hpp):
+//
+//   * kAnneal — simulated annealing: geometric cooling with reheats,
+//     several independent chains.  Each chain owns a support::Rng split
+//     off one root seed *in chain order*, runs its own DeltaEval, and
+//     chains spread over the work-stealing scheduler; the winner is
+//     merged by (merit, chain index).  The result is therefore
+//     byte-identical for a fixed (seed, chains) across any worker count
+//     — determinism comes from the stream split, not the schedule.
+//   * kBeam — deterministic beam search: per epoch every surviving
+//     state proposes `beam_moves` mutations (per-parent Rngs split in
+//     parent order), all candidates are ranked by
+//     (merit, parent, proposal index), and the best `beam_width` become
+//     the next generation.  Same determinism argument.
+//
+// Both drivers poll `cancel` once per epoch, so a serving deadline cuts
+// the search short and still answers with the best table found — the
+// anneal analogue of the exhaustive search's resumable slot cut.  Each
+// epoch runs under trace::Span("fm", "anneal_epoch" / "beam_epoch").
+// DESIGN.md §13.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "analyze/diagnostic.hpp"
+#include "fm/compiled.hpp"
+#include "fm/cost.hpp"
+#include "fm/legality.hpp"
+#include "fm/strategy/table_map.hpp"
+#include "sched/scheduler.hpp"
+
+namespace harmony::fm {
+
+enum class StrategyKind : std::uint8_t {
+  kExhaustive,  ///< serve-level alias for search_affine (not a driver here)
+  kAnneal,
+  kBeam,
+};
+
+[[nodiscard]] constexpr const char* to_string(StrategyKind k) {
+  switch (k) {
+    case StrategyKind::kExhaustive:
+      return "exhaustive";
+    case StrategyKind::kAnneal:
+      return "anneal";
+    case StrategyKind::kBeam:
+      return "beam";
+  }
+  return "?";
+}
+
+struct StrategyOptions {
+  FigureOfMerit fom = FigureOfMerit::kEnergyDelay;
+  VerifyOptions verify;
+  /// Root seed of the whole search; every random stream derives from it
+  /// by Rng::split in a fixed order.
+  std::uint64_t seed = 0x5eed;
+  /// kAnneal: independent chains (merged by merit, chain index).
+  int chains = 4;
+  /// kAnneal: proposals per temperature epoch.
+  int iters_per_epoch = 256;
+  /// Temperature epochs (anneal) / generations (beam).
+  int epochs = 64;
+  /// kAnneal: T0 = t0_fraction * |seed merit|.
+  double t0_fraction = 0.05;
+  /// kAnneal: geometric cooling factor per epoch, in (0, 1].
+  double cooling = 0.85;
+  /// kAnneal: epochs without a new best before a reheat.
+  int stall_epochs = 8;
+  /// kAnneal: reheats before the chain stops early.
+  int max_reheats = 2;
+  /// Move-space schedule bound factor (see build_strategy_spec).
+  double makespan_slack = 4.0;
+  /// kBeam: surviving states per generation.
+  int beam_width = 8;
+  /// kBeam: proposals per surviving state per generation.
+  int beam_moves = 32;
+  /// Polled once per epoch (thread-safe under a scheduler); true stops
+  /// the search, which returns best-so-far with completed == false.
+  std::function<bool()> cancel;
+  /// Non-null: spread chains (anneal) / parents (beam) over this
+  /// scheduler.  The result is identical to a serial run.
+  sched::Scheduler* scheduler = nullptr;
+  /// Lane cap; 0 means one lane per scheduler worker.
+  unsigned num_workers = 0;
+  /// Optional pre-compiled tables (serve's cache); must come from
+  /// compile_spec on the same (spec, machine, input_proto) triple.
+  std::shared_ptr<const CompiledSpec> compiled;
+};
+
+/// FM005 records for every degenerate option value; empty means valid.
+/// search_table() throws InvalidArgument with the first message.
+[[nodiscard]] std::vector<analyze::Diagnostic> validate_strategy_options(
+    const StrategyOptions& opts);
+
+struct StrategyResult {
+  bool found = false;
+  TableMap best;
+  /// Full re-score of `best` through evaluate_cost (not the delta
+  /// evaluator's count-converted report).
+  CostReport cost;
+  double merit = 0.0;
+  std::uint64_t moves_tried = 0;
+  std::uint64_t moves_accepted = 0;
+  std::uint64_t moves_rejected_illegal = 0;
+  int epochs_run = 0;
+  int reheats = 0;
+  /// False when `cancel` stopped the search before its budget.
+  bool completed = true;
+  int chains_used = 0;
+  unsigned workers_used = 1;
+};
+
+/// Searches TableMaps for `spec` (single computed tensor) on `machine`;
+/// `input_proto` supplies the input homes the seed starts from, exactly
+/// as in search_affine.  `kind` must be kAnneal or kBeam.
+[[nodiscard]] StrategyResult search_table(const FunctionSpec& spec,
+                                          const MachineConfig& machine,
+                                          const Mapping& input_proto,
+                                          StrategyKind kind,
+                                          const StrategyOptions& opts = {});
+
+}  // namespace harmony::fm

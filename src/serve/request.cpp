@@ -163,6 +163,26 @@ void mix_search(Fingerprint& fp, const fm::SearchOptions& s) {
   fp.mix(s.keep_all_legal);
 }
 
+void mix_strategy(Fingerprint& fp, const fm::StrategyOptions& s) {
+  // Same exclusion policy as mix_search: everything that shapes the
+  // converged answer (seeds, budgets, cooling schedule) is keyed;
+  // cancel / scheduler / num_workers / compiled are service-owned
+  // execution detail that cannot change the deterministic result.
+  fp.mix(static_cast<std::uint64_t>(s.fom));
+  mix_verify(fp, s.verify);
+  fp.mix(s.seed);
+  fp.mix(static_cast<std::uint64_t>(s.chains));
+  fp.mix(static_cast<std::uint64_t>(s.iters_per_epoch));
+  fp.mix(static_cast<std::uint64_t>(s.epochs));
+  fp.mix(s.t0_fraction);
+  fp.mix(s.cooling);
+  fp.mix(static_cast<std::uint64_t>(s.stall_epochs));
+  fp.mix(static_cast<std::uint64_t>(s.max_reheats));
+  fp.mix(s.makespan_slack);
+  fp.mix(static_cast<std::uint64_t>(s.beam_width));
+  fp.mix(static_cast<std::uint64_t>(s.beam_moves));
+}
+
 }  // namespace
 
 bool cacheable(const Request& req) { return req.spec != nullptr; }
@@ -190,7 +210,12 @@ CacheKey make_cache_key(const Request& req, std::size_t sample_points_n) {
       mix_verify(fp, req.verify);
       break;
     case RequestKind::kTune:
-      mix_search(fp, req.search);
+      fp.mix(static_cast<std::uint64_t>(req.strategy));
+      if (req.strategy == fm::StrategyKind::kExhaustive) {
+        mix_search(fp, req.search);
+      } else {
+        mix_strategy(fp, req.strategy_opts);
+      }
       break;
   }
   return fp.key();

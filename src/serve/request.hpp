@@ -30,6 +30,7 @@
 #include "fm/mapping.hpp"
 #include "fm/search.hpp"
 #include "fm/spec.hpp"
+#include "fm/strategy/strategy.hpp"
 #include "noc/mesh.hpp"
 
 namespace harmony::serve {
@@ -80,6 +81,16 @@ struct Request {
   /// `grain` are overridden by the service anyway) are excluded from
   /// the cache key.
   fm::SearchOptions search;
+  /// kTune: which searcher answers the tune.  kExhaustive (the default)
+  /// runs fm::search_affine with `search`; kAnneal / kBeam run
+  /// fm::search_table over the non-affine TableMap space with
+  /// `strategy_opts`.  Part of the cache key.
+  fm::StrategyKind strategy = fm::StrategyKind::kExhaustive;
+  /// kTune with strategy != kExhaustive: stochastic-search budget and
+  /// seeds.  Result-shaping fields are cache-keyed; `cancel`,
+  /// `scheduler`, `num_workers`, and `compiled` are service-owned and
+  /// excluded, like their SearchOptions counterparts.
+  fm::StrategyOptions strategy_opts;
   /// kTune: fork-join lanes this tune may spread over on the service's
   /// shared scheduler.  0 means "up to the service cap"
   /// (ServiceConfig::max_tune_workers); nonzero is clamped to that cap.
@@ -109,7 +120,10 @@ struct Response {
   bool deadline_cut = false;
   fm::CostReport cost;          ///< kCostEval; also the best tune cost
   fm::LegalityReport legality;  ///< kLegality
-  fm::SearchResult search;      ///< kTune
+  fm::SearchResult search;      ///< kTune (strategy == kExhaustive)
+  /// kTune with strategy == kAnneal / kBeam: the stochastic search's
+  /// winner (TableMap), full re-scored cost, and move counters.
+  fm::StrategyResult strategy;
   /// kTune: mapping-linter diagnostics (analyze::lint_mapping) for the
   /// best mapping found — warnings a merit number alone would hide.
   std::vector<analyze::Diagnostic> lint;

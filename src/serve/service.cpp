@@ -216,9 +216,12 @@ void Service::run_group(std::vector<std::unique_ptr<Pending>>& group) {
     // don't re-diagnose).
     metrics_.on_diagnostics(computed.legality.diagnostics);
     metrics_.on_diagnostics(computed.lint);
-    const bool store = leader.use_cache && computed.ok() &&
-                       (leader.req.kind != RequestKind::kTune ||
-                        computed.search.exhausted);
+    const bool store =
+        leader.use_cache && computed.ok() &&
+        (leader.req.kind != RequestKind::kTune ||
+         (leader.req.strategy == fm::StrategyKind::kExhaustive
+              ? computed.search.exhausted
+              : computed.strategy.completed));
     if (store) {
       cache_.put(leader.key, std::make_shared<Response>(computed));
     }
@@ -253,6 +256,10 @@ Response Service::execute(const Pending& p) {
         break;
       }
       case RequestKind::kTune: {
+        if (req.strategy != fm::StrategyKind::kExhaustive) {
+          execute_strategy_tune(p, r);
+          break;
+        }
         fm::SearchOptions opts = req.search;
         opts.fom = req.fom;
         // Reuse (or build) the flat evaluation tables for this
@@ -274,7 +281,7 @@ Response Service::execute(const Pending& p) {
           // deadline tune runs single-slot grains: the overshoot past
           // the cutoff is bounded by the candidates already in flight
           // (at most one per lane) instead of a whole auto-sized grain.
-          if (opts.grain == 0) opts.grain = 1;
+          if (opts.grain == fm::kAutoGrain) opts.grain = 1;
           // Stop early enough that delivering the response beats the
           // deadline; chain any caller-supplied cancel hook.
           const Clock::time_point cutoff = p.deadline - cfg_.deadline_margin;
@@ -309,6 +316,42 @@ Response Service::execute(const Pending& p) {
     r.error = e.what();
   }
   return r;
+}
+
+void Service::execute_strategy_tune(const Pending& p, Response& r) {
+  const Request& req = p.req;
+  fm::StrategyOptions opts = req.strategy_opts;
+  opts.fom = req.fom;
+  // Same service-owned execution plumbing as the exhaustive path: the
+  // shared compile cache, the shared scheduler with the tune lane cap,
+  // and a deadline cancel chained over any caller-supplied hook.  The
+  // anneal/beam drivers poll cancel per epoch and hand back the best
+  // table found so far, so a deadline cut still answers with a legal
+  // mapping (Response::deadline_cut).
+  opts.compiled = compiled_for(req);
+  opts.scheduler = &scheduler_;
+  const unsigned cap =
+      cfg_.max_tune_workers == 0 ? cfg_.num_workers : cfg_.max_tune_workers;
+  opts.num_workers =
+      req.tune_workers == 0 ? cap : std::min(req.tune_workers, cap);
+  if (p.has_deadline) {
+    const Clock::time_point cutoff = p.deadline - cfg_.deadline_margin;
+    opts.cancel = [cutoff, user = req.strategy_opts.cancel] {
+      return Clock::now() >= cutoff || (user && user());
+    };
+  }
+  const std::uint64_t steals_before = scheduler_.steal_count();
+  r.strategy = fm::search_table(*req.spec, req.machine, input_proto(req),
+                                req.strategy, opts);
+  metrics_.on_tune(r.strategy.workers_used,
+                   scheduler_.steal_count() - steals_before);
+  r.deadline_cut = p.has_deadline && !r.strategy.completed;
+  if (r.strategy.found) {
+    r.cost = r.strategy.cost;
+    const fm::Mapping best = fm::to_mapping(*req.spec, r.strategy.best);
+    r.lint =
+        analyze::lint_mapping(*req.spec, best, req.machine).diagnostics;
+  }
 }
 
 std::shared_ptr<const fm::CompiledSpec> Service::compiled_for(

@@ -124,6 +124,10 @@ class Service {
   void dispatch_loop();
   void run_group(std::vector<std::unique_ptr<Pending>>& group);
   [[nodiscard]] Response execute(const Pending& p);
+  /// kTune with strategy == kAnneal / kBeam: fm::search_table over the
+  /// TableMap space, with the same service-owned scheduler / compile
+  /// cache / deadline plumbing as the exhaustive path.
+  void execute_strategy_tune(const Pending& p, Response& r);
   void respond(Pending& p, Response r);
   /// CompiledSpec for a tune request, via the LRU compile cache (may
   /// compile — propagates oracle preconditions as exceptions, which

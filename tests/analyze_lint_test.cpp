@@ -11,6 +11,10 @@
 #include <vector>
 
 #include "algos/editdist.hpp"
+#include "algos/specs.hpp"
+#include "fm/compiled.hpp"
+#include "fm/strategy/delta.hpp"
+#include "fm/strategy/table_map.hpp"
 #include "analyze/diagnostic.hpp"
 #include "fm/machine.hpp"
 #include "fm/mapping.hpp"
@@ -37,6 +41,8 @@ TEST(DiagnosticRegistry, RuleIdsAndSeveritiesAreStable) {
   EXPECT_EQ(find_rule("FM002")->severity, Severity::kError);
   EXPECT_EQ(find_rule("FM003")->severity, Severity::kError);
   EXPECT_EQ(find_rule("FM004")->severity, Severity::kError);
+  EXPECT_EQ(find_rule("FM005")->severity, Severity::kError);
+  EXPECT_EQ(std::string(find_rule("FM005")->title), "fm-search-options");
   EXPECT_EQ(find_rule("FM101")->severity, Severity::kWarning);
   EXPECT_EQ(find_rule("FM102")->severity, Severity::kWarning);
   EXPECT_EQ(find_rule("FM103")->severity, Severity::kWarning);
@@ -208,6 +214,39 @@ TEST(Lint, RecomputeOpportunityWarns) {
   const LintReport rep = lint_mapping(spec, m, cfg);
   EXPECT_TRUE(rep.ok()) << rep.legality.first_message();
   EXPECT_EQ(rep.count("FM104"), 1u);
+}
+
+TEST(Lint, TableMapOverloadMatchesLoweredMapping) {
+  // A table-mapped candidate (the stochastic searchers' output) gets
+  // the same report as its lowered Mapping: the overload forwards
+  // through fm::to_mapping, so every rule sees the denoted schedule.
+  const fm::FunctionSpec spec = algos::irregular_dag_spec(20, 3, 0xD46u);
+  const fm::MachineConfig machine = fm::make_machine(4, 1);
+  fm::Mapping proto;
+  proto.set_input(0, fm::InputHome::at({0, 0}));
+  const auto cs = fm::compile_spec(spec, machine, proto);
+  // The seed's cycles are globally distinct and strided for the worst
+  // hop, so collapsing every op onto PE 0 stays causal and exclusive —
+  // a legal all-serial table that should trip the idle-PE lint.
+  fm::TableMap serial = fm::seed_table(*fm::build_strategy_spec(cs));
+  for (auto& pe : serial.pe) pe = 0;
+
+  const LintReport via_table = lint_mapping(spec, serial, machine);
+  const LintReport via_mapping =
+      lint_mapping(spec, fm::to_mapping(spec, serial), machine);
+
+  EXPECT_TRUE(via_table.ok());  // the serial table is legal...
+  EXPECT_GE(via_table.count("FM101"), 1u);  // ...but idles 3 of 4 PEs
+  EXPECT_EQ(via_table.errors, via_mapping.errors);
+  EXPECT_EQ(via_table.warnings, via_mapping.warnings);
+  EXPECT_EQ(via_table.busy_pes, via_mapping.busy_pes);
+  ASSERT_EQ(via_table.diagnostics.size(), via_mapping.diagnostics.size());
+  for (std::size_t i = 0; i < via_table.diagnostics.size(); ++i) {
+    EXPECT_EQ(via_table.diagnostics[i].rule_id,
+              via_mapping.diagnostics[i].rule_id);
+    EXPECT_EQ(via_table.diagnostics[i].message,
+              via_mapping.diagnostics[i].message);
+  }
 }
 
 // --- rendering ----------------------------------------------------------

@@ -15,6 +15,8 @@
 #include "algos/specs.hpp"
 #include "fm/cost.hpp"
 #include "fm/search.hpp"
+#include "fm/strategy/strategy.hpp"
+#include "fm/strategy/table_map.hpp"
 #include "serve/cache.hpp"
 #include "serve/metrics.hpp"
 #include "serve/queue.hpp"
@@ -227,6 +229,46 @@ TEST(CacheKey, TuneKeyIgnoresCancelAndResume) {
 
   b.search.space.time_coeffs.push_back(3);  // but the space matters
   EXPECT_NE(make_cache_key(a), make_cache_key(b));
+}
+
+/// An irregular-DAG anneal tune: the non-affine space the exhaustive
+/// search cannot express, served through the same kTune pipeline.
+Request dag_anneal_request(std::int64_t n, int pes) {
+  Request req;
+  req.kind = RequestKind::kTune;
+  req.spec = std::make_shared<const fm::FunctionSpec>(
+      algos::irregular_dag_spec(n, 3, 0xD46u));
+  req.machine = fm::make_machine(pes, 1);
+  req.inputs = {InputPlacement::at({0, 0})};
+  req.fom = fm::FigureOfMerit::kTime;
+  req.strategy = fm::StrategyKind::kAnneal;
+  req.strategy_opts.chains = 2;
+  req.strategy_opts.epochs = 6;
+  req.strategy_opts.iters_per_epoch = 64;
+  return req;
+}
+
+TEST(CacheKey, StrategyKindAndKnobsAreKeyedExecutionDetailIsNot) {
+  const Request a = dag_anneal_request(12, 2);
+  const CacheKey base = make_cache_key(a);
+
+  Request b = a;  // a different driver is a different result
+  b.strategy = fm::StrategyKind::kBeam;
+  EXPECT_NE(make_cache_key(b), base);
+
+  Request c = a;  // so is a different stream seed or budget
+  c.strategy_opts.seed ^= 1;
+  EXPECT_NE(make_cache_key(c), base);
+  c = a;
+  c.strategy_opts.epochs += 1;
+  EXPECT_NE(make_cache_key(c), base);
+
+  // Cancel hooks and the parallel backend cannot change the converged
+  // answer (worker-count byte-identity), so they are not keyed.
+  Request d = a;
+  d.strategy_opts.cancel = [] { return false; };
+  d.strategy_opts.num_workers = 7;
+  EXPECT_EQ(make_cache_key(d), base);
 }
 
 // --- ResultCache ---
@@ -521,6 +563,80 @@ TEST(Service, DeadlineCutTuneReturnsLegalMappingBeforeDeadline) {
   EXPECT_TRUE(fm::verify(*req.spec, best, req.machine).ok);
 
   // Deadline-cut results are NOT cached: a rerun recomputes.
+  const Response again = svc.call(req);
+  EXPECT_FALSE(again.cache_hit);
+}
+
+TEST(Service, StrategyTuneMatchesDirectSearchAndCaches) {
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  Service svc(cfg);
+  const Request req = dag_anneal_request(24, 4);
+
+  // Serial direct reference: the service runs the same search over its
+  // own scheduler, and worker-count byte-identity makes them agree.
+  fm::Mapping proto;
+  proto.set_input(0, fm::InputHome::at({0, 0}));
+  fm::StrategyOptions direct_opts = req.strategy_opts;
+  direct_opts.fom = req.fom;
+  const fm::StrategyResult direct = fm::search_table(
+      *req.spec, req.machine, proto, fm::StrategyKind::kAnneal, direct_opts);
+  ASSERT_TRUE(direct.found);
+
+  const Response r = svc.call(req);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.strategy.found);
+  EXPECT_TRUE(r.strategy.completed);
+  EXPECT_FALSE(r.deadline_cut);
+  EXPECT_EQ(r.strategy.best.pe, direct.best.pe);
+  EXPECT_EQ(r.strategy.best.cycle, direct.best.cycle);
+  EXPECT_EQ(r.strategy.best.input_home, direct.best.input_home);
+  EXPECT_EQ(r.strategy.merit, direct.merit);
+  EXPECT_EQ(r.cost.makespan_cycles, direct.cost.makespan_cycles);
+  // The winner is legal through the legacy verifier on the lowered map.
+  EXPECT_TRUE(fm::verify(*req.spec,
+                         fm::to_mapping(*req.spec, r.strategy.best),
+                         req.machine)
+                  .ok);
+
+  // Completed strategy tunes are memoized like exhausted searches.
+  const Response again = svc.call(req);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.strategy.merit, direct.merit);
+}
+
+TEST(Service, StrategyDeadlineCutReturnsBestSoFarUncached) {
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  cfg.deadline_margin = 40ms * kTimeScale;
+  Service svc(cfg);
+
+  // A budget far beyond the deadline (cancel is polled per epoch, so
+  // the per-epoch batch bounds the overshoot): the cut must fire and
+  // still answer with the best legal table so far.
+  Request req = dag_anneal_request(64, 4);
+  req.strategy_opts.chains = 2;
+  req.strategy_opts.epochs = 2000;
+  req.strategy_opts.iters_per_epoch = 4000;
+  req.strategy_opts.stall_epochs = 2000;  // never stop on stall
+  req.deadline = 120ms * kTimeScale;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const Response r = svc.call(req);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.deadline_cut);
+  EXPECT_FALSE(r.strategy.completed);
+  EXPECT_LT(elapsed, req.deadline + cfg.deadline_margin);
+  ASSERT_TRUE(r.strategy.found);
+  EXPECT_LT(r.strategy.epochs_run, req.strategy_opts.epochs);
+  EXPECT_TRUE(fm::verify(*req.spec,
+                         fm::to_mapping(*req.spec, r.strategy.best),
+                         req.machine)
+                  .ok);
+
+  // Deadline-cut strategy results are NOT cached: a rerun recomputes.
   const Response again = svc.call(req);
   EXPECT_FALSE(again.cache_hit);
 }
