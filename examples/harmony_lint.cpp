@@ -7,24 +7,36 @@
 //
 //   harmony-lint --spec=editdist:64x64 --machine=8x1 --map=wavefront
 //   harmony-lint --spec=editdist:16x16 --machine=4x4 --map=serial --json
-//   harmony-lint --spec=conv:256,8 --machine=8x1 \
-//                --map=affine:0,1,8,1,0,0   # ti,tj,t0,xi,xj,x0
+//   harmony-lint --spec=conv:256,8 --machine=8x1 --map=affine:0,1,8,1,0,0
+//   harmony-lint --spec=stencil:64,8 --machine=4x1 --map=table --check-exec
 //
 // Specs: editdist:NxM, stencil:n,steps, conv:n_out,k_taps.
-// Maps:  serial | wavefront (editdist only) | affine:ti,tj,t0,xi,xj,x0.
+// Maps:  serial | wavefront (editdist only) | affine:ti,tj,t0,xi,xj,x0 |
+//        table (the stochastic searchers' serial seed TableMap).
 // Knobs: --pe-capacity=N, --link-bits=B, --max-diagnostics=N.
+//
+// --check-exec additionally replays the triple through the compiled
+// oracles' timing model into an execution witness and checks it against
+// the relational axioms (analyze::ExecChecker, EXEC001–EXEC005) — an
+// independent second opinion that shares no code with the linter's
+// legality gate.  Its diagnostics merge into the output and exit code.
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "algos/editdist.hpp"
 #include "algos/specs.hpp"
+#include "analyze/exec.hpp"
 #include "analyze/lint.hpp"
+#include "fm/compiled.hpp"
 #include "fm/machine.hpp"
 #include "fm/mapping.hpp"
+#include "fm/strategy/delta.hpp"
+#include "fm/strategy/table_map.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -37,6 +49,7 @@ struct Args {
   std::string machine = "4x1";
   std::string map = "serial";
   bool json = false;
+  bool check_exec = false;
   std::optional<std::int64_t> pe_capacity;
   std::optional<double> link_bits;
   std::size_t max_diagnostics = 64;
@@ -47,8 +60,8 @@ struct Args {
       << "usage: " << argv0
       << " [--spec=editdist:NxM|stencil:n,steps|conv:n,k]\n"
          "       [--machine=CxR] [--map=serial|wavefront|affine:ti,tj,t0,"
-         "xi,xj,x0]\n"
-         "       [--json] [--pe-capacity=N] [--link-bits=B]"
+         "xi,xj,x0|table]\n"
+         "       [--json] [--check-exec] [--pe-capacity=N] [--link-bits=B]"
          " [--max-diagnostics=N]\n";
   std::exit(2);
 }
@@ -81,6 +94,8 @@ Args parse_args(int argc, char** argv) {
       a.map = value("--map=");
     } else if (arg == "--json") {
       a.json = true;
+    } else if (arg == "--check-exec") {
+      a.check_exec = true;
     } else if (arg.rfind("--pe-capacity=", 0) == 0) {
       a.pe_capacity = std::stoll(value("--pe-capacity="));
     } else if (arg.rfind("--link-bits=", 0) == 0) {
@@ -145,8 +160,31 @@ int main(int argc, char** argv) {
 
   // ---- mapping -------------------------------------------------------
   fm::Mapping mapping;
+  // Kept alongside the lowered Mapping when available: --check-exec
+  // builds the witness from the family-native form (exactly what serve
+  // hands the checker), falling back to table_from_mapping for closure
+  // maps (serial, wavefront).
+  std::optional<fm::AffineMap> affine;
+  std::optional<fm::TableMap> table;
   if (args.map == "serial") {
     mapping = fm::serial_mapping(spec);
+  } else if (args.map == "table") {
+    // The stochastic searchers' serial seed TableMap: the canonical
+    // known-legal per-op table, lowered for the linter and kept for the
+    // witness.  Inputs home in DRAM (the searchers' default proto).
+    fm::Mapping proto;
+    for (const fm::TensorId t : inputs) {
+      proto.set_input(t, fm::InputHome::dram());
+    }
+    try {
+      const auto cs = fm::compile_spec(spec, machine, proto);
+      const auto ss = fm::build_strategy_spec(cs);
+      table = fm::seed_table(*ss);
+    } catch (const std::exception& e) {
+      std::cerr << "harmony-lint: --map=table: " << e.what() << "\n";
+      return 2;
+    }
+    mapping = fm::to_mapping(spec, *table);
   } else if (args.map == "wavefront") {
     if (family != "editdist") {
       std::cerr << "harmony-lint: --map=wavefront needs --spec=editdist\n";
@@ -174,6 +212,7 @@ int main(int argc, char** argv) {
     for (const fm::TensorId t : inputs) {
       mapping.set_input(t, fm::InputHome::dram());
     }
+    affine = am;
   } else {
     usage(argv[0]);
   }
@@ -190,18 +229,48 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // ---- execution check (--check-exec) --------------------------------
+  std::uint64_t errors = rep.errors;
+  std::uint64_t warnings = rep.warnings;
+  std::uint64_t dropped = rep.dropped;
+  std::vector<analyze::Diagnostic> diags = std::move(rep.diagnostics);
+  if (args.check_exec) {
+    try {
+      // Replay the triple through the compiled timing model into a
+      // witness — from the family-native form when we have one, via
+      // table_from_mapping for closure maps.
+      const auto cs = fm::compile_spec(spec, machine, mapping);
+      const analyze::ExecWitness witness =
+          affine ? analyze::build_exec_witness(*cs, *affine)
+                 : analyze::build_exec_witness(
+                       *cs, table ? *table
+                                  : fm::table_from_mapping(*cs, mapping));
+      analyze::ExecOptions eopts;
+      eopts.max_diagnostics = args.max_diagnostics;
+      const analyze::ExecReport er = analyze::ExecChecker(eopts).check(witness);
+      errors += er.errors;
+      warnings += er.warnings;
+      dropped += er.dropped;
+      diags.insert(diags.end(), er.diagnostics.begin(), er.diagnostics.end());
+    } catch (const std::exception& e) {
+      std::cerr << "harmony-lint: --check-exec: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
   if (args.json) {
-    std::cout << analyze::diagnostics_json(rep.diagnostics) << "\n";
+    std::cout << analyze::diagnostics_json(diags) << "\n";
   } else {
     std::cout << "harmony-lint: " << args.spec << " on " << args.machine
               << " via " << args.map << " — "
-              << (rep.ok() ? "legal" : "ILLEGAL") << ", " << rep.errors
-              << " error(s), " << rep.warnings << " warning(s)";
-    if (rep.dropped > 0) std::cout << " (" << rep.dropped << " dropped)";
+              << (errors == 0 ? "legal" : "ILLEGAL") << ", " << errors
+              << " error(s), " << warnings << " warning(s)";
+    if (args.check_exec) std::cout << " [exec checked]";
+    if (dropped > 0) std::cout << " (" << dropped << " dropped)";
     std::cout << "\n";
-    if (!rep.diagnostics.empty()) {
-      analyze::diagnostics_table(rep.diagnostics).print(std::cout);
+    if (!diags.empty()) {
+      analyze::diagnostics_table(diags).print(std::cout);
     }
   }
-  return rep.errors > 0 ? 2 : (rep.warnings > 0 ? 1 : 0);
+  return errors > 0 ? 2 : (warnings > 0 ? 1 : 0);
 }

@@ -2,8 +2,10 @@
 # Full pre-merge gate:
 #
 #   1. tier-1  — plain build + the whole ctest suite (ROADMAP.md);
-#   2. analyze — the static-analysis subsystem (race detector + linter,
-#      ctest -L analyze) plus a harmony-lint CLI smoke run;
+#   2. analyze — the static-analysis subsystem (race detector, linter,
+#      execution checker; ctest -L analyze) plus harmony-lint CLI smoke
+#      runs, including --check-exec on one affine and one TableMap
+#      fixture;
 #   3. ASan/UBSan build running the serve + analyze + support tests (the
 #      concurrent subsystem and the shadow-memory detector are where
 #      lifetime bugs would live; support_test exercises the Rng
@@ -47,13 +49,18 @@ run_tier1() {
 }
 
 run_analyze() {
-  echo "== analyze: race detector + mapping linter ==" &&
+  echo "== analyze: race detector + linter + execution checker ==" &&
   cmake -B build -S . &&
   cmake --build build -j --target analyze_race_test analyze_lint_test \
+    analyze_exec_test analyze_witness_test harmony_lint_cli_test \
     harmony_lint &&
   ctest --test-dir build --output-on-failure -L analyze &&
   ./build/examples/harmony-lint --spec=editdist:16x16 --machine=4x1 \
-    --map=wavefront
+    --map=wavefront &&
+  ./build/examples/harmony-lint --spec=editdist:8x8 --machine=8x1 \
+    --map=affine:1,1,101,0,1,0 --check-exec &&
+  ./build/examples/harmony-lint --spec=stencil:64,8 --machine=4x1 \
+    --map=table --check-exec
 }
 
 run_asan() {
@@ -70,7 +77,7 @@ run_tsan() {
   cmake -B build-tsan -S . -DHARMONY_TSAN=ON &&
   cmake --build build-tsan -j --target harmony_tests &&
   ctest --test-dir build-tsan --output-on-failure \
-    -L "tier1|serve|analyze|trace|fm_search|fm_strategy"
+    -L "tier1|serve|analyze|trace|fm_search|fm_strategy|exec"
 }
 
 run_perf() {

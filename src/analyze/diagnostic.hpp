@@ -116,6 +116,40 @@ inline constexpr RuleInfo kRules[] = {
     {"RACE002", Severity::kError, "race-read-write",
      "a read and a write of the same location are logically parallel; "
      "join before reading or double-buffer"},
+    // Execution-witness axioms (analyze/exec.hpp) — the relational model
+    // of a legal F&M execution (EXEC001–EXEC005, checked over op events,
+    // value deliveries, and storage-residency intervals) and of the
+    // scheduler's fork-join runs (EXEC006–EXEC008, checked over
+    // trace-extracted witnesses).  EXEC009 marks truncated evidence.
+    {"EXEC001", Severity::kError, "exec-order-cycle",
+     "the union of dependence order and same-PE program order has a "
+     "cycle; no schedule of these events can have happened"},
+    {"EXEC002", Severity::kError, "exec-event-domain",
+     "an op event is malformed (PE out of range, negative or oversized "
+     "cycle, or two ops in one (PE, cycle) slot); later axioms skip it"},
+    {"EXEC003", Severity::kError, "exec-delivery-before-use",
+     "a value arrives after the op that consumes it executes; delay the "
+     "consumer or move the producer/home closer"},
+    {"EXEC004", Severity::kError, "exec-residency-overflow",
+     "more values are resident on a PE than its capacity at some cycle; "
+     "the modelled storage ledger cannot hold this execution"},
+    {"EXEC005", Severity::kError, "exec-unrouted-delivery",
+     "a delivery names an endpoint with no route in the witness's "
+     "routability relation; no link walk can carry it"},
+    {"EXEC006", Severity::kError, "exec-span-nesting",
+     "two spans on one thread overlap without nesting; a fork-join "
+     "(series-parallel) execution cannot produce this interval order"},
+    {"EXEC007", Severity::kError, "exec-lane-overlap",
+     "search-lane grains overlap in time on one lane, migrate threads "
+     "mid-lane, or claim overlapping slot ranges; the grain ticket "
+     "contract (one lane, one grain, once) is broken"},
+    {"EXEC008", Severity::kError, "exec-steal-sanity",
+     "a steal event is impossible (self-steal, unknown worker, or "
+     "outside any run session); the scheduler witness is inconsistent"},
+    {"EXEC009", Severity::kWarning, "exec-witness-truncated",
+     "the trace ring dropped events, so the witness is incomplete; "
+     "error verdicts still hold, but a clean pass is advisory — enlarge "
+     "the ring (TraceSession events_per_thread) to certify"},
 };
 
 inline constexpr std::size_t kRuleCount = sizeof(kRules) / sizeof(kRules[0]);

@@ -1,0 +1,45 @@
+#include "analyze/witness.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace harmony::analyze {
+
+namespace {
+
+bool is(const trace::Event& e, const char* cat, const char* name) {
+  return e.cat != nullptr && e.name != nullptr &&
+         std::strcmp(e.cat, cat) == 0 && std::strcmp(e.name, name) == 0;
+}
+
+}  // namespace
+
+ForkJoinWitness extract_forkjoin_witness(const trace::Capture& capture) {
+  ForkJoinWitness w;
+  w.dropped = capture.dropped;
+  for (const trace::Event& e : capture.events) {
+    if (e.kind != trace::EventKind::kSpan) continue;  // counters sample state
+    w.spans.push_back({e.cat, e.name, e.tid, e.begin_ns, e.end_ns});
+    if (is(e, "fm", "grain")) {
+      w.grains.push_back({e.id, e.arg0, e.arg1, e.tid, e.begin_ns, e.end_ns});
+    } else if (is(e, "sched", "run")) {
+      w.runs.push_back({e.arg0, e.tid, e.begin_ns, e.end_ns});
+    } else if (is(e, "sched", "steal")) {
+      w.steals.push_back({e.arg0, e.arg1, e.begin_ns});
+    }
+  }
+  return w;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> grain_digest(
+    const ForkJoinWitness& w) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> digest;
+  digest.reserve(w.grains.size());
+  for (const ForkJoinWitness::Grain& g : w.grains) {
+    digest.emplace_back(g.lo, g.hi);
+  }
+  std::sort(digest.begin(), digest.end());
+  return digest;
+}
+
+}  // namespace harmony::analyze

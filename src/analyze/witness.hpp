@@ -1,0 +1,98 @@
+// Span→witness extraction: turning a harmony::trace capture into the
+// fork-join relational witness analyze::ExecChecker consumes.
+//
+// The runtime already narrates its own execution as spans: each
+// search-lane grain records ("fm", "grain", id = lane, args = [lo, hi)
+// slot range), each scheduler worker records ("sched", "run",
+// arg0 = worker index) around its loop, and every successful steal
+// records ("sched", "steal", arg0 = thief, arg1 = victim).  The
+// extractor is deterministic — a pure function of the capture, no
+// clocks, no configuration — so a fixture trace round-trips to a
+// golden witness (tests/analyze_witness_test.cpp).
+//
+// Wall-clock timestamps vary run to run and lane assignment is
+// timing-dependent under the live grain ticket, but the *logical*
+// content of an uncancelled search is not: the set of [lo, hi) grain
+// slot ranges is fixed by (begin, end, grain_slots) alone.
+// grain_digest() projects a witness onto that invariant — tests pin it
+// byte-identical across worker counts.
+//
+// A full ring drops the *oldest* events and counts them; the extractor
+// carries that count into the witness so the checker can degrade to an
+// EXEC009 warning (incomplete evidence) instead of issuing a false
+// clean verdict.  DESIGN.md §14.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace harmony::analyze {
+
+/// One traced scheduler/search run as a relational structure.  Field
+/// contract: one witness per traced run — captures that interleave
+/// several searches reuse lane ids across tids and must be split
+/// before extraction (the tests and the CLI capture one run at a
+/// time).
+struct ForkJoinWitness {
+  /// Every span in the capture (capture order: begin_ns, then tid).
+  /// `cat` / `name` alias the capture's string literals.
+  struct SpanEvent {
+    const char* cat = nullptr;
+    const char* name = nullptr;
+    std::uint32_t tid = 0;
+    std::uint64_t begin_ns = 0;
+    std::uint64_t end_ns = 0;
+  };
+  /// One search-lane grain: lane `lane` evaluated slots [lo, hi).
+  struct Grain {
+    std::uint64_t lane = 0;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    std::uint32_t tid = 0;
+    std::uint64_t begin_ns = 0;
+    std::uint64_t end_ns = 0;
+  };
+  /// One successful steal: `thief` took work from `victim`.
+  struct Steal {
+    std::uint64_t thief = 0;
+    std::uint64_t victim = 0;
+    std::uint64_t at_ns = 0;
+  };
+  /// One scheduler worker's run session.
+  struct Run {
+    std::uint64_t worker = 0;
+    std::uint32_t tid = 0;
+    std::uint64_t begin_ns = 0;
+    std::uint64_t end_ns = 0;
+  };
+
+  std::vector<SpanEvent> spans;
+  std::vector<Grain> grains;
+  std::vector<Steal> steals;
+  std::vector<Run> runs;
+  /// Events lost to ring wrap (trace::Capture::dropped).  Nonzero
+  /// downgrades a clean verdict to advisory (EXEC009).
+  std::uint64_t dropped = 0;
+
+  [[nodiscard]] bool complete() const { return dropped == 0; }
+};
+
+/// Deterministically projects a capture onto the witness: grain / run /
+/// steal spans by (cat, name), every span into `spans`, the drop count
+/// into `dropped`.  Counters are ignored (they sample state, they are
+/// not events of the fork-join order).
+[[nodiscard]] ForkJoinWitness extract_forkjoin_witness(
+    const trace::Capture& capture);
+
+/// The worker-count-invariant projection: all grain [lo, hi) slot
+/// ranges, sorted.  Lane ids, thread ids, and timestamps — everything
+/// the grain ticket makes timing-dependent — are dropped; what remains
+/// is fixed by the enumeration geometry, so an uncancelled search
+/// yields the same digest at any worker count.
+[[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+grain_digest(const ForkJoinWitness& w);
+
+}  // namespace harmony::analyze

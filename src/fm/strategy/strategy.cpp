@@ -204,6 +204,13 @@ bool beam_precedes(const BeamCand& a, const BeamCand& b) {
   return a.idx < b.idx;
 }
 
+/// One beam lane's whole output, so the fan-out writes exactly one
+/// results slot per lane (the strategy_lanes contract).
+struct BeamLane {
+  std::vector<BeamCand> cands;
+  std::uint64_t illegal = 0;
+};
+
 /// Applies a (known-shape) move directly to a table copy.
 void apply_to_table(TableMap& tm, const Move& mv) {
   switch (mv.kind) {
@@ -223,12 +230,13 @@ void apply_to_table(TableMap& tm, const Move& mv) {
   }
 }
 
-/// Spreads `body(i)` over [0, count) — on the scheduler when one is
-/// given (forking into a surrounding session when already inside one),
-/// serially otherwise.  Returns the lane count used.
-template <typename Body>
-unsigned spread(sched::Scheduler* scheduler, unsigned num_workers,
-                std::size_t count, Body&& body) {
+/// Spreads `results[i] = eval(ctx, i)` over [0, count) through the
+/// strategy_lanes kernel — on the scheduler when one is given (forking
+/// into a surrounding session when already inside one), serially
+/// otherwise.  Returns the lane count used.
+template <typename Result, typename Eval>
+unsigned spread_lanes(sched::Scheduler* scheduler, unsigned num_workers,
+                      std::size_t count, Result* results, Eval&& eval) {
   unsigned lanes = 1;
   if (scheduler != nullptr) {
     lanes = scheduler->num_workers();
@@ -236,14 +244,12 @@ unsigned spread(sched::Scheduler* scheduler, unsigned num_workers,
     lanes = static_cast<unsigned>(
         std::min<std::size_t>(lanes, std::max<std::size_t>(count, 1)));
   }
+  sched::RealCtx ctx;
   if (lanes <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    for (std::size_t i = 0; i < count; ++i) results[i] = eval(ctx, i);
     return 1;
   }
-  sched::RealCtx ctx;
-  const auto kernel = [&] {
-    sched::parallel_for(ctx, 0, count, 1, body);
-  };
+  const auto kernel = [&] { strategy_lanes(ctx, count, results, eval); };
   if (sched::Scheduler::in_parallel_context()) {
     kernel();
   } else {
@@ -325,10 +331,11 @@ StrategyResult search_table(const FunctionSpec& spec,
     rngs.reserve(chains);
     for (std::size_t c = 0; c < chains; ++c) rngs.push_back(root.split());
     std::vector<ChainResult> chain_results(chains);
-    result.workers_used =
-        spread(opts.scheduler, opts.num_workers, chains, [&](std::size_t c) {
-          chain_results[c] =
-              run_chain(c, rngs[c], ss, seed, seed_merit, opts);
+    result.workers_used = spread_lanes(
+        opts.scheduler, opts.num_workers, chains, chain_results.data(),
+        [&](auto& ctx, std::size_t c) {
+          sched::reader(ctx, rngs.data(), c);
+          return run_chain(c, rngs[c], ss, seed, seed_merit, opts);
         });
     result.chains_used = opts.chains;
 
@@ -368,11 +375,13 @@ StrategyResult search_table(const FunctionSpec& spec,
       for (std::size_t i = 0; i < parents.size(); ++i) {
         rngs.push_back(root.split());
       }
-      std::vector<std::vector<BeamCand>> found(parents.size());
-      std::vector<std::uint64_t> illegal(parents.size(), 0);
-      const unsigned lanes = spread(
+      std::vector<BeamLane> lane_results(parents.size());
+      const unsigned lanes = spread_lanes(
           opts.scheduler, opts.num_workers, parents.size(),
-          [&](std::size_t i) {
+          lane_results.data(), [&](auto& ctx, std::size_t i) {
+            sched::reader(ctx, parents.data(), i);
+            sched::reader(ctx, rngs.data(), i);
+            BeamLane lane;
             DeltaEval de(ss, opts.verify);
             de.reset(parents[i]);
             Rng rng = rngs[i];
@@ -380,22 +389,24 @@ StrategyResult search_table(const FunctionSpec& spec,
               const Move mv = propose_move(*ss, de, rng);
               const Move inv = de.apply_move(mv);
               if (de.legal()) {
-                found[i].push_back(BeamCand{de.merit(opts.fom),
-                                            static_cast<std::uint32_t>(i),
-                                            j, mv});
+                lane.cands.push_back(BeamCand{de.merit(opts.fom),
+                                              static_cast<std::uint32_t>(i),
+                                              j, mv});
               } else {
-                ++illegal[i];
+                ++lane.illegal;
               }
               de.undo_move(inv);
             }
+            return lane;
           });
       max_lanes = std::max(max_lanes, lanes);
 
       std::vector<BeamCand> all;
       for (std::size_t i = 0; i < parents.size(); ++i) {
         result.moves_tried += moves;
-        result.moves_rejected_illegal += illegal[i];
-        all.insert(all.end(), found[i].begin(), found[i].end());
+        result.moves_rejected_illegal += lane_results[i].illegal;
+        all.insert(all.end(), lane_results[i].cands.begin(),
+                   lane_results[i].cands.end());
       }
       ++result.epochs_run;
       if (all.empty()) break;  // every mutation of every parent illegal

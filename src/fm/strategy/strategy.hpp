@@ -38,6 +38,7 @@
 #include "fm/cost.hpp"
 #include "fm/legality.hpp"
 #include "fm/strategy/table_map.hpp"
+#include "sched/parallel_ops.hpp"
 #include "sched/scheduler.hpp"
 
 namespace harmony::fm {
@@ -121,6 +122,23 @@ struct StrategyResult {
   int chains_used = 0;
   unsigned workers_used = 1;
 };
+
+/// The drivers' shared lane kernel: lane i writes results[i] and
+/// nothing else shared.  `eval(ctx, i)` receives the context so lane
+/// bodies can annotate their own per-lane reads (the chain's seed Rng,
+/// the beam parent) with sched::reader.  Public and Ctx-generic for the
+/// same reason fm::search_lanes is: replayed under analyze::RaceCtx it
+/// certifies the anneal/beam fan-out determinacy-race-free
+/// (tests/analyze_race_test.cpp), and the annotations compile away
+/// under RealCtx.
+template <typename Ctx, typename Result, typename Eval>
+void strategy_lanes(Ctx& ctx, std::size_t count, Result* results,
+                    Eval&& eval) {
+  sched::parallel_for(ctx, 0, count, 1, [&](std::size_t i) {
+    sched::writer(ctx, results, i);
+    results[i] = eval(ctx, i);
+  });
+}
 
 /// Searches TableMaps for `spec` (single computed tensor) on `machine`;
 /// `input_proto` supplies the input homes the seed starts from, exactly

@@ -39,6 +39,43 @@ TableMap table_from_affine(const CompiledSpec& cs, const AffineMap& map) {
   return tm;
 }
 
+TableMap table_from_mapping(const CompiledSpec& cs, const Mapping& m) {
+  TableMap tm;
+  tm.target = cs.target;
+  tm.domain = cs.domain;
+  tm.cols = cs.cols;
+  tm.rows = cs.rows;
+  tm.pe.resize(static_cast<std::size_t>(cs.num_points));
+  tm.cycle.resize(static_cast<std::size_t>(cs.num_points));
+  std::int64_t lin = 0;
+  cs.domain.for_each([&](const Point& p) {
+    const auto v = static_cast<std::size_t>(lin++);
+    tm.pe[v] = static_cast<std::int32_t>(cs.pe_index(m.place(cs.target, p)));
+    tm.cycle[v] = m.time(cs.target, p);
+  });
+  // Same ordinal recovery as table_from_affine, with homes read from the
+  // mapping instead of the compiled snapshot.  The compiled kind stays
+  // authoritative for DRAM-vs-PE (it came from the same input proto).
+  tm.input_home.assign(cs.num_input_values, -1);
+  tm.input_refs.resize(cs.num_input_values);
+  std::vector<char> seen(cs.num_input_values, 0);
+  for (const CompiledDep& d : cs.deps) {
+    if (d.kind == CompiledDep::kComputed) continue;
+    if (seen[d.input_ord] != 0) continue;
+    seen[d.input_ord] = 1;
+    tm.input_refs[d.input_ord] = TableMap::InputRef{d.tensor, d.point()};
+    if (d.kind == CompiledDep::kInputPe) {
+      const InputHome& home = m.input_home(d.tensor);
+      tm.input_home[d.input_ord] =
+          home.kind == InputHome::Kind::kDram
+              ? d.home_pe
+              : static_cast<std::int32_t>(
+                    cs.pe_index(home.home_of(d.point())));
+    }
+  }
+  return tm;
+}
+
 Mapping to_mapping(const FunctionSpec& spec, const TableMap& tm) {
   HARMONY_REQUIRE(tm.target >= 0 && tm.pe.size() == tm.cycle.size() &&
                       static_cast<std::int64_t>(tm.pe.size()) ==

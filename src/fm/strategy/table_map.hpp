@@ -76,6 +76,15 @@ struct TableMap {
 [[nodiscard]] TableMap table_from_affine(const CompiledSpec& cs,
                                          const AffineMap& map);
 
+/// Any closure Mapping embedded in the table space: snapshots the
+/// mapping's (place, time) per target element and its input homes per
+/// ordinal.  This is how non-affine hand mappings (serial, wavefront)
+/// reach consumers that speak TableMap — `harmony-lint --check-exec`
+/// lowers through here to build an execution witness.  The mapping must
+/// cover the compiled target tensor and every input tensor.
+[[nodiscard]] TableMap table_from_mapping(const CompiledSpec& cs,
+                                          const Mapping& m);
+
 /// Lowers a TableMap to the closure-based Mapping every legacy consumer
 /// (cost, legality, lint, GridMachine) understands.  Input tensors whose
 /// ordinals are DRAM-homed get InputHome::dram(); PE-homed tensors get a

@@ -128,6 +128,8 @@ MetricsSnapshot Metrics::snapshot(std::uint64_t queue_depth,
   s.tune_steals = tune_steals_.load(std::memory_order_relaxed);
   s.compile_hits = compile_hits_.load(std::memory_order_relaxed);
   s.compile_misses = compile_misses_.load(std::memory_order_relaxed);
+  s.exec_checks = exec_checks_.load(std::memory_order_relaxed);
+  s.exec_failures = exec_failures_.load(std::memory_order_relaxed);
   s.trace_dropped = trace::dropped_total();
   for (std::size_t i = 0; i < analyze::kRuleCount; ++i) {
     s.diagnostics_by_rule[i] = diag_by_rule_[i].load(std::memory_order_relaxed);
@@ -162,6 +164,8 @@ Table metrics_table(const MetricsSnapshot& snap) {
   t.add_row({"tune_steals", u(snap.tune_steals)});
   t.add_row({"compile_hits", u(snap.compile_hits)});
   t.add_row({"compile_misses", u(snap.compile_misses)});
+  t.add_row({"exec_checks", u(snap.exec_checks)});
+  t.add_row({"exec_failures", u(snap.exec_failures)});
   t.add_row({"trace_dropped", u(snap.trace_dropped)});
   t.add_row({"diagnostics", u(snap.diagnostics_total())});
   for (std::size_t i = 0; i < analyze::kRuleCount; ++i) {

@@ -71,6 +71,12 @@ struct MetricsSnapshot {
   /// request's flat evaluation tables and skipped fm::compile_spec.
   std::uint64_t compile_hits = 0;
   std::uint64_t compile_misses = 0;
+  /// Tune winners replayed through the execution checker
+  /// (ServiceConfig::check_exec), and how many of those replays found
+  /// an axiom violation.  A nonzero failure count means an oracle and
+  /// the relational model disagree — a bug in one of them.
+  std::uint64_t exec_checks = 0;
+  std::uint64_t exec_failures = 0;
   /// Trace events lost to ring-buffer wrap in the current (or last)
   /// trace session (harmony::trace); 0 when tracing never ran.
   std::uint64_t trace_dropped = 0;
@@ -101,6 +107,11 @@ class Metrics {
     (hit ? compile_hits_ : compile_misses_)
         .fetch_add(1, std::memory_order_relaxed);
   }
+  /// Records one execution-checker replay of a tune winner.
+  void on_exec_check(bool failed) {
+    exec_checks_.fetch_add(1, std::memory_order_relaxed);
+    if (failed) exec_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
   /// Tallies a response's diagnostics by rule ID (unknown IDs ignored).
   void on_diagnostics(const std::vector<analyze::Diagnostic>& diags);
 
@@ -120,6 +131,8 @@ class Metrics {
   std::atomic<std::uint64_t> tune_steals_{0};
   std::atomic<std::uint64_t> compile_hits_{0};
   std::atomic<std::uint64_t> compile_misses_{0};
+  std::atomic<std::uint64_t> exec_checks_{0};
+  std::atomic<std::uint64_t> exec_failures_{0};
   std::array<std::atomic<std::uint64_t>, analyze::kRuleCount> diag_by_rule_{};
   LatencyHistogram latency_;
 };

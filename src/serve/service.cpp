@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "analyze/exec.hpp"
 #include "analyze/lint.hpp"
 #include "sched/parallel_ops.hpp"
 #include "trace/trace.hpp"
@@ -216,6 +217,7 @@ void Service::run_group(std::vector<std::unique_ptr<Pending>>& group) {
     // don't re-diagnose).
     metrics_.on_diagnostics(computed.legality.diagnostics);
     metrics_.on_diagnostics(computed.lint);
+    metrics_.on_diagnostics(computed.exec);
     const bool store =
         leader.use_cache && computed.ok() &&
         (leader.req.kind != RequestKind::kTune ||
@@ -264,8 +266,11 @@ Response Service::execute(const Pending& p) {
         opts.fom = req.fom;
         // Reuse (or build) the flat evaluation tables for this
         // (spec, machine, inputs) triple — the search then skips its
-        // own per-call compile.
-        opts.compiled = compiled_for(req);
+        // own per-call compile.  Kept in a local too: the winner's
+        // execution witness is built from the same tables below.
+        const std::shared_ptr<const fm::CompiledSpec> compiled =
+            compiled_for(req);
+        opts.compiled = compiled;
         // Fork enumeration grains into the service's shared pool.  We
         // are already inside the dispatcher's batch session, so the
         // search forks inline rather than opening a nested run(); the
@@ -305,6 +310,8 @@ Response Service::execute(const Pending& p) {
           const fm::Mapping best = materialize_mapping(req, r.search.best.map);
           r.lint = analyze::lint_mapping(*req.spec, best, req.machine)
                        .diagnostics;
+          check_winner_exec(
+              r, analyze::build_exec_witness(*compiled, r.search.best.map));
         }
         break;
       }
@@ -328,7 +335,8 @@ void Service::execute_strategy_tune(const Pending& p, Response& r) {
   // anneal/beam drivers poll cancel per epoch and hand back the best
   // table found so far, so a deadline cut still answers with a legal
   // mapping (Response::deadline_cut).
-  opts.compiled = compiled_for(req);
+  const std::shared_ptr<const fm::CompiledSpec> compiled = compiled_for(req);
+  opts.compiled = compiled;
   opts.scheduler = &scheduler_;
   const unsigned cap =
       cfg_.max_tune_workers == 0 ? cfg_.num_workers : cfg_.max_tune_workers;
@@ -351,7 +359,23 @@ void Service::execute_strategy_tune(const Pending& p, Response& r) {
     const fm::Mapping best = fm::to_mapping(*req.spec, r.strategy.best);
     r.lint =
         analyze::lint_mapping(*req.spec, best, req.machine).diagnostics;
+    check_winner_exec(r,
+                      analyze::build_exec_witness(*compiled, r.strategy.best));
   }
+}
+
+void Service::check_winner_exec(Response& r,
+                                const analyze::ExecWitness& witness) {
+  if (!cfg_.check_exec) return;
+  // The independent relational model's verdict on the tune winner: a
+  // nonzero EXEC count here means the searcher's legality gate and the
+  // axiom checker disagree about this very mapping.
+  trace::Span span("serve", "exec_check", 0, 0,
+                   static_cast<std::uint64_t>(witness.num_ops));
+  const analyze::ExecReport rep = analyze::ExecChecker().check(witness);
+  r.exec_checked = true;
+  r.exec = rep.diagnostics;
+  metrics_.on_exec_check(!rep.ok());
 }
 
 std::shared_ptr<const fm::CompiledSpec> Service::compiled_for(

@@ -40,6 +40,10 @@
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
 
+namespace harmony::analyze {
+struct ExecWitness;  // analyze/exec.hpp
+}  // namespace harmony::analyze
+
 namespace harmony::serve {
 
 struct ServiceConfig {
@@ -75,6 +79,12 @@ struct ServiceConfig {
   /// knobs share one set of flat evaluation tables; 0 disables the
   /// cache and compiles per tune.
   std::size_t compile_cache_capacity = 128;
+  /// Post-hoc axiomatic validation of every tune winner through
+  /// analyze::ExecChecker (Response::exec / exec_checked).  On by
+  /// default: the check costs <5% of the tune it guards
+  /// (tests/analyze_exec_test.cpp pins the ratio), and it is the only
+  /// legality evidence that shares no code with the searchers' gate.
+  bool check_exec = true;
 };
 
 class Service {
@@ -128,6 +138,9 @@ class Service {
   /// TableMap space, with the same service-owned scheduler / compile
   /// cache / deadline plumbing as the exhaustive path.
   void execute_strategy_tune(const Pending& p, Response& r);
+  /// Post-hoc ExecChecker replay of a tune winner's execution witness
+  /// (no-op unless ServiceConfig::check_exec).
+  void check_winner_exec(Response& r, const analyze::ExecWitness& witness);
   void respond(Pending& p, Response r);
   /// CompiledSpec for a tune request, via the LRU compile cache (may
   /// compile — propagates oracle preconditions as exceptions, which

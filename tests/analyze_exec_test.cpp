@@ -1,0 +1,430 @@
+// analyze::ExecChecker — the axiomatic execution checker's contract:
+// mutation self-tests (each EXEC axiom fired by exactly one witness
+// corruption and no other), clean certification of real search winners
+// across fixtures x drivers x worker counts, determinacy-race
+// certification of the strategy lane kernel, and the checker-overhead
+// bound (<5% of the tune it guards).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algos/editdist.hpp"
+#include "algos/matmul.hpp"
+#include "algos/specs.hpp"
+#include "analyze/diagnostic.hpp"
+#include "analyze/exec.hpp"
+#include "analyze/race.hpp"
+#include "analyze/witness.hpp"
+#include "fm/compiled.hpp"
+#include "fm/idioms.hpp"
+#include "fm/mapping.hpp"
+#include "fm/search.hpp"
+#include "fm/strategy/strategy.hpp"
+#include "fm/strategy/table_map.hpp"
+#include "sched/parallel_ops.hpp"
+#include "sched/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace harmony::analyze {
+namespace {
+
+// ---------------------------------------------------------------------
+// Mutation self-tests: a hand-built witness that checks clean, then one
+// corruption per axiom.  "Exactly that rule" is the whole point — a
+// checker whose axioms cascade cannot localize a violation.
+// ---------------------------------------------------------------------
+
+/// 2 PEs, 4 ops, every relation populated and consistent:
+///   op0 (PE0, c0) -> op1 (PE0, c1)
+///   op0 -> op2 (PE1, c1) -> op3 (PE1, c2)
+/// Deliveries cover all three kinds (computed local, computed cross-PE,
+/// DRAM input, PE-homed input); residency stays within capacity.
+ExecWitness synthetic_exec_witness() {
+  ExecWitness w;
+  w.num_ops = 4;
+  w.num_pes = 2;
+  w.pe_capacity = 4;
+  w.origin = "synthetic";
+  w.op_pe = {0, 0, 1, 1};
+  w.op_cycle = {0, 1, 1, 2};
+  w.deps = {{0, 1}, {0, 2}, {2, 3}};
+  w.deliveries = {
+      {1, 0, 1, ExecWitness::Delivery::kComputed},   // op0 -> op1, local
+      {2, 0, 1, ExecWitness::Delivery::kComputed},   // op0 -> op2, cross
+      {3, 1, 2, ExecWitness::Delivery::kComputed},   // op2 -> op3, local
+      {0, -1, 0, ExecWitness::Delivery::kInputDram},
+      {1, 1, 1, ExecWitness::Delivery::kInputPe},    // homed on PE1
+  };
+  w.residency = {{0, 0, 2}, {0, 1, 3}, {1, 1, 3}, {1, 2, 3}};
+  w.routable.assign(4, 1);
+  return w;
+}
+
+/// Two workers, properly nested spans, disjoint grains, one sane steal.
+ForkJoinWitness synthetic_forkjoin_witness() {
+  ForkJoinWitness w;
+  w.spans = {
+      {"sched", "run", 1, 0, 200},  {"fm", "grain", 1, 10, 50},
+      {"fm", "grain", 1, 60, 100},  {"sched", "run", 2, 0, 200},
+      {"fm", "grain", 2, 10, 80},
+  };
+  w.grains = {{0, 0, 16, 1, 10, 50},
+              {0, 16, 32, 1, 60, 100},
+              {1, 32, 48, 2, 10, 80}};
+  w.runs = {{0, 1, 0, 200}, {1, 2, 0, 200}};
+  w.steals = {{1, 0, 50}};
+  return w;
+}
+
+void expect_clean(const ExecReport& rep) {
+  EXPECT_TRUE(rep.ok()) << diagnostics_json(rep.diagnostics);
+  EXPECT_EQ(rep.errors, 0u);
+  EXPECT_EQ(rep.warnings, 0u);
+  EXPECT_EQ(rep.dropped, 0u);
+  EXPECT_TRUE(rep.complete);
+}
+
+/// The mutation contract: the corrupted witness fires `rule` at least
+/// once and *nothing else* — every stored diagnostic carries that one
+/// id, and the severity totals equal its count.
+void expect_exactly(const ExecReport& rep, const char* rule) {
+  EXPECT_GE(rep.count(rule), 1u) << diagnostics_json(rep.diagnostics);
+  for (const Diagnostic& d : rep.diagnostics) {
+    EXPECT_EQ(d.rule_id, rule) << diagnostics_json(rep.diagnostics);
+  }
+  EXPECT_EQ(rep.dropped, 0u);
+  EXPECT_EQ(rep.errors + rep.warnings, rep.count(rule));
+}
+
+TEST(ExecMutation, SyntheticWitnessChecksClean) {
+  const ExecReport rep = ExecChecker().check(synthetic_exec_witness());
+  expect_clean(rep);
+  EXPECT_EQ(rep.axioms_checked, 5u);
+}
+
+TEST(ExecMutation, ReversedDependenceEdgeFiresOnlyEXEC001) {
+  ExecWitness w = synthetic_exec_witness();
+  w.deps.push_back({1, 0});  // closes the cycle op0 <-> op1
+  expect_exactly(ExecChecker().check(w), "EXEC001");
+}
+
+TEST(ExecMutation, OutOfDomainPeFiresOnlyEXEC002) {
+  ExecWitness w = synthetic_exec_witness();
+  w.op_pe[3] = w.num_pes;  // one past the mesh
+  expect_exactly(ExecChecker().check(w), "EXEC002");
+}
+
+TEST(ExecMutation, DuplicateSlotFiresOnlyEXEC002) {
+  ExecWitness w = synthetic_exec_witness();
+  // A fifth op landing on op3's (PE, cycle) slot; it has no deps,
+  // deliveries, or residency, so only slot integrity can object.
+  w.num_ops = 5;
+  w.op_pe.push_back(1);
+  w.op_cycle.push_back(2);
+  expect_exactly(ExecChecker().check(w), "EXEC002");
+}
+
+TEST(ExecMutation, LateDeliveryFiresOnlyEXEC003) {
+  ExecWitness w = synthetic_exec_witness();
+  w.deliveries[1].ready = 5;  // op2 executes at cycle 1
+  expect_exactly(ExecChecker().check(w), "EXEC003");
+}
+
+TEST(ExecMutation, CapacityOverflowFiresOnlyEXEC004) {
+  ExecWitness w = synthetic_exec_witness();
+  w.pe_capacity = 1;  // both PEs hold 2 live values at their peak
+  const ExecReport rep = ExecChecker().check(w);
+  expect_exactly(rep, "EXEC004");
+  EXPECT_EQ(rep.count("EXEC004"), 2u);  // flagged once per PE
+}
+
+TEST(ExecMutation, MissingRouteFiresOnlyEXEC005) {
+  ExecWitness w = synthetic_exec_witness();
+  w.routable[0 * 2 + 1] = 0;  // the op0 -> op2 delivery crosses PE0 -> PE1
+  expect_exactly(ExecChecker().check(w), "EXEC005");
+}
+
+TEST(ExecMutation, UnknownDeliveryEndpointFiresOnlyEXEC005) {
+  ExecWitness w = synthetic_exec_witness();
+  w.deliveries[4].from_pe = 7;  // no such PE
+  expect_exactly(ExecChecker().check(w), "EXEC005");
+}
+
+TEST(ExecMutation, SyntheticForkJoinWitnessChecksClean) {
+  const ExecReport rep = ExecChecker().check(synthetic_forkjoin_witness());
+  expect_clean(rep);
+  EXPECT_EQ(rep.axioms_checked, 4u);
+}
+
+TEST(ExecMutation, UnnestedSpanFiresOnlyEXEC006) {
+  ForkJoinWitness w = synthetic_forkjoin_witness();
+  // Straddles the [10, 50) grain span's end on thread 1.
+  w.spans.push_back({"fm", "straddler", 1, 40, 70});
+  expect_exactly(ExecChecker().check(w), "EXEC006");
+}
+
+TEST(ExecMutation, LaneThreadMigrationFiresOnlyEXEC007) {
+  ForkJoinWitness w = synthetic_forkjoin_witness();
+  w.grains[1].tid = 2;  // lane 0's second grain hops threads
+  expect_exactly(ExecChecker().check(w), "EXEC007");
+}
+
+TEST(ExecMutation, SameLaneTimeOverlapFiresOnlyEXEC007) {
+  ForkJoinWitness w = synthetic_forkjoin_witness();
+  w.grains[1].begin_ns = 40;  // starts before lane 0's first grain ends
+  expect_exactly(ExecChecker().check(w), "EXEC007");
+}
+
+TEST(ExecMutation, GrainSlotOverlapFiresOnlyEXEC007) {
+  ForkJoinWitness w = synthetic_forkjoin_witness();
+  w.grains[2].lo = 24;  // re-evaluates slots [24, 32)
+  expect_exactly(ExecChecker().check(w), "EXEC007");
+}
+
+TEST(ExecMutation, SelfStealFiresOnlyEXEC008) {
+  ForkJoinWitness w = synthetic_forkjoin_witness();
+  w.steals.push_back({1, 1, 60});
+  expect_exactly(ExecChecker().check(w), "EXEC008");
+}
+
+TEST(ExecMutation, UnknownStealWorkerFiresOnlyEXEC008) {
+  ForkJoinWitness w = synthetic_forkjoin_witness();
+  w.steals[0].thief = 9;  // no run session for worker 9
+  expect_exactly(ExecChecker().check(w), "EXEC008");
+}
+
+TEST(ExecMutation, StealOutsideRunSessionFiresOnlyEXEC008) {
+  ForkJoinWitness w = synthetic_forkjoin_witness();
+  w.steals[0].at_ns = 500;  // every run session ended at 200
+  expect_exactly(ExecChecker().check(w), "EXEC008");
+}
+
+TEST(ExecMutation, DroppedEventsFireOnlyEXEC009AsWarning) {
+  ForkJoinWitness w = synthetic_forkjoin_witness();
+  w.dropped = 3;
+  const ExecReport rep = ExecChecker().check(w);
+  expect_exactly(rep, "EXEC009");
+  EXPECT_TRUE(rep.ok());  // warning, not error: the verdict is advisory
+  EXPECT_EQ(rep.errors, 0u);
+  EXPECT_EQ(rep.warnings, 1u);
+  EXPECT_FALSE(rep.complete);
+}
+
+TEST(ExecMutation, DiagnosticCapCountsPastIt) {
+  ExecWitness w = synthetic_exec_witness();
+  w.pe_capacity = 1;  // two EXEC004 diagnostics
+  ExecOptions opts;
+  opts.max_diagnostics = 1;
+  const ExecReport rep = ExecChecker(opts).check(w);
+  EXPECT_EQ(rep.errors, 2u);
+  EXPECT_EQ(rep.diagnostics.size(), 1u);
+  EXPECT_EQ(rep.dropped, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Clean certification: winners of the real searchers, replayed through
+// the witness builder, check clean — across spec families, both
+// drivers, serial and 8 workers.
+// ---------------------------------------------------------------------
+
+struct MapFixture {
+  std::string name;
+  fm::FunctionSpec spec;
+  fm::MachineConfig cfg;
+  fm::Mapping proto;
+  std::shared_ptr<const fm::CompiledSpec> cs;
+};
+
+/// Mirrors the parallel-search test fixtures: inputs block-distributed
+/// over the mesh so affine candidates exist in the default space (DRAM
+/// homes would price every candidate out of the small time grid).
+MapFixture make_fixture(const std::string& family) {
+  MapFixture f{family, fm::FunctionSpec{}, fm::make_machine(1, 1),
+               fm::Mapping{}, nullptr};
+  if (family == "editdist") {
+    f.spec = algos::editdist_spec(8, 8, algos::SwScores{});
+    f.cfg = fm::make_machine(8, 1);
+  } else if (family == "stencil") {
+    f.spec = algos::stencil1d_spec(12, 8);
+    f.cfg = fm::make_machine(12, 1);
+  } else {
+    f.spec = algos::matmul_spec(6);
+    f.cfg = fm::make_machine(6, 6);
+  }
+  for (const fm::TensorId t : f.spec.input_tensors()) {
+    f.proto.set_input(
+        t, fm::InputHome::distributed(
+               fm::block_distribution(f.spec.domain(t), f.cfg.geom).place));
+  }
+  f.cs = fm::compile_spec(f.spec, f.cfg, f.proto);
+  return f;
+}
+
+TEST(ExecWinners, AffineWinnersCheckCleanSerialAndParallel) {
+  for (const char* family : {"editdist", "stencil", "matmul"}) {
+    SCOPED_TRACE(family);
+    const MapFixture f = make_fixture(family);
+    fm::SearchOptions opts;
+    opts.compiled = f.cs;
+    const fm::SearchResult serial =
+        fm::search_affine(f.spec, f.cfg, f.proto, opts);
+    ASSERT_TRUE(serial.found);
+    expect_clean(ExecChecker().check(
+        build_exec_witness(*f.cs, serial.best.map)));
+
+    sched::Scheduler pool(8);
+    fm::SearchOptions par = opts;
+    par.scheduler = &pool;
+    const fm::SearchResult parallel =
+        fm::search_affine(f.spec, f.cfg, f.proto, par);
+    ASSERT_TRUE(parallel.found);
+    expect_clean(ExecChecker().check(
+        build_exec_witness(*f.cs, parallel.best.map)));
+  }
+}
+
+TEST(ExecWinners, TableWinnersCheckCleanBothDriversSerialAndParallel) {
+  for (const char* family : {"editdist", "stencil", "matmul"}) {
+    const MapFixture f = make_fixture(family);
+    for (const fm::StrategyKind kind :
+         {fm::StrategyKind::kAnneal, fm::StrategyKind::kBeam}) {
+      SCOPED_TRACE(std::string(family) + "/" + fm::to_string(kind));
+      fm::StrategyOptions opts;
+      opts.compiled = f.cs;
+      opts.chains = 2;
+      opts.epochs = 4;
+      opts.iters_per_epoch = 48;
+      opts.beam_width = 4;
+      opts.beam_moves = 8;
+      const fm::StrategyResult serial =
+          fm::search_table(f.spec, f.cfg, f.proto, kind, opts);
+      ASSERT_TRUE(serial.found);
+      expect_clean(ExecChecker().check(
+          build_exec_witness(*f.cs, serial.best)));
+
+      sched::Scheduler pool(8);
+      fm::StrategyOptions par = opts;
+      par.scheduler = &pool;
+      const fm::StrategyResult parallel =
+          fm::search_table(f.spec, f.cfg, f.proto, kind, par);
+      ASSERT_TRUE(parallel.found);
+      expect_clean(ExecChecker().check(
+          build_exec_witness(*f.cs, parallel.best)));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Race certification of the strategy lane kernel (satellite a): the
+// anneal/beam fan-out replayed under the determinacy-race detector,
+// plus the seeded-race negative control proving the detector would
+// catch sharing if someone introduced it.
+// ---------------------------------------------------------------------
+
+TEST(ExecStrategyLanes, LaneKernelCertifiedClean) {
+  // Mirror of the drivers' access pattern: lane i reads its own Rng
+  // (split before the fork, like the anneal chains / beam parents) and
+  // writes exactly results[i].
+  constexpr std::size_t kLanes = 4;
+  RaceCtx ctx;
+  std::vector<double> results(kLanes, 0.0);
+  std::vector<Rng> rngs;
+  Rng root(0x5eed);
+  rngs.reserve(kLanes);
+  for (std::size_t i = 0; i < kLanes; ++i) rngs.push_back(root.split());
+  ctx.track("results", results.data(), results.size());
+  ctx.track("rngs", rngs.data(), rngs.size());
+
+  fm::strategy_lanes(ctx, kLanes, results.data(),
+                     [&](auto& c, std::size_t i) {
+                       sched::reader(c, rngs.data(), i);
+                       Rng rng = rngs[i];
+                       return static_cast<double>(rng.next_below(1000)) +
+                              static_cast<double>(i);
+                     });
+
+  EXPECT_TRUE(ctx.clean())
+      << diagnostics_json(ctx.diagnostics().diagnostics());
+  EXPECT_EQ(ctx.race_count(), 0u);
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    EXPECT_GE(results[i], static_cast<double>(i)) << "lane " << i;
+  }
+}
+
+TEST(ExecStrategyLanes, SharedAccumulatorIsFlagged) {
+  // Negative control: a lane body folding into one shared cell races
+  // across lanes, and the detector must say so.
+  RaceCtx ctx;
+  std::vector<double> results(4, 0.0);
+  std::vector<double> shared(1, 0.0);
+  ctx.track("shared", shared.data(), shared.size());
+
+  fm::strategy_lanes(ctx, results.size(), results.data(),
+                     [&](auto& c, std::size_t i) {
+                       sched::writer(c, shared.data(), 0);
+                       shared[0] += static_cast<double>(i);
+                       return shared[0];
+                     });
+
+  EXPECT_FALSE(ctx.clean());
+  EXPECT_GE(ctx.race_count(), 1u);
+  EXPECT_GE(ctx.diagnostics().count("RACE001"), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Overhead: the post-hoc check serve runs on every tune winner must
+// cost well under 5% of the tune it guards.  The bound asserted is
+// 20x in the other direction (check * 20 < tune), with the check
+// taken as min-of-5 to shed scheduler noise.
+// ---------------------------------------------------------------------
+
+TEST(ExecOverhead, WitnessBuildAndCheckIsUnderFivePercentOfTune) {
+  fm::TensorId rt = -1, qt = -1, ht = -1;
+  const fm::FunctionSpec spec =
+      algos::editdist_spec(16, 16, algos::SwScores{}, &rt, &qt, &ht);
+  const fm::MachineConfig cfg = fm::make_machine(4, 1);
+  fm::Mapping proto;
+  proto.set_input(rt, fm::InputHome::dram());
+  proto.set_input(qt, fm::InputHome::dram());
+  const auto cs = fm::compile_spec(spec, cfg, proto);
+
+  // A serving-realistic budget: the tune must dominate the check by
+  // well over the asserted 20x.
+  fm::StrategyOptions opts;
+  opts.compiled = cs;
+  opts.chains = 4;
+  opts.epochs = 16;
+  opts.iters_per_epoch = 256;
+
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  const fm::StrategyResult r =
+      fm::search_table(spec, cfg, proto, fm::StrategyKind::kAnneal, opts);
+  const auto tune_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count();
+  ASSERT_TRUE(r.found);
+
+  std::int64_t check_ns = std::numeric_limits<std::int64_t>::max();
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto c0 = Clock::now();
+    const ExecWitness w = build_exec_witness(*cs, r.best);
+    const ExecReport er = ExecChecker().check(w);
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             c0)
+            .count();
+    check_ns = std::min(check_ns, ns);
+    EXPECT_TRUE(er.ok()) << diagnostics_json(er.diagnostics);
+  }
+  EXPECT_LT(check_ns * 20, tune_ns)
+      << "check " << check_ns << " ns vs tune " << tune_ns << " ns";
+}
+
+}  // namespace
+}  // namespace harmony::analyze

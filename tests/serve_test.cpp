@@ -452,6 +452,11 @@ TEST(Service, TuneMatchesDirectSearch) {
   EXPECT_FALSE(r.deadline_cut);
   EXPECT_DOUBLE_EQ(r.search.best.merit, direct.best.merit);
   EXPECT_EQ(r.cost.makespan_cycles, direct.best.cost.makespan_cycles);
+  // The post-hoc execution check ran on the winner and found nothing.
+  EXPECT_TRUE(r.exec_checked);
+  EXPECT_TRUE(r.exec.empty());
+  EXPECT_EQ(svc.metrics().exec_checks, 1u);
+  EXPECT_EQ(svc.metrics().exec_failures, 0u);
 
   // Exhausted tune results are memoized.
   const Response again = svc.call(req);
@@ -598,6 +603,11 @@ TEST(Service, StrategyTuneMatchesDirectSearchAndCaches) {
                          fm::to_mapping(*req.spec, r.strategy.best),
                          req.machine)
                   .ok);
+  // And through the independent execution checker.
+  EXPECT_TRUE(r.exec_checked);
+  EXPECT_TRUE(r.exec.empty());
+  EXPECT_GE(svc.metrics().exec_checks, 1u);
+  EXPECT_EQ(svc.metrics().exec_failures, 0u);
 
   // Completed strategy tunes are memoized like exhausted searches.
   const Response again = svc.call(req);
@@ -769,6 +779,8 @@ TEST(Metrics, JsonExportIsWellFormedAndComplete) {
   EXPECT_NE(json.find("\"metric\": \"tune_steals\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"compile_hits\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"compile_misses\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"exec_checks\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"exec_failures\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"diagnostics\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"trace_dropped\""), std::string::npos);
   EXPECT_EQ(json.front(), '[');
@@ -778,7 +790,7 @@ TEST(Metrics, JsonExportIsWellFormedAndComplete) {
     return std::count(json.begin(), json.end(), c);
   };
   EXPECT_EQ(count('{'), count('}'));
-  EXPECT_EQ(count('{'), 23);
+  EXPECT_EQ(count('{'), 25);
 }
 
 TEST(Metrics, OnTuneAggregatesWorkersAndSteals) {
