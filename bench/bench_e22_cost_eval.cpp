@@ -19,7 +19,13 @@
 //
 // E22.b runs the full search serially and across fork-join lanes
 // sharing one pre-compiled spec, confirming the lanes return the serial
-// result bit-for-bit while the wall clock drops.
+// result bit-for-bit while the wall clock drops.  Two scaling columns:
+// measured wall-clock speedup (meaningful only when the host has that
+// many hardware threads — the JSON records hardware_threads so a reader
+// can tell) and a *modeled* speedup from a WorkSpanCtx replay of the
+// exact search_lanes grain schedule (static head partition + ticketed
+// tail) with one work unit per slot — deterministic on any host, so the
+// CI scaling floor keys on it and never flakes on a small container.
 //
 // Flags:
 //   --smoke   shrink the kernels and the measurement window (CI's perf
@@ -43,6 +49,7 @@
 #include "fm/legality.hpp"
 #include "fm/search.hpp"
 #include "sched/scheduler.hpp"
+#include "sched/workspan.hpp"
 #include "support/table.hpp"
 
 using namespace harmony;
@@ -381,13 +388,19 @@ int main(int argc, char** argv) {
   }
 
   // ── E22.b: the full search, serial vs lanes over one CompiledSpec ───
+  // Workload: the matmul family — its slot space is the full 3^9
+  // coefficient cross (19683 candidates, independent of n), so the
+  // parallel driver has real work to spread instead of the handful of
+  // slots a rank-2 kernel leaves after triple filtering.
   Table sc({"workers", "elapsed_ms", "candidates_per_s",
-            "speedup_vs_serial", "identical"});
+            "measured_speedup", "modeled_speedup", "identical"});
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  double modeled_8w = 0.0;
+  double measured_8w = 0.0;
   {
-    algos::SwScores s;
-    const int n = smoke ? 12 : 20;
-    const fm::FunctionSpec spec = algos::editdist_spec(n, n, s);
-    const fm::MachineConfig cfg = fm::make_machine(n, 1);
+    const int n = smoke ? 4 : 6;
+    const fm::FunctionSpec spec = algos::matmul_spec(n);
+    const fm::MachineConfig cfg = fm::make_machine(n, n);
     fm::Mapping proto;
     for (fm::TensorId in : spec.input_tensors()) {
       proto.set_input(in, fm::InputHome::distributed(
@@ -405,15 +418,41 @@ int main(int argc, char** argv) {
     const double serial_ms =
         std::chrono::duration<double, std::milli>(BenchClock::now() - s0)
             .count();
-    sc.title("E22.b — precompiled search scaling, editdist " +
-             std::to_string(n) + "x" + std::to_string(n) + " (" +
+    sc.title("E22.b — precompiled search scaling, matmul " +
+             std::to_string(n) + "^3 (" +
              std::to_string(serial.enumerated) + " candidates; host has " +
-             std::to_string(std::thread::hardware_concurrency()) +
-             " hardware threads)");
+             std::to_string(hw_threads) +
+             " hardware threads — measured speedup is bounded by that, "
+             "modeled speedup replays the exact grain schedule on ideal "
+             "processors)");
     sc.add_row({std::string("serial"), serial_ms,
                 static_cast<double>(serial.enumerated) /
                     (serial_ms / 1e3),
-                1.0, std::string("-")});
+                1.0, 1.0, std::string("-")});
+
+    // Modeled speedup: replay fm::search_lanes under the work-span
+    // analyzer with the same auto-grain sizing the driver uses and one
+    // work unit per slot, then ask Brent's greedy scheduler what w
+    // ideal processors do with that exact DAG.  Deterministic — the
+    // number depends only on the slot count and the grain schedule, so
+    // it is the honest "is the partitioning near-linear?" answer even
+    // on a 1-thread container (where measured speedup cannot move).
+    const std::uint64_t total_slots = serial.enumerated;
+    const auto modeled_speedup = [&](unsigned w) {
+      sched::WorkSpanCtx ws;
+      const std::uint64_t grain = fm::auto_grain_slots(total_slots, w);
+      const std::uint64_t grains = (total_slots + grain - 1) / grain;
+      std::vector<fm::SearchTally> tallies(w);
+      std::vector<std::uint8_t> processed(grains, 0);
+      fm::search_lanes(ws, w, std::uint64_t{0}, total_slots, grain,
+                       /*cancel=*/{}, tallies.data(), processed.data(),
+                       [&](std::uint64_t lo, std::uint64_t hi,
+                           unsigned /*lane*/, fm::SearchTally&) {
+                         ws.work(static_cast<double>(hi - lo));
+                       });
+      const double greedy = ws.greedy_time(w);
+      return greedy > 0.0 ? ws.total_work() / greedy : 0.0;
+    };
 
     sched::Scheduler pool(8);
     for (const unsigned w : {2u, 4u, 8u}) {
@@ -430,12 +469,26 @@ int main(int argc, char** argv) {
           par.best.merit == serial.best.merit &&
           par.enumerated == serial.enumerated && par.legal == serial.legal;
       all_match &= identical;
+      const double measured = par_ms > 0 ? serial_ms / par_ms : 0.0;
+      const double modeled = modeled_speedup(w);
+      if (w == 8u) {
+        measured_8w = measured;
+        modeled_8w = modeled;
+      }
       sc.add_row({static_cast<std::int64_t>(par.workers_used), par_ms,
                   static_cast<double>(par.enumerated) / (par_ms / 1e3),
-                  par_ms > 0 ? serial_ms / par_ms : 0.0,
+                  measured, modeled,
                   std::string(identical ? "yes" : "NO")});
     }
   }
+
+  // Conservative scaling floor (CI's perf label enforces the exit
+  // code): the modeled number is deterministic and must show the grain
+  // schedule keeping 8 ideal processors at least 2x busy; the measured
+  // number is additionally held to the same floor only when the host
+  // actually has 8 hardware threads to run on.
+  const bool modeled_ok = modeled_8w >= 2.0;
+  const bool measured_ok = hw_threads < 8 || measured_8w >= 2.0;
 
   if (json) {
     std::ostringstream ja, jb;
@@ -445,6 +498,9 @@ int main(int argc, char** argv) {
               << (smoke ? "true" : "false") << ",\n\"paths_agree\": "
               << (all_match ? "true" : "false")
               << ",\n\"min_eval_speedup\": " << min_speedup
+              << ",\n\"hardware_threads\": " << hw_threads
+              << ",\n\"modeled_speedup_8w\": " << modeled_8w
+              << ",\n\"measured_speedup_8w\": " << measured_8w
               << ",\n\"eval_throughput\": " << ja.str()
               << ",\n\"parallel_search\": " << jb.str() << "\n}\n";
   } else {
@@ -455,10 +511,23 @@ int main(int argc, char** argv) {
                  "decision and every legal candidate's report bit-for-bit "
                  "(paths_agree) while evaluating candidates several times "
                  "faster; lanes sharing one CompiledSpec return the "
-                 "serial winner byte-identically.\n";
+                 "serial winner byte-identically, and the grain schedule "
+                 "keeps ideal processors busy (modeled_speedup).\n";
   }
   if (!all_match) {
     std::cerr << "ERROR: compiled path diverged from the legacy oracles\n";
+    return 1;
+  }
+  if (!modeled_ok) {
+    std::cerr << "ERROR: modeled 8-worker speedup " << modeled_8w
+              << " below the 2x scaling floor — the grain schedule is "
+                 "starving lanes\n";
+    return 1;
+  }
+  if (!measured_ok) {
+    std::cerr << "ERROR: measured 8-worker speedup " << measured_8w
+              << " below the 2x floor on a host with " << hw_threads
+              << " hardware threads\n";
     return 1;
   }
   return 0;

@@ -55,13 +55,12 @@ const char* fom_name(fm::FigureOfMerit f) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::cout << "E8: autotuning space-time mappings per figure of merit\n\n";
-
   // --trace out.json captures the E8.c parallel section: per-grain
   // search spans over the worker pool, plus run/steal/sleep scheduler
   // spans.  When absent, every event site is one relaxed atomic load.
-  // --json renders the E8.c scaling table as a JSON array instead of
-  // ASCII, for scripts that track the parallel-search speedup.
+  // --json prints one machine-readable object (winners, Pareto front,
+  // scaling table) instead of the ASCII tables —
+  // BENCH_e8_mapping_search.json is this output.
   const std::string trace_path = trace::trace_flag(argc, argv);
   bool json = false;
   for (int i = 1; i < argc; ++i) {
@@ -69,6 +68,11 @@ int main(int argc, char** argv) {
   }
   std::optional<trace::TraceSession> session;
   if (!trace_path.empty()) session.emplace();
+
+  if (!json) {
+    std::cout << "E8: autotuning space-time mappings per figure of merit\n\n";
+  }
+  std::ostringstream jwinners, jpareto, jscaling;
 
   Table t({"kernel", "merit", "best_map", "enumerated", "legal", "cycles",
            "energy_nJ", "cycles_vs_serial", "cycles_vs_default"});
@@ -133,11 +137,15 @@ int main(int argc, char** argv) {
                      static_cast<double>(res.best.cost.makespan_cycles)});
     }
   }
-  t.print(std::cout);
+  if (json) {
+    t.print_json(jwinners);
+  } else {
+    t.print(std::cout);
+  }
 
   // The "or some combination" claim: the legal mappings' (time, energy)
   // Pareto front for the DP kernel.
-  std::cout << '\n';
+  if (!json) std::cout << '\n';
   {
     algos::SwScores s;
     const auto spec = algos::editdist_spec(16, 16, s);
@@ -160,14 +168,18 @@ int main(int argc, char** argv) {
       p.add_row({idx++, coeffs(c.map), c.cost.makespan_cycles,
                  c.cost.total_energy().nanojoules()});
     }
-    p.print(std::cout);
+    if (json) {
+      p.print_json(jpareto);
+    } else {
+      p.print(std::cout);
+    }
   }
 
   // E8.c — the same search spread over the work-stealing scheduler.
   // The enumeration is slot-numbered, so the parallel backend must
   // return the byte-identical top-k; this section measures what the
   // determinism costs (nothing) and what the lanes buy (wall clock).
-  std::cout << '\n';
+  if (!json) std::cout << '\n';
   {
     using BenchClock = std::chrono::steady_clock;
     algos::SwScores s;
@@ -216,8 +228,7 @@ int main(int argc, char** argv) {
                   std::string(identical ? "yes" : "NO")});
     }
     if (json) {
-      sc.print_json(std::cout);
-      std::cout << '\n';
+      sc.print_json(jscaling);
     } else {
       sc.print(std::cout);
     }
@@ -226,11 +237,23 @@ int main(int argc, char** argv) {
       // capture happens after the pool's destructor joins its workers.
       session->stop();
     }
-    std::cout << (all_identical
-                      ? "\nAll lane counts returned the serial result "
-                        "bit-for-bit; speedup tracks the host's real "
-                        "parallelism (a 1-core host honestly reports ~1x).\n"
-                      : "\nERROR: a parallel run diverged from serial.\n");
+    if (json) {
+      std::cout << "{\n\"bench\": \"e8_mapping_search\",\n"
+                << "\"all_identical\": "
+                << (all_identical ? "true" : "false")
+                << ",\n\"hardware_threads\": "
+                << std::thread::hardware_concurrency()
+                << ",\n\"winners\": " << jwinners.str()
+                << ",\n\"pareto_front\": " << jpareto.str()
+                << ",\n\"parallel_search\": " << jscaling.str() << "\n}\n";
+    } else {
+      std::cout << (all_identical
+                        ? "\nAll lane counts returned the serial result "
+                          "bit-for-bit; speedup tracks the host's real "
+                          "parallelism (a 1-core host honestly reports "
+                          "~1x).\n"
+                        : "\nERROR: a parallel run diverged from serial.\n");
+    }
     if (!all_identical) return 1;
   }
 
@@ -244,9 +267,11 @@ int main(int argc, char** argv) {
               << " (open in ui.perfetto.dev)\n";
   }
 
-  std::cout << "\nShape check: on the time merit the DP kernel's winner "
-               "is the wavefront (t = i + j); searched mappings dominate "
-               "serial by ~N and at least match the default mapper on "
-               "their own merit.\n";
+  if (!json) {
+    std::cout << "\nShape check: on the time merit the DP kernel's winner "
+                 "is the wavefront (t = i + j); searched mappings dominate "
+                 "serial by ~N and at least match the default mapper on "
+                 "their own merit.\n";
+  }
   return 0;
 }

@@ -148,6 +148,22 @@ class EvalContext {
         delivered_(static_cast<std::size_t>(cs.num_input_values) * cs.num_pes,
                    0) {}
 
+  /// Pre-reserves every scratch buffer to its steady-state size for
+  /// `cs` so the first candidates of a search do not grow them inside
+  /// the hot loop (verify sizes them on use: slots/def_time/last_use/
+  /// owner_pe to num_points, events to 2x, link_bits to 4 per PE).
+  /// Purely an allocation accelerator — buffer *contents* are still
+  /// established per candidate exactly as before.
+  void reserve_scratch(const CompiledSpec& cs) {
+    const auto n = static_cast<std::size_t>(cs.num_points);
+    slots.reserve(n);
+    link_bits.reserve(cs.num_pes * 4);
+    def_time.reserve(n);
+    last_use.reserve(n);
+    owner_pe.reserve(n);
+    events.reserve(n * 2);
+  }
+
   /// Starts a fresh delivered-set scope (one oracle call = one scope,
   /// mirroring the legacy per-call unordered_set).
   void begin_candidate() {
@@ -183,6 +199,35 @@ class EvalContext {
   std::size_t num_pes_;
   std::vector<std::uint32_t> delivered_;
   std::uint32_t epoch_ = 0;
+};
+
+/// Arena of per-lane evaluation scratch: every lane's EvalContext (and
+/// its delivered table and verifier buffers) is allocated and
+/// pre-reserved up front, in one construction pass, so nothing in the
+/// search inner loop ever touches the allocator.  Lane L's context is
+/// reached by the explicit lane index the driver's kernel carries
+/// (fm::search_lanes) — the pool is the replacement for the old
+/// "recover the lane from the tally's address" arithmetic, which broke
+/// silently if the tally storage moved.  Contexts are mutually
+/// independent, so lanes use theirs concurrently; the pool itself is
+/// not resized while lanes run.
+class EvalContextPool {
+ public:
+  EvalContextPool(const CompiledSpec& cs, unsigned lanes) {
+    ctxs_.reserve(lanes);
+    for (unsigned l = 0; l < lanes; ++l) {
+      ctxs_.emplace_back(cs);
+      ctxs_.back().reserve_scratch(cs);
+    }
+  }
+
+  [[nodiscard]] EvalContext& lane(unsigned l) { return ctxs_[l]; }
+  [[nodiscard]] unsigned lanes() const {
+    return static_cast<unsigned>(ctxs_.size());
+  }
+
+ private:
+  std::vector<EvalContext> ctxs_;
 };
 
 /// The compiled fast path of fm::evaluate_cost — bit-identical on every

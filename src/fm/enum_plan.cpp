@@ -1,0 +1,122 @@
+#include "fm/enum_plan.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace harmony::fm {
+
+namespace {
+
+/// Extremes of an affine form over the domain box (attained at corners).
+struct Range {
+  std::int64_t lo;
+  std::int64_t hi;
+};
+
+Range affine_range(const IndexDomain& dom, std::int64_t ci, std::int64_t cj,
+                   std::int64_t ck, std::int64_t c0) {
+  Range r{std::numeric_limits<std::int64_t>::max(),
+          std::numeric_limits<std::int64_t>::min()};
+  const std::int64_t is[2] = {0, dom.extent(0) - 1};
+  const std::int64_t js[2] = {0, dom.extent(1) - 1};
+  const std::int64_t ks[2] = {0, dom.extent(2) - 1};
+  for (std::int64_t i : is) {
+    for (std::int64_t j : js) {
+      for (std::int64_t k : ks) {
+        const std::int64_t v = ci * i + cj * j + ck * k + c0;
+        r.lo = std::min(r.lo, v);
+        r.hi = std::max(r.hi, v);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+EnumPlan build_enum_plan(const IndexDomain& dom, const MachineConfig& machine,
+                         const SearchSpace& space, double makespan_bound) {
+  const bool use_j = dom.rank() >= 2;
+  const bool use_k = dom.rank() >= 3;
+  const std::vector<std::int64_t> zero{0};
+  const auto& tc = space.time_coeffs;
+  const auto& sc = space.space_coeffs;
+  const auto& tcj = use_j ? tc : zero;
+  const auto& tck = use_k ? tc : zero;
+  const auto& scy = space.search_y && machine.geom.rows() > 1 ? sc : zero;
+
+  EnumPlan plan;
+  for (std::int64_t ti : tc) {
+    for (std::int64_t tj : tcj) {
+      for (std::int64_t tk : tck) {
+        // Normalize the offset so the schedule starts at cycle 0.
+        const Range tr = affine_range(dom, ti, tj, tk, 0);
+        if (static_cast<double>(tr.hi - tr.lo + 1) > makespan_bound) {
+          continue;  // hopelessly stretched; contributes no slots
+        }
+        plan.blocks.push_back(TimeBlock{ti, tj, tk, -tr.lo});
+      }
+    }
+  }
+  plan.xi = sc;
+  plan.xj = use_j ? sc : zero;
+  plan.xk = use_k ? sc : zero;
+  plan.yi = scy;
+  plan.yj = use_j ? scy : zero;
+  plan.yk = use_k ? scy : zero;
+  plan.space_size = static_cast<std::uint64_t>(
+      plan.xi.size() * plan.xj.size() * plan.xk.size() * plan.yi.size() *
+      plan.yj.size() * plan.yk.size());
+  plan.total = plan.blocks.size() * plan.space_size;
+  return plan;
+}
+
+void decode_slots(const EnumPlan& plan, std::uint64_t lo, std::size_t count,
+                  AffineSoA& out) {
+  HARMONY_REQUIRE(lo + count <= plan.total,
+                  "decode_slots: slot range exceeds the enumeration");
+  out.resize(count);
+  if (count == 0) return;
+
+  // Seed the odometer: one div/mod chain for the first slot, innermost
+  // coefficient (yk) peeled first — identical digit order to the
+  // per-slot decode the search evaluated with before batching.
+  const std::size_t radix[6] = {plan.yk.size(), plan.yj.size(),
+                                plan.yi.size(), plan.xk.size(),
+                                plan.xj.size(), plan.xi.size()};
+  const std::vector<std::int64_t>* pools[6] = {&plan.yk, &plan.yj, &plan.yi,
+                                               &plan.xk, &plan.xj, &plan.xi};
+  std::size_t digit[6];
+  std::uint64_t block = lo / plan.space_size;
+  std::uint64_t rem = lo % plan.space_size;
+  for (int d = 0; d < 6; ++d) {
+    digit[d] = static_cast<std::size_t>(rem % radix[d]);
+    rem /= radix[d];
+  }
+
+  for (std::size_t r = 0; r < count; ++r) {
+    const TimeBlock& tb = plan.blocks[block];
+    out.ti[r] = tb.ti;
+    out.tj[r] = tb.tj;
+    out.tk[r] = tb.tk;
+    out.t0[r] = tb.t0;
+    out.yk[r] = (*pools[0])[digit[0]];
+    out.yj[r] = (*pools[1])[digit[1]];
+    out.yi[r] = (*pools[2])[digit[2]];
+    out.xk[r] = (*pools[3])[digit[3]];
+    out.xj[r] = (*pools[4])[digit[4]];
+    out.xi[r] = (*pools[5])[digit[5]];
+    // Advance the odometer: bump yk, carry outward, roll into the next
+    // time block when the whole space wraps.
+    int d = 0;
+    while (d < 6 && ++digit[d] == radix[d]) {
+      digit[d] = 0;
+      ++d;
+    }
+    if (d == 6) ++block;
+  }
+}
+
+}  // namespace harmony::fm

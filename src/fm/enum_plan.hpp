@@ -1,0 +1,106 @@
+// Slot-numbered enumeration of the AffineMap family (DESIGN.md §10, §15).
+//
+// The search flattens its nine-deep coefficient loop nest into a dense
+// [0, total) slot range: the surviving time-coefficient triples
+// (makespan-bound failures dropped *before* numbering, so slots stay
+// dense) crossed with the pinned space-coefficient lists, innermost
+// coefficient varying fastest.  Every candidate owns one deterministic
+// 64-bit slot — which is what lets the search cut (cancel), resume
+// (resume_from), and statically partition the space across lanes while
+// the ranked result stays bit-identical to a serial run.
+//
+// This header owns the plan itself plus the *batch decoder*: the
+// driver's inner loop wants a grain's worth of candidates decoded into
+// a struct-of-arrays buffer up front (one mixed-radix odometer sweep,
+// no per-slot div/mod chain) and then evaluated in a tight loop over
+// the CompiledSpec tables with no indirect calls.  decode_slots() is
+// pinned against the per-slot div/mod decode by unit test — the two
+// must agree on every coefficient of every slot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fm/machine.hpp"
+#include "fm/mapping.hpp"
+#include "fm/spec.hpp"
+
+namespace harmony::fm {
+
+/// The affine coefficient pools the search enumerates.
+struct SearchSpace {
+  std::vector<std::int64_t> time_coeffs{0, 1, 2};
+  std::vector<std::int64_t> space_coeffs{-1, 0, 1};
+  /// Explore the second grid dimension (else y is pinned to 0).
+  bool search_y = true;
+};
+
+/// One surviving (ti, tj, tk) time triple with its normalized offset.
+/// Triples whose makespan blows the slack bound are dropped *before*
+/// slot numbering, exactly as the original loop nest `continue`d before
+/// entering the space loops — so slot numbers are dense and identical.
+struct TimeBlock {
+  std::int64_t ti;
+  std::int64_t tj;
+  std::int64_t tk;
+  std::int64_t t0;
+};
+
+/// The enumeration flattened to a slot-indexed space: slot s maps to
+/// (blocks[s / space_size], space coefficients decoded from
+/// s % space_size, innermost yk fastest).  Same candidate order as the
+/// original nine-deep loop nest.
+struct EnumPlan {
+  std::vector<TimeBlock> blocks;
+  std::vector<std::int64_t> xi;
+  std::vector<std::int64_t> xj;
+  std::vector<std::int64_t> xk;
+  std::vector<std::int64_t> yi;
+  std::vector<std::int64_t> yj;
+  std::vector<std::int64_t> yk;
+  std::uint64_t space_size = 0;
+  std::uint64_t total = 0;
+};
+
+/// Builds the slot numbering for `dom` on `machine`: time triples from
+/// space.time_coeffs filtered by `makespan_bound`, space coefficients
+/// from space.space_coeffs (y pinned to {0} unless search_y and the
+/// grid has rows to use).
+[[nodiscard]] EnumPlan build_enum_plan(const IndexDomain& dom,
+                                       const MachineConfig& machine,
+                                       const SearchSpace& space,
+                                       double makespan_bound);
+
+/// Struct-of-arrays decode buffer: row r holds the coefficients of slot
+/// `lo + r` of one decode_slots() call.  The driver reuses one buffer
+/// per lane, so decode allocates only on the first (largest) grain.
+struct AffineSoA {
+  std::vector<std::int64_t> ti, tj, tk, t0;
+  std::vector<std::int64_t> xi, xj, xk;
+  std::vector<std::int64_t> yi, yj, yk;
+
+  void resize(std::size_t n) {
+    ti.resize(n); tj.resize(n); tk.resize(n); t0.resize(n);
+    xi.resize(n); xj.resize(n); xk.resize(n);
+    yi.resize(n); yj.resize(n); yk.resize(n);
+  }
+  [[nodiscard]] std::size_t size() const { return ti.size(); }
+
+  /// Row r reassembled as the AffineMap the per-slot decode produces.
+  [[nodiscard]] AffineMap map_at(std::size_t r, int cols, int rows) const {
+    return AffineMap{.ti = ti[r], .tj = tj[r], .tk = tk[r], .t0 = t0[r],
+                     .xi = xi[r], .xj = xj[r], .xk = xk[r], .x0 = 0,
+                     .yi = yi[r], .yj = yj[r], .yk = yk[r], .y0 = 0,
+                     .cols = cols, .rows = rows};
+  }
+};
+
+/// Decodes slots [lo, lo + count) into `out` (resized to count).  One
+/// div/mod chain seeds a mixed-radix odometer at `lo`; every further
+/// row is a constant-time digit increment — no division in the loop.
+/// Bit-identical to decoding each slot with the % / / peel chain.
+/// Requires lo + count <= plan.total.
+void decode_slots(const EnumPlan& plan, std::uint64_t lo, std::size_t count,
+                  AffineSoA& out);
+
+}  // namespace harmony::fm

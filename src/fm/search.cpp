@@ -9,102 +9,17 @@ namespace harmony::fm {
 
 namespace {
 
-/// Extremes of an affine form over the domain box (attained at corners).
-struct Range {
-  std::int64_t lo;
-  std::int64_t hi;
-};
+/// Decode chunk of the batched inner loop: big enough that the odometer
+/// seed (one div/mod chain) amortizes away and the evaluation loop
+/// stays tight, small enough that a lane's decode buffer is a few KB.
+constexpr std::size_t kDecodeBatch = 256;
 
-Range affine_range(const IndexDomain& dom, std::int64_t ci, std::int64_t cj,
-                   std::int64_t ck, std::int64_t c0) {
-  Range r{std::numeric_limits<std::int64_t>::max(),
-          std::numeric_limits<std::int64_t>::min()};
-  const std::int64_t is[2] = {0, dom.extent(0) - 1};
-  const std::int64_t js[2] = {0, dom.extent(1) - 1};
-  const std::int64_t ks[2] = {0, dom.extent(2) - 1};
-  for (std::int64_t i : is) {
-    for (std::int64_t j : js) {
-      for (std::int64_t k : ks) {
-        const std::int64_t v = ci * i + cj * j + ck * k + c0;
-        r.lo = std::min(r.lo, v);
-        r.hi = std::max(r.hi, v);
-      }
-    }
-  }
-  return r;
-}
-
-/// One surviving (ti, tj, tk) time triple with its normalized offset.
-/// Triples whose makespan blows the slack bound are dropped *before*
-/// slot numbering, exactly as the original loop nest `continue`d before
-/// entering the space loops — so slot numbers are dense and identical.
-struct TimeBlock {
-  std::int64_t ti;
-  std::int64_t tj;
-  std::int64_t tk;
-  std::int64_t t0;
-};
-
-/// The enumeration flattened to a slot-indexed space: slot s maps to
-/// (blocks[s / space_size], space coefficients decoded from
-/// s % space_size, innermost yk fastest).  This is the same candidate
-/// order as the original nine-deep loop nest, which is what lets
-/// cancel / resume_from / parallel grains all agree on slot numbers.
-struct EnumPlan {
-  std::vector<TimeBlock> blocks;
-  std::vector<std::int64_t> xi;
-  std::vector<std::int64_t> xj;
-  std::vector<std::int64_t> xk;
-  std::vector<std::int64_t> yi;
-  std::vector<std::int64_t> yj;
-  std::vector<std::int64_t> yk;
-  std::uint64_t space_size = 0;
-  std::uint64_t total = 0;
-};
-
-EnumPlan build_plan(const IndexDomain& dom, const MachineConfig& machine,
-                    const SearchOptions& opts, double makespan_bound) {
-  const bool use_j = dom.rank() >= 2;
-  const bool use_k = dom.rank() >= 3;
-  const std::vector<std::int64_t> zero{0};
-  const auto& tc = opts.space.time_coeffs;
-  const auto& sc = opts.space.space_coeffs;
-  const auto& tcj = use_j ? tc : zero;
-  const auto& tck = use_k ? tc : zero;
-  const auto& scy = opts.space.search_y && machine.geom.rows() > 1 ? sc
-                                                                   : zero;
-
-  EnumPlan plan;
-  for (std::int64_t ti : tc) {
-    for (std::int64_t tj : tcj) {
-      for (std::int64_t tk : tck) {
-        // Normalize the offset so the schedule starts at cycle 0.
-        const Range tr = affine_range(dom, ti, tj, tk, 0);
-        if (static_cast<double>(tr.hi - tr.lo + 1) > makespan_bound) {
-          continue;  // hopelessly stretched; contributes no slots
-        }
-        plan.blocks.push_back(TimeBlock{ti, tj, tk, -tr.lo});
-      }
-    }
-  }
-  plan.xi = sc;
-  plan.xj = use_j ? sc : zero;
-  plan.xk = use_k ? sc : zero;
-  plan.yi = scy;
-  plan.yj = use_j ? scy : zero;
-  plan.yk = use_k ? scy : zero;
-  plan.space_size = static_cast<std::uint64_t>(
-      plan.xi.size() * plan.xj.size() * plan.xk.size() * plan.yi.size() *
-      plan.yj.size() * plan.yk.size());
-  plan.total = plan.blocks.size() * plan.space_size;
-  return plan;
-}
-
-/// Evaluates one enumeration slot through the three gates into a tally.
-/// Every gate runs on the CompiledSpec's flat arrays — no Mapping object,
-/// no spec callback, no geometry query per candidate.  Read-only over the
-/// compiled spec and plan, so lanes share one Evaluator; each lane owns
-/// the EvalContext it passes in along with its SearchTally.
+/// Evaluates decoded candidates through the three gates into a tally.
+/// Every gate runs on the CompiledSpec's flat arrays — no Mapping
+/// object, no spec callback, no geometry query, no indirect call per
+/// candidate.  Read-only over the compiled spec and plan, so lanes
+/// share one Evaluator; each lane owns the EvalContext and decode
+/// buffer it passes in along with its SearchTally.
 struct Evaluator {
   const CompiledSpec& cs;
   const SearchOptions& opts;
@@ -112,29 +27,11 @@ struct Evaluator {
   const std::vector<std::int64_t>& sample_lins;
   const EnumPlan& plan;
 
-  void operator()(std::uint64_t slot, SearchTally& tally,
-                  EvalContext& ctx) const {
-    const TimeBlock& tb = plan.blocks[slot / plan.space_size];
-    std::uint64_t rem = slot % plan.space_size;
-    const auto peel = [&rem](const std::vector<std::int64_t>& coeffs) {
-      const std::uint64_t n = coeffs.size();
-      const std::int64_t c = coeffs[rem % n];
-      rem /= n;
-      return c;
-    };
-    // Innermost loop varies fastest: peel in reverse nesting order.
-    const std::int64_t yk = peel(plan.yk);
-    const std::int64_t yj = peel(plan.yj);
-    const std::int64_t yi = peel(plan.yi);
-    const std::int64_t xk = peel(plan.xk);
-    const std::int64_t xj = peel(plan.xj);
-    const std::int64_t xi = peel(plan.xi);
-
+  /// One candidate: row `r` of `soa` is slot `slot`.
+  void eval_decoded(const AffineSoA& soa, std::size_t r, std::uint64_t slot,
+                    SearchTally& tally, EvalContext& ctx) const {
     ++tally.enumerated;
-    AffineMap map{.ti = tb.ti, .tj = tb.tj, .tk = tb.tk, .t0 = tb.t0,
-                  .xi = xi, .xj = xj, .xk = xk, .x0 = 0,
-                  .yi = yi, .yj = yj, .yk = yk, .y0 = 0,
-                  .cols = cs.cols, .rows = cs.rows};
+    AffineMap map = soa.map_at(r, cs.cols, cs.rows);
 
     // Gate 1: sampled causality over the compiled dependence lists.
     const std::size_t P = cs.num_pes;
@@ -203,13 +100,30 @@ struct Evaluator {
     }
     tally_insert(tally, cand, opts.top_k);
   }
+
+  /// A whole slot range, batch-decoded into `soa` and evaluated in a
+  /// tight loop — the per-grain body of the parallel driver.
+  void eval_range(std::uint64_t lo, std::uint64_t hi, AffineSoA& soa,
+                  SearchTally& tally, EvalContext& ctx) const {
+    for (std::uint64_t base = lo; base < hi; base += kDecodeBatch) {
+      const auto n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kDecodeBatch, hi - base));
+      decode_slots(plan, base, n, soa);
+      for (std::size_t r = 0; r < n; ++r) {
+        eval_decoded(soa, r, base + r, tally, ctx);
+      }
+    }
+  }
 };
 
 /// Deterministic reduction of the per-lane tallies: counter sums, best
 /// by (merit, slot), top re-ranked and truncated, all_legal restored to
-/// enumeration order.  Lane count never changes the outcome.
+/// enumeration order.  Lane count never changes the outcome, and the
+/// merge is the *only* cross-lane step of the whole search — the hot
+/// loop shares nothing but the tail ticket (DESIGN.md §15).
 void merge_tallies(std::vector<SearchTally>& tallies, std::size_t top_k,
                    SearchResult& out) {
+  trace::Span span("fm", "merge", 0, tallies.size(), top_k);
   for (SearchTally& t : tallies) {
     out.enumerated += t.enumerated;
     out.quick_rejected += t.quick_rejected;
@@ -219,7 +133,8 @@ void merge_tallies(std::vector<SearchTally>& tallies, std::size_t top_k,
       out.best = t.best;
       out.found = true;
     }
-    out.top.insert(out.top.end(), t.top.begin(), t.top.end());
+    out.top.insert(out.top.end(), std::make_move_iterator(t.top.begin()),
+                   std::make_move_iterator(t.top.end()));
     out.all_legal.insert(out.all_legal.end(),
                          std::make_move_iterator(t.all_legal.begin()),
                          std::make_move_iterator(t.all_legal.end()));
@@ -294,7 +209,8 @@ SearchResult search_affine(const FunctionSpec& spec,
   const double serial_size = static_cast<double>(dom.size());
   const double makespan_bound = serial_size * opts.makespan_slack + 1.0;
 
-  const EnumPlan plan = build_plan(dom, machine, opts, makespan_bound);
+  const EnumPlan plan =
+      build_enum_plan(dom, machine, opts.space, makespan_bound);
   const std::uint64_t total = plan.total;
   const std::uint64_t begin = std::min(opts.resume_from, total);
   const Evaluator evaluate{*cs, opts, sample_pts, sample_lins, plan};
@@ -309,49 +225,59 @@ SearchResult search_affine(const FunctionSpec& spec,
 
   if (lanes <= 1) {
     // Serial backend: one tally, one context, cancel polled per slot.
+    // Decoding still runs in batches (it has no side effects, so a
+    // cancel between decoded slots loses nothing) and evaluation is the
+    // same tight loop the lanes run.
     std::vector<SearchTally> tally(1);
     EvalContext ctx(*cs);
-    for (std::uint64_t s = begin; s < total; ++s) {
-      if (opts.cancel && opts.cancel()) {
-        result.exhausted = false;
-        result.next_offset = s;
-        merge_tallies(tally, opts.top_k, result);
-        return result;
+    ctx.reserve_scratch(*cs);
+    AffineSoA soa;
+    for (std::uint64_t base = begin; base < total; base += kDecodeBatch) {
+      const auto n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kDecodeBatch, total - base));
+      decode_slots(plan, base, n, soa);
+      for (std::size_t r = 0; r < n; ++r) {
+        if (opts.cancel && opts.cancel()) {
+          result.exhausted = false;
+          result.next_offset = base + r;
+          merge_tallies(tally, opts.top_k, result);
+          return result;
+        }
+        evaluate.eval_decoded(soa, r, base + r, tally[0], ctx);
       }
-      evaluate(s, tally[0], ctx);
     }
     result.next_offset = total;
     merge_tallies(tally, opts.top_k, result);
     return result;
   }
 
-  // Parallel backend: grains over [begin, total), cancel polled per
-  // grain, completion tracked so next_offset is the lowest unprocessed
-  // slot even when grains finish out of order.
+  // Parallel backend: grains over [begin, total) — a static head share
+  // per lane plus a small ticketed tail (fm::search_lanes) — cancel
+  // polled per grain, completion tracked so next_offset is the lowest
+  // unprocessed slot even when grains finish out of order.
   const std::uint64_t range = total - begin;
-  const std::uint64_t grain_slots =
-      opts.grain != kAutoGrain
-          ? opts.grain
-          : std::max<std::uint64_t>(1, range / (std::uint64_t{lanes} * 8));
+  const std::uint64_t grain_slots = opts.grain != kAutoGrain
+                                        ? opts.grain
+                                        : auto_grain_slots(range, lanes);
   const std::uint64_t num_grains = (range + grain_slots - 1) / grain_slots;
   lanes = static_cast<unsigned>(
       std::min<std::uint64_t>(lanes, num_grains));
 
   std::vector<SearchTally> tallies(lanes);
-  // One EvalContext per lane, recovered from the tally's address: lane L
-  // writes only tallies[L], so &t - tallies.data() is its lane index.
-  std::vector<EvalContext> eval_ctxs;
-  eval_ctxs.reserve(lanes);
-  for (unsigned l = 0; l < lanes; ++l) eval_ctxs.emplace_back(*cs);
+  // Per-lane evaluation scratch, allocated and reserved before any lane
+  // runs: EvalContexts in an arena-style pool, decode buffers beside
+  // them.  The kernel's explicit lane index selects a lane's pair.
+  EvalContextPool ctx_pool(*cs, lanes);
+  std::vector<AffineSoA> decode_bufs(lanes);
   std::vector<std::uint8_t> processed(num_grains, 0);
   sched::RealCtx ctx;
   const auto kernel = [&] {
     search_lanes(ctx, lanes, begin, total, grain_slots, opts.cancel,
                  tallies.data(), processed.data(),
-                 [&](std::uint64_t s, SearchTally& t) {
-                   evaluate(s, t,
-                            eval_ctxs[static_cast<std::size_t>(
-                                &t - tallies.data())]);
+                 [&](std::uint64_t lo, std::uint64_t hi, unsigned lane,
+                     SearchTally& t) {
+                   evaluate.eval_range(lo, hi, decode_bufs[lane], t,
+                                       ctx_pool.lane(lane));
                  });
   };
   if (sched::Scheduler::in_parallel_context()) {
@@ -375,7 +301,12 @@ SearchResult search_affine(const FunctionSpec& spec,
     result.next_offset = total;
   } else {
     result.exhausted = false;
-    result.next_offset = begin + first_unprocessed * grain_slots;
+    // The lowest unprocessed grain's first slot, clamped to the
+    // enumeration size: with a grain that does not divide the slot
+    // space the multiply could otherwise step past `total`, and a
+    // resume must never chase a phantom offset.
+    result.next_offset =
+        std::min(total, begin + first_unprocessed * grain_slots);
   }
   return result;
 }

@@ -33,6 +33,7 @@
 #include "analyze/diagnostic.hpp"
 #include "fm/compiled.hpp"
 #include "fm/cost.hpp"
+#include "fm/enum_plan.hpp"
 #include "fm/legality.hpp"
 #include "fm/machine.hpp"
 #include "fm/mapping.hpp"
@@ -47,12 +48,26 @@ namespace harmony::fm {
 /// rejected by validate_search_options as FM005.)
 inline constexpr std::uint64_t kAutoGrain = ~std::uint64_t{0};
 
-struct SearchSpace {
-  std::vector<std::int64_t> time_coeffs{0, 1, 2};
-  std::vector<std::int64_t> space_coeffs{-1, 0, 1};
-  /// Explore the second grid dimension (else y is pinned to 0).
-  bool search_y = true;
-};
+/// The kAutoGrain sizing: ~8 grains per lane, clamped so the grain
+/// count covers every lane.  Guarantees (pinned by unit test):
+///   * result >= 1 always;
+///   * ceil(range / result) >= lanes whenever range >= lanes — no lane
+///     sits idle because a tiny slot space collapsed into fewer grains
+///     than lanes (or a single covering grain);
+///   * for large ranges, about 8 grains per lane, so the tail ticket
+///     has enough pieces to rebalance a straggling lane.
+[[nodiscard]] constexpr std::uint64_t auto_grain_slots(std::uint64_t range,
+                                                       unsigned lanes) {
+  if (range == 0) return 1;
+  const std::uint64_t l = lanes == 0 ? 1 : lanes;
+  std::uint64_t grain = range / (l * 8);
+  if (grain == 0) grain = 1;
+  // Never let one grain cover more than a lane's even share: with
+  // grain <= floor(range / lanes), ceil(range / grain) >= lanes.
+  const std::uint64_t share = range / l;
+  if (share > 0 && grain > share) grain = share;
+  return grain;
+}
 
 struct SearchOptions {
   SearchSpace space;
@@ -190,26 +205,48 @@ inline void tally_insert(SearchTally& tally, const Candidate& c,
 /// detector (tests/analyze_race_test.cpp certifies it clean).
 ///
 /// Spreads the slot range [begin, end) over `lanes` fork-join lanes in
-/// grains of `grain_slots` slots.  Lane L writes only tallies[L]; a
-/// grain is claimed by exactly one lane and its completion recorded in
-/// processed[g] — the only shared state is the atomic grain ticket and
-/// the sticky cancel flag.  `eval_slot(slot, tally)` evaluates one
-/// candidate into the lane's tally.
+/// grains of `grain_slots` slots.  Grains are **statically
+/// partitioned**: each lane owns a contiguous run of the head grains
+/// outright (claimed with no shared state at all), and only a small
+/// tail — about two grains per lane — is left on an atomic ticket for
+/// rebalancing a straggling lane.  The hot path therefore executes
+/// zero atomic operations per owned grain; the per-grain dispatch
+/// overhead the old all-ticket deal paid is gone (DESIGN.md §15).
 ///
-/// Under a simulation context (Ctx::is_simulation, e.g. RaceCtx) grains
-/// are dealt round-robin instead of by ticket so every lane does work
-/// even when fork2 executes serially — same footprint, deterministic
-/// replay.  `cancel` is polled once per grain; a cancelled run leaves
-/// the remaining grains' processed[] flags zero.
-template <typename Ctx, typename EvalSlot>
+/// Lane L writes only tallies[L]; a grain is claimed by exactly one
+/// lane and its completion recorded in processed[g] — the only shared
+/// state is the tail ticket and the sticky cancel flag.
+/// `eval_range(lo, hi, lane, tally)` evaluates the grain's slot range
+/// into the lane's tally; the explicit lane index is the contract for
+/// reaching per-lane scratch (EvalContext, decode buffers) — never
+/// recover it from an address.
+///
+/// Lane assignment cannot change the result: the tally merge is the
+/// strict (merit, slot) order, so which lane evaluated which grain is
+/// invisible in the output (serial-parity contract, DESIGN.md §10).
+///
+/// Under a simulation context (Ctx::is_simulation, e.g. RaceCtx) the
+/// tail is dealt round-robin instead of by ticket so every lane does
+/// work even when fork2 executes serially — same footprint,
+/// deterministic replay.  `cancel` is polled once per grain; a
+/// cancelled run leaves the remaining grains' processed[] flags zero.
+template <typename Ctx, typename EvalRange>
 void search_lanes(Ctx& ctx, unsigned lanes, std::uint64_t begin,
                   std::uint64_t end, std::uint64_t grain_slots,
                   const std::function<bool()>& cancel, SearchTally* tallies,
-                  std::uint8_t* processed, EvalSlot&& eval_slot) {
+                  std::uint8_t* processed, EvalRange&& eval_range) {
   if (begin >= end || lanes == 0 || grain_slots == 0) return;
   const std::uint64_t num_grains =
       (end - begin + grain_slots - 1) / grain_slots;
-  std::atomic<std::uint64_t> ticket{0};
+  // Head grains are owned statically; the tail (~2 grains per lane, the
+  // whole range when it is that small) stays dynamic so a lane that
+  // finishes early can absorb a straggler's work.
+  const std::uint64_t tail =
+      lanes > 1 ? std::min<std::uint64_t>(num_grains,
+                                          std::uint64_t{lanes} * 2)
+                : 0;
+  const std::uint64_t head = num_grains - tail;
+  std::atomic<std::uint64_t> ticket{head};
   std::atomic<bool> cancelled{false};
   sched::parallel_for(
       ctx, 0, lanes, 1, [&](std::size_t lane) {
@@ -231,17 +268,24 @@ void search_lanes(Ctx& ctx, unsigned lanes, std::uint64_t begin,
             // timeline shows which lane evaluated which slice of the
             // enumeration (and where a deadline cut landed).
             trace::Span span("fm", "grain", lane, lo, hi);
-            for (std::uint64_t s = lo; s < hi; ++s) eval_slot(s, tally);
+            eval_range(lo, hi, static_cast<unsigned>(lane), tally);
           }
           sched::writer(ctx, processed, g);
           processed[g] = 1;
           return true;
         };
+        // Static head share: contiguous, no shared state to claim it.
+        const sched::PartRange own = sched::static_partition(
+            static_cast<std::size_t>(head), lanes, lane);
+        for (std::uint64_t g = own.lo; g < own.hi; ++g) {
+          if (!run_grain(g)) return;
+        }
         if constexpr (Ctx::is_simulation) {
-          // Deterministic round-robin deal: under serial fork2 replay a
-          // shared ticket would hand every grain to the first lane.
-          for (std::uint64_t g = lane; g < num_grains; g += lanes) {
-            if (!run_grain(g)) break;
+          // Deterministic round-robin tail deal: under serial fork2
+          // replay a shared ticket would hand every tail grain to the
+          // first lane.
+          for (std::uint64_t g = head + lane; g < num_grains; g += lanes) {
+            if (!run_grain(g)) return;
           }
         } else {
           for (;;) {

@@ -362,6 +362,17 @@ StrategyResult search_table(const FunctionSpec& spec,
     const auto moves = static_cast<std::uint32_t>(opts.beam_moves);
     unsigned max_lanes = 1;
 
+    // One DeltaEval per beam position, built once and reset() per
+    // parent per epoch: reset is a full recompute, so reuse is
+    // byte-identical to constructing fresh — it just keeps the
+    // evaluator's arena of occupancy/aggregate state out of the
+    // per-epoch hot path.  Lane i touches only de_pool[i].
+    std::vector<DeltaEval> de_pool;
+    de_pool.reserve(std::max<std::size_t>(width, 1));
+    for (std::size_t i = 0; i < std::max<std::size_t>(width, 1); ++i) {
+      de_pool.emplace_back(ss, opts.verify);
+    }
+
     for (int epoch = 0; epoch < opts.epochs; ++epoch) {
       if (opts.cancel && opts.cancel()) {
         result.completed = false;
@@ -381,8 +392,9 @@ StrategyResult search_table(const FunctionSpec& spec,
           lane_results.data(), [&](auto& ctx, std::size_t i) {
             sched::reader(ctx, parents.data(), i);
             sched::reader(ctx, rngs.data(), i);
+            sched::writer(ctx, de_pool.data(), i);
             BeamLane lane;
-            DeltaEval de(ss, opts.verify);
+            DeltaEval& de = de_pool[i];
             de.reset(parents[i]);
             Rng rng = rngs[i];
             for (std::uint32_t j = 0; j < moves; ++j) {

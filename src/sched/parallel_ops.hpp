@@ -55,6 +55,23 @@ inline void writer(Ctx& ctx, const T* base, std::size_t index,
   }
 }
 
+/// Contiguous even split of `total` items into `parts` pieces: piece
+/// `idx` owns [first, second).  Piece sizes differ by at most one, every
+/// piece is non-empty whenever total >= parts, and the pieces tile the
+/// range in order — the static-partitioning primitive the parallel
+/// search driver and lane kernels share (DESIGN.md §15).
+struct PartRange {
+  std::size_t lo;
+  std::size_t hi;
+};
+
+[[nodiscard]] constexpr PartRange static_partition(std::size_t total,
+                                                   std::size_t parts,
+                                                   std::size_t idx) {
+  if (parts == 0) return PartRange{0, 0};
+  return PartRange{idx * total / parts, (idx + 1) * total / parts};
+}
+
 /// Runs the loop body over [lo, hi) with binary fork-join splitting;
 /// ranges of at most `grain` iterations run serially.
 template <typename Ctx, typename Body>

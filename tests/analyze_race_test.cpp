@@ -167,11 +167,14 @@ TEST(RaceDetector, SmithWatermanWavefrontIsCleanAndMatchesSerial) {
 
 TEST(RaceDetector, ParallelSearchLaneKernelCertifiedClean) {
   // The parallel mapping-search kernel (fm::search_lanes) replayed under
-  // the determinacy-race detector: lanes share only the grain ticket and
-  // the sticky cancel flag; every annotated write (per-lane tally,
-  // per-grain processed flag, per-slot output) must land on a disjoint
-  // index.  This is the certification the parallel search backend ships
-  // with — if someone introduces sharing, this test names the location.
+  // the determinacy-race detector: lanes share only the tail-grain
+  // ticket and the sticky cancel flag; every annotated write (per-lane
+  // tally, per-grain processed flag, per-slot output) must land on a
+  // disjoint index.  This is the certification the parallel search
+  // backend ships with — if someone introduces sharing, this test names
+  // the location.  The grain body receives its lane index explicitly
+  // (never recovered from an address); per-lane scratch is reached
+  // through it exactly as the real driver reaches its EvalContextPool.
   constexpr unsigned kLanes = 4;
   constexpr std::uint64_t kBegin = 8;
   constexpr std::uint64_t kEnd = 72;
@@ -182,21 +185,34 @@ TEST(RaceDetector, ParallelSearchLaneKernelCertifiedClean) {
   std::vector<fm::SearchTally> tallies(kLanes);
   std::vector<std::uint8_t> processed(num_grains, 0);
   std::vector<std::uint32_t> evals(kEnd, 0);
+  std::vector<std::uint64_t> lane_scratch(kLanes, 0);
   ctx.track("tallies", tallies.data(), tallies.size());
   ctx.track("processed", processed.data(), processed.size());
   ctx.track("evals", evals.data(), evals.size());
+  ctx.track("lane_scratch", lane_scratch.data(), lane_scratch.size());
 
+  bool lane_matches_tally = true;
   fm::search_lanes(
       ctx, kLanes, kBegin, kEnd, kGrain, /*cancel=*/{}, tallies.data(),
-      processed.data(), [&](std::uint64_t slot, fm::SearchTally& tally) {
-        sched::writer(ctx, evals.data(), slot);
-        evals[slot] += 1;
-        ++tally.enumerated;
+      processed.data(),
+      [&](std::uint64_t lo, std::uint64_t hi, unsigned lane,
+          fm::SearchTally& tally) {
+        // The explicit lane index and the tally the kernel hands over
+        // must agree — the contract that replaced address arithmetic.
+        lane_matches_tally &= &tally == tallies.data() + lane;
+        sched::writer(ctx, lane_scratch.data(), lane);
+        lane_scratch[lane] += hi - lo;
+        for (std::uint64_t slot = lo; slot < hi; ++slot) {
+          sched::writer(ctx, evals.data(), slot);
+          evals[slot] += 1;
+          ++tally.enumerated;
+        }
       });
 
   EXPECT_TRUE(ctx.clean())
       << diagnostics_json(ctx.diagnostics().diagnostics());
   EXPECT_EQ(ctx.race_count(), 0u);
+  EXPECT_TRUE(lane_matches_tally);
   for (std::uint64_t g = 0; g < num_grains; ++g) {
     EXPECT_EQ(processed[g], 1u) << "grain " << g;
   }
@@ -204,18 +220,20 @@ TEST(RaceDetector, ParallelSearchLaneKernelCertifiedClean) {
   for (std::uint64_t s = 0; s < kEnd; ++s) {
     EXPECT_EQ(evals[s], s < kBegin ? 0u : 1u) << "slot " << s;
   }
-  // The simulation deal is round-robin, so with more grains than lanes
-  // every lane contributed; their counters partition the range.
+  // The simulation deal is a static head share plus a round-robin tail,
+  // so with at least as many grains as lanes every lane contributed;
+  // their counters partition the range.
   std::uint64_t enumerated = 0;
-  for (const fm::SearchTally& t : tallies) {
-    EXPECT_GT(t.enumerated, 0u);
-    enumerated += t.enumerated;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    EXPECT_GT(tallies[l].enumerated, 0u) << "lane " << l;
+    EXPECT_EQ(lane_scratch[l], tallies[l].enumerated) << "lane " << l;
+    enumerated += tallies[l].enumerated;
   }
   EXPECT_EQ(enumerated, kEnd - kBegin);
 }
 
 TEST(RaceDetector, ParallelSearchSharedAccumulatorIsFlagged) {
-  // Negative control for the certification above: an eval_slot that
+  // Negative control for the certification above: a grain body that
   // folds into one shared cell races across lanes, and the detector
   // must say so (write-write on the tracked region).
   RaceCtx ctx;
@@ -227,9 +245,12 @@ TEST(RaceDetector, ParallelSearchSharedAccumulatorIsFlagged) {
   fm::search_lanes(
       ctx, 2u, std::uint64_t{0}, std::uint64_t{16}, std::uint64_t{4},
       /*cancel=*/{}, tallies.data(), processed.data(),
-      [&](std::uint64_t slot, fm::SearchTally&) {
-        sched::writer(ctx, shared.data(), 0);
-        shared[0] += static_cast<double>(slot);
+      [&](std::uint64_t lo, std::uint64_t hi, unsigned /*lane*/,
+          fm::SearchTally&) {
+        for (std::uint64_t slot = lo; slot < hi; ++slot) {
+          sched::writer(ctx, shared.data(), 0);
+          shared[0] += static_cast<double>(slot);
+        }
       });
 
   EXPECT_FALSE(ctx.clean());

@@ -1,0 +1,241 @@
+// The parallel search driver's moving parts, unit-tested in isolation:
+// auto-grain sizing (every lane gets work), the static partition helper,
+// the batch slot decoder against its per-slot seed, the search_lanes
+// coverage/lane-index contract on a real scheduler, and the pooled
+// EvalContext's parity with a fresh one.  The end-to-end serial/parallel
+// byte-parity lives in fm_search_parallel_test.cpp; these tests pin the
+// pieces so a parity failure there localizes here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algos/editdist.hpp"
+#include "algos/matmul.hpp"
+#include "algos/specs.hpp"
+#include "fm/compiled.hpp"
+#include "fm/enum_plan.hpp"
+#include "fm/idioms.hpp"
+#include "fm/search.hpp"
+#include "sched/parallel_ops.hpp"
+#include "sched/scheduler.hpp"
+
+namespace harmony::fm {
+namespace {
+
+TEST(AutoGrain, EveryLaneGetsAGrainWheneverPossible) {
+  // The documented guarantee: result >= 1 always, and whenever the
+  // range has at least one slot per lane, the grain count covers every
+  // lane — the degenerate sizing that used to leave lanes idle (one
+  // covering grain for a small space) must not come back.
+  const std::vector<std::uint64_t> ranges = {0,  1,  2,   3,   5,    7,
+                                             8,  9,  15,  16,  17,   63,
+                                             64, 65, 100, 257, 19683};
+  for (const unsigned lanes : {0u, 1u, 2u, 3u, 4u, 7u, 8u, 16u}) {
+    for (const std::uint64_t range : ranges) {
+      const std::uint64_t grain = auto_grain_slots(range, lanes);
+      SCOPED_TRACE("range=" + std::to_string(range) +
+                   " lanes=" + std::to_string(lanes));
+      ASSERT_GE(grain, 1u);
+      if (range == 0) continue;
+      const std::uint64_t num_grains = (range + grain - 1) / grain;
+      const std::uint64_t l = lanes == 0 ? 1 : lanes;
+      if (range >= l) {
+        EXPECT_GE(num_grains, l) << "a lane would sit idle";
+      }
+      // And never an explosion: at most one grain per slot.
+      EXPECT_LE(num_grains, range);
+    }
+  }
+  // Large ranges settle at ~8 grains per lane so the tail ticket has
+  // pieces to rebalance with.
+  EXPECT_EQ(auto_grain_slots(64000, 8), 1000u);
+  // The historical failure shape: range barely above the lane count
+  // used to collapse into one covering grain.
+  EXPECT_EQ(auto_grain_slots(9, 8), 1u);
+  EXPECT_EQ(auto_grain_slots(1, 4), 1u);
+}
+
+TEST(StaticPartition, ContiguousBalancedCover) {
+  for (const std::size_t parts : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u}) {
+    for (const std::size_t total :
+         {std::size_t{0}, std::size_t{1}, parts - 1, parts, parts + 1,
+          std::size_t{100}, std::size_t{101}, 8 * parts + 3}) {
+      SCOPED_TRACE("total=" + std::to_string(total) +
+                   " parts=" + std::to_string(parts));
+      std::size_t prev_hi = 0;
+      std::size_t min_sz = total + 1, max_sz = 0;
+      for (std::size_t idx = 0; idx < parts; ++idx) {
+        const sched::PartRange r = sched::static_partition(total, parts, idx);
+        EXPECT_EQ(r.lo, prev_hi) << "gap or overlap at part " << idx;
+        EXPECT_LE(r.lo, r.hi);
+        prev_hi = r.hi;
+        const std::size_t sz = r.hi - r.lo;
+        min_sz = std::min(min_sz, sz);
+        max_sz = std::max(max_sz, sz);
+      }
+      EXPECT_EQ(prev_hi, total) << "partition does not cover the range";
+      EXPECT_LE(max_sz - min_sz, 1u) << "partition is unbalanced";
+    }
+  }
+  // parts == 0 is the documented empty range, not a division fault.
+  const sched::PartRange none = sched::static_partition(10, 0, 0);
+  EXPECT_EQ(none.lo, 0u);
+  EXPECT_EQ(none.hi, 0u);
+}
+
+void expect_rows_equal(const AffineSoA& a, std::size_t ra, const AffineSoA& b,
+                       std::size_t rb) {
+  EXPECT_EQ(a.ti[ra], b.ti[rb]);
+  EXPECT_EQ(a.tj[ra], b.tj[rb]);
+  EXPECT_EQ(a.tk[ra], b.tk[rb]);
+  EXPECT_EQ(a.t0[ra], b.t0[rb]);
+  EXPECT_EQ(a.xi[ra], b.xi[rb]);
+  EXPECT_EQ(a.xj[ra], b.xj[rb]);
+  EXPECT_EQ(a.xk[ra], b.xk[rb]);
+  EXPECT_EQ(a.yi[ra], b.yi[rb]);
+  EXPECT_EQ(a.yj[ra], b.yj[rb]);
+  EXPECT_EQ(a.yk[ra], b.yk[rb]);
+}
+
+TEST(DecodeSlots, OdometerMatchesPerSlotSeedOnEverySlot) {
+  // The batch decoder seeds one div/mod chain and then increments a
+  // mixed-radix odometer; a count-1 decode is pure seed.  The two paths
+  // must agree on every coefficient of every slot — this is the pin
+  // that makes "batch-decoded" invisible to the enumeration order.
+  struct Case {
+    std::string name;
+    FunctionSpec spec;
+    MachineConfig cfg;
+  };
+  algos::SwScores s;
+  std::vector<Case> cases;
+  cases.push_back({"editdist 6x6 (y pinned)", algos::editdist_spec(6, 6, s),
+                   make_machine(6, 1)});
+  cases.push_back({"matmul 4^3 (y searched)", algos::matmul_spec(4),
+                   make_machine(4, 4)});
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const IndexDomain& dom = c.spec.domain(c.spec.computed_tensors()[0]);
+    const EnumPlan plan =
+        build_enum_plan(dom, c.cfg, SearchSpace{}, /*makespan_bound=*/1e18);
+    ASSERT_GT(plan.total, 0u);
+
+    AffineSoA batch;
+    decode_slots(plan, 0, static_cast<std::size_t>(plan.total), batch);
+    ASSERT_EQ(batch.size(), plan.total);
+
+    AffineSoA single;
+    for (std::uint64_t slot = 0; slot < plan.total; ++slot) {
+      decode_slots(plan, slot, 1, single);
+      SCOPED_TRACE("slot " + std::to_string(slot));
+      expect_rows_equal(batch, static_cast<std::size_t>(slot), single, 0);
+    }
+
+    // A ragged mid-range batch (crossing time-block boundaries from a
+    // nonzero digit state) agrees with the full decode row for row.
+    const std::uint64_t lo = plan.total / 3 + 1;
+    const auto n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(plan.total - lo, 50));
+    AffineSoA mid;
+    decode_slots(plan, lo, n, mid);
+    for (std::size_t r = 0; r < n; ++r) {
+      SCOPED_TRACE("mid row " + std::to_string(r));
+      expect_rows_equal(mid, r, batch, static_cast<std::size_t>(lo) + r);
+    }
+  }
+}
+
+TEST(SearchLanes, SlotsCoveredExactlyOnceWithExplicitLaneIndex) {
+  // The kernel on a real scheduler: a ragged grain over an offset range
+  // must visit every slot exactly once, mark every grain processed, and
+  // hand each grain body the lane index that owns the tally it writes.
+  constexpr unsigned kLanes = 4;
+  constexpr std::uint64_t kBegin = 5;
+  constexpr std::uint64_t kEnd = 233;
+  constexpr std::uint64_t kGrain = 7;  // does not divide 228
+  const std::uint64_t num_grains = (kEnd - kBegin + kGrain - 1) / kGrain;
+
+  sched::Scheduler pool(kLanes);
+  std::vector<SearchTally> tallies(kLanes);
+  std::vector<std::uint8_t> processed(num_grains, 0);
+  std::vector<std::atomic<std::uint32_t>> hits(kEnd);
+  std::atomic<bool> lane_matches_tally{true};
+
+  sched::RealCtx ctx;
+  pool.run([&] {
+    search_lanes(ctx, kLanes, kBegin, kEnd, kGrain, /*cancel=*/{},
+                 tallies.data(), processed.data(),
+                 [&](std::uint64_t lo, std::uint64_t hi, unsigned lane,
+                     SearchTally& tally) {
+                   if (&tally != tallies.data() + lane) {
+                     lane_matches_tally.store(false);
+                   }
+                   tally.enumerated += hi - lo;
+                   for (std::uint64_t slot = lo; slot < hi; ++slot) {
+                     hits[slot].fetch_add(1, std::memory_order_relaxed);
+                   }
+                 });
+  });
+
+  EXPECT_TRUE(lane_matches_tally.load());
+  for (std::uint64_t g = 0; g < num_grains; ++g) {
+    EXPECT_EQ(processed[g], 1u) << "grain " << g;
+  }
+  for (std::uint64_t slot = 0; slot < kEnd; ++slot) {
+    EXPECT_EQ(hits[slot].load(), slot < kBegin ? 0u : 1u)
+        << "slot " << slot;
+  }
+  std::uint64_t enumerated = 0;
+  for (const SearchTally& t : tallies) enumerated += t.enumerated;
+  EXPECT_EQ(enumerated, kEnd - kBegin);
+}
+
+TEST(EvalContextPool, PooledLaneMatchesFreshContext) {
+  // reserve_scratch() and pooling are allocation accelerators only:
+  // a pooled, pre-reserved context must produce bit-identical verify
+  // and cost results to a freshly constructed one on the same mapping.
+  algos::SwScores s;
+  const FunctionSpec spec = algos::editdist_spec(6, 6, s);
+  const MachineConfig cfg = make_machine(6, 1);
+  Mapping proto;
+  for (TensorId in : spec.input_tensors()) {
+    proto.set_input(in,
+                    InputHome::distributed(
+                        block_distribution(spec.domain(in), cfg.geom).place));
+  }
+  const SearchResult found = search_affine(spec, cfg, proto, {});
+  ASSERT_TRUE(found.found);
+  const AffineMap map = found.best.map;
+
+  const auto cs = compile_spec(spec, cfg, proto);
+  EvalContext fresh(*cs);
+  EvalContextPool pool(*cs, 3);
+  ASSERT_EQ(pool.lanes(), 3u);
+
+  for (unsigned lane = 0; lane < pool.lanes(); ++lane) {
+    SCOPED_TRACE("lane " + std::to_string(lane));
+    EvalContext& pooled = pool.lane(lane);
+    const LegalityReport lr_fresh = verify(*cs, map, fresh);
+    const LegalityReport lr_pool = verify(*cs, map, pooled);
+    EXPECT_EQ(lr_pool.ok, lr_fresh.ok);
+    EXPECT_EQ(lr_pool.diagnostics.size(), lr_fresh.diagnostics.size());
+
+    const CostReport cost_fresh = evaluate_cost(*cs, map, fresh);
+    const CostReport cost_pool = evaluate_cost(*cs, map, pooled);
+    EXPECT_EQ(cost_pool.makespan_cycles, cost_fresh.makespan_cycles);
+    EXPECT_EQ(cost_pool.compute_energy, cost_fresh.compute_energy);
+    EXPECT_EQ(cost_pool.onchip_movement_energy,
+              cost_fresh.onchip_movement_energy);
+    EXPECT_EQ(cost_pool.local_access_energy, cost_fresh.local_access_energy);
+    EXPECT_EQ(cost_pool.dram_energy, cost_fresh.dram_energy);
+    EXPECT_EQ(cost_pool.messages, cost_fresh.messages);
+    EXPECT_EQ(cost_pool.bit_hops, cost_fresh.bit_hops);
+    EXPECT_EQ(cost_pool.total_ops, cost_fresh.total_ops);
+  }
+}
+
+}  // namespace
+}  // namespace harmony::fm

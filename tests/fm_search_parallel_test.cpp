@@ -83,6 +83,11 @@ void expect_identical(const SearchResult& serial, const SearchResult& par,
 }
 
 TEST(ParallelSearch, ByteIdenticalTopKAcrossFixturesAndFoMs) {
+  // The headline parity sweep: every fixture x figure-of-merit x worker
+  // count in {1, 2, 4, 8} reproduces the serial result bit-for-bit.
+  // Lane count changes the static partition and the tail ticket
+  // interleaving, so sweeping it exercises every assignment shape the
+  // driver can produce.
   sched::Scheduler pool(8);
   for (const Fixture& f : fixtures()) {
     for (auto fom : {FigureOfMerit::kTime, FigureOfMerit::kEnergyDelay}) {
@@ -93,14 +98,19 @@ TEST(ParallelSearch, ByteIdenticalTopKAcrossFixturesAndFoMs) {
           search_affine(f.spec, f.cfg, f.proto, opts);
       ASSERT_TRUE(serial.exhausted);
 
-      SearchOptions par = opts;
-      par.scheduler = &pool;
-      const SearchResult parallel =
-          search_affine(f.spec, f.cfg, f.proto, par);
-      EXPECT_GE(parallel.workers_used, 1u);
-      expect_identical(serial, parallel,
-                       f.name + " fom=" +
-                           std::to_string(static_cast<int>(fom)));
+      for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+        SearchOptions par = opts;
+        par.scheduler = &pool;
+        par.num_workers = workers;
+        const SearchResult parallel =
+            search_affine(f.spec, f.cfg, f.proto, par);
+        EXPECT_GE(parallel.workers_used, 1u);
+        EXPECT_LE(parallel.workers_used, workers);
+        expect_identical(serial, parallel,
+                         f.name + " fom=" +
+                             std::to_string(static_cast<int>(fom)) +
+                             " workers=" + std::to_string(workers));
+      }
     }
   }
 }
@@ -236,6 +246,85 @@ TEST(ParallelSearch, CutPlusResumeTopUnionCoversSerialResult) {
                      : std::numeric_limits<double>::infinity());
     EXPECT_EQ(best, full.best.merit);
   }
+}
+
+TEST(ParallelSearch, NonDividingGrainCutPlusResumeConverges) {
+  // grain = 7 does not divide the editdist slot space, so the last grain
+  // is short and every grain boundary is a "ragged" resume point.  The
+  // covering invariant and the next_offset clamp must both hold: a cut
+  // never reports a resume point past the enumeration size, and the
+  // union of the cut and the resumed run reproduces the uncut top-k.
+  sched::Scheduler pool(4);
+  algos::SwScores s;
+  const Fixture f =
+      make_fixture("editdist 8x8", algos::editdist_spec(8, 8, s), 8, 1);
+
+  SearchOptions base;
+  base.top_k = 4;
+  const SearchResult full = search_affine(f.spec, f.cfg, f.proto, base);
+  ASSERT_TRUE(full.exhausted);
+  const std::uint64_t total = full.next_offset;
+  ASSERT_NE(total % 7, 0u) << "fixture no longer exercises a ragged tail";
+
+  SearchOptions cut = base;
+  cut.scheduler = &pool;
+  cut.grain = 7;
+  std::atomic<std::uint64_t> polls{0};
+  cut.cancel = [&polls] {
+    return polls.fetch_add(1, std::memory_order_relaxed) > 3;
+  };
+  const SearchResult first = search_affine(f.spec, f.cfg, f.proto, cut);
+  ASSERT_FALSE(first.exhausted);
+  EXPECT_LE(first.next_offset, total);  // the clamp, at a ragged boundary
+  ASSERT_LT(first.next_offset, total);
+
+  SearchOptions rest = base;
+  rest.scheduler = &pool;
+  rest.grain = 7;
+  rest.resume_from = first.next_offset;
+  const SearchResult second = search_affine(f.spec, f.cfg, f.proto, rest);
+  ASSERT_TRUE(second.exhausted);
+  // Resuming a ragged cut still lands next_offset exactly on the
+  // enumeration size — clamped, never begin + grains * grain.
+  EXPECT_EQ(second.next_offset, total);
+
+  for (const Candidate& want : full.top) {
+    bool covered = false;
+    for (const Candidate& got : first.top) {
+      covered |= got.slot == want.slot && got.merit == want.merit;
+    }
+    for (const Candidate& got : second.top) {
+      covered |= got.slot == want.slot && got.merit == want.merit;
+    }
+    EXPECT_TRUE(covered) << "slot " << want.slot
+                         << " missing from the ragged cut+resume union";
+  }
+}
+
+TEST(ParallelSearch, SingleSlotGrainCancelLatencyIsBounded) {
+  // Cancellation is polled once per grain, so grain = 1 gives the
+  // tightest latency the backend offers: after the poll counter trips,
+  // no lane starts another slot.  The cancel below returns false exactly
+  // 4 times, so at most 4 slots are evaluated in total across all lanes
+  // — and the resume point stays within those first few slots (lane 0
+  // owns the head of the static partition, so first-unprocessed can
+  // only be smaller).
+  sched::Scheduler pool(4);
+  algos::SwScores s;
+  const Fixture f =
+      make_fixture("editdist 6x6", algos::editdist_spec(6, 6, s), 6, 1);
+
+  SearchOptions opts;
+  opts.scheduler = &pool;
+  opts.grain = 1;
+  std::atomic<std::uint64_t> polls{0};
+  opts.cancel = [&polls] {
+    return polls.fetch_add(1, std::memory_order_relaxed) >= 4;
+  };
+  const SearchResult r = search_affine(f.spec, f.cfg, f.proto, opts);
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_LE(r.enumerated, 4u);
+  EXPECT_LE(r.next_offset, 4u);
 }
 
 TEST(ParallelSearch, WorkerCapAndRequestedLanesAreRespected) {
