@@ -9,6 +9,8 @@
 //   harmony-lint --spec=editdist:16x16 --machine=4x4 --map=serial --json
 //   harmony-lint --spec=conv:256,8 --machine=8x1 --map=affine:0,1,8,1,0,0
 //   harmony-lint --spec=stencil:64,8 --machine=4x1 --map=table --check-exec
+//   harmony-lint --pipeline=scanchain:16 --machine=4x1
+//   harmony-lint --pipeline=irregular:24,3,7 --machine=4x1 --tuner=greedy
 //
 // Specs: editdist:NxM, stencil:n,steps, conv:n_out,k_taps.
 // Maps:  serial | wavefront (editdist only) | affine:ti,tj,t0,xi,xj,x0 |
@@ -20,21 +22,34 @@
 // the relational axioms (analyze::ExecChecker, EXEC001–EXEC005) — an
 // independent second opinion that shares no code with the linter's
 // legality gate.  Its diagnostics merge into the output and exit code.
+//
+// --pipeline=<scenario> switches to multi-kernel mode: it tunes one of
+// the canned stage DAGs (fft:N | scanchain:N | diamond:N with the
+// exhaustive affine searcher; irregular:N,FANIN,SEED with the anneal
+// strategy) end to end via fm::tune_pipeline_paired (--tuner=greedy for
+// the stage-by-stage baseline), then certifies every committed stage
+// winner — with its *resolved* input homes, i.e. the producer-fixed
+// distributed layouts the tuner actually priced the handoffs against —
+// through both the linter and ExecChecker.  Exec checking is always on
+// in this mode; that certification is the point.
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "algos/editdist.hpp"
+#include "algos/pipelines.hpp"
 #include "algos/specs.hpp"
 #include "analyze/exec.hpp"
 #include "analyze/lint.hpp"
 #include "fm/compiled.hpp"
 #include "fm/machine.hpp"
 #include "fm/mapping.hpp"
+#include "fm/pipeline.hpp"
 #include "fm/strategy/delta.hpp"
 #include "fm/strategy/table_map.hpp"
 #include "support/table.hpp"
@@ -48,6 +63,8 @@ struct Args {
   std::string spec = "editdist:32x32";
   std::string machine = "4x1";
   std::string map = "serial";
+  std::string pipeline;  ///< nonempty switches to multi-kernel mode
+  bool paired = true;    ///< --tuner=paired (default) | greedy
   bool json = false;
   bool check_exec = false;
   std::optional<std::int64_t> pe_capacity;
@@ -61,6 +78,8 @@ struct Args {
       << " [--spec=editdist:NxM|stencil:n,steps|conv:n,k]\n"
          "       [--machine=CxR] [--map=serial|wavefront|affine:ti,tj,t0,"
          "xi,xj,x0|table]\n"
+         "       [--pipeline=fft:N|scanchain:N|diamond:N|irregular:N,F,S]"
+         " [--tuner=paired|greedy]\n"
          "       [--json] [--check-exec] [--pe-capacity=N] [--link-bits=B]"
          " [--max-diagnostics=N]\n";
   std::exit(2);
@@ -92,6 +111,17 @@ Args parse_args(int argc, char** argv) {
       a.machine = value("--machine=");
     } else if (arg.rfind("--map=", 0) == 0) {
       a.map = value("--map=");
+    } else if (arg.rfind("--pipeline=", 0) == 0) {
+      a.pipeline = value("--pipeline=");
+    } else if (arg.rfind("--tuner=", 0) == 0) {
+      const std::string t = value("--tuner=");
+      if (t == "paired") {
+        a.paired = true;
+      } else if (t == "greedy") {
+        a.paired = false;
+      } else {
+        usage(argv[0]);
+      }
     } else if (arg == "--json") {
       a.json = true;
     } else if (arg == "--check-exec") {
@@ -110,6 +140,132 @@ Args parse_args(int argc, char** argv) {
   return a;
 }
 
+/// Multi-kernel mode (--pipeline=...): tune one of the canned stage
+/// DAGs end to end, then lint + exec-check every committed stage winner
+/// against its resolved (producer-substituted) input homes.  Exit codes
+/// match single-spec mode: 0 clean, 1 warnings, 2 errors / no mapping.
+int run_pipeline(const Args& args, const harmony::fm::MachineConfig& machine,
+                 const char* argv0) {
+  namespace fm = harmony::fm;
+  namespace algos = harmony::algos;
+  namespace analyze = harmony::analyze;
+
+  const std::size_t colon = args.pipeline.find(':');
+  if (colon == std::string::npos) usage(argv0);
+  const std::string family = args.pipeline.substr(0, colon);
+  const auto dims = split_ints(args.pipeline.substr(colon + 1));
+
+  fm::Pipeline pipe;
+  fm::PipelineOptions opts;
+  if (family == "fft" && dims.size() == 1) {
+    pipe = algos::fft_shuffle_fft_pipeline(dims[0]);
+  } else if (family == "scanchain" && dims.size() == 1) {
+    pipe = algos::scan_filter_scan_pipeline(dims[0]);
+  } else if (family == "diamond" && dims.size() == 1) {
+    pipe = algos::diamond_pipeline(dims[0]);
+  } else if (family == "irregular" && dims.size() == 3) {
+    pipe = algos::irregular_chain_pipeline(
+        dims[0], static_cast<int>(dims[1]),
+        static_cast<std::uint64_t>(dims[2]));
+    // Irregular dependence defeats the affine family; tune the chain
+    // with the anneal strategy on a modest, deterministic budget.
+    opts.strategy = fm::StrategyKind::kAnneal;
+    opts.strategy_opts.chains = 2;
+    opts.strategy_opts.epochs = 12;
+    opts.strategy_opts.iters_per_epoch = 96;
+  } else {
+    usage(argv0);
+  }
+
+  fm::PipelineResult result;
+  try {
+    result = args.paired ? fm::tune_pipeline_paired(pipe, machine, opts)
+                         : fm::tune_pipeline_greedy(pipe, machine, opts);
+  } catch (const std::exception& e) {
+    std::cerr << "harmony-lint: --pipeline: " << e.what() << "\n";
+    return 2;
+  }
+  if (!result.found) {
+    std::cerr << "harmony-lint: --pipeline=" << args.pipeline << " on "
+              << args.machine << ": no legal mapping for every stage\n";
+    return 2;
+  }
+
+  // Certify each stage winner with the input homes the tuner actually
+  // priced its handoffs against — producer bindings resolve to
+  // distributed homes over the producer's committed place function.
+  std::uint64_t errors = 0, warnings = 0, dropped = 0;
+  std::vector<analyze::Diagnostic> diags;
+  std::vector<std::string> lines;
+  for (std::size_t s = 0; s < pipe.size(); ++s) {
+    const fm::StageResult& st = result.stages[s];
+    const fm::FunctionSpec& spec = *pipe.stage(s).spec;
+    std::uint64_t stage_errors = 0;
+    try {
+      const fm::Mapping proto =
+          fm::stage_input_proto(pipe, s, opts.strategy, result);
+      fm::Mapping full;
+      if (opts.strategy == fm::StrategyKind::kExhaustive) {
+        full = proto;
+        full.set_computed(spec.computed_tensors().front(),
+                          st.affine.place_fn(), st.affine.time_fn());
+      } else {
+        full = fm::to_mapping(spec, st.table);
+      }
+      LintOptions lopts;
+      lopts.max_diagnostics = args.max_diagnostics;
+      lopts.verify.max_messages = args.max_diagnostics;
+      const LintReport rep = analyze::lint_mapping(spec, full, machine, lopts);
+
+      const auto cs = fm::compile_spec(spec, machine, proto);
+      const analyze::ExecWitness witness =
+          opts.strategy == fm::StrategyKind::kExhaustive
+              ? analyze::build_exec_witness(*cs, st.affine)
+              : analyze::build_exec_witness(*cs, st.table);
+      analyze::ExecOptions eopts;
+      eopts.max_diagnostics = args.max_diagnostics;
+      const analyze::ExecReport er = analyze::ExecChecker(eopts).check(witness);
+
+      stage_errors = rep.errors + er.errors;
+      errors += stage_errors;
+      warnings += rep.warnings + er.warnings;
+      dropped += rep.dropped + er.dropped;
+      diags.insert(diags.end(), rep.diagnostics.begin(), rep.diagnostics.end());
+      diags.insert(diags.end(), er.diagnostics.begin(), er.diagnostics.end());
+    } catch (const std::exception& e) {
+      std::cerr << "harmony-lint: --pipeline stage " << st.name << ": "
+                << e.what() << "\n";
+      return 2;
+    }
+    std::ostringstream line;
+    line << "  stage " << s << " (" << st.name << "): merit " << st.merit
+         << ", cycles [" << st.start_cycle << ", " << st.finish_cycle
+         << ") — " << (stage_errors == 0 ? "certified" : "ILLEGAL");
+    lines.push_back(line.str());
+  }
+
+  if (args.json) {
+    std::cout << analyze::diagnostics_json(diags) << "\n";
+  } else {
+    std::cout << "harmony-lint: pipeline " << args.pipeline << " on "
+              << args.machine << " via "
+              << (args.paired ? "paired" : "greedy") << " tuner — "
+              << (errors == 0 ? "legal" : "ILLEGAL") << ", " << errors
+              << " error(s), " << warnings
+              << " warning(s) [exec checked per stage]";
+    if (dropped > 0) std::cout << " (" << dropped << " dropped)";
+    std::cout << "\n";
+    for (const std::string& l : lines) std::cout << l << "\n";
+    std::cout << "  total: merit " << result.merit << ", makespan "
+              << result.total.makespan_cycles << " cycles, "
+              << result.probe_searches << " probe search(es)\n";
+    if (!diags.empty()) {
+      analyze::diagnostics_table(diags).print(std::cout);
+    }
+  }
+  return errors > 0 ? 2 : (warnings > 0 ? 1 : 0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -126,6 +282,9 @@ int main(int argc, char** argv) {
                                                static_cast<int>(mdims[1]));
   if (args.pe_capacity) machine.pe_capacity_values = *args.pe_capacity;
   if (args.link_bits) machine.link_bits_per_cycle = *args.link_bits;
+
+  // ---- multi-kernel mode ---------------------------------------------
+  if (!args.pipeline.empty()) return run_pipeline(args, machine, argv[0]);
 
   // ---- spec ----------------------------------------------------------
   const std::size_t colon = args.spec.find(':');

@@ -5,22 +5,26 @@
 #   2. analyze — the static-analysis subsystem (race detector, linter,
 #      execution checker; ctest -L analyze) plus harmony-lint CLI smoke
 #      runs, including --check-exec on one affine and one TableMap
-#      fixture;
+#      fixture and one --pipeline chain (tune + per-stage ExecChecker
+#      certification against producer-substituted input homes);
 #   3. ASan/UBSan build running the serve + analyze + support tests (the
 #      concurrent subsystem and the shadow-memory detector are where
 #      lifetime bugs would live; support_test exercises the Rng
 #      full-domain ranges whose old arithmetic was signed-overflow UB);
 #   4. TSan build running the tier1 + serve + analyze + trace +
-#      fm_search + fm_strategy labels — the whole correctness suite
+#      fm_search + fm_strategy + fm_pipeline labels — the whole
+#      correctness suite
 #      (parallel search parity, compiled-evaluation parity, delta-eval
 #      parity, multi-chain anneal/beam worker-count identity, scheduler
 #      wakeup, batching, cache, concurrent trace-ring writes) plus the
 #      stress test under ThreadSanitizer;
-#   5. perf    — smoke runs of the compiled-evaluation and stochastic-
-#      search benchmarks (bench_e22 + bench_e23, ctest -L perf): fails
-#      if the fast path's reports diverge from the legacy oracles, a
-#      parallel search diverges from serial, the anneal misses the
-#      affine optimum, or the delta-eval speedup contract breaks.
+#   5. perf    — smoke runs of the compiled-evaluation, stochastic-
+#      search, and pipeline-tuning benchmarks (bench_e22 + bench_e23 +
+#      bench_e24, ctest -L perf): fails if the fast path's reports
+#      diverge from the legacy oracles, a parallel search diverges from
+#      serial, the anneal misses the affine optimum, the delta-eval
+#      speedup contract breaks, or the co-optimizing pipeline tuner
+#      loses to the greedy baseline / fails certification.
 #
 # Usage:
 #   scripts/check.sh                         # all stages
@@ -60,7 +64,14 @@ run_analyze() {
   ./build/examples/harmony-lint --spec=editdist:8x8 --machine=8x1 \
     --map=affine:1,1,101,0,1,0 --check-exec &&
   ./build/examples/harmony-lint --spec=stencil:64,8 --machine=4x1 \
-    --map=table --check-exec
+    --map=table --check-exec &&
+  # Pipeline mode: tune a chain and certify every stage winner.  Exit 1
+  # (warnings only — low-utilization hints are normal for these tiny
+  # smoke chains) passes; exit 2 (lint/exec errors) fails the stage.
+  { ./build/examples/harmony-lint --pipeline=scanchain:16 --machine=4x1 \
+      || [ "$?" -eq 1 ]; } &&
+  { ./build/examples/harmony-lint --pipeline=irregular:24,3,7 \
+      --machine=4x1 --tuner=greedy || [ "$?" -eq 1 ]; }
 }
 
 run_asan() {
@@ -74,11 +85,11 @@ run_asan() {
 
 run_tsan() {
   echo "== TSan: tier1 + serve + analyze + trace + fm_search +" \
-       "fm_strategy labels ==" &&
+       "fm_strategy + fm_pipeline labels ==" &&
   cmake -B build-tsan -S . -DHARMONY_TSAN=ON &&
   cmake --build build-tsan -j --target harmony_tests &&
   ctest --test-dir build-tsan --output-on-failure \
-    -L "tier1|serve|analyze|trace|fm_search|fm_strategy|exec"
+    -L "tier1|serve|analyze|trace|fm_search|fm_strategy|fm_pipeline|exec"
 }
 
 run_perf() {
@@ -86,9 +97,11 @@ run_perf() {
   # floor: modeled >= 2x at 8 workers always (deterministic work-span
   # replay of the grain schedule, DESIGN.md §15), measured >= 2x only
   # when the host has >= 8 hardware threads.
-  echo "== perf: compiled-evaluation + stochastic-search bench smoke ==" &&
+  echo "== perf: compiled-eval + stochastic-search + pipeline bench" \
+       "smoke ==" &&
   cmake -B build -S . &&
-  cmake --build build -j --target bench_e22_cost_eval bench_e23_anneal &&
+  cmake --build build -j --target bench_e22_cost_eval bench_e23_anneal \
+    bench_e24_pipeline &&
   ctest --test-dir build --output-on-failure -L perf
 }
 

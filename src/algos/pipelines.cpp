@@ -1,0 +1,178 @@
+#include "algos/pipelines.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "algos/fft.hpp"
+#include "algos/specs.hpp"
+#include "support/error.hpp"
+
+namespace harmony::algos {
+namespace {
+
+[[nodiscard]] bool is_pow2(std::int64_t v) {
+  return v > 0 && (v & (v - 1)) == 0;
+}
+
+[[nodiscard]] int log2_of(std::int64_t v) {
+  int bits = 0;
+  while ((std::int64_t{1} << bits) < v) ++bits;
+  return bits;
+}
+
+[[nodiscard]] std::shared_ptr<const fm::FunctionSpec> shared(
+    fm::FunctionSpec s) {
+  return std::make_shared<const fm::FunctionSpec>(std::move(s));
+}
+
+}  // namespace
+
+fm::FunctionSpec butterfly_pass_spec(std::int64_t n, std::int64_t stride) {
+  HARMONY_REQUIRE(is_pow2(n) && is_pow2(stride) && stride < n,
+                  "butterfly_pass_spec: n and stride must be powers of two "
+                  "with stride < n");
+  fm::FunctionSpec spec;
+  const fm::TensorId x = spec.add_input("x", fm::IndexDomain(n), 32);
+  const fm::TensorId y = spec.add_computed(
+      "y", fm::IndexDomain(n),
+      [x, stride](const fm::Point& p) {
+        return std::vector<fm::ValueRef>{{x, p},
+                                         {x, fm::Point{p.i ^ stride}}};
+      },
+      [stride](const fm::Point& p, const std::vector<double>& v) {
+        return (p.i & stride) == 0 ? v[0] + v[1] : v[1] - v[0];
+      },
+      fm::OpCost{2.0, 32});
+  spec.mark_output(y);
+  return spec;
+}
+
+fm::FunctionSpec bitrev_shuffle_spec(std::int64_t n) {
+  HARMONY_REQUIRE(is_pow2(n), "bitrev_shuffle_spec: n must be a power of two");
+  const int bits = log2_of(n);
+  fm::FunctionSpec spec;
+  const fm::TensorId x = spec.add_input("x", fm::IndexDomain(n), 32);
+  const fm::TensorId y = spec.add_computed(
+      "y", fm::IndexDomain(n),
+      [x, bits](const fm::Point& p) {
+        return std::vector<fm::ValueRef>{{x, fm::Point{bit_reverse(p.i,
+                                                                   bits)}}};
+      },
+      [](const fm::Point&, const std::vector<double>& v) { return v[0]; },
+      fm::OpCost{1.0, 32});
+  spec.mark_output(y);
+  return spec;
+}
+
+fm::FunctionSpec scan_pass_spec(std::int64_t n) {
+  HARMONY_REQUIRE(n >= 1, "scan_pass_spec: n must be positive");
+  fm::FunctionSpec spec;
+  const fm::TensorId x = spec.add_input("x", fm::IndexDomain(n), 32);
+  const fm::TensorId s = spec.add_computed(
+      "s", fm::IndexDomain(n),
+      [x](const fm::Point& p) {
+        const fm::TensorId self = x + 1;
+        std::vector<fm::ValueRef> deps{{x, p}};
+        if (p.i > 0) deps.push_back({self, fm::Point{p.i - 1}});
+        return deps;
+      },
+      [](const fm::Point&, const std::vector<double>& v) {
+        return v.size() > 1 ? v[0] + v[1] : v[0];
+      },
+      fm::OpCost{1.0, 32});
+  spec.mark_output(s);
+  return spec;
+}
+
+fm::FunctionSpec pointwise_filter_spec(std::int64_t n) {
+  HARMONY_REQUIRE(n >= 1, "pointwise_filter_spec: n must be positive");
+  fm::FunctionSpec spec;
+  const fm::TensorId x = spec.add_input("x", fm::IndexDomain(n), 32);
+  const fm::TensorId y = spec.add_computed(
+      "y", fm::IndexDomain(n),
+      [x](const fm::Point& p) { return std::vector<fm::ValueRef>{{x, p}}; },
+      [](const fm::Point&, const std::vector<double>& v) {
+        return std::max(v[0], 0.0);
+      },
+      fm::OpCost{1.0, 32});
+  spec.mark_output(y);
+  return spec;
+}
+
+fm::FunctionSpec combine_spec(std::int64_t n) {
+  HARMONY_REQUIRE(n >= 1, "combine_spec: n must be positive");
+  fm::FunctionSpec spec;
+  const fm::TensorId a = spec.add_input("a", fm::IndexDomain(n), 32);
+  const fm::TensorId b = spec.add_input("b", fm::IndexDomain(n), 32);
+  const fm::TensorId y = spec.add_computed(
+      "y", fm::IndexDomain(n),
+      [a, b](const fm::Point& p) {
+        return std::vector<fm::ValueRef>{{a, p}, {b, p}};
+      },
+      [](const fm::Point&, const std::vector<double>& v) {
+        return v[0] + v[1];
+      },
+      fm::OpCost{1.0, 32});
+  spec.mark_output(y);
+  return spec;
+}
+
+fm::Pipeline fft_shuffle_fft_pipeline(std::int64_t n) {
+  fm::Pipeline pipe;
+  const std::size_t pass1 = pipe.add_stage(
+      {"fft-pass-hi", shared(butterfly_pass_spec(n, n / 2)),
+       {fm::StageInput::external(fm::InputHome::dram())}});
+  const std::size_t shuf = pipe.add_stage(
+      {"bitrev", shared(bitrev_shuffle_spec(n)),
+       {fm::StageInput::from(pass1)}});
+  pipe.add_stage({"fft-pass-lo", shared(butterfly_pass_spec(n, 1)),
+                  {fm::StageInput::from(shuf)}});
+  return pipe;
+}
+
+fm::Pipeline scan_filter_scan_pipeline(std::int64_t n) {
+  fm::Pipeline pipe;
+  const std::size_t scan1 = pipe.add_stage(
+      {"scan", shared(scan_pass_spec(n)),
+       {fm::StageInput::external(fm::InputHome::dram())}});
+  const std::size_t filt = pipe.add_stage(
+      {"filter", shared(pointwise_filter_spec(n)),
+       {fm::StageInput::from(scan1)}});
+  pipe.add_stage({"rescan", shared(scan_pass_spec(n)),
+                  {fm::StageInput::from(filt)}});
+  return pipe;
+}
+
+fm::Pipeline irregular_chain_pipeline(std::int64_t n, int max_fanin,
+                                      std::uint64_t seed) {
+  // irregular_dag_spec(m) reads an input of extent m/4, so the producer
+  // is sized to the consumer's input tensor: y over n/4 feeds a over
+  // n/4.
+  const std::int64_t n_head = std::max<std::int64_t>(1, n / 4);
+  fm::Pipeline pipe;
+  const std::size_t head = pipe.add_stage(
+      {"dag-head", shared(irregular_dag_spec(n_head, max_fanin, seed)),
+       {fm::StageInput::external(fm::InputHome::dram())}});
+  pipe.add_stage(
+      {"dag-tail", shared(irregular_dag_spec(n, max_fanin, seed + 1)),
+       {fm::StageInput::from(head)}});
+  return pipe;
+}
+
+fm::Pipeline diamond_pipeline(std::int64_t n) {
+  fm::Pipeline pipe;
+  const std::size_t scan = pipe.add_stage(
+      {"scan", shared(scan_pass_spec(n)),
+       {fm::StageInput::external(fm::InputHome::dram())}});
+  const std::size_t filt = pipe.add_stage(
+      {"filter", shared(pointwise_filter_spec(n)),
+       {fm::StageInput::from(scan)}});
+  const std::size_t shuf = pipe.add_stage(
+      {"shuffle", shared(bitrev_shuffle_spec(n)),
+       {fm::StageInput::from(scan)}});
+  pipe.add_stage({"combine", shared(combine_spec(n)),
+                  {fm::StageInput::from(filt), fm::StageInput::from(shuf)}});
+  return pipe;
+}
+
+}  // namespace harmony::algos

@@ -1,0 +1,65 @@
+// Canned multi-kernel pipelines for fm::Pipeline (bench E24, the
+// pipeline tests, and harmony-lint's --pipeline mode).
+//
+// Each stage is a purpose-built *single-computed-tensor* FunctionSpec —
+// the searchers' contract — so a whole FFT becomes a chain of butterfly
+// passes with an explicit bit-reverse shuffle between them, and a
+// stream program becomes scan → pointwise filter → scan.  The chains
+// are exactly the compositions the paper's modularity discussion warns
+// about ("the F&M model supports modular program composition, but with
+// constraints on mappings of input and output data structures"): each
+// handoff is a producer→consumer edge whose cost depends on both
+// stages' layouts, which is what tune_pipeline_greedy vs.
+// tune_pipeline_paired measure.
+#pragma once
+
+#include <cstdint>
+
+#include "fm/pipeline.hpp"
+#include "fm/spec.hpp"
+
+namespace harmony::algos {
+
+/// One radix-2 butterfly layer over x (n a power of two, stride a power
+/// of two < n):  y(i) = x(i) + x(i XOR stride), with the high partner
+/// subtracted instead (y(i) = x(i XOR stride) - x(i) when i's stride
+/// bit is set).  Dependences — the part the mapper prices — are exactly
+/// the FFT layer's: every element reads itself and its stride partner.
+[[nodiscard]] fm::FunctionSpec butterfly_pass_spec(std::int64_t n,
+                                                   std::int64_t stride);
+
+/// Bit-reverse permutation: y(i) = x(bit_reverse(i)) over n = 2^bits.
+/// Pure data movement — its cost is *all* handoff.
+[[nodiscard]] fm::FunctionSpec bitrev_shuffle_spec(std::int64_t n);
+
+/// Inclusive prefix sum as a serial recurrence: S(i) = S(i-1) + x(i).
+[[nodiscard]] fm::FunctionSpec scan_pass_spec(std::int64_t n);
+
+/// Pointwise filter: y(i) = max(x(i), 0) (a ReLU-style gate).
+[[nodiscard]] fm::FunctionSpec pointwise_filter_spec(std::int64_t n);
+
+/// Two-input combine: y(i) = a(i) + b(i).  The multi-input stage the
+/// diamond pipeline joins through.
+[[nodiscard]] fm::FunctionSpec combine_spec(std::int64_t n);
+
+/// FFT → shuffle → FFT: butterfly pass (stride n/2), bit-reverse
+/// shuffle, butterfly pass (stride 1).  External x streams from DRAM.
+[[nodiscard]] fm::Pipeline fft_shuffle_fft_pipeline(std::int64_t n);
+
+/// scan → filter → scan: serial-recurrence scan, pointwise filter,
+/// second scan.  External x streams from DRAM.
+[[nodiscard]] fm::Pipeline scan_filter_scan_pipeline(std::int64_t n);
+
+/// Irregular chain: irregular_dag_spec(n, max_fanin, seed) feeding
+/// irregular_dag_spec(n, max_fanin, seed + 1) through its input tensor
+/// — the non-affine scenario (tuned with search_table strategies).
+[[nodiscard]] fm::Pipeline irregular_chain_pipeline(std::int64_t n,
+                                                    int max_fanin,
+                                                    std::uint64_t seed);
+
+/// Diamond DAG: scan → {filter, shuffle} → combine.  The two middle
+/// stages pull the shared producer toward conflicting layouts, and the
+/// join stage mixes two producer-fixed inputs — the tests' edge cases.
+[[nodiscard]] fm::Pipeline diamond_pipeline(std::int64_t n);
+
+}  // namespace harmony::algos

@@ -95,6 +95,11 @@ inline constexpr RuleInfo kRules[] = {
     {"FM005", Severity::kError, "fm-search-options",
      "fix the degenerate search option (0 means \"none\", not \"auto\"; "
      "use kAutoGrain for automatic grain sizing)"},
+    // Enumeration-plan overflow (fm/enum_plan.cpp) — the mixed-radix
+    // slot count would wrap uint64 and silently truncate the space.
+    {"FM006", Severity::kError, "fm-enum-overflow",
+     "shrink the coefficient pools or split the search space; a wrapped "
+     "slot count would silently enumerate a truncated space"},
     // Mapping lint warnings (analyze/lint.cpp) — legal but smelly.
     {"FM101", Severity::kWarning, "fm-idle-pes",
      "spread the space map (nonzero space coefficients) so idle PEs do "

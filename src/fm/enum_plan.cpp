@@ -2,12 +2,25 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
+#include "analyze/diagnostic.hpp"
 #include "support/error.hpp"
 
 namespace harmony::fm {
 
 namespace {
+
+/// a * b, or nullopt on uint64 wrap — the mixed-radix slot count must
+/// be exact; a wrapped total would silently enumerate a truncated
+/// space (decode_slots bounds-checks against plan.total, so every slot
+/// above the wrap point would simply never exist).
+std::optional<std::uint64_t> checked_mul(std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
+    return std::nullopt;
+  }
+  return a * b;
+}
 
 /// Extremes of an affine form over the domain box (attained at corners).
 struct Range {
@@ -66,10 +79,27 @@ EnumPlan build_enum_plan(const IndexDomain& dom, const MachineConfig& machine,
   plan.yi = scy;
   plan.yj = use_j ? scy : zero;
   plan.yk = use_k ? scy : zero;
-  plan.space_size = static_cast<std::uint64_t>(
-      plan.xi.size() * plan.xj.size() * plan.xk.size() * plan.yi.size() *
-      plan.yj.size() * plan.yk.size());
-  plan.total = plan.blocks.size() * plan.space_size;
+  // Overflow-checked mixed-radix product: for large affine families the
+  // naive product wraps uint64, and the enumeration would cover only
+  // total mod 2^64 slots while reporting itself exhausted.  Fail loudly
+  // with the FM-series diagnostic instead.
+  std::optional<std::uint64_t> space_sz = std::uint64_t{1};
+  for (const std::uint64_t radix :
+       {plan.xi.size(), plan.xj.size(), plan.xk.size(), plan.yi.size(),
+        plan.yj.size(), plan.yk.size()}) {
+    if (space_sz) space_sz = checked_mul(*space_sz, radix);
+  }
+  const std::optional<std::uint64_t> total =
+      space_sz ? checked_mul(*space_sz, plan.blocks.size()) : std::nullopt;
+  if (!total) {
+    const analyze::Diagnostic d = analyze::make_diagnostic(
+        "FM006", analyze::Location{},
+        "fm::build_enum_plan: mixed-radix slot count overflows uint64; "
+        "the enumeration would silently truncate");
+    throw InvalidArgument(d.rule_id + ": " + d.message + " (" + d.hint + ")");
+  }
+  plan.space_size = *space_sz;
+  plan.total = *total;
   return plan;
 }
 

@@ -259,7 +259,13 @@ SearchResult search_affine(const FunctionSpec& spec,
   const std::uint64_t grain_slots = opts.grain != kAutoGrain
                                         ? opts.grain
                                         : auto_grain_slots(range, lanes);
-  const std::uint64_t num_grains = (range + grain_slots - 1) / grain_slots;
+  // Overflow-safe ceil-divide: the naive (range + grain_slots - 1) form
+  // wraps uint64 when a caller passes a near-2^64 grain (a legal value,
+  // distinct from the kAutoGrain sentinel), collapsing num_grains to 0 —
+  // the whole space is skipped yet next_offset lands on `total` with
+  // exhausted=true, silently breaking the resume covering invariant.
+  const std::uint64_t num_grains =
+      range / grain_slots + (range % grain_slots != 0 ? 1 : 0);
   lanes = static_cast<unsigned>(
       std::min<std::uint64_t>(lanes, num_grains));
 

@@ -236,8 +236,10 @@ void search_lanes(Ctx& ctx, unsigned lanes, std::uint64_t begin,
                   const std::function<bool()>& cancel, SearchTally* tallies,
                   std::uint8_t* processed, EvalRange&& eval_range) {
   if (begin >= end || lanes == 0 || grain_slots == 0) return;
+  // Overflow-safe ceil-divide: adding grain_slots - 1 first would wrap
+  // uint64 for near-2^64 grains and leave the whole range unevaluated.
   const std::uint64_t num_grains =
-      (end - begin + grain_slots - 1) / grain_slots;
+      (end - begin) / grain_slots + ((end - begin) % grain_slots != 0);
   // Head grains are owned statically; the tail (~2 grains per lane, the
   // whole range when it is that small) stays dynamic so a lane that
   // finishes early can absorb a straggler's work.

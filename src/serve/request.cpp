@@ -10,6 +10,7 @@ const char* to_string(RequestKind kind) {
     case RequestKind::kCostEval: return "cost_eval";
     case RequestKind::kLegality: return "legality";
     case RequestKind::kTune: return "tune";
+    case RequestKind::kPipelineTune: return "pipeline_tune";
   }
   return "?";
 }
@@ -183,15 +184,68 @@ void mix_strategy(Fingerprint& fp, const fm::StrategyOptions& s) {
   fp.mix(static_cast<std::uint64_t>(s.beam_moves));
 }
 
+/// Stage bindings are structural: producer edges by index, external
+/// homes by (kind, pe).  Callers must have screened out distributed
+/// externals (cacheable() does) — a closure has no canonical form.
+void mix_pipeline(Fingerprint& fp, const fm::Pipeline& pipe,
+                  std::size_t samples) {
+  fp.mix(static_cast<std::uint64_t>(pipe.size()));
+  for (std::size_t s = 0; s < pipe.size(); ++s) {
+    const fm::PipelineStage& st = pipe.stage(s);
+    fp.mix(st.name);
+    mix_spec(fp, *st.spec, samples);
+    fp.mix(static_cast<std::uint64_t>(st.inputs.size()));
+    for (const fm::StageInput& b : st.inputs) {
+      fp.mix(static_cast<std::uint64_t>(b.kind));
+      if (b.kind == fm::StageInput::Kind::kProducer) {
+        fp.mix(static_cast<std::uint64_t>(b.producer));
+      } else {
+        fp.mix(static_cast<std::uint64_t>(b.home.kind));
+        fp.mix(b.home.pe.x);
+        fp.mix(b.home.pe.y);
+      }
+    }
+  }
+}
+
 }  // namespace
 
-bool cacheable(const Request& req) { return req.spec != nullptr; }
+bool cacheable(const Request& req) {
+  if (req.kind == RequestKind::kPipelineTune) {
+    if (req.pipeline == nullptr) return false;
+    for (std::size_t s = 0; s < req.pipeline->size(); ++s) {
+      for (const fm::StageInput& b : req.pipeline->stage(s).inputs) {
+        if (b.kind == fm::StageInput::Kind::kExternal &&
+            b.home.kind == fm::InputHome::Kind::kDistributed) {
+          return false;  // closure homes have no canonical fingerprint
+        }
+      }
+    }
+    return true;
+  }
+  return req.spec != nullptr;
+}
 
 CacheKey make_cache_key(const Request& req, std::size_t sample_points_n) {
-  HARMONY_REQUIRE(req.spec != nullptr, "make_cache_key: null spec");
   Fingerprint fp;
   fp.mix(kKeySchema);
   fp.mix(static_cast<std::uint64_t>(req.kind));
+  if (req.kind == RequestKind::kPipelineTune) {
+    HARMONY_REQUIRE(req.pipeline != nullptr, "make_cache_key: null pipeline");
+    mix_pipeline(fp, *req.pipeline, sample_points_n);
+    mix_machine(fp, req.machine);
+    fp.mix(static_cast<std::uint64_t>(req.fom));
+    fp.mix(req.pipeline_paired);
+    fp.mix(static_cast<std::uint64_t>(req.pipeline_pair_candidates));
+    fp.mix(static_cast<std::uint64_t>(req.strategy));
+    if (req.strategy == fm::StrategyKind::kExhaustive) {
+      mix_search(fp, req.search);
+    } else {
+      mix_strategy(fp, req.strategy_opts);
+    }
+    return fp.key();
+  }
+  HARMONY_REQUIRE(req.spec != nullptr, "make_cache_key: null spec");
   mix_spec(fp, *req.spec, sample_points_n);
   mix_machine(fp, req.machine);
   fp.mix(static_cast<std::uint64_t>(req.fom));
@@ -217,6 +271,8 @@ CacheKey make_cache_key(const Request& req, std::size_t sample_points_n) {
         mix_strategy(fp, req.strategy_opts);
       }
       break;
+    case RequestKind::kPipelineTune:
+      break;  // handled above
   }
   return fp.key();
 }
@@ -236,6 +292,24 @@ CacheKey make_compile_key(const Request& req, std::size_t sample_points_n) {
     fp.mix(in.pe.x);
     fp.mix(in.pe.y);
   }
+  return fp.key();
+}
+
+CacheKey make_stage_compile_key(const Request& req, std::size_t stage,
+                                std::uint64_t home_fingerprint,
+                                std::size_t sample_points_n) {
+  HARMONY_REQUIRE(req.pipeline != nullptr && stage < req.pipeline->size(),
+                  "make_stage_compile_key: bad pipeline stage");
+  Fingerprint fp;
+  fp.mix(kKeySchema);
+  // Domain-separation tag, distinct from make_compile_key's.
+  fp.mix(std::uint64_t{0x51a6e5edULL});
+  mix_spec(fp, *req.pipeline->stage(stage).spec, sample_points_n);
+  mix_machine(fp, req.machine);
+  // The resolved input homes, compressed by the tuner: externals
+  // structurally, producer winners by their committed coefficients /
+  // placement tables (fm/pipeline.cpp).
+  fp.mix(home_fingerprint);
   return fp.key();
 }
 

@@ -28,6 +28,7 @@
 #include "fm/legality.hpp"
 #include "fm/machine.hpp"
 #include "fm/mapping.hpp"
+#include "fm/pipeline.hpp"
 #include "fm/search.hpp"
 #include "fm/spec.hpp"
 #include "fm/strategy/strategy.hpp"
@@ -36,9 +37,10 @@
 namespace harmony::serve {
 
 enum class RequestKind : std::uint8_t {
-  kCostEval,  ///< price one (spec, AffineMap) pair: fm::evaluate_cost
-  kLegality,  ///< check one (spec, AffineMap) pair: fm::verify
-  kTune,      ///< autotune the mapping: fm::search_affine
+  kCostEval,      ///< price one (spec, AffineMap) pair: fm::evaluate_cost
+  kLegality,      ///< check one (spec, AffineMap) pair: fm::verify
+  kTune,          ///< autotune the mapping: fm::search_affine
+  kPipelineTune,  ///< tune a multi-kernel DAG: fm::tune_pipeline_*
 };
 
 [[nodiscard]] const char* to_string(RequestKind kind);
@@ -91,6 +93,19 @@ struct Request {
   /// `scheduler`, `num_workers`, and `compiled` are service-owned and
   /// excluded, like their SearchOptions counterparts.
   fm::StrategyOptions strategy_opts;
+  /// kPipelineTune: the stage DAG under tuning (spec stays null).  The
+  /// per-stage searcher is `strategy` with `search` / `strategy_opts` as
+  /// the stage templates, exactly like kTune; `fom` ranks both the stage
+  /// searches and the chain total.  Cacheable unless an external stage
+  /// input carries a distributed home (an arbitrary closure cannot be
+  /// fingerprinted — such requests run uncached).
+  std::shared_ptr<const fm::Pipeline> pipeline;
+  /// kPipelineTune: co-optimizing tuner (tune_pipeline_paired) when
+  /// true, the greedy stage-by-stage baseline when false.
+  bool pipeline_paired = true;
+  /// kPipelineTune: candidates per stage the co-tuner probes consumers
+  /// with (fm::PipelineOptions::pair_candidates).
+  std::size_t pipeline_pair_candidates = 4;
   /// kTune: fork-join lanes this tune may spread over on the service's
   /// shared scheduler.  0 means "up to the service cap"
   /// (ServiceConfig::max_tune_workers); nonzero is clamped to that cap.
@@ -124,6 +139,10 @@ struct Response {
   /// kTune with strategy == kAnneal / kBeam: the stochastic search's
   /// winner (TableMap), full re-scored cost, and move counters.
   fm::StrategyResult strategy;
+  /// kPipelineTune: per-stage winners, chain totals (critical-path
+  /// makespan), and the co-tuner's probe count.  `cost` mirrors
+  /// `pipeline.total`.
+  fm::PipelineResult pipeline;
   /// kTune: mapping-linter diagnostics (analyze::lint_mapping) for the
   /// best mapping found — warnings a merit number alone would hide.
   std::vector<analyze::Diagnostic> lint;
@@ -178,5 +197,16 @@ struct CacheKeyHash {
 /// both the same flat tables.  Tagged so it can never alias a result key.
 [[nodiscard]] CacheKey make_compile_key(const Request& req,
                                         std::size_t sample_points = 32);
+
+/// Compile key for one pipeline stage: stage spec structure, machine,
+/// and the resolved-input-home fingerprint the pipeline tuner reports
+/// (fm::PipelineOptions::compile).  Producer-fed stages recompile when
+/// — and only when — the producer's committed layout changes, and two
+/// pipeline tunes sharing a stage triple share its flat tables.  Tagged
+/// so it can never alias a result key or a single-spec compile key.
+[[nodiscard]] CacheKey make_stage_compile_key(const Request& req,
+                                              std::size_t stage,
+                                              std::uint64_t home_fingerprint,
+                                              std::size_t sample_points = 32);
 
 }  // namespace harmony::serve

@@ -76,11 +76,17 @@ std::future<Response> Service::submit(Request req) {
   std::promise<Response> ready;
   std::future<Response> fut = ready.get_future();
 
-  if (req.spec == nullptr) {
+  const bool missing_payload =
+      req.kind == RequestKind::kPipelineTune
+          ? req.pipeline == nullptr || req.pipeline->empty()
+          : req.spec == nullptr;
+  if (missing_payload) {
     Response r;
     r.status = Status::kError;
     r.kind = req.kind;
-    r.error = "submit: null spec";
+    r.error = req.kind == RequestKind::kPipelineTune
+                  ? "submit: null or empty pipeline"
+                  : "submit: null spec";
     metrics_.on_complete(Clock::now() - now, false, true);
     ready.set_value(std::move(r));
     return fut;
@@ -176,9 +182,9 @@ void Service::dispatch_loop() {
     std::vector<std::vector<std::unique_ptr<Pending>>> groups;
     std::unordered_map<CacheKey, std::size_t, CacheKeyHash> by_key;
     for (auto& p : batch) {
-      const bool dedupable =
-          p->use_cache &&
-          !(p->req.kind == RequestKind::kTune && p->has_deadline);
+      const bool is_tune = p->req.kind == RequestKind::kTune ||
+                           p->req.kind == RequestKind::kPipelineTune;
+      const bool dedupable = p->use_cache && !(is_tune && p->has_deadline);
       if (dedupable) {
         if (const auto it = by_key.find(p->key); it != by_key.end()) {
           groups[it->second].push_back(std::move(p));
@@ -218,12 +224,17 @@ void Service::run_group(std::vector<std::unique_ptr<Pending>>& group) {
     metrics_.on_diagnostics(computed.legality.diagnostics);
     metrics_.on_diagnostics(computed.lint);
     metrics_.on_diagnostics(computed.exec);
-    const bool store =
-        leader.use_cache && computed.ok() &&
-        (leader.req.kind != RequestKind::kTune ||
-         (leader.req.strategy == fm::StrategyKind::kExhaustive
-              ? computed.search.exhausted
-              : computed.strategy.completed));
+    // Cut-short tunes (of either flavour) stay out of the cache: a short
+    // deadline must never poison the answer for a patient caller.
+    bool converged = true;
+    if (leader.req.kind == RequestKind::kTune) {
+      converged = leader.req.strategy == fm::StrategyKind::kExhaustive
+                      ? computed.search.exhausted
+                      : computed.strategy.completed;
+    } else if (leader.req.kind == RequestKind::kPipelineTune) {
+      converged = computed.pipeline.completed;
+    }
+    const bool store = leader.use_cache && computed.ok() && converged;
     if (store) {
       cache_.put(leader.key, std::make_shared<Response>(computed));
     }
@@ -315,6 +326,10 @@ Response Service::execute(const Pending& p) {
         }
         break;
       }
+      case RequestKind::kPipelineTune: {
+        execute_pipeline_tune(p, r);
+        break;
+      }
     }
   } catch (const std::exception& e) {
     r = Response{};
@@ -364,6 +379,87 @@ void Service::execute_strategy_tune(const Pending& p, Response& r) {
   }
 }
 
+void Service::execute_pipeline_tune(const Pending& p, Response& r) {
+  const Request& req = p.req;
+  const fm::Pipeline& pipe = *req.pipeline;
+  fm::PipelineOptions opts;
+  opts.fom = req.fom;
+  opts.strategy = req.strategy;
+  opts.search = req.search;
+  opts.strategy_opts = req.strategy_opts;
+  opts.pair_candidates = req.pipeline_pair_candidates;
+  // Same execution plumbing as single-spec tunes: the shared scheduler
+  // with the tune lane cap, per-stage compiles through the coalescing
+  // compile cache, and a deadline cancel chained over any caller hook —
+  // the pipeline tuner polls it between stages, between probes, and
+  // inside every stage search, so a cut answers best-so-far.
+  opts.scheduler = &scheduler_;
+  const unsigned cap =
+      cfg_.max_tune_workers == 0 ? cfg_.num_workers : cfg_.max_tune_workers;
+  opts.num_workers =
+      req.tune_workers == 0 ? cap : std::min(req.tune_workers, cap);
+  if (p.has_deadline) {
+    if (req.strategy == fm::StrategyKind::kExhaustive &&
+        opts.search.grain == fm::kAutoGrain) {
+      opts.search.grain = 1;  // bound overshoot, as in the kTune path
+    }
+    const Clock::time_point cutoff = p.deadline - cfg_.deadline_margin;
+    const std::function<bool()> user =
+        req.strategy == fm::StrategyKind::kExhaustive
+            ? req.search.cancel
+            : req.strategy_opts.cancel;
+    opts.cancel = [cutoff, user] {
+      return Clock::now() >= cutoff || (user && user());
+    };
+  }
+  opts.compile = [this, &req](std::size_t stage, const fm::Mapping& proto,
+                              std::uint64_t home_fp) {
+    return compiled_for_stage(req, stage, proto, home_fp);
+  };
+
+  const std::uint64_t steals_before = scheduler_.steal_count();
+  r.pipeline = req.pipeline_paired
+                   ? fm::tune_pipeline_paired(pipe, req.machine, opts)
+                   : fm::tune_pipeline_greedy(pipe, req.machine, opts);
+  unsigned workers_used = 1;
+  for (const fm::StageResult& st : r.pipeline.stages) {
+    workers_used = std::max(
+        {workers_used, st.search.workers_used, st.strategy.workers_used});
+  }
+  metrics_.on_tune(workers_used, scheduler_.steal_count() - steals_before);
+  r.deadline_cut = p.has_deadline && !r.pipeline.completed;
+  if (!r.pipeline.found) return;
+  r.cost = r.pipeline.total;
+  // Certify every committed stage winner with its *resolved* input
+  // homes — the producer-substituted prototype each stage actually
+  // compiled against — through the linter and the independent axiom
+  // checker.  A clean chain means every handoff the cost model priced
+  // is one the relational model agrees is legal.
+  for (std::size_t s = 0; s < pipe.size(); ++s) {
+    const fm::StageResult& st = r.pipeline.stages[s];
+    const fm::FunctionSpec& spec = *pipe.stage(s).spec;
+    const fm::Mapping proto =
+        fm::stage_input_proto(pipe, s, req.strategy, r.pipeline);
+    const std::shared_ptr<const fm::CompiledSpec> compiled =
+        compiled_for_stage(req, s, proto, st.home_fingerprint);
+    if (req.strategy == fm::StrategyKind::kExhaustive) {
+      fm::Mapping full = proto;
+      const fm::TensorId target = spec.computed_tensors().front();
+      full.set_computed(target, st.affine.place_fn(), st.affine.time_fn());
+      const auto lint = analyze::lint_mapping(spec, full, req.machine);
+      r.lint.insert(r.lint.end(), lint.diagnostics.begin(),
+                    lint.diagnostics.end());
+      check_winner_exec(r, analyze::build_exec_witness(*compiled, st.affine));
+    } else {
+      const fm::Mapping full = fm::to_mapping(spec, st.table);
+      const auto lint = analyze::lint_mapping(spec, full, req.machine);
+      r.lint.insert(r.lint.end(), lint.diagnostics.begin(),
+                    lint.diagnostics.end());
+      check_winner_exec(r, analyze::build_exec_witness(*compiled, st.table));
+    }
+  }
+}
+
 void Service::check_winner_exec(Response& r,
                                 const analyze::ExecWitness& witness) {
   if (!cfg_.check_exec) return;
@@ -374,7 +470,7 @@ void Service::check_winner_exec(Response& r,
                    static_cast<std::uint64_t>(witness.num_ops));
   const analyze::ExecReport rep = analyze::ExecChecker().check(witness);
   r.exec_checked = true;
-  r.exec = rep.diagnostics;
+  r.exec.insert(r.exec.end(), rep.diagnostics.begin(), rep.diagnostics.end());
   metrics_.on_exec_check(!rep.ok());
 }
 
@@ -385,6 +481,44 @@ std::shared_ptr<const fm::CompiledSpec> Service::compiled_for(
     return fm::compile_spec(*req.spec, req.machine, input_proto(req));
   }
   const CacheKey key = make_compile_key(req, cfg_.key_sample_points);
+  return compiled_cached(key, [&] {
+    return fm::compile_spec(*req.spec, req.machine, input_proto(req));
+  });
+}
+
+std::shared_ptr<const fm::CompiledSpec> Service::compiled_for_stage(
+    const Request& req, std::size_t stage, const fm::Mapping& proto,
+    std::uint64_t home_fp) {
+  const fm::FunctionSpec& spec = *req.pipeline->stage(stage).spec;
+  bool hashable = cfg_.compile_cache_capacity > 0;
+  for (const fm::StageInput& b : req.pipeline->stage(stage).inputs) {
+    if (b.kind == fm::StageInput::Kind::kExternal &&
+        b.home.kind == fm::InputHome::Kind::kDistributed) {
+      hashable = false;  // opaque closure: never share across requests
+    }
+  }
+  if (!hashable) {
+    metrics_.on_compile(false);
+    return fm::compile_spec(spec, req.machine, proto);
+  }
+  const CacheKey key =
+      make_stage_compile_key(req, stage, home_fp, cfg_.key_sample_points);
+  return compiled_cached(
+      key, [&] { return fm::compile_spec(spec, req.machine, proto); });
+}
+
+std::shared_ptr<const fm::CompiledSpec> Service::compiled_cached(
+    const CacheKey& key,
+    const std::function<std::shared_ptr<const fm::CompiledSpec>()>& compile) {
+  // Leader vs. follower is decided atomically at the probe: the caller
+  // that *inserts* the in-flight entry compiles (out of lock, so one
+  // slow compile never stalls the pool); every caller that *finds* it
+  // blocks on the rendezvous instead of compiling again.  A stampede of
+  // identical keys therefore costs exactly one fm::compile_spec and one
+  // recorded miss — followers count as hits, since they reuse another
+  // request's flat tables.
+  std::shared_ptr<InflightCompile> flight;
+  bool leader = false;
   {
     std::lock_guard<std::mutex> lk(compile_mu_);
     if (const auto it = compile_cache_.find(key);
@@ -394,22 +528,51 @@ std::shared_ptr<const fm::CompiledSpec> Service::compiled_for(
       metrics_.on_compile(true);
       return it->second.compiled;
     }
+    const auto [it, inserted] =
+        compile_inflight_.try_emplace(key, nullptr);
+    if (inserted) {
+      it->second = std::make_shared<InflightCompile>();
+      leader = true;
+    }
+    flight = it->second;
   }
-  // Compile outside the lock: concurrent misses on the same key may
-  // both compile (identical results — the spec triple is the same), and
-  // the second insert below simply finds the entry already present.
+  if (!leader) {
+    std::unique_lock<std::mutex> lk(flight->mu);
+    flight->cv.wait(lk, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    metrics_.on_compile(true);
+    return flight->compiled;
+  }
+
   metrics_.on_compile(false);
-  auto compiled = fm::compile_spec(*req.spec, req.machine, input_proto(req));
-  std::lock_guard<std::mutex> lk(compile_mu_);
-  if (const auto it = compile_cache_.find(key); it != compile_cache_.end()) {
-    return it->second.compiled;
+  std::shared_ptr<const fm::CompiledSpec> compiled;
+  std::exception_ptr error;
+  try {
+    compiled = compile();
+  } catch (...) {
+    error = std::current_exception();
   }
-  compile_lru_.push_front(key);
-  compile_cache_.emplace(key, CompiledEntry{compiled, compile_lru_.begin()});
-  while (compile_cache_.size() > cfg_.compile_cache_capacity) {
-    compile_cache_.erase(compile_lru_.back());
-    compile_lru_.pop_back();
+  {
+    std::lock_guard<std::mutex> lk(compile_mu_);
+    if (compiled) {
+      compile_lru_.push_front(key);
+      compile_cache_.emplace(key,
+                             CompiledEntry{compiled, compile_lru_.begin()});
+      while (compile_cache_.size() > cfg_.compile_cache_capacity) {
+        compile_cache_.erase(compile_lru_.back());
+        compile_lru_.pop_back();
+      }
+    }
+    compile_inflight_.erase(key);
   }
+  {
+    std::lock_guard<std::mutex> lk(flight->mu);
+    flight->compiled = compiled;
+    flight->error = error;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  if (error) std::rethrow_exception(error);
   return compiled;
 }
 

@@ -25,7 +25,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -138,8 +140,15 @@ class Service {
   /// TableMap space, with the same service-owned scheduler / compile
   /// cache / deadline plumbing as the exhaustive path.
   void execute_strategy_tune(const Pending& p, Response& r);
+  /// kPipelineTune: fm::tune_pipeline_greedy / _paired over the request's
+  /// stage DAG.  Per-stage compiles route through the compile cache via
+  /// the tuner's compile hook; every committed stage winner is then
+  /// certified through ExecChecker with its producer-substituted input
+  /// homes (the diagnostics aggregate into Response::exec / lint).
+  void execute_pipeline_tune(const Pending& p, Response& r);
   /// Post-hoc ExecChecker replay of a tune winner's execution witness
-  /// (no-op unless ServiceConfig::check_exec).
+  /// (no-op unless ServiceConfig::check_exec).  Appends to Response::exec
+  /// — pipeline tunes certify one winner per stage.
   void check_winner_exec(Response& r, const analyze::ExecWitness& witness);
   void respond(Pending& p, Response r);
   /// CompiledSpec for a tune request, via the LRU compile cache (may
@@ -147,11 +156,40 @@ class Service {
   /// execute() converts to kError).
   [[nodiscard]] std::shared_ptr<const fm::CompiledSpec> compiled_for(
       const Request& req);
+  /// CompiledSpec for one pipeline stage under the resolved input-home
+  /// prototype `proto` (fingerprinted by `home_fp`).  Stages with
+  /// un-fingerprintable homes (a distributed *external* binding —
+  /// producer-fixed distributed homes are covered by home_fp) bypass the
+  /// cache and compile directly.
+  [[nodiscard]] std::shared_ptr<const fm::CompiledSpec> compiled_for_stage(
+      const Request& req, std::size_t stage, const fm::Mapping& proto,
+      std::uint64_t home_fp);
+  /// The compile cache's general entry point: probe by key, else run
+  /// `compile` — with in-flight coalescing, so concurrent misses on one
+  /// key run a single compile and the duplicates wait on the first
+  /// (mirrors the dispatcher's duplicate-coalescing for tunes).  Both
+  /// single-spec tunes (compiled_for) and per-stage pipeline compiles
+  /// route through here.
+  [[nodiscard]] std::shared_ptr<const fm::CompiledSpec> compiled_cached(
+      const CacheKey& key,
+      const std::function<std::shared_ptr<const fm::CompiledSpec>()>&
+          compile);
 
   /// One compile-cache entry: the compiled tables plus the LRU hook.
   struct CompiledEntry {
     std::shared_ptr<const fm::CompiledSpec> compiled;
     std::list<CacheKey>::iterator lru;
+  };
+
+  /// Rendezvous for one in-flight compile: the first miss publishes the
+  /// result (or the exception) here; coalesced duplicates block on the
+  /// condition variable instead of compiling again.
+  struct InflightCompile {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const fm::CompiledSpec> compiled;
+    std::exception_ptr error;
   };
 
   ServiceConfig cfg_;
@@ -169,6 +207,12 @@ class Service {
   std::mutex compile_mu_;
   std::list<CacheKey> compile_lru_;
   std::unordered_map<CacheKey, CompiledEntry, CacheKeyHash> compile_cache_;
+  /// Compiles currently running out-of-lock, keyed like the cache;
+  /// guarded by compile_mu_.  An entry exists exactly while its leader
+  /// compiles — it is erased (after publication) before the leader
+  /// returns, so the map stays empty at rest.
+  std::unordered_map<CacheKey, std::shared_ptr<InflightCompile>, CacheKeyHash>
+      compile_inflight_;
 };
 
 }  // namespace harmony::serve

@@ -21,6 +21,7 @@
 #include "fm/search.hpp"
 #include "sched/parallel_ops.hpp"
 #include "sched/scheduler.hpp"
+#include "support/error.hpp"
 
 namespace harmony::fm {
 namespace {
@@ -148,6 +149,42 @@ TEST(DecodeSlots, OdometerMatchesPerSlotSeedOnEverySlot) {
   }
 }
 
+TEST(EnumPlan, OverflowingRadixProductThrowsFM006) {
+  // Regression: with six searched coefficient pools (rank-3 domain,
+  // search_y on a multi-row machine) the mixed-radix product
+  // |xi|·|xj|·|xk|·|yi|·|yj|·|yk| wraps uint64 once each pool exceeds
+  // ~2^10.7 entries.  2048^6 = 2^66 ≡ 0 (mod 2^64): the old build
+  // returned space_size == 0 and an "exhausted" enumeration of nothing.
+  // Plan build must refuse with the FM006 diagnostic instead.
+  const FunctionSpec spec = algos::matmul_spec(2);
+  const IndexDomain& dom = spec.domain(spec.computed_tensors()[0]);
+  const MachineConfig cfg = make_machine(2, 2);
+
+  SearchSpace huge;
+  huge.search_y = true;
+  huge.space_coeffs.clear();
+  for (std::int64_t c = 0; c < 2048; ++c) huge.space_coeffs.push_back(c);
+
+  try {
+    (void)build_enum_plan(dom, cfg, huge, /*makespan_bound=*/1e18);
+    FAIL() << "overflowing radix product was accepted";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("FM006"), std::string::npos)
+        << "diagnostic should carry the FM006 rule id: " << e.what();
+  }
+
+  // Near-miss sanity: a large but representable product still builds.
+  SearchSpace big;
+  big.search_y = true;
+  big.time_coeffs = {1};  // one time block, so only the radices multiply
+  big.space_coeffs.clear();
+  for (std::int64_t c = 0; c < 1024; ++c) big.space_coeffs.push_back(c);
+  const EnumPlan plan = build_enum_plan(dom, cfg, big, 1e18);
+  ASSERT_EQ(plan.blocks.size(), 1u);
+  EXPECT_EQ(plan.space_size, std::uint64_t{1} << 60);  // 1024^6 = 2^60
+  EXPECT_EQ(plan.total, std::uint64_t{1} << 60);
+}
+
 TEST(SearchLanes, SlotsCoveredExactlyOnceWithExplicitLaneIndex) {
   // The kernel on a real scheduler: a ragged grain over an offset range
   // must visit every slot exactly once, mark every grain processed, and
@@ -191,6 +228,110 @@ TEST(SearchLanes, SlotsCoveredExactlyOnceWithExplicitLaneIndex) {
   std::uint64_t enumerated = 0;
   for (const SearchTally& t : tallies) enumerated += t.enumerated;
   EXPECT_EQ(enumerated, kEnd - kBegin);
+}
+
+TEST(SearchLanes, HugeGrainMatchesSerialInsteadOfSkippingTheSpace) {
+  // Regression: a near-2^64 grain (legal, distinct from the kAutoGrain
+  // sentinel) used to wrap the naive ceil-divide in num_grains to 0, so
+  // the parallel backend evaluated nothing yet reported
+  // next_offset == total with exhausted=true — a silent full-space skip
+  // that broke serial parity and the resume covering invariant.
+  algos::SwScores s;
+  const FunctionSpec spec = algos::editdist_spec(8, 8, s);
+  const MachineConfig cfg = make_machine(8, 1);
+  Mapping proto;
+  for (TensorId in : spec.input_tensors()) {
+    proto.set_input(in,
+                    InputHome::distributed(
+                        block_distribution(spec.domain(in), cfg.geom).place));
+  }
+  const SearchResult serial = search_affine(spec, cfg, proto, {});
+  ASSERT_TRUE(serial.found);
+  ASSERT_TRUE(serial.exhausted);
+  ASSERT_GT(serial.enumerated, 0u);
+
+  sched::Scheduler pool(4);
+  SearchOptions par;
+  par.scheduler = &pool;
+  par.num_workers = 4;
+  par.grain = ~std::uint64_t{0} - 1;  // huge but NOT the sentinel
+  const SearchResult r = search_affine(spec, cfg, proto, par);
+  EXPECT_GE(r.workers_used, 1u) << "grain wrap clamped lanes to zero";
+  EXPECT_EQ(r.enumerated, serial.enumerated);
+  EXPECT_EQ(r.found, serial.found);
+  EXPECT_EQ(r.exhausted, serial.exhausted);
+  EXPECT_EQ(r.next_offset, serial.next_offset);
+  ASSERT_EQ(r.top.size(), serial.top.size());
+  for (std::size_t i = 0; i < r.top.size(); ++i) {
+    EXPECT_EQ(r.top[i].slot, serial.top[i].slot);
+    EXPECT_EQ(r.top[i].merit, serial.top[i].merit);
+  }
+}
+
+TEST(SearchLanes, CancelOnTicketedTailKeepsNextOffsetCovering) {
+  // When cancel fires while a worker holds a tail ticket, the driver's
+  // next_offset formula (first unprocessed grain's first slot) must not
+  // step past any unevaluated slot: every slot below the computed
+  // next_offset has to have been handed to eval_range.  Sweeping the
+  // cancel trigger over eval-start counts lands the cut inside head
+  // grains, on held tail tickets, and after the end.
+  constexpr unsigned kLanes = 4;
+  constexpr std::uint64_t kBegin = 5;
+  constexpr std::uint64_t kEnd = 233;
+  constexpr std::uint64_t kGrain = 7;  // does not divide 228
+  const std::uint64_t num_grains = (kEnd - kBegin + kGrain - 1) / kGrain;
+
+  sched::Scheduler pool(kLanes);
+  for (std::uint64_t after = 0; after <= num_grains + 2; ++after) {
+    SCOPED_TRACE("cancel after " + std::to_string(after) + " grain starts");
+    std::vector<SearchTally> tallies(kLanes);
+    std::vector<std::uint8_t> processed(num_grains, 0);
+    std::vector<std::atomic<std::uint8_t>> hit(kEnd);
+    for (auto& h : hit) h.store(0);
+    std::atomic<std::uint64_t> evals{0};
+    const std::function<bool()> cancel = [&] {
+      return evals.load(std::memory_order_relaxed) >= after;
+    };
+    sched::RealCtx ctx;
+    pool.run([&] {
+      search_lanes(ctx, kLanes, kBegin, kEnd, kGrain, cancel,
+                   tallies.data(), processed.data(),
+                   [&](std::uint64_t lo, std::uint64_t hi, unsigned,
+                       SearchTally& tally) {
+                     evals.fetch_add(1, std::memory_order_relaxed);
+                     tally.enumerated += hi - lo;
+                     for (std::uint64_t slot = lo; slot < hi; ++slot) {
+                       hit[slot].store(1, std::memory_order_relaxed);
+                     }
+                   });
+    });
+    // The driver's next_offset formula over processed[].
+    std::uint64_t first_unprocessed = num_grains;
+    for (std::uint64_t g = 0; g < num_grains; ++g) {
+      if (processed[g] == 0) {
+        first_unprocessed = g;
+        break;
+      }
+    }
+    const std::uint64_t next =
+        first_unprocessed == num_grains
+            ? kEnd
+            : std::min(kEnd, kBegin + first_unprocessed * kGrain);
+    for (std::uint64_t slot = kBegin; slot < next; ++slot) {
+      ASSERT_EQ(hit[slot].load(), 1u)
+          << "next_offset " << next << " stepped past unevaluated slot "
+          << slot;
+    }
+    // processed[g] == 1 implies every slot of grain g was evaluated.
+    for (std::uint64_t g = 0; g < num_grains; ++g) {
+      if (!processed[g]) continue;
+      const std::uint64_t lo = kBegin + g * kGrain;
+      const std::uint64_t hi = std::min(kEnd, lo + kGrain);
+      for (std::uint64_t slot = lo; slot < hi; ++slot) {
+        ASSERT_EQ(hit[slot].load(), 1u) << "grain " << g << " slot " << slot;
+      }
+    }
+  }
 }
 
 TEST(EvalContextPool, PooledLaneMatchesFreshContext) {

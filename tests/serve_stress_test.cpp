@@ -176,6 +176,55 @@ TEST(ServeStress, MixedTrafficManyClientsTinyCache) {
   }
 }
 
+TEST(ServeStress, CompileStampedeCoalescesToOneMiss) {
+  // Regression: compiled_for probes the compile cache under its lock
+  // but compiles *outside* it, so concurrent misses on one compile key
+  // used to each run fm::compile_spec and each record a miss.  In-flight
+  // coalescing must collapse the stampede: one leader compiles, the
+  // duplicates wait on it, and exactly one miss is recorded no matter
+  // how the batch interleaves.
+  ServiceConfig cfg;
+  cfg.num_workers = 4;
+  cfg.max_batch = 32;
+  cfg.batch_linger = 5ms;  // let every request land in one batch
+  Service svc(cfg);
+
+  // A deliberately expensive compile — big domain, 64-PE machine, so
+  // the P×P route/energy tables take long enough that un-coalesced
+  // concurrent misses reliably overlap.  The search space is kept tiny
+  // (16 slots); whether a legal mapping exists is irrelevant here.
+  algos::SwScores s;
+  const auto spec = std::make_shared<const fm::FunctionSpec>(
+      algos::editdist_spec(48, 48, s));
+
+  constexpr int kTunes = 8;
+  std::vector<std::future<Response>> futures;
+  futures.reserve(kTunes);
+  for (int i = 0; i < kTunes; ++i) {
+    Request req;
+    req.kind = RequestKind::kTune;
+    req.spec = spec;
+    req.machine = fm::make_machine(16, 4);
+    req.inputs = {InputPlacement::dram(), InputPlacement::dram()};
+    req.search.space.time_coeffs = {1};
+    req.search.space.space_coeffs = {0, 1};
+    // Distinct top_k => distinct *result* cache keys (no batch dedup,
+    // every request runs its own oracle), while the *compile* key —
+    // which ignores search knobs — is identical across all of them.
+    req.search.top_k = static_cast<std::size_t>(i + 1);
+    futures.push_back(svc.submit(std::move(req)));
+  }
+  for (auto& f : futures) {
+    const Response r = f.get();
+    ASSERT_TRUE(r.ok()) << r.error;
+  }
+
+  const MetricsSnapshot snap = svc.metrics();
+  EXPECT_EQ(snap.compile_misses, 1u)
+      << "concurrent identical compiles were not coalesced";
+  EXPECT_EQ(snap.compile_hits, static_cast<std::uint64_t>(kTunes - 1));
+}
+
 TEST(ServeStress, ShutdownMidStreamDrainsAdmittedWork) {
   ServiceConfig cfg;
   cfg.num_workers = 2;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "algos/editdist.hpp"
+#include "algos/pipelines.hpp"
 #include "algos/specs.hpp"
 #include "fm/cost.hpp"
 #include "fm/search.hpp"
@@ -649,6 +650,85 @@ TEST(Service, StrategyDeadlineCutReturnsBestSoFarUncached) {
   // Deadline-cut strategy results are NOT cached: a rerun recomputes.
   const Response again = svc.call(req);
   EXPECT_FALSE(again.cache_hit);
+}
+
+TEST(Service, PipelineTuneMatchesDirectTunerAndCertifiesEveryStage) {
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  Service svc(cfg);
+
+  Request req;
+  req.kind = RequestKind::kPipelineTune;
+  req.pipeline = std::make_shared<const fm::Pipeline>(
+      algos::scan_filter_scan_pipeline(16));
+  req.machine = fm::make_machine(4, 1);
+  req.search.space.time_coeffs = {0, 1, 2};
+  req.search.space.space_coeffs = {-1, 0, 1};
+  req.pipeline_paired = true;
+
+  // Direct oracle on the same options (the service adds only plumbing).
+  fm::PipelineOptions direct_opts;
+  direct_opts.fom = req.fom;
+  direct_opts.search = req.search;
+  direct_opts.pair_candidates = req.pipeline_pair_candidates;
+  const fm::PipelineResult direct =
+      fm::tune_pipeline_paired(*req.pipeline, req.machine, direct_opts);
+  ASSERT_TRUE(direct.found);
+
+  const Response r = svc.call(req);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.pipeline.found);
+  EXPECT_TRUE(r.pipeline.completed);
+  EXPECT_FALSE(r.deadline_cut);
+  ASSERT_EQ(r.pipeline.stages.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.pipeline.merit, direct.merit);
+  EXPECT_EQ(r.cost.makespan_cycles, direct.total.makespan_cycles);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_DOUBLE_EQ(r.pipeline.stages[s].merit, direct.stages[s].merit)
+        << "stage " << s;
+  }
+  // Every stage winner was certified against the relational model with
+  // its producer-substituted input homes — and came back clean.
+  EXPECT_TRUE(r.exec_checked);
+  EXPECT_TRUE(r.exec.empty());
+  EXPECT_EQ(svc.metrics().exec_checks, 3u);
+  EXPECT_EQ(svc.metrics().exec_failures, 0u);
+
+  // Completed pipeline tunes are memoized under the pipeline
+  // fingerprint...
+  const Response again = svc.call(req);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_DOUBLE_EQ(again.pipeline.merit, direct.merit);
+
+  // ...and the greedy flavour is a *different* result key.
+  Request greedy = req;
+  greedy.pipeline_paired = false;
+  const Response g = svc.call(greedy);
+  ASSERT_TRUE(g.ok()) << g.error;
+  EXPECT_FALSE(g.cache_hit);
+  EXPECT_TRUE(g.pipeline.found);
+
+  // Per-stage compiles went through the compile cache: the paired run
+  // probes consumers under candidate layouts (distinct home
+  // fingerprints => distinct keys), then certification and the greedy
+  // rerun re-request the same triples and hit.
+  const MetricsSnapshot snap = svc.metrics();
+  EXPECT_GT(snap.compile_misses, 0u);
+  EXPECT_GT(snap.compile_hits, 0u);
+}
+
+TEST(Service, EmptyPipelineYieldsErrorResponseNotThrow) {
+  Service svc({.num_workers = 1});
+  Request req;
+  req.kind = RequestKind::kPipelineTune;  // pipeline left null
+  const Response r = svc.call(req);
+  EXPECT_EQ(r.status, Status::kError);
+  EXPECT_NE(r.error.find("pipeline"), std::string::npos);
+  Request empty;
+  empty.kind = RequestKind::kPipelineTune;
+  empty.pipeline = std::make_shared<const fm::Pipeline>();
+  const Response r2 = svc.call(std::move(empty));
+  EXPECT_EQ(r2.status, Status::kError);
 }
 
 TEST(Service, NullSpecYieldsErrorResponseNotThrow) {
