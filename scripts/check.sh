@@ -10,21 +10,26 @@
 #   3. ASan/UBSan build running the serve + analyze + support tests (the
 #      concurrent subsystem and the shadow-memory detector are where
 #      lifetime bugs would live; support_test exercises the Rng
-#      full-domain ranges whose old arithmetic was signed-overflow UB);
-#   4. TSan build running the tier1 + serve + analyze + trace +
-#      fm_search + fm_strategy + fm_pipeline labels — the whole
+#      full-domain ranges whose old arithmetic was signed-overflow UB;
+#      the serve_dist tests cover the router/worker wire path, where a
+#      bounds bug in frame decoding would be a heap overread);
+#   4. TSan build running the tier1 + serve + serve_dist + analyze +
+#      trace + fm_search + fm_strategy + fm_pipeline labels — the whole
 #      correctness suite
 #      (parallel search parity, compiled-evaluation parity, delta-eval
 #      parity, multi-chain anneal/beam worker-count identity, scheduler
-#      wakeup, batching, cache, concurrent trace-ring writes) plus the
+#      wakeup, batching, cache, concurrent trace-ring writes, router
+#      coalescing/stealing/drain against live worker threads) plus the
 #      stress test under ThreadSanitizer;
 #   5. perf    — smoke runs of the compiled-evaluation, stochastic-
-#      search, and pipeline-tuning benchmarks (bench_e22 + bench_e23 +
-#      bench_e24, ctest -L perf): fails if the fast path's reports
-#      diverge from the legacy oracles, a parallel search diverges from
-#      serial, the anneal misses the affine optimum, the delta-eval
-#      speedup contract breaks, or the co-optimizing pipeline tuner
-#      loses to the greedy baseline / fails certification.
+#      search, pipeline-tuning, and distributed-serving benchmarks
+#      (bench_e22 + bench_e23 + bench_e24 + bench_e25, ctest -L perf):
+#      fails if the fast path's reports diverge from the legacy
+#      oracles, a parallel search diverges from serial, the anneal
+#      misses the affine optimum, the delta-eval speedup contract
+#      breaks, the co-optimizing pipeline tuner loses to the greedy
+#      baseline / fails certification, any open-loop serve request
+#      errors, or the snapshot warm-restart contract breaks.
 #
 # Usage:
 #   scripts/check.sh                         # all stages
@@ -77,19 +82,20 @@ run_analyze() {
 run_asan() {
   echo "== ASan/UBSan: serve + analyze + support tests ==" &&
   cmake -B build-asan -S . -DHARMONY_ASAN=ON &&
-  cmake --build build-asan -j --target serve_test serve_stress_test \
+  cmake --build build-asan -j --target serve_test serve_ring_test \
+    serve_wire_test serve_dist_test serve_stress_test \
     analyze_race_test analyze_lint_test analyze_exec_test \
     analyze_witness_test support_test &&
   ctest --test-dir build-asan --output-on-failure -R "serve|analyze|support"
 }
 
 run_tsan() {
-  echo "== TSan: tier1 + serve + analyze + trace + fm_search +" \
-       "fm_strategy + fm_pipeline labels ==" &&
+  echo "== TSan: tier1 + serve + serve_dist + analyze + trace +" \
+       "fm_search + fm_strategy + fm_pipeline labels ==" &&
   cmake -B build-tsan -S . -DHARMONY_TSAN=ON &&
   cmake --build build-tsan -j --target harmony_tests &&
   ctest --test-dir build-tsan --output-on-failure \
-    -L "tier1|serve|analyze|trace|fm_search|fm_strategy|fm_pipeline|exec"
+    -L "tier1|serve|serve_dist|analyze|trace|fm_search|fm_strategy|fm_pipeline|exec"
 }
 
 run_perf() {
@@ -97,11 +103,11 @@ run_perf() {
   # floor: modeled >= 2x at 8 workers always (deterministic work-span
   # replay of the grain schedule, DESIGN.md §15), measured >= 2x only
   # when the host has >= 8 hardware threads.
-  echo "== perf: compiled-eval + stochastic-search + pipeline bench" \
-       "smoke ==" &&
+  echo "== perf: compiled-eval + stochastic-search + pipeline +" \
+       "distributed-serve bench smoke ==" &&
   cmake -B build -S . &&
   cmake --build build -j --target bench_e22_cost_eval bench_e23_anneal \
-    bench_e24_pipeline &&
+    bench_e24_pipeline bench_e25_distributed &&
   ctest --test-dir build --output-on-failure -L perf
 }
 

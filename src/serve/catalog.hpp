@@ -1,0 +1,56 @@
+// Named spec families for the wire tier (DESIGN.md §17).
+//
+// A FunctionSpec cannot cross a process boundary — its dependence
+// relation is a black-box std::function — so wire requests carry a
+// *name* in the grammar harmony-lint already speaks, and each end
+// rebuilds the spec locally:
+//
+//   editdist:NxM          Smith-Waterman H over N x M (default scores)
+//   stencil:N,STEPS       1-D Jacobi heat stencil
+//   conv:N,K              1-D convolution partial-sum recurrence
+//   matmul:N              N x N x N matrix multiply
+//   irregular:N,FANIN,SEED  hash-derived irregular DAG
+//
+// The spec builders are deterministic, so the router's rebuild and the
+// shard's rebuild fingerprint identically: make_cache_key() over the
+// two rebuilt Requests agrees bit for bit (pinned by
+// tests/serve_wire_test.cpp), which is what lets a shard's result cache
+// serve a key the router computed.
+//
+// SpecCatalog memoizes by name — a shard answering 10k requests for
+// "editdist:24x24" builds the spec once.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "fm/spec.hpp"
+#include "serve/request.hpp"
+#include "serve/wire.hpp"
+
+namespace harmony::serve {
+
+class SpecCatalog {
+ public:
+  /// The spec named by `name`; builds and memoizes on first use.
+  /// Throws WireError for an unknown family or malformed dimensions.
+  [[nodiscard]] std::shared_ptr<const fm::FunctionSpec> spec(
+      const std::string& name);
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const fm::FunctionSpec>>
+      specs_;
+};
+
+/// Rebuilds the full in-process Request a WireRequest describes: spec
+/// from the catalog, machine from the scalar overrides, search options
+/// from the knob fields (empty coefficient pools = SearchSpace
+/// defaults).  The inverse direction is a field-by-field copy done by
+/// clients; round-tripping through both preserves make_cache_key().
+[[nodiscard]] Request to_request(const WireRequest& wire,
+                                 SpecCatalog& catalog);
+
+}  // namespace harmony::serve

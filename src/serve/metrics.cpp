@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "trace/trace.hpp"
 
@@ -30,7 +31,7 @@ void LatencyHistogram::record(std::chrono::nanoseconds latency) {
   const auto ns = static_cast<std::uint64_t>(
       std::max<std::int64_t>(0, latency.count()));
   const std::size_t bucket =
-      std::min<std::size_t>(kBuckets - 1, std::bit_width(ns));  // 0 ns -> 0
+      std::min<std::size_t>(kNumBuckets - 1, std::bit_width(ns));  // 0 ns -> 0
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -44,9 +45,9 @@ std::uint64_t LatencyHistogram::count() const {
 
 double LatencyHistogram::percentile_us(double q) const {
   q = std::clamp(q, 0.0, 1.0);
-  std::array<std::uint64_t, kBuckets> snap{};
+  std::array<std::uint64_t, kNumBuckets> snap{};
   std::uint64_t total = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
     snap[b] = buckets_[b].load(std::memory_order_relaxed);
     total += snap[b];
   }
@@ -56,7 +57,7 @@ double LatencyHistogram::percentile_us(double q) const {
   const auto rank = static_cast<std::uint64_t>(
       std::max<double>(1.0, std::ceil(q * static_cast<double>(total))));
   std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
     seen += snap[b];
     if (seen >= rank) return bucket_midpoint_us(b);
   }
@@ -64,7 +65,36 @@ double LatencyHistogram::percentile_us(double q) const {
   // hits), kept as defense in depth.  Must use the same midpoint
   // convention as the loop — the upper-edge value returned previously
   // broke the documented [0.75x, 1.5x] bound for top-bucket samples.
-  return bucket_midpoint_us(kBuckets - 1);
+  return bucket_midpoint_us(kNumBuckets - 1);
+}
+
+std::vector<std::uint64_t> LatencyHistogram::counts() const {
+  std::vector<std::uint64_t> out(kNumBuckets);
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    const std::uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+void LatencyHistogram::add_counts(const std::vector<std::uint64_t>& counts) {
+  if (counts.size() > kNumBuckets) {
+    throw std::invalid_argument(
+        "LatencyHistogram::add_counts: foreign bucket convention (" +
+        std::to_string(counts.size()) + " buckets, expected <= " +
+        std::to_string(kNumBuckets) + ")");
+  }
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] != 0) {
+      buckets_[b].fetch_add(counts[b], std::memory_order_relaxed);
+    }
+  }
 }
 
 void Metrics::on_complete(std::chrono::nanoseconds latency,
@@ -120,6 +150,8 @@ MetricsSnapshot Metrics::snapshot(std::uint64_t queue_depth,
   s.p50_us = latency_.percentile_us(0.50);
   s.p95_us = latency_.percentile_us(0.95);
   s.p99_us = latency_.percentile_us(0.99);
+  s.p999_us = latency_.percentile_us(0.999);
+  s.latency_buckets = latency_.counts();
   s.tunes = tunes_.load(std::memory_order_relaxed);
   const std::uint64_t lanes = tune_workers_.load(std::memory_order_relaxed);
   s.mean_tune_workers = s.tunes ? static_cast<double>(lanes) /
@@ -159,6 +191,7 @@ Table metrics_table(const MetricsSnapshot& snap) {
   t.add_row({"p50_us", snap.p50_us});
   t.add_row({"p95_us", snap.p95_us});
   t.add_row({"p99_us", snap.p99_us});
+  t.add_row({"p999_us", snap.p999_us});
   t.add_row({"tunes", u(snap.tunes)});
   t.add_row({"mean_tune_workers", snap.mean_tune_workers});
   t.add_row({"tune_steals", u(snap.tune_steals)});

@@ -27,6 +27,13 @@ namespace harmony::serve {
 
 class LatencyHistogram {
  public:
+  // Bucket b holds latencies with bit_width(ns) == b: [2^(b-1), 2^b).
+  // 64 buckets cover every representable nanoseconds value.  Public:
+  // the wire tier ships raw bucket counts so a router can rebuild
+  // fleet-wide percentiles (merge below), and the bucket convention is
+  // part of that contract.
+  static constexpr std::size_t kNumBuckets = 64;
+
   void record(std::chrono::nanoseconds latency);
 
   [[nodiscard]] std::uint64_t count() const;
@@ -39,11 +46,26 @@ class LatencyHistogram {
   /// observation read back as p50 = 1.024 us instead of 0.768 us).
   [[nodiscard]] double percentile_us(double q) const;
 
+  /// Point-in-time copy of the raw bucket counts (index = bit_width).
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+
+  /// Adds `other`'s observations into this histogram.  Because buckets
+  /// are exact counters (the quantization happened at record() time),
+  /// merged percentiles equal those of one histogram fed the union of
+  /// the samples — pinned against that oracle by tests/serve_test.cpp.
+  /// This is what makes per-shard histograms aggregable: merging counts
+  /// is lossless, whereas averaging per-shard *percentiles* is wrong
+  /// for any non-uniform load split.
+  void merge(const LatencyHistogram& other);
+
+  /// merge() for counts that crossed the wire (WireMetrics).  Accepts
+  /// up to kNumBuckets entries; throws std::invalid_argument beyond
+  /// (a longer vector means a peer with a different bucket convention,
+  /// which must not be silently folded).
+  void add_counts(const std::vector<std::uint64_t>& counts);
+
  private:
-  // Bucket b holds latencies with bit_width(ns) == b: [2^(b-1), 2^b).
-  // 64 buckets cover every representable nanoseconds value.
-  static constexpr std::size_t kBuckets = 64;
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
 };
 
 /// Point-in-time view of the service counters, ready for export.
@@ -60,6 +82,12 @@ struct MetricsSnapshot {
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
+  /// Tail percentile the saturation bench (E25) tracks; a knee shows
+  /// here one sweep step before it reaches p99.
+  double p999_us = 0.0;
+  /// Raw latency-bucket counts (LatencyHistogram convention), exported
+  /// so a fronting router can merge shard histograms losslessly.
+  std::vector<std::uint64_t> latency_buckets;
   /// Oracle-run tunes (cache hits replay stored results and don't count).
   std::uint64_t tunes = 0;
   /// Mean fork-join lanes per tune (1.0 == every tune ran serial).

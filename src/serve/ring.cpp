@@ -1,0 +1,93 @@
+#include "serve/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace harmony::serve {
+namespace {
+
+// One placement point per (seed, shard, vnode).  SplitMix64 finalization
+// over the packed identity gives well-spread, history-independent points.
+std::uint64_t vnode_point(std::uint64_t seed, std::uint64_t shard,
+                          std::uint64_t vnode) {
+  SplitMix64 mix(seed ^ (shard * 0x9e3779b97f4a7c15ULL) ^
+                          (vnode * 0xbf58476d1ce4e5b9ULL));
+  return mix.next();
+}
+
+}  // namespace
+
+HashRing::HashRing(RingConfig cfg) : cfg_(cfg) {
+  if (cfg_.vnodes == 0) {
+    throw std::invalid_argument("HashRing: vnodes must be >= 1");
+  }
+}
+
+std::size_t HashRing::add_shard() {
+  const std::size_t shard = active_.size();
+  nodes_.reserve(nodes_.size() + cfg_.vnodes);
+  for (std::size_t v = 0; v < cfg_.vnodes; ++v) {
+    nodes_.push_back(Node{vnode_point(cfg_.seed, shard, v),
+                          static_cast<std::uint32_t>(shard)});
+  }
+  std::sort(nodes_.begin(), nodes_.end(),
+            [](const Node& a, const Node& b) {
+              // Tie-break on shard id so placement stays deterministic
+              // even in the astronomically unlikely point collision.
+              return a.point != b.point ? a.point < b.point
+                                        : a.shard < b.shard;
+            });
+  active_.push_back(1);
+  return shard;
+}
+
+void HashRing::set_active(std::size_t shard, bool active) {
+  if (shard >= active_.size()) {
+    throw std::out_of_range("HashRing::set_active: no such shard");
+  }
+  active_[shard] = active ? 1 : 0;
+}
+
+bool HashRing::active(std::size_t shard) const {
+  if (shard >= active_.size()) {
+    throw std::out_of_range("HashRing::active: no such shard");
+  }
+  return active_[shard] != 0;
+}
+
+std::size_t HashRing::num_active() const {
+  std::size_t n = 0;
+  for (char a : active_) n += a != 0 ? 1 : 0;
+  return n;
+}
+
+std::uint64_t HashRing::key_point(const CacheKey& key) {
+  // The 128-bit key is already two finalized fingerprint streams; fold
+  // them through one more SplitMix64 round so ring position is not
+  // literally key.hi (which other components use for cache sharding —
+  // reusing it verbatim would correlate ring placement with the result
+  // cache's internal shard choice).
+  SplitMix64 mix(key.hi ^ (key.lo * 0x94d049bb133111ebULL));
+  return mix.next();
+}
+
+std::size_t HashRing::lookup(const CacheKey& key) const {
+  if (nodes_.empty()) {
+    throw std::invalid_argument("HashRing::lookup: empty ring");
+  }
+  const std::uint64_t point = key_point(key);
+  auto it = std::lower_bound(
+      nodes_.begin(), nodes_.end(), point,
+      [](const Node& n, std::uint64_t p) { return n.point < p; });
+  // Clockwise walk from the first point >= key, wrapping, skipping
+  // drained shards.  Bounded by one full lap.
+  for (std::size_t hops = 0; hops < nodes_.size(); ++hops, ++it) {
+    if (it == nodes_.end()) it = nodes_.begin();
+    if (active_[it->shard] != 0) return it->shard;
+  }
+  throw std::invalid_argument("HashRing::lookup: no active shards");
+}
+
+}  // namespace harmony::serve

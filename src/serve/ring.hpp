@@ -1,0 +1,76 @@
+// Consistent-hash ring for the distributed serve tier (DESIGN.md §17).
+//
+// The router spreads compile/result keys across worker shards, and the
+// one property that makes per-shard affinity caches pay is *stability*:
+// when the shard set changes (drain, join, crash-restart), only the keys
+// that must move do.  A consistent-hash ring with virtual nodes gives
+// exactly that — adding one shard to N moves an expected K/(N+1) of K
+// keys (all of them *to* the new shard), and removing a shard moves only
+// the keys it owned.  Virtual nodes (default 64 per shard) smooth the
+// arc lengths so the load split stays within a few tens of percent of
+// uniform; both bounds are pinned by tests/serve_ring_test.cpp.
+//
+// Placement is a pure function of (seed, shard index, vnode index), so
+// two processes that build the ring from the same configuration agree on
+// every key's owner without exchanging a byte — the property a restarted
+// router relies on to keep warm shards warm.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace harmony::serve {
+
+struct RingConfig {
+  /// Virtual nodes per shard.  More vnodes = smoother balance at the
+  /// cost of a larger (still tiny) sorted point table.
+  std::size_t vnodes = 64;
+  /// Seed for the vnode placement hash; part of the ring's identity —
+  /// two rings agree on placement iff they share seed, vnodes, and the
+  /// shard count.
+  std::uint64_t seed = 0x5a17ed1e5ULL;
+};
+
+/// The ring itself: shards are dense indices 0..N-1, each owning
+/// `vnodes` pseudo-random points on a 64-bit circle.  A key belongs to
+/// the first *active* point clockwise from its hash.  Draining a shard
+/// deactivates its points (lookups skip them; its keys fall through to
+/// the next point clockwise — the bounded-movement rehash); rejoining
+/// reactivates the same points, restoring the exact previous placement.
+class HashRing {
+ public:
+  explicit HashRing(RingConfig cfg = {});
+
+  /// Appends a shard and returns its index.  Point placement depends
+  /// only on (seed, index, vnode), never on insertion history.
+  std::size_t add_shard();
+
+  /// Drain/rejoin hook: inactive shards are skipped by lookup().
+  void set_active(std::size_t shard, bool active);
+  [[nodiscard]] bool active(std::size_t shard) const;
+
+  [[nodiscard]] std::size_t num_shards() const { return active_.size(); }
+  [[nodiscard]] std::size_t num_active() const;
+
+  /// Owner of `key` among active shards.  Throws InvalidArgument when
+  /// the ring is empty or every shard is inactive.
+  [[nodiscard]] std::size_t lookup(const CacheKey& key) const;
+
+  /// The 64-bit circle position a key hashes to (exposed for tests).
+  [[nodiscard]] static std::uint64_t key_point(const CacheKey& key);
+
+ private:
+  struct Node {
+    std::uint64_t point;
+    std::uint32_t shard;
+  };
+
+  RingConfig cfg_;
+  std::vector<Node> nodes_;  ///< sorted by point
+  std::vector<char> active_;
+};
+
+}  // namespace harmony::serve

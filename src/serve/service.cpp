@@ -474,6 +474,20 @@ void Service::check_winner_exec(Response& r,
   metrics_.on_exec_check(!rep.ok());
 }
 
+void Service::warm(const Request& req, Response resp) {
+  if (!cacheable(req)) return;
+  const CacheKey key = make_cache_key(req, cfg_.key_sample_points);
+  resp.cache_hit = false;
+  resp.latency = std::chrono::nanoseconds{0};
+  cache_.put(key, std::make_shared<Response>(std::move(resp)));
+}
+
+void Service::precompile(const Request& req) {
+  if (req.kind != RequestKind::kTune || req.spec == nullptr) return;
+  if (req.strategy != fm::StrategyKind::kExhaustive) return;
+  (void)compiled_for(req);
+}
+
 std::shared_ptr<const fm::CompiledSpec> Service::compiled_for(
     const Request& req) {
   if (cfg_.compile_cache_capacity == 0) {

@@ -110,6 +110,19 @@ class Service {
   /// dispatcher.  Idempotent; called by the destructor.
   void shutdown();
 
+  /// Warm-start hook (snapshot restore, DESIGN.md §17): seeds the
+  /// result cache with a previously computed response for `req`, as if
+  /// the service had answered it.  Delivery metadata (cache_hit,
+  /// latency) is sanitized; non-cacheable requests are ignored.
+  void warm(const Request& req, Response resp);
+
+  /// Warm-start hook for the compile path: populates the CompiledSpec
+  /// cache for a tune request (no-op for other kinds).  A restored
+  /// shard pays its compile misses *here*, at restore time, instead of
+  /// stampeding fm::compile_spec when traffic returns — replaying the
+  /// snapshot's key sequence afterwards adds zero compile misses.
+  void precompile(const Request& req);
+
   [[nodiscard]] MetricsSnapshot metrics() const;
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
   [[nodiscard]] const ServiceConfig& config() const { return cfg_; }

@@ -1,0 +1,171 @@
+// Consistent-hash ring invariants (DESIGN.md §17, ISSUE 10 satellite 3).
+//
+// The router's placement guarantees all reduce to three HashRing
+// properties pinned here:
+//   * determinism — placement is a pure function of (seed, shard set,
+//     active set); two rings built the same way agree on every key;
+//   * balance — 64 vnodes/shard spreads keys close to uniformly;
+//   * bounded movement — draining or adding a shard moves only the keys
+//     that must move (≈ K/N for one shard of N), and reactivation
+//     restores the exact pre-drain placement.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/ring.hpp"
+#include "support/rng.hpp"
+
+namespace harmony::serve {
+namespace {
+
+// Deterministic stream of well-spread 128-bit keys.
+std::vector<CacheKey> make_keys(std::size_t n, std::uint64_t seed = 42) {
+  SplitMix64 mix(seed);
+  std::vector<CacheKey> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    CacheKey k;
+    k.hi = mix.next();
+    k.lo = mix.next();
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+std::vector<std::size_t> placements(const HashRing& ring,
+                                    const std::vector<CacheKey>& keys) {
+  std::vector<std::size_t> out;
+  out.reserve(keys.size());
+  for (const CacheKey& k : keys) out.push_back(ring.lookup(k));
+  return out;
+}
+
+TEST(HashRing, DeterministicPlacementForFixedSeed) {
+  RingConfig cfg;
+  HashRing a(cfg);
+  HashRing b(cfg);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(a.add_shard(), static_cast<std::size_t>(s));
+    EXPECT_EQ(b.add_shard(), static_cast<std::size_t>(s));
+  }
+  const auto keys = make_keys(1000);
+  EXPECT_EQ(placements(a, keys), placements(b, keys));
+
+  // A different seed is a different ring: at least some keys must land
+  // elsewhere (all 1000 agreeing would mean the seed is ignored).
+  RingConfig other = cfg;
+  other.seed ^= 0x1234567;
+  HashRing c(other);
+  for (int s = 0; s < 4; ++s) c.add_shard();
+  EXPECT_NE(placements(a, keys), placements(c, keys));
+}
+
+TEST(HashRing, BalanceOver1000Keys) {
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kKeys = 1000;
+  HashRing ring{RingConfig{}};
+  for (std::size_t s = 0; s < kShards; ++s) ring.add_shard();
+
+  std::vector<std::size_t> count(kShards, 0);
+  for (const CacheKey& k : make_keys(kKeys)) ++count[ring.lookup(k)];
+
+  // With 64 vnodes/shard the arc-length imbalance is modest; require
+  // every shard within [0.5x, 1.7x] of the fair share — loose enough to
+  // be seed-robust, tight enough to catch a broken point function
+  // (which typically sends 0 or ~all keys to one shard).
+  const double fair = static_cast<double>(kKeys) / kShards;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(count[s], static_cast<std::size_t>(fair * 0.5)) << "shard " << s;
+    EXPECT_LT(count[s], static_cast<std::size_t>(fair * 1.7)) << "shard " << s;
+  }
+}
+
+TEST(HashRing, DrainMovesOnlyTheDrainedShardsKeys) {
+  constexpr std::size_t kShards = 4;
+  HashRing ring{RingConfig{}};
+  for (std::size_t s = 0; s < kShards; ++s) ring.add_shard();
+
+  const auto keys = make_keys(1000);
+  const auto before = placements(ring, keys);
+
+  ring.set_active(1, false);
+  EXPECT_EQ(ring.num_active(), kShards - 1);
+  const auto during = placements(ring, keys);
+
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (before[i] == 1) {
+      // Every key of the drained shard must move, and never back to it.
+      EXPECT_NE(during[i], 1u);
+    } else {
+      // Keys of surviving shards must not move at all: deactivation
+      // removes points, it does not re-hash the ring.
+      EXPECT_EQ(during[i], before[i]);
+    }
+    moved += during[i] != before[i] ? 1 : 0;
+  }
+  // Movement is exactly the drained shard's share: ≈ K/N, bounded with
+  // the same slack as the balance test.
+  const double fair = 1000.0 / kShards;
+  EXPECT_GT(moved, static_cast<std::size_t>(fair * 0.5));
+  EXPECT_LT(moved, static_cast<std::size_t>(fair * 1.7));
+}
+
+TEST(HashRing, ReactivationRestoresExactPlacement) {
+  HashRing ring{RingConfig{}};
+  for (int s = 0; s < 4; ++s) ring.add_shard();
+  const auto keys = make_keys(1000);
+  const auto before = placements(ring, keys);
+
+  ring.set_active(2, false);
+  ring.set_active(2, true);
+  EXPECT_EQ(placements(ring, keys), before);
+}
+
+TEST(HashRing, AddShardMovesBoundedFraction) {
+  constexpr std::size_t kShards = 4;
+  HashRing ring{RingConfig{}};
+  for (std::size_t s = 0; s < kShards; ++s) ring.add_shard();
+  const auto keys = make_keys(1000);
+  const auto before = placements(ring, keys);
+
+  ring.add_shard();
+  const auto after = placements(ring, keys);
+
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (after[i] != before[i]) {
+      // Keys only move *to* the new shard; a consistent ring never
+      // shuffles keys between pre-existing shards on a join.
+      EXPECT_EQ(after[i], kShards);
+      ++moved;
+    }
+  }
+  // The new shard claims ≈ K/(N+1); same slack band as above.
+  const double fair = 1000.0 / (kShards + 1);
+  EXPECT_GT(moved, static_cast<std::size_t>(fair * 0.5));
+  EXPECT_LT(moved, static_cast<std::size_t>(fair * 1.7));
+}
+
+TEST(HashRing, ErrorsOnDegenerateStates) {
+  HashRing empty{RingConfig{}};
+  EXPECT_THROW((void)empty.lookup(CacheKey{1, 2}), std::invalid_argument);
+
+  HashRing ring{RingConfig{}};
+  ring.add_shard();
+  ring.set_active(0, false);
+  EXPECT_THROW((void)ring.lookup(CacheKey{1, 2}), std::invalid_argument);
+  EXPECT_THROW(ring.set_active(1, false), std::out_of_range);
+  EXPECT_THROW((void)ring.active(1), std::out_of_range);
+
+  RingConfig zero;
+  zero.vnodes = 0;
+  EXPECT_THROW(HashRing bad{zero}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harmony::serve

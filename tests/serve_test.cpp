@@ -854,6 +854,7 @@ TEST(Metrics, JsonExportIsWellFormedAndComplete) {
   EXPECT_NE(json.find("\"metric\": \"submitted\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"cache_hit_rate\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"p99_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"p999_us\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"tunes\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"mean_tune_workers\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"tune_steals\""), std::string::npos);
@@ -870,7 +871,7 @@ TEST(Metrics, JsonExportIsWellFormedAndComplete) {
     return std::count(json.begin(), json.end(), c);
   };
   EXPECT_EQ(count('{'), count('}'));
-  EXPECT_EQ(count('{'), 25);
+  EXPECT_EQ(count('{'), 26);
 }
 
 TEST(Metrics, OnTuneAggregatesWorkersAndSteals) {
@@ -889,6 +890,71 @@ TEST(Metrics, TableJsonEscapesStrings) {
   std::ostringstream os;
   t.print_json(os);
   EXPECT_NE(os.str().find("we\\\"ird\\nname"), std::string::npos);
+}
+
+TEST(Metrics, TableJsonEscapesHeadersAndControlChars) {
+  // Headers pass through the same escaper as cells — a column name with
+  // a quote or backslash must not produce unparseable JSON keys.
+  Table t({"met\"ric\\name", "value"});
+  t.add_row({std::string("tab\there\x01"), std::string("back\\slash\r")});
+  std::ostringstream os;
+  t.print_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"met\\\"ric\\\\name\""), std::string::npos);
+  EXPECT_NE(json.find("tab\\there\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("back\\\\slash\\r"), std::string::npos);
+  // No raw quote/control byte survives outside the JSON structure: the
+  // only unescaped quotes left are the key/value delimiters.
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+  EXPECT_EQ(json.find('\r'), std::string::npos);
+}
+
+TEST(Metrics, HistogramMergeMatchesUnionOracle) {
+  // merge() must behave as if one histogram had recorded the union of
+  // the samples: buckets are exact counters, so count addition is
+  // lossless — unlike averaging per-shard percentiles, which is wrong
+  // for any non-uniform split (shard A: fast cache hits, shard B: slow
+  // tunes).
+  std::vector<std::int64_t> fast, slow;
+  for (int i = 1; i <= 200; ++i) fast.push_back(500 + 13 * i);     // ~µs
+  for (int i = 1; i <= 50; ++i) slow.push_back(800'000 + 7'000 * i);  // ~ms
+
+  LatencyHistogram a, b, merged_oracle;
+  for (const std::int64_t ns : fast) {
+    a.record(std::chrono::nanoseconds(ns));
+    merged_oracle.record(std::chrono::nanoseconds(ns));
+  }
+  for (const std::int64_t ns : slow) {
+    b.record(std::chrono::nanoseconds(ns));
+    merged_oracle.record(std::chrono::nanoseconds(ns));
+  }
+
+  LatencyHistogram merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), 250u);
+  EXPECT_EQ(merged.counts(), merged_oracle.counts());
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(merged.percentile_us(q), merged_oracle.percentile_us(q))
+        << "q=" << q;
+  }
+  // The non-uniform split makes the naive aggregation observably wrong:
+  // the true fleet p95 is dominated by shard B's tail, far from the
+  // mean of the two per-shard p95s.
+  const double naive =
+      (a.percentile_us(0.95) + b.percentile_us(0.95)) / 2.0;
+  EXPECT_NE(merged.percentile_us(0.95), naive);
+
+  // add_counts: the wire-crossing form of merge.
+  LatencyHistogram rebuilt;
+  rebuilt.add_counts(a.counts());
+  rebuilt.add_counts(b.counts());
+  EXPECT_EQ(rebuilt.counts(), merged_oracle.counts());
+  // A peer with more buckets than the local convention must be refused,
+  // not silently truncated.
+  std::vector<std::uint64_t> skewed(LatencyHistogram::kNumBuckets + 1, 0);
+  EXPECT_THROW(rebuilt.add_counts(skewed), std::invalid_argument);
 }
 
 }  // namespace
